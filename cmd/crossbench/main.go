@@ -1,0 +1,80 @@
+// Command crossbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	crossbench -list
+//	crossbench -exp fig7a [-scale 8] [-seed 1] [-csv out.csv]
+//	crossbench -exp all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment ID (see -list), or \"all\"")
+		list  = flag.Bool("list", false, "list available experiments")
+		scale = flag.Int64("scale", 0, "capacity divisor (0 = experiment default)")
+		quick = flag.Bool("quick", false, "smoke-test sizes")
+		seed  = flag.Int64("seed", 1, "random seed")
+		csv   = flag.String("csv", "", "also write results as CSV to this file")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %-7s %s\n", id, experiments.Describe(id))
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+
+	var csvOut *os.File
+	if *csv != "" {
+		f, err := os.Create(*csv)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csvOut = f
+	}
+
+	opts := experiments.Options{Scale: *scale, Quick: *quick, Seed: *seed}
+	for _, id := range ids {
+		run, err := experiments.Get(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		tbl, err := run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		tbl.Note("wall time %s", time.Since(start).Round(time.Millisecond))
+		tbl.Print(os.Stdout)
+		if csvOut != nil {
+			fmt.Fprintf(csvOut, "# %s: %s\n", tbl.ID, tbl.Title)
+			if err := tbl.WriteCSV(csvOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

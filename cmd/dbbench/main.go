@@ -1,0 +1,90 @@
+// Command dbbench runs db_bench-style workloads against the LSM store on
+// the simulated stack.
+//
+// Usage:
+//
+//	dbbench -workload multireadrandom -keys 20000 -threads 8 \
+//	        -approach cross-predict-opt -mem 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	crossprefetch "repro"
+	"repro/internal/blockdev"
+	"repro/internal/lsm"
+)
+
+var approaches = map[string]crossprefetch.Approach{
+	"app-only":          crossprefetch.AppOnly,
+	"app-only-fincore":  crossprefetch.AppOnlyFincore,
+	"os-only":           crossprefetch.OSOnly,
+	"cross-predict":     crossprefetch.CrossPredict,
+	"cross-predict-opt": crossprefetch.CrossPredictOpt,
+	"cross-fetchall":    crossprefetch.CrossFetchAllOpt,
+}
+
+func main() {
+	var (
+		workload = flag.String("workload", "multireadrandom",
+			"fillseq|fillrandom|readrandom|readseq|readreverse|readscan|multireadrandom")
+		keys     = flag.Int64("keys", 20_000, "database size in keys")
+		value    = flag.Int("value", 1024, "value size in bytes")
+		threads  = flag.Int("threads", 4, "client threads")
+		ops      = flag.Int64("ops", 0, "operations per thread (0 = keys/threads)")
+		memMB    = flag.Int64("mem", 64, "page cache budget in MB")
+		approach = flag.String("approach", "cross-predict-opt", "prefetching approach")
+		f2fs     = flag.Bool("f2fs", false, "use the F2FS-like layout")
+		remote   = flag.Bool("remote", false, "use the remote NVMe-oF device")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	a, ok := approaches[*approach]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown approach %q; choose from:", *approach)
+		for name := range approaches {
+			fmt.Fprintf(os.Stderr, " %s", name)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+
+	cfg := crossprefetch.Config{
+		MemoryBytes: *memMB << 20,
+		Approach:    a,
+	}
+	if *f2fs {
+		cfg.Layout = crossprefetch.LayoutF2FS
+	}
+	if *remote {
+		cfg.Device = remoteDevice()
+	}
+
+	res, err := lsm.RunBench(lsm.BenchConfig{
+		Sys:          crossprefetch.NewSystem(cfg),
+		DB:           lsm.Options{MemtableBytes: 1 << 20, BlockBytes: 16 << 10},
+		NumKeys:      *keys,
+		ValueBytes:   *value,
+		Threads:      *threads,
+		Workload:     lsm.Workload(*workload),
+		OpsPerThread: *ops,
+		Seed:         *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-16s %s threads=%d keys=%d: %s\n",
+		*workload, *approach, *threads, *keys, res)
+	fmt.Printf("  virtual time %v; device: %s\n", res.Makespan, res.Metrics.Device)
+	fmt.Printf("  lib: %d prefetch calls, %d saved, %d pages prefetched, %d evicted\n",
+		res.Metrics.Lib.PrefetchCalls, res.Metrics.Lib.SavedPrefetches,
+		res.Metrics.Lib.PrefetchedPages, res.Metrics.Lib.EvictedPages)
+}
+
+// remoteDevice returns the NVMe-oF model without dragging blockdev into
+// the flag surface.
+func remoteDevice() blockdev.Config { return blockdev.RemoteNVMeConfig() }

@@ -1,0 +1,77 @@
+// Command microbench runs the paper's custom microbenchmark (§5.2.1):
+// multi-threaded 16KB reads over private or shared files, sequential or
+// random, under any of the comparison approaches.
+//
+// Usage:
+//
+//	microbench -threads 8 -total 256 -shared -rand -approach cross-predict-opt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	crossprefetch "repro"
+	"repro/internal/workload"
+)
+
+var approaches = map[string]crossprefetch.Approach{
+	"app-only":          crossprefetch.AppOnly,
+	"app-only-fincore":  crossprefetch.AppOnlyFincore,
+	"os-only":           crossprefetch.OSOnly,
+	"cross-predict":     crossprefetch.CrossPredict,
+	"cross-predict-opt": crossprefetch.CrossPredictOpt,
+	"cross-fetchall":    crossprefetch.CrossFetchAllOpt,
+}
+
+func main() {
+	var (
+		threads  = flag.Int("threads", 8, "reader threads")
+		writers  = flag.Int("writers", 0, "concurrent writer threads (Figure 6)")
+		totalMB  = flag.Int64("total", 256, "aggregate data footprint in MB")
+		memMB    = flag.Int64("mem", 128, "page cache budget in MB")
+		ioKB     = flag.Int64("io", 16, "per-read size in KB")
+		shared   = flag.Bool("shared", false, "one shared file instead of private files")
+		random   = flag.Bool("rand", false, "random access instead of sequential")
+		useMmap  = flag.Bool("mmap", false, "use mmap loads instead of read()")
+		approach = flag.String("approach", "os-only", "prefetching approach")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	a, ok := approaches[*approach]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown approach %q\n", *approach)
+		os.Exit(2)
+	}
+	sys := crossprefetch.NewSystem(crossprefetch.Config{
+		MemoryBytes: *memMB << 20,
+		Approach:    a,
+	})
+
+	var (
+		res workload.Result
+		err error
+	)
+	if *useMmap {
+		res, err = workload.RunMmap(workload.MmapConfig{
+			Sys: sys, Threads: *threads, TotalBytes: *totalMB << 20,
+			Sequential: !*random, Seed: *seed,
+		})
+	} else {
+		res, err = workload.RunMicro(workload.MicroConfig{
+			Sys: sys, Threads: *threads, Writers: *writers,
+			IOSize: *ioKB << 10, TotalBytes: *totalMB << 20,
+			Shared: *shared, Sequential: !*random, Seed: *seed,
+		})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %s\n", *approach, res)
+	fmt.Printf("  virtual time %v; device: %s\n", res.Makespan, res.Metrics.Device)
+	fmt.Printf("  prefetch syscalls=%d lib-calls=%d saved=%d\n",
+		res.Metrics.Prefetch, res.Metrics.Lib.PrefetchCalls, res.Metrics.Lib.SavedPrefetches)
+}

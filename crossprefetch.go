@@ -1,0 +1,247 @@
+// Package crossprefetch is a full-system reproduction of "CrossPrefetch:
+// Accelerating I/O Prefetching for Modern Storage" (ASPLOS 2024) in pure
+// Go.
+//
+// The package assembles the simulated stack — block device, file system,
+// page cache, the CROSS-OS kernel extensions, and the CROSS-LIB user-level
+// runtime — behind one Config/System pair:
+//
+//	sys := crossprefetch.NewSystem(crossprefetch.Config{
+//		MemoryBytes: 1 << 30,
+//		Approach:    crossprefetch.CrossPredictOpt,
+//	})
+//	tl := sys.Timeline()
+//	f, _ := sys.Create(tl, "data")
+//	f.WriteAt(tl, payload, 0)
+//	f.ReadAt(tl, buf, 0)
+//	fmt.Println(sys.Metrics())
+//
+// All I/O is charged in virtual time (see internal/simtime), so a System
+// can model a 1.4 GB/s NVMe device, an 80GB page cache, and dozens of
+// application threads deterministically on a laptop. The Approach knob
+// switches between the paper's comparison configurations (Table 2): the
+// APPonly and OSonly baselines, the CrossP[+predict] and
+// CrossP[+predict+opt] cross-layered prefetchers, and the idealistic
+// CrossP[+fetchall+opt] policy.
+package crossprefetch
+
+import (
+	"repro/internal/blockdev"
+	"repro/internal/crosslib"
+	"repro/internal/fs"
+	"repro/internal/pagecache"
+	"repro/internal/readahead"
+	"repro/internal/simtime"
+	"repro/internal/vfs"
+)
+
+// Approach selects one of the paper's comparison configurations.
+type Approach = crosslib.Approach
+
+// The comparison approaches (paper Table 2 and Table 5).
+const (
+	AppOnly                  = crosslib.AppOnly
+	AppOnlyFincore           = crosslib.AppOnlyFincore
+	OSOnly                   = crosslib.OSOnly
+	CrossVisibility          = crosslib.CrossVisibility
+	CrossVisibilityRangeTree = crosslib.CrossVisibilityRangeTree
+	CrossPredict             = crosslib.CrossPredict
+	CrossPredictOpt          = crosslib.CrossPredictOpt
+	CrossFetchAllOpt         = crosslib.CrossFetchAllOpt
+)
+
+// Layout selects the file-system allocation policy.
+type Layout = fs.Layout
+
+// File-system layouts.
+const (
+	LayoutExt4 = fs.LayoutExtent
+	LayoutF2FS = fs.LayoutLog
+)
+
+// Config describes one simulated machine + process configuration.
+// The zero value is usable: paper-testbed NVMe, ext4, 1GB of page cache,
+// OSonly prefetching.
+type Config struct {
+	// Device is the storage model; zero value selects the paper's local
+	// NVMe SSD. Use blockdev.RemoteNVMeConfig() for the NVMe-oF setup.
+	Device blockdev.Config
+	// Layout selects ext4-like or F2FS-like allocation.
+	Layout Layout
+	// MemoryBytes is the page-cache budget (default 1GB).
+	MemoryBytes int64
+	// BlockSize is the page/block size (default 4KB).
+	BlockSize int64
+	// Approach selects the prefetching configuration under test.
+	Approach Approach
+	// KernelRAMaxBytes is the kernel's static prefetch window limit
+	// (default 128KB; Figure 10 sweeps it).
+	KernelRAMaxBytes int64
+	// LibOptions, when non-nil, overrides Approach's CROSS-LIB options.
+	LibOptions *crosslib.Options
+	// PerInodeLRU enables the per-inode LRU reclaim extension (the
+	// paper's stated future work, §4.6).
+	PerInodeLRU bool
+	// Costs, when non-nil, overrides the calibrated CPU cost table.
+	Costs *simtime.Costs
+}
+
+func (c Config) withDefaults() Config {
+	if c.Device.Name == "" {
+		c.Device = blockdev.NVMeConfig()
+	}
+	if c.MemoryBytes <= 0 {
+		c.MemoryBytes = 1 << 30
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 4096
+	}
+	if c.KernelRAMaxBytes <= 0 {
+		c.KernelRAMaxBytes = 128 << 10
+	}
+	return c
+}
+
+// System is one assembled simulated machine running one process
+// configuration.
+type System struct {
+	cfg    Config
+	dev    *blockdev.Device
+	fsys   *fs.FS
+	cache  *pagecache.Cache
+	kernel *vfs.VFS
+	lib    *crosslib.Runtime
+}
+
+// NewSystem assembles the full stack for the given configuration.
+func NewSystem(cfg Config) *System {
+	cfg = cfg.withDefaults()
+	costs := simtime.DefaultCosts()
+	if cfg.Costs != nil {
+		costs = *cfg.Costs
+	}
+	cfg.Device.BlockSize = cfg.BlockSize
+	dev := blockdev.New(cfg.Device)
+	fsys := fs.New(cfg.Layout, cfg.BlockSize, costs)
+	cache := pagecache.New(pagecache.Config{
+		BlockSize:     cfg.BlockSize,
+		CapacityPages: cfg.MemoryBytes / cfg.BlockSize,
+		Costs:         costs,
+		PerInodeLRU:   cfg.PerInodeLRU,
+	}, nil)
+
+	kcfg := vfs.Config{
+		Costs: costs,
+		RA: readahead.Config{
+			InitPages: 4,
+			MaxPages:  cfg.KernelRAMaxBytes / cfg.BlockSize,
+		},
+		// The CROSS-OS kernel extension (limit relaxation) ships with
+		// the Cross* approaches only.
+		AllowLimitOverride: cfg.Approach.UsesLib(),
+		MaxPrefetchBytes:   64 << 20,
+	}
+	kernel := vfs.New(kcfg, fsys, dev, cache)
+
+	opts := cfg.Approach.Options()
+	if cfg.LibOptions != nil {
+		opts = *cfg.LibOptions
+	}
+	lib := crosslib.New(kernel, opts)
+
+	return &System{cfg: cfg, dev: dev, fsys: fsys, cache: cache, kernel: kernel, lib: lib}
+}
+
+// Timeline returns a fresh virtual-time thread clock starting at zero.
+func (s *System) Timeline() *simtime.Timeline { return simtime.NewTimeline(0) }
+
+// Group returns a thread group for multi-threaded workloads.
+func (s *System) Group() *simtime.Group { return simtime.NewGroup(0) }
+
+// Kernel exposes the simulated kernel (advanced use).
+func (s *System) Kernel() *vfs.VFS { return s.kernel }
+
+// Lib exposes the CROSS-LIB runtime (advanced use).
+func (s *System) Lib() *crosslib.Runtime { return s.lib }
+
+// Device exposes the block device.
+func (s *System) Device() *blockdev.Device { return s.dev }
+
+// FS exposes the file system.
+func (s *System) FS() *fs.FS { return s.fsys }
+
+// Cache exposes the page cache.
+func (s *System) Cache() *pagecache.Cache { return s.cache }
+
+// Config reports the system configuration (with defaults applied).
+func (s *System) Config() Config { return s.cfg }
+
+// Approach reports the configured approach.
+func (s *System) Approach() Approach { return s.cfg.Approach }
+
+// NewProcess returns an additional CROSS-LIB runtime instance over the
+// same kernel — a separate "process" with its own fd table, predictors,
+// range trees, helper threads, and memory-budget policy, sharing the page
+// cache and device with everything else (the paper's multi-instance
+// setting, §5.4).
+func (s *System) NewProcess() *crosslib.Runtime {
+	opts := s.cfg.Approach.Options()
+	if s.cfg.LibOptions != nil {
+		opts = *s.cfg.LibOptions
+	}
+	return crosslib.New(s.kernel, opts)
+}
+
+// Open opens a file through the configured approach's I/O path.
+func (s *System) Open(tl *simtime.Timeline, name string) (*crosslib.File, error) {
+	return s.lib.Open(tl, name)
+}
+
+// Create creates and opens a file through the configured I/O path.
+func (s *System) Create(tl *simtime.Timeline, name string) (*crosslib.File, error) {
+	return s.lib.Create(tl, name)
+}
+
+// OpenOrCreate opens name, creating it if missing.
+func (s *System) OpenOrCreate(tl *simtime.Timeline, name string) (*crosslib.File, error) {
+	return s.lib.OpenOrCreate(tl, name)
+}
+
+// CreateSynthetic provisions a fully mapped file of the given logical size
+// whose unwritten blocks read as deterministic filler — the cheap way to
+// set up paper-scale read workloads.
+func (s *System) CreateSynthetic(tl *simtime.Timeline, name string, size int64) error {
+	_, err := s.fsys.CreateSynthetic(tl, name, size)
+	return err
+}
+
+// DropAllCaches clears the kernel page cache and the runtime's user-level
+// cache belief — the paper clears caches before every measured phase.
+func (s *System) DropAllCaches(tl *simtime.Timeline) {
+	s.cache.DropAll(tl)
+	s.lib.DropCaches(tl)
+}
+
+// Metrics is a cross-layer snapshot used by the benchmark harness.
+type Metrics struct {
+	Cache      pagecache.Stats
+	Device     blockdev.Stats
+	Lib        crosslib.Stats
+	Prefetch   int64 // prefetch-related kernel crossings
+	Reads      int64
+	Writes     int64
+	MmapFaults int64
+}
+
+// Metrics snapshots all layers.
+func (s *System) Metrics() Metrics {
+	return Metrics{
+		Cache:      s.cache.Stats(),
+		Device:     s.dev.Stats(),
+		Lib:        s.lib.Stats(),
+		Prefetch:   s.kernel.PrefetchSyscalls(),
+		Reads:      s.kernel.SyscallCount(vfs.SysRead),
+		Writes:     s.kernel.SyscallCount(vfs.SysWrite),
+		MmapFaults: s.kernel.SyscallCount(vfs.SysMmapFault),
+	}
+}

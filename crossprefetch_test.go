@@ -1,0 +1,127 @@
+package crossprefetch_test
+
+import (
+	"bytes"
+	"testing"
+
+	crossprefetch "repro"
+	"repro/internal/blockdev"
+)
+
+func TestZeroValueConfig(t *testing.T) {
+	sys := crossprefetch.NewSystem(crossprefetch.Config{})
+	cfg := sys.Config()
+	if cfg.MemoryBytes != 1<<30 || cfg.BlockSize != 4096 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if cfg.KernelRAMaxBytes != 128<<10 {
+		t.Fatalf("kernel RA default = %d", cfg.KernelRAMaxBytes)
+	}
+	if sys.Approach() != crossprefetch.OSOnly {
+		t.Fatalf("default approach = %v", sys.Approach())
+	}
+}
+
+func TestEndToEndReadWrite(t *testing.T) {
+	sys := crossprefetch.NewSystem(crossprefetch.Config{
+		MemoryBytes: 64 << 20,
+		Approach:    crossprefetch.CrossPredictOpt,
+	})
+	tl := sys.Timeline()
+	f, err := sys.Create(tl, "file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("crossprefetch"), 10_000)
+	if _, err := f.WriteAt(tl, payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := f.ReadAt(tl, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("round trip mismatch")
+	}
+	m := sys.Metrics()
+	if m.Reads == 0 || m.Writes == 0 {
+		t.Fatalf("metrics not populated: %+v", m)
+	}
+	if tl.Elapsed() <= 0 {
+		t.Fatal("no virtual time charged")
+	}
+}
+
+func TestDropAllCaches(t *testing.T) {
+	sys := crossprefetch.NewSystem(crossprefetch.Config{MemoryBytes: 64 << 20})
+	tl := sys.Timeline()
+	if err := sys.CreateSynthetic(tl, "big", 8<<20); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := sys.Open(tl, "big")
+	buf := make([]byte, 1<<20)
+	f.ReadAt(tl, buf, 0)
+	if sys.Cache().Used() == 0 {
+		t.Fatal("cache should be warm")
+	}
+	sys.DropAllCaches(tl)
+	if sys.Cache().Used() != 0 {
+		t.Fatalf("cache still holds %d pages", sys.Cache().Used())
+	}
+	// The same handle still works after the drop.
+	if _, err := f.ReadAt(tl, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteDeviceConfig(t *testing.T) {
+	sys := crossprefetch.NewSystem(crossprefetch.Config{
+		Device:      blockdev.RemoteNVMeConfig(),
+		MemoryBytes: 16 << 20,
+	})
+	if sys.Device().Config().Name != "nvmeof0" {
+		t.Fatalf("device = %s", sys.Device().Config().Name)
+	}
+}
+
+func TestLayoutSelection(t *testing.T) {
+	sys := crossprefetch.NewSystem(crossprefetch.Config{Layout: crossprefetch.LayoutF2FS})
+	if sys.FS().Layout() != crossprefetch.LayoutF2FS {
+		t.Fatal("layout not applied")
+	}
+}
+
+func TestNewProcessIsolation(t *testing.T) {
+	sys := crossprefetch.NewSystem(crossprefetch.Config{
+		MemoryBytes: 64 << 20,
+		Approach:    crossprefetch.CrossPredictOpt,
+	})
+	tl := sys.Timeline()
+	if err := sys.CreateSynthetic(tl, "shared", 32<<20); err != nil {
+		t.Fatal(err)
+	}
+	p1 := sys.NewProcess()
+	p2 := sys.NewProcess()
+	f1, err := p1.Open(tl, "shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16<<10)
+	for off := int64(0); off < 4<<20; off += int64(len(buf)) {
+		f1.ReadAt(tl, buf, off)
+	}
+	// Process stats are private...
+	if p1.Stats().PrefetchCalls == 0 {
+		t.Fatal("process 1 should have prefetched")
+	}
+	if p2.Stats().PrefetchCalls != 0 {
+		t.Fatal("process 2 stats leaked from process 1")
+	}
+	// ...but the page cache is shared: process 2 hits what 1 fetched.
+	f2, _ := p2.Open(tl, "shared")
+	missesBefore := sys.Cache().Stats().Misses
+	f2.ReadAt(tl, buf, 0)
+	if got := sys.Cache().Stats().Misses; got != missesBefore {
+		t.Fatalf("process 2 should hit process 1's pages (misses %d -> %d)", missesBefore, got)
+	}
+}

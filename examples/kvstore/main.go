@@ -1,0 +1,42 @@
+// kvstore: run the LSM key-value store (the RocksDB stand-in) under two
+// prefetching regimes and compare the batched-random read throughput —
+// a miniature of the paper's Figure 2 motivation experiment.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	crossprefetch "repro"
+	"repro/internal/lsm"
+)
+
+func run(approach crossprefetch.Approach) lsm.BenchResult {
+	res, err := lsm.RunBench(lsm.BenchConfig{
+		Sys: crossprefetch.NewSystem(crossprefetch.Config{
+			MemoryBytes: 96 << 20,
+			Approach:    approach,
+		}),
+		DB:           lsm.Options{MemtableBytes: 1 << 20, BlockBytes: 16 << 10},
+		NumKeys:      20_000,
+		ValueBytes:   2048,
+		Threads:      8,
+		Workload:     lsm.MultiReadRandom,
+		OpsPerThread: 2000,
+		Seed:         42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	fmt.Println("LSM store, 20k keys x 2KB, 8 threads, batched random reads")
+	app := run(crossprefetch.AppOnly)
+	fmt.Printf("  APPonly (RocksDB-style, readahead off): %s\n", app)
+	cross := run(crossprefetch.CrossPredictOpt)
+	fmt.Printf("  CrossPrefetch [+predict+opt]:           %s\n", cross)
+	fmt.Printf("speedup: %.2fx, miss reduction: %.1f -> %.1f%%\n",
+		cross.KopsPerSec/app.KopsPerSec, app.MissPct, cross.MissPct)
+}

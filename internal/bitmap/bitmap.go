@@ -1,0 +1,300 @@
+// Package bitmap implements the dynamically sized block bitmaps
+// CrossPrefetch keeps per inode. Each bit records whether one file block
+// is resident in the page cache; the bitmap is stored as an array of
+// uint64 words that grows and shrinks with the file (paper §4.4).
+//
+// Bitmap itself is not synchronized: in the simulated kernel it is guarded
+// by its own rw-lock ledger (the "fast path"), in CROSS-LIB by the range
+// tree's per-node locks.
+package bitmap
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+const wordBits = 64
+
+// Bitmap is a growable bitmap over block indices starting at 0.
+type Bitmap struct {
+	words []uint64
+	set   int64 // population count, maintained incrementally
+}
+
+// New returns a bitmap sized for at least n blocks.
+func New(n int64) *Bitmap {
+	if n < 0 {
+		n = 0
+	}
+	return &Bitmap{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromWords builds a bitmap from raw words (shared, not copied) — used
+// when importing a kernel-exported window into CROSS-LIB.
+func FromWords(words []uint64) *Bitmap {
+	b := &Bitmap{words: words}
+	for _, w := range words {
+		b.set += int64(bits.OnesCount64(w))
+	}
+	return b
+}
+
+// Len reports the bitmap's capacity in blocks.
+func (b *Bitmap) Len() int64 { return int64(len(b.words)) * wordBits }
+
+// Count reports how many bits are set.
+func (b *Bitmap) Count() int64 { return b.set }
+
+// Words reports how many uint64 words back the bitmap.
+func (b *Bitmap) Words() int { return len(b.words) }
+
+// grow ensures the bitmap covers block index i.
+func (b *Bitmap) grow(i int64) {
+	w := int(i / wordBits)
+	if w < len(b.words) {
+		return
+	}
+	nw := len(b.words)*2 + 1
+	if nw <= w {
+		nw = w + 1
+	}
+	words := make([]uint64, nw)
+	copy(words, b.words)
+	b.words = words
+}
+
+// Test reports whether block i is set. Out-of-range blocks are unset.
+func (b *Bitmap) Test(i int64) bool {
+	if i < 0 {
+		return false
+	}
+	w := int(i / wordBits)
+	if w >= len(b.words) {
+		return false
+	}
+	return b.words[w]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Set sets block i, growing as needed. It reports whether the bit was
+// previously clear.
+func (b *Bitmap) Set(i int64) bool {
+	if i < 0 {
+		return false
+	}
+	b.grow(i)
+	w, m := int(i/wordBits), uint64(1)<<(uint(i)%wordBits)
+	if b.words[w]&m != 0 {
+		return false
+	}
+	b.words[w] |= m
+	b.set++
+	return true
+}
+
+// Clear clears block i. It reports whether the bit was previously set.
+func (b *Bitmap) Clear(i int64) bool {
+	if i < 0 {
+		return false
+	}
+	w := int(i / wordBits)
+	if w >= len(b.words) {
+		return false
+	}
+	m := uint64(1) << (uint(i) % wordBits)
+	if b.words[w]&m == 0 {
+		return false
+	}
+	b.words[w] &^= m
+	b.set--
+	return true
+}
+
+// SetRange sets blocks [lo, hi) and returns how many transitioned 0→1.
+func (b *Bitmap) SetRange(lo, hi int64) int64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi <= lo {
+		return 0
+	}
+	b.grow(hi - 1)
+	var flipped int64
+	for w := lo / wordBits; w <= (hi-1)/wordBits; w++ {
+		mask := wordMask(lo, hi, w)
+		old := b.words[w]
+		b.words[w] |= mask
+		flipped += int64(bits.OnesCount64(b.words[w] &^ old))
+	}
+	b.set += flipped
+	return flipped
+}
+
+// ClearRange clears blocks [lo, hi) and returns how many transitioned 1→0.
+func (b *Bitmap) ClearRange(lo, hi int64) int64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if max := b.Len(); hi > max {
+		hi = max
+	}
+	if hi <= lo {
+		return 0
+	}
+	var flipped int64
+	for w := lo / wordBits; w <= (hi-1)/wordBits; w++ {
+		mask := wordMask(lo, hi, w)
+		cleared := b.words[w] & mask
+		b.words[w] &^= mask
+		flipped += int64(bits.OnesCount64(cleared))
+	}
+	b.set -= flipped
+	return flipped
+}
+
+// wordMask returns the mask of bits in word w that fall inside [lo, hi).
+func wordMask(lo, hi, w int64) uint64 {
+	mask := ^uint64(0)
+	wlo, whi := w*wordBits, (w+1)*wordBits
+	if lo > wlo {
+		mask &= ^uint64(0) << uint(lo-wlo)
+	}
+	if hi < whi {
+		mask &= ^uint64(0) >> uint(whi-hi)
+	}
+	return mask
+}
+
+// CountRange reports how many bits in [lo, hi) are set.
+func (b *Bitmap) CountRange(lo, hi int64) int64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if max := b.Len(); hi > max {
+		hi = max
+	}
+	if hi <= lo {
+		return 0
+	}
+	var n int64
+	for w := lo / wordBits; w <= (hi-1)/wordBits; w++ {
+		n += int64(bits.OnesCount64(b.words[w] & wordMask(lo, hi, w)))
+	}
+	return n
+}
+
+// Run is a half-open range of block indices [Lo, Hi).
+type Run struct {
+	Lo, Hi int64
+}
+
+// Blocks reports the number of blocks the run covers.
+func (r Run) Blocks() int64 { return r.Hi - r.Lo }
+
+// String formats the run.
+func (r Run) String() string { return fmt.Sprintf("[%d,%d)", r.Lo, r.Hi) }
+
+// MissingRuns returns the maximal runs of clear bits within [lo, hi).
+// This is the core query behind readahead_info: "which blocks of the
+// requested window still need fetching?"
+func (b *Bitmap) MissingRuns(lo, hi int64) []Run {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi <= lo {
+		return nil
+	}
+	var runs []Run
+	runStart := int64(-1)
+	for i := lo; i < hi; i++ {
+		if !b.Test(i) {
+			if runStart < 0 {
+				runStart = i
+			}
+		} else if runStart >= 0 {
+			runs = append(runs, Run{runStart, i})
+			runStart = -1
+		}
+	}
+	if runStart >= 0 {
+		runs = append(runs, Run{runStart, hi})
+	}
+	return runs
+}
+
+// PresentRuns returns the maximal runs of set bits within [lo, hi).
+func (b *Bitmap) PresentRuns(lo, hi int64) []Run {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi <= lo {
+		return nil
+	}
+	var runs []Run
+	runStart := int64(-1)
+	for i := lo; i < hi; i++ {
+		if b.Test(i) {
+			if runStart < 0 {
+				runStart = i
+			}
+		} else if runStart >= 0 {
+			runs = append(runs, Run{runStart, i})
+			runStart = -1
+		}
+	}
+	if runStart >= 0 {
+		runs = append(runs, Run{runStart, hi})
+	}
+	return runs
+}
+
+// NextClear returns the first clear bit at or after i, or hi if none
+// before hi.
+func (b *Bitmap) NextClear(i, hi int64) int64 {
+	for ; i < hi; i++ {
+		if !b.Test(i) {
+			return i
+		}
+	}
+	return hi
+}
+
+// CopyRange copies the words covering blocks [lo, hi) into dst, growing
+// dst as needed, and returns the number of words copied. This models the
+// selective bitmap export from CROSS-OS to CROSS-LIB (paper §4.4:
+// "CROSS-LIB can specify offset and range values for selective copying").
+func (b *Bitmap) CopyRange(dst *Bitmap, lo, hi int64) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi <= lo {
+		return 0
+	}
+	dst.grow(hi - 1)
+	if w := int((hi - 1) / wordBits); w >= len(b.words) {
+		b.grow(hi - 1)
+	}
+	loW, hiW := int(lo/wordBits), int((hi-1)/wordBits)
+	for w := loW; w <= hiW; w++ {
+		old := dst.words[w]
+		nw := b.words[w]
+		// Preserve dst bits outside [lo,hi).
+		mask := wordMask(lo, hi, int64(w))
+		merged := (old &^ mask) | (nw & mask)
+		dst.set += int64(bits.OnesCount64(merged)) - int64(bits.OnesCount64(old))
+		dst.words[w] = merged
+	}
+	return hiW - loW + 1
+}
+
+// Shrink truncates the bitmap to cover at most n blocks, clearing any
+// bits at or beyond n (file truncation).
+func (b *Bitmap) Shrink(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	b.ClearRange(n, b.Len())
+	nw := int((n + wordBits - 1) / wordBits)
+	if nw < len(b.words) {
+		b.words = b.words[:nw]
+	}
+}

@@ -1,0 +1,51 @@
+package bitmap
+
+import "testing"
+
+func BenchmarkSet(b *testing.B) {
+	bm := New(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bm.Set(int64(i) % (1 << 20))
+	}
+}
+
+func BenchmarkSetRange(b *testing.B) {
+	bm := New(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lo := int64(i*97) % (1 << 19)
+		bm.SetRange(lo, lo+512)
+		bm.ClearRange(lo, lo+512)
+	}
+}
+
+func BenchmarkMissingRuns(b *testing.B) {
+	bm := New(1 << 16)
+	for i := int64(0); i < 1<<16; i += 7 {
+		bm.SetRange(i, i+3)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bm.MissingRuns(0, 4096)
+	}
+}
+
+func BenchmarkCopyRange(b *testing.B) {
+	src := New(1 << 16)
+	src.SetRange(0, 1<<15)
+	dst := New(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.CopyRange(dst, 0, 1<<14)
+	}
+}
+
+func BenchmarkCountRange(b *testing.B) {
+	bm := New(1 << 20)
+	bm.SetRange(1000, 500_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bm.CountRange(0, 1<<20)
+	}
+}

@@ -1,0 +1,344 @@
+package crosslib
+
+import (
+	"testing"
+
+	"repro/internal/blockdev"
+	"repro/internal/fs"
+	"repro/internal/pagecache"
+	"repro/internal/simtime"
+	"repro/internal/vfs"
+)
+
+// newKernel builds a kernel with the given cache capacity (pages) and
+// limit-override support enabled.
+func newKernel(capacity int64) *vfs.VFS {
+	costs := simtime.DefaultCosts()
+	dev := blockdev.New(blockdev.NVMeConfig())
+	fsys := fs.New(fs.LayoutExtent, 4096, costs)
+	cache := pagecache.New(pagecache.Config{BlockSize: 4096, CapacityPages: capacity, Costs: costs}, nil)
+	cfg := vfs.DefaultConfig()
+	cfg.AllowLimitOverride = true
+	return vfs.New(cfg, fsys, dev, cache)
+}
+
+func TestApproachStringsAndOptions(t *testing.T) {
+	for a := OSOnly; a <= CrossFetchAllOpt; a++ {
+		if a.String() == "unknown" {
+			t.Fatalf("approach %d has no name", a)
+		}
+		o := a.Options()
+		if a.UsesLib() != o.Enabled {
+			t.Fatalf("%v: UsesLib=%v but Options.Enabled=%v", a, a.UsesLib(), o.Enabled)
+		}
+	}
+	if CrossPredictOpt.Options().RangeTreeSpan == 0 {
+		t.Fatal("full system should use a range tree")
+	}
+	if CrossVisibility.Options().RangeTreeSpan != 0 {
+		t.Fatal("visibility-only ablation should use a single-node tree")
+	}
+}
+
+func TestPassthroughWhenDisabled(t *testing.T) {
+	v := newKernel(100000)
+	rt := New(v, Options{}) // disabled
+	tl := simtime.NewTimeline(0)
+	v.FS().CreateSynthetic(tl, "f", 1<<20)
+	f, err := rt.Open(tl, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	if _, err := f.ReadAt(tl, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats().PrefetchCalls != 0 {
+		t.Fatal("disabled runtime should not prefetch")
+	}
+}
+
+func TestSequentialStreamPrefetches(t *testing.T) {
+	v := newKernel(1_000_000)
+	rt := NewForApproach(v, CrossPredictOpt)
+	tl := simtime.NewTimeline(0)
+	v.FS().CreateSynthetic(tl, "big", 64<<20)
+	f, err := rt.Open(tl, "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16384)
+	for off := int64(0); off < 16<<20; off += 16384 {
+		f.ReadAt(tl, buf, off)
+	}
+	st := rt.Stats()
+	if st.PrefetchCalls == 0 {
+		t.Fatal("sequential stream should trigger library prefetch")
+	}
+	if st.PrefetchedPages == 0 {
+		t.Fatal("prefetch should have fetched pages")
+	}
+	// The library should prefetch beyond the kernel's static window.
+	if fcached := f.Kernel().FileCache().CachedPages(); fcached <= (16<<20)/4096+32 {
+		t.Fatalf("aggressive prefetch should outrun demand: cached=%d", fcached)
+	}
+}
+
+func TestCacheAwarenessSavesSyscalls(t *testing.T) {
+	v := newKernel(1_000_000)
+	rt := NewForApproach(v, CrossPredictOpt)
+	tl := simtime.NewTimeline(0)
+	v.FS().CreateSynthetic(tl, "big", 64<<20)
+	f, _ := rt.Open(tl, "big")
+	buf := make([]byte, 16384)
+	// First pass populates; second pass should mostly skip prefetching.
+	for pass := 0; pass < 2; pass++ {
+		for off := int64(0); off < 8<<20; off += 16384 {
+			f.ReadAt(tl, buf, off)
+		}
+	}
+	st := rt.Stats()
+	if st.SavedPrefetches == 0 {
+		t.Fatal("warm re-read should elide prefetch syscalls")
+	}
+}
+
+func TestRandomStreamNoPatternPrefetch(t *testing.T) {
+	v := newKernel(1_000_000)
+	// Predictor on, coverage off: random access must not trigger
+	// pattern-window prefetching.
+	rt := New(v, Options{Enabled: true, Visibility: true, Predict: true})
+	tl := simtime.NewTimeline(0)
+	v.FS().CreateSynthetic(tl, "big", 1<<30)
+	f, _ := rt.Open(tl, "big")
+	buf := make([]byte, 4096)
+	offs := []int64{900 << 20, 5 << 20, 500 << 20, 100 << 20, 700 << 20, 10 << 20}
+	for _, off := range offs {
+		f.ReadAt(tl, buf, off)
+	}
+	if got := rt.Stats().PrefetchedPages; got > 64 {
+		t.Fatalf("random stream prefetched %d pages", got)
+	}
+}
+
+func TestCoveragePrefetchPopulatesUnderFreeMemory(t *testing.T) {
+	v := newKernel(1_000_000) // 4GB budget: plenty free
+	rt := NewForApproach(v, CrossPredictOpt)
+	tl := simtime.NewTimeline(0)
+	v.FS().CreateSynthetic(tl, "big", 256<<20)
+	f, _ := rt.Open(tl, "big")
+	buf := make([]byte, 16384)
+	offs := []int64{200 << 20, 5 << 20, 100 << 20, 30 << 20, 170 << 20, 60 << 20}
+	for _, off := range offs {
+		f.ReadAt(tl, buf, off)
+	}
+	// Coverage prefetching should have populated chunks around the random
+	// accesses, far beyond the demanded pages.
+	if got := rt.Stats().PrefetchedPages; got < 1024 {
+		t.Fatalf("coverage prefetch fetched only %d pages", got)
+	}
+}
+
+func TestFetchAllPrefetchesWholeFile(t *testing.T) {
+	v := newKernel(1_000_000)
+	rt := NewForApproach(v, CrossFetchAllOpt)
+	tl := simtime.NewTimeline(0)
+	v.FS().CreateSynthetic(tl, "big", 32<<20)
+	f, _ := rt.Open(tl, "big")
+	// Open queues whole-file prefetch; device congestion control trims
+	// the burst to roughly CongestionLimit × bandwidth (≈7MB), so a
+	// healthy chunk — but not everything — is resident immediately.
+	blocks := f.Kernel().Inode().Blocks()
+	if got := f.Kernel().FileCache().CachedPages(); got < 1024 {
+		t.Fatalf("fetchall cached only %d of %d blocks at open", got, blocks)
+	}
+	// Streaming the file lets the repair passes finish the job.
+	buf := make([]byte, 1<<20)
+	for pass := 0; pass < 8; pass++ {
+		for off := int64(0); off < 32<<20; off += 1 << 20 {
+			f.ReadAt(tl, buf, off)
+		}
+	}
+	if got := f.Kernel().FileCache().CachedPages(); got != blocks {
+		t.Fatalf("fetchall converged to %d of %d blocks", got, blocks)
+	}
+}
+
+func TestOptimisticOpenPrefetch(t *testing.T) {
+	v := newKernel(1_000_000)
+	rt := NewForApproach(v, CrossPredictOpt)
+	tl := simtime.NewTimeline(0)
+	v.FS().CreateSynthetic(tl, "big", 32<<20)
+	f, _ := rt.Open(tl, "big")
+	if rt.Stats().OpenPrefetches != 1 {
+		t.Fatal("open should optimistically prefetch")
+	}
+	// 2MB = 512 pages.
+	if got := f.Kernel().FileCache().CachedPages(); got != 512 {
+		t.Fatalf("open prefetched %d pages, want 512", got)
+	}
+}
+
+func TestLowMemoryHaltsPrefetch(t *testing.T) {
+	v := newKernel(1000) // tiny: 4MB budget
+	rt := NewForApproach(v, CrossPredictOpt)
+	tl := simtime.NewTimeline(0)
+	v.FS().CreateSynthetic(tl, "big", 1<<30)
+	f, _ := rt.Open(tl, "big")
+	buf := make([]byte, 16384)
+	for off := int64(0); off < 8<<20; off += 16384 {
+		f.ReadAt(tl, buf, off)
+	}
+	// The budget stays respected: the kernel cache never exceeds capacity.
+	if used := v.Cache().Used(); used > 1000 {
+		t.Fatalf("cache used %d > capacity", used)
+	}
+}
+
+func TestAggressiveEvictionOfInactiveFiles(t *testing.T) {
+	v := newKernel(2000) // 8MB budget
+	opt := CrossPredictOpt.Options()
+	opt.InactiveAge = 1 * simtime.Microsecond
+	opt.EvictCheckOps = 1
+	rt := New(v, opt)
+	tl := simtime.NewTimeline(0)
+
+	v.FS().CreateSynthetic(tl, "cold", 4<<20)
+	v.FS().CreateSynthetic(tl, "hot", 16<<20)
+	cold, _ := rt.Open(tl, "cold")
+	buf := make([]byte, 16384)
+	for off := int64(0); off < 4<<20; off += 16384 {
+		cold.ReadAt(tl, buf, off)
+	}
+	coldPages := cold.Kernel().FileCache().CachedPages()
+	if coldPages == 0 {
+		t.Fatal("cold file should be cached initially")
+	}
+	// Let the cold file go inactive, then stream the hot file under
+	// pressure.
+	tl.Advance(10 * simtime.Microsecond)
+	hot, _ := rt.Open(tl, "hot")
+	for off := int64(0); off < 16<<20; off += 16384 {
+		hot.ReadAt(tl, buf, off)
+	}
+	if rt.Stats().EvictedPages == 0 {
+		t.Fatal("aggressive eviction should have reclaimed the inactive file")
+	}
+	if got := cold.Kernel().FileCache().CachedPages(); got >= coldPages {
+		t.Fatalf("inactive file kept %d of %d pages", got, coldPages)
+	}
+}
+
+func TestSharedFileDescriptorsShareTree(t *testing.T) {
+	v := newKernel(1_000_000)
+	rt := NewForApproach(v, CrossPredictOpt)
+	tl := simtime.NewTimeline(0)
+	v.FS().CreateSynthetic(tl, "shared", 64<<20)
+	f1, _ := rt.Open(tl, "shared")
+	f2, _ := rt.Open(tl, "shared")
+	if f1.sf != f2.sf {
+		t.Fatal("descriptors of the same file should share state")
+	}
+	buf := make([]byte, 16384)
+	for off := int64(0); off < 8<<20; off += 16384 {
+		f1.ReadAt(tl, buf, off)
+	}
+	calls := rt.Stats().PrefetchCalls
+	// fd2 streaming the same region should mostly hit the shared bitmap.
+	tl2 := simtime.NewTimeline(tl.Now())
+	for off := int64(0); off < 8<<20; off += 16384 {
+		f2.ReadAt(tl2, buf, off)
+	}
+	st := rt.Stats()
+	if st.SavedPrefetches == 0 {
+		t.Fatal("second descriptor should save prefetches via shared tree")
+	}
+	if st.PrefetchCalls > calls*2 {
+		t.Fatalf("shared state should curb duplicate prefetch calls: %d -> %d", calls, st.PrefetchCalls)
+	}
+}
+
+func TestWriteUpdatesTree(t *testing.T) {
+	v := newKernel(100000)
+	rt := NewForApproach(v, CrossPredict)
+	tl := simtime.NewTimeline(0)
+	f, err := rt.Create(tl, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt(tl, make([]byte, 64<<10), 0)
+	if got := f.sf.tree.CachedCount(nil, 0, 16); got != 16 {
+		t.Fatalf("tree shows %d cached blocks after write, want 16", got)
+	}
+}
+
+func TestReverseStreamPrefetches(t *testing.T) {
+	v := newKernel(1_000_000)
+	rt := NewForApproach(v, CrossPredictOpt)
+	tl := simtime.NewTimeline(0)
+	v.FS().CreateSynthetic(tl, "big", 64<<20)
+	f, _ := rt.Open(tl, "big")
+	buf := make([]byte, 16384)
+	for off := int64(32 << 20); off >= 16<<20; off -= 16384 {
+		f.ReadAt(tl, buf, off)
+	}
+	if rt.Stats().PrefetchedPages == 0 {
+		t.Fatal("reverse stream should be detected and prefetched")
+	}
+}
+
+func TestMmapScanPrefetches(t *testing.T) {
+	v := newKernel(1_000_000)
+	opt := CrossPredictOpt.Options()
+	opt.MmapScanOps = 8
+	rt := New(v, opt)
+	tl := simtime.NewTimeline(0)
+	v.FS().CreateSynthetic(tl, "big", 64<<20)
+	f, _ := rt.Open(tl, "big")
+	m := rt.Mmap(tl, f)
+	for off := int64(0); off < 8<<20; off += 64 << 10 {
+		m.Load(tl, off, 64<<10, nil)
+	}
+	// The scanner should have prefetched ahead of the load frontier.
+	if got := f.Kernel().FileCache().CachedPages(); got <= (8<<20)/4096 {
+		t.Fatalf("mmap scanner did not prefetch ahead: %d pages", got)
+	}
+}
+
+func TestFincorePollStep(t *testing.T) {
+	v := newKernel(1_000_000)
+	opt := Options{Enabled: true}.withDefaults()
+	rt := New(v, opt)
+	tl := simtime.NewTimeline(0)
+	v.FS().CreateSynthetic(tl, "big", 16<<20)
+	f, _ := rt.Open(tl, "big")
+	f.FincorePollStep(tl, 256)
+	st := rt.Stats()
+	if st.FincorePolls != 1 {
+		t.Fatalf("polls = %d", st.FincorePolls)
+	}
+	if st.PrefetchCalls == 0 {
+		t.Fatal("poll over cold file should issue readahead")
+	}
+	if v.SyscallCount(vfs.SysFincore) == 0 {
+		t.Fatal("fincore syscall not issued")
+	}
+}
+
+func TestSeekAndSequentialReadThroughLib(t *testing.T) {
+	v := newKernel(100000)
+	rt := NewForApproach(v, CrossPredictOpt)
+	tl := simtime.NewTimeline(0)
+	f, _ := rt.Create(tl, "x")
+	f.WriteAt(tl, []byte("abcdefgh"), 0)
+	buf := make([]byte, 4)
+	f.Read(tl, buf)
+	if string(buf) != "abcd" {
+		t.Fatalf("read %q", buf)
+	}
+	f.SeekTo(4)
+	f.Read(tl, buf)
+	if string(buf) != "efgh" {
+		t.Fatalf("read %q", buf)
+	}
+}

@@ -1,0 +1,131 @@
+package crosslib
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/vfs"
+)
+
+func TestDropCachesResetsBelief(t *testing.T) {
+	v := newKernel(1_000_000)
+	rt := NewForApproach(v, CrossPredictOpt)
+	tl := simtime.NewTimeline(0)
+	v.FS().CreateSynthetic(tl, "big", 16<<20)
+	f, _ := rt.Open(tl, "big")
+	buf := make([]byte, 1<<20)
+	f.ReadAt(tl, buf, 0)
+	if f.sf.tree.CachedCount(nil, 0, 256) == 0 {
+		t.Fatal("tree should believe pages cached")
+	}
+	v.Cache().DropAll(tl)
+	rt.DropCaches(tl)
+	if got := f.sf.tree.CachedCount(nil, 0, 4096); got != 0 {
+		t.Fatalf("belief not reset: %d", got)
+	}
+	// Reads after the drop still work and repopulate.
+	if _, err := f.ReadAt(tl, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefetchDroppedWhenHelpersSaturated(t *testing.T) {
+	v := newKernel(1_000_000)
+	opt := CrossPredictOpt.Options()
+	opt.Workers = 1
+	rt := New(v, opt)
+	tl := simtime.NewTimeline(0)
+	v.FS().CreateSynthetic(tl, "big", 256<<20)
+
+	// Book the lone helper far into the future.
+	rt.workers.Run(0, func(wtl *simtime.Timeline) {
+		wtl.Advance(simtime.Second)
+	})
+
+	f, _ := rt.Open(tl, "big")
+	buf := make([]byte, 16384)
+	for off := int64(0); off < 4<<20; off += 16384 {
+		f.ReadAt(tl, buf, off)
+	}
+	st := rt.Stats()
+	if st.DroppedPrefetch == 0 {
+		t.Fatal("saturated helpers should drop prefetch intents")
+	}
+	// Dropped intents must release their range-tree reservations so a
+	// later retry is possible.
+	if runs := f.sf.tree.NeedsPrefetch(nil, 2048, 2060); len(runs) == 0 {
+		t.Fatal("dropped intent left requested marks behind")
+	}
+}
+
+func TestBlindModeUsesLegacyReadahead(t *testing.T) {
+	v := newKernel(1_000_000)
+	// Visibility off: the library falls back to readahead(2).
+	rt := New(v, Options{Enabled: true, Predict: true, CoveragePrefetch: true})
+	tl := simtime.NewTimeline(0)
+	v.FS().CreateSynthetic(tl, "big", 64<<20)
+	f, _ := rt.Open(tl, "big")
+	buf := make([]byte, 16384)
+	for off := int64(0); off < 4<<20; off += 16384 {
+		f.ReadAt(tl, buf, off)
+	}
+	if v.SyscallCount(vfs.SysReadahead) == 0 {
+		t.Fatal("blind mode should issue readahead(2)")
+	}
+	if v.SyscallCount(vfs.SysReadaheadInfo) != 0 {
+		t.Fatal("blind mode must not use readahead_info")
+	}
+}
+
+func TestMmapScanWindowShrinksOnRandom(t *testing.T) {
+	v := newKernel(1_000_000)
+	opt := CrossPredictOpt.Options()
+	opt.MmapScanOps = 4
+	rt := New(v, opt)
+	tl := simtime.NewTimeline(0)
+	v.FS().CreateSynthetic(tl, "big", 256<<20)
+	f, _ := rt.Open(tl, "big")
+	m := rt.Mmap(tl, f)
+	// Random loads all over the file: no frontier motion after the first
+	// scans, so the window should shrink toward its floor.
+	offs := []int64{200 << 20, 5 << 20, 120 << 20, 60 << 20, 30 << 20,
+		90 << 20, 10 << 20, 180 << 20, 40 << 20, 150 << 20, 70 << 20, 20 << 20}
+	for _, off := range offs {
+		for i := 0; i < 4; i++ {
+			m.Load(tl, off+int64(i)*4096, 4096, nil)
+		}
+	}
+	m.mu.Lock()
+	window := m.window
+	m.mu.Unlock()
+	if window > 64 {
+		t.Fatalf("random mmap loads should shrink the window, got %d blocks", window)
+	}
+}
+
+func TestMemoryBudgetPagesRespected(t *testing.T) {
+	v := newKernel(100_000) // 400MB system cache
+	opt := CrossPredictOpt.Options()
+	opt.MemoryBudgetPages = 1000 // 4MB process budget
+	opt.RangeTreeSpan = 256      // 1MB eviction granularity
+	opt.InactiveAge = 500 * simtime.Microsecond
+	opt.EvictCheckOps = 8
+	rt := New(v, opt)
+	tl := simtime.NewTimeline(0)
+	v.FS().CreateSynthetic(tl, "big", 256<<20)
+	f, _ := rt.Open(tl, "big")
+	buf := make([]byte, 16384)
+	for off := int64(0); off < 32<<20; off += 16384 {
+		f.ReadAt(tl, buf, off)
+	}
+	// Though the system cache could hold the whole 32MB stream, the
+	// library's aggressive eviction works against its own 4MB budget:
+	// cold ranges behind the stream get DONTNEEDed, so residency stays
+	// near the budget instead of ballooning to the full stream.
+	if used := v.Cache().Used(); used > 4000 {
+		t.Fatalf("process budget ignored: %d pages resident", used)
+	}
+	if rt.Stats().EvictedPages == 0 {
+		t.Fatal("budget-driven eviction never ran")
+	}
+}

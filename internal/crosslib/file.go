@@ -1,0 +1,378 @@
+package crosslib
+
+import (
+	"sync"
+
+	"repro/internal/bitmap"
+	"repro/internal/predictor"
+	"repro/internal/simtime"
+	"repro/internal/vfs"
+)
+
+// File is a CROSS-LIB file descriptor: the kernel descriptor plus the
+// user-level prediction and prefetch state (§4.3's "user-level
+// file-descriptor structure"). Each descriptor has its own pattern
+// detector; descriptors of the same file share the range tree (§4.5's
+// file-descriptor prefetching).
+type File struct {
+	rt *Runtime
+	kf *vfs.File
+	sf *sharedFile
+
+	predMu sync.Mutex
+	pred   *predictor.Predictor
+
+	mu  sync.Mutex
+	pos int64
+}
+
+// Open opens an existing file through the runtime.
+func (rt *Runtime) Open(tl *simtime.Timeline, name string) (*File, error) {
+	kf, err := rt.v.Open(tl, name)
+	if err != nil {
+		return nil, err
+	}
+	return rt.wrap(tl, kf, name), nil
+}
+
+// Create creates and opens a file through the runtime.
+func (rt *Runtime) Create(tl *simtime.Timeline, name string) (*File, error) {
+	kf, err := rt.v.Create(tl, name)
+	if err != nil {
+		return nil, err
+	}
+	return rt.wrap(tl, kf, name), nil
+}
+
+// OpenOrCreate opens name, creating it if missing.
+func (rt *Runtime) OpenOrCreate(tl *simtime.Timeline, name string) (*File, error) {
+	if f, err := rt.Open(tl, name); err == nil {
+		return f, nil
+	}
+	return rt.Create(tl, name)
+}
+
+func (rt *Runtime) wrap(tl *simtime.Timeline, kf *vfs.File, name string) *File {
+	f := &File{rt: rt, kf: kf}
+	if !rt.opt.Enabled {
+		return f
+	}
+	f.sf = rt.shared(kf, name)
+	f.pred = predictor.New(predictor.DefaultConfig())
+	f.sf.touch(tl.Now())
+
+	switch {
+	case rt.opt.FetchAll:
+		// Idealistic policy: prefetch the entire file on open (§5.2).
+		f.ensureFetchAll(tl, 1)
+	case rt.opt.OptLimits && rt.opt.Predict:
+		// Aggressive optimistic open: assume sequential, prefetch the
+		// first OpenPrefetchBytes before the pattern is known (§4.6).
+		if rt.freeFrac() > rt.opt.HighWaterFrac && kf.Size() > 0 {
+			rt.openPrefetches.Add(1)
+			f.prefetchAsync(tl, 0, rt.opt.OpenPrefetchBytes/rt.v.BlockSize())
+		}
+	}
+	return f
+}
+
+// Kernel exposes the underlying kernel descriptor (APPonly workloads issue
+// their own readahead/fadvise through it).
+func (f *File) Kernel() *vfs.File { return f.kf }
+
+// Size reports the file size.
+func (f *File) Size() int64 { return f.kf.Size() }
+
+// Predictor exposes the descriptor's pattern detector for telemetry.
+func (f *File) Predictor() *predictor.Predictor { return f.pred }
+
+// ReadAt reads through the shim: the predictor observes the access, the
+// runtime prefetches ahead when warranted, and the user-level bitmap is
+// updated with the pages the read faulted in.
+func (f *File) ReadAt(tl *simtime.Timeline, dst []byte, off int64) (int, error) {
+	o := f.rt.opt
+	if !o.Enabled {
+		return f.kf.ReadAt(tl, dst, off)
+	}
+	tl.Advance(f.rt.v.Config().Costs.LibOverhead)
+	bs := f.rt.v.BlockSize()
+	lo := off / bs
+	hi := (off + int64(len(dst)) + bs - 1) / bs
+
+	op := f.rt.tick()
+	if o.Predict && f.pred != nil {
+		f.predMu.Lock()
+		f.pred.Observe(lo, hi-lo)
+		plo, pn := f.pred.Next()
+		f.predMu.Unlock()
+		switch {
+		case pn > 0:
+			f.prefetchAsync(tl, plo, pn)
+		case o.CoveragePrefetch:
+			f.coveragePrefetch(tl, lo)
+		}
+	}
+	if o.FetchAll {
+		f.ensureFetchAll(tl, op)
+	}
+
+	n, err := f.kf.ReadAt(tl, dst, off)
+	f.sf.tree.MarkCached(tl, lo, hi)
+	f.sf.touch(tl.Now())
+	f.rt.maybeEvict(tl, op)
+	return n, err
+}
+
+// Read reads at the descriptor's position, advancing it.
+func (f *File) Read(tl *simtime.Timeline, dst []byte) (int, error) {
+	f.mu.Lock()
+	off := f.pos
+	f.mu.Unlock()
+	n, err := f.ReadAt(tl, dst, off)
+	f.mu.Lock()
+	f.pos = off + int64(n)
+	f.mu.Unlock()
+	return n, err
+}
+
+// SeekTo sets the descriptor position.
+func (f *File) SeekTo(off int64) {
+	f.mu.Lock()
+	f.pos = off
+	f.mu.Unlock()
+}
+
+// WriteAt writes through the shim. Writes also feed the pattern detector
+// (the paper observes patterns on reads and writes) and populate the
+// user-level bitmap, since written pages are cached.
+func (f *File) WriteAt(tl *simtime.Timeline, data []byte, off int64) (int, error) {
+	o := f.rt.opt
+	if !o.Enabled {
+		return f.kf.WriteAt(tl, data, off)
+	}
+	tl.Advance(f.rt.v.Config().Costs.LibOverhead)
+	bs := f.rt.v.BlockSize()
+	lo := off / bs
+	hi := (off + int64(len(data)) + bs - 1) / bs
+	if o.Predict && f.pred != nil {
+		f.predMu.Lock()
+		f.pred.Observe(lo, hi-lo)
+		f.predMu.Unlock()
+	}
+	op := f.rt.tick()
+	n, err := f.kf.WriteAt(tl, data, off)
+	f.sf.tree.MarkCached(tl, lo, hi)
+	f.sf.touch(tl.Now())
+	f.rt.maybeEvict(tl, op)
+	return n, err
+}
+
+// Append writes at EOF.
+func (f *File) Append(tl *simtime.Timeline, data []byte) (int, error) {
+	return f.WriteAt(tl, data, f.kf.Size())
+}
+
+// Fsync flushes dirty pages.
+func (f *File) Fsync(tl *simtime.Timeline) error { return f.kf.Fsync(tl) }
+
+// prefetchAsync clamps a prefetch intent [lo, lo+blocks) by the memory
+// budget, drops the already-cached/in-flight portion using the user-level
+// bitmap (saving kernel crossings), and hands the rest to a background
+// helper thread that issues readahead_info.
+func (f *File) prefetchAsync(tl *simtime.Timeline, lo, blocks int64) {
+	rt := f.rt
+	o := rt.opt
+	bs := rt.v.BlockSize()
+
+	fileBlocks := f.kf.Inode().Blocks()
+	if lo < 0 {
+		lo = 0
+	}
+	if lo+blocks > fileBlocks {
+		blocks = fileBlocks - lo
+	}
+	if blocks <= 0 {
+		return
+	}
+
+	// Memory budget policy (§4.6): halt entirely below the low
+	// watermark; below the high watermark, stay within the kernel's
+	// static window even when opt would allow more. The FetchAll policy
+	// is deliberately memory-insensitive (Table 2).
+	if !o.FetchAll && (o.OptLimits || o.AggressiveEvict || o.CoveragePrefetch) {
+		free := rt.freeFrac()
+		if free < o.LowWaterFrac {
+			return
+		}
+		if free < o.HighWaterFrac {
+			if max := rt.v.Config().RA.MaxPages; blocks > max {
+				blocks = max
+			}
+		}
+	}
+	if max := o.MaxPrefetchBytes / bs; blocks > max {
+		blocks = max
+	}
+
+	hi := lo + blocks
+	runs := f.sf.tree.NeedsPrefetch(tl, lo, hi)
+	if len(runs) == 0 {
+		// Everything already cached or in flight: the prefetch system
+		// call is elided — the core saving of cache visibility (§4.2).
+		rt.savedPrefetch.Add(1)
+		return
+	}
+	// Batching hysteresis: a window whose uncovered tail is still tiny is
+	// not worth a kernel crossing yet; wait for the intent to accumulate.
+	var missing int64
+	for _, r := range runs {
+		missing += r.Blocks()
+	}
+	if threshold := min64(16, blocks/4); missing < threshold {
+		for _, r := range runs {
+			f.sf.tree.ClearRequested(tl, r.Lo, r.Hi)
+		}
+		return
+	}
+
+	now := tl.Now()
+	// Helper saturation: when every background worker is booked solid,
+	// a queued prefetch would complete too late to matter but would
+	// still burn device bandwidth — drop the intent instead (a bounded
+	// prefetch queue, as a real helper-thread pool would have).
+	if rt.workers.EarliestFree() > now.Add(workerQueueBound) {
+		for _, r := range runs {
+			f.sf.tree.ClearRequested(tl, r.Lo, r.Hi)
+		}
+		rt.droppedPrefetch.Add(1)
+		return
+	}
+	sf := f.sf
+	kf := f.kf
+	rt.workers.Run(now, func(wtl *simtime.Timeline) {
+		for _, r := range runs {
+			f.issuePrefetch(wtl, kf, sf, r.Lo, r.Hi)
+		}
+	})
+}
+
+// workerQueueBound is how far ahead of the submitting thread the helper
+// pool may be booked before new prefetch intents are dropped.
+const workerQueueBound = 2 * simtime.Millisecond
+
+// issuePrefetch performs one kernel prefetch for [lo, hi) on the worker
+// timeline and reconciles the user-level bitmap with the kernel's reply.
+func (f *File) issuePrefetch(wtl *simtime.Timeline, kf *vfs.File, sf *sharedFile, lo, hi int64) {
+	rt := f.rt
+	o := rt.opt
+	bs := rt.v.BlockSize()
+
+	if !o.Visibility {
+		// Degraded mode: blind readahead(2), no state import.
+		kf.Readahead(wtl, lo*bs, (hi-lo)*bs)
+		rt.prefetchCalls.Add(1)
+		sf.tree.MarkCached(wtl, lo, min64(hi, lo+rt.v.Config().RA.MaxPages))
+		return
+	}
+
+	for pos := lo; pos < hi; {
+		req := vfs.CacheInfoRequest{
+			Offset:   pos * bs,
+			Bytes:    (hi - pos) * bs,
+			BitmapLo: pos,
+			BitmapHi: hi,
+		}
+		if o.OptLimits {
+			req.LimitOverride = hi - pos
+		}
+		snap := bitmap.New(0)
+		info := kf.ReadaheadInfo(wtl, req, snap)
+		rt.prefetchCalls.Add(1)
+		rt.prefetchedPgs.Add(info.PrefetchedPages)
+
+		// Reconcile: the exported bitmap is the kernel's truth for
+		// [pos, pos+granted) — including prefetched pages, minus
+		// anything congestion control postponed (those stay missing in
+		// the tree and will be retried).
+		granted := info.RequestedPages
+		if granted <= 0 {
+			sf.tree.ClearRequested(wtl, pos, hi)
+			break
+		}
+		sf.tree.ImportBitmap(wtl, snap, pos, pos+granted)
+		pos += granted
+
+		if !o.OptLimits {
+			// Without limit override the kernel clamps each call to the
+			// static window; issuing a storm of calls to get around it
+			// is exactly what the paper's library does NOT do — one
+			// window per intent.
+			sf.tree.ClearRequested(wtl, pos, hi)
+			break
+		}
+	}
+}
+
+// coveragePrefetch is the budget-driven aggressive population policy
+// (§4.6): when the pattern is random but free memory remains above the
+// watermarks, prefetch the missing blocks of a chunk starting at the
+// access point. Random readers of a region thereby converge on full
+// residency while memory lasts, eliminating compulsory misses that
+// pattern-window prefetching can never cover.
+func (f *File) coveragePrefetch(tl *simtime.Timeline, lo int64) {
+	rt := f.rt
+	o := rt.opt
+	free := rt.freeFrac()
+	if free < o.LowWaterFrac {
+		return
+	}
+	chunk := int64(64) // 256KB of 4KB blocks without opt
+	if o.OptLimits && free > o.HighWaterFrac {
+		chunk = 1024 // 4MB when memory is plentiful
+	}
+	f.prefetchAsync(tl, lo, chunk)
+}
+
+// ensureFetchAll kicks off (once) whole-file prefetch jobs and, on later
+// calls, re-issues prefetch for blocks that eviction took away.
+func (f *File) ensureFetchAll(tl *simtime.Timeline, op int64) {
+	sf := f.sf
+	if sf.fetchAll.CompareAndSwap(false, true) {
+		f.prefetchAsync(tl, 0, f.kf.Inode().Blocks())
+		return
+	}
+	// Periodically repair holes (monitoring missing blocks via bitmaps).
+	if op%1024 == 0 {
+		f.prefetchAsync(tl, 0, f.kf.Inode().Blocks())
+	}
+}
+
+// FincorePollStep emulates one step of the APPonly[fincore] baseline
+// (Figure 2): a background helper polls fincore over a window of the file
+// and issues readahead(2) for the uncached regions it finds. Workloads
+// drive it from their read loops.
+func (f *File) FincorePollStep(tl *simtime.Timeline, windowBlocks int64) {
+	rt := f.rt
+	kf := f.kf
+	now := tl.Now()
+	rt.fincorePolls.Add(1)
+	rt.workers.Run(now, func(wtl *simtime.Timeline) {
+		fileBlocks := kf.Inode().Blocks()
+		if windowBlocks > fileBlocks {
+			windowBlocks = fileBlocks
+		}
+		resident := bitmap.New(0)
+		kf.Fincore(wtl, 0, windowBlocks, resident)
+		for _, run := range resident.MissingRuns(0, windowBlocks) {
+			kf.Readahead(wtl, run.Lo*rt.v.BlockSize(), run.Blocks()*rt.v.BlockSize())
+			rt.prefetchCalls.Add(1)
+		}
+	})
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

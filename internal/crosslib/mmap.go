@@ -1,0 +1,126 @@
+package crosslib
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitmap"
+	"repro/internal/simtime"
+	"repro/internal/vfs"
+)
+
+// Mapping is CROSS-LIB's mmap support (§4.6). Intercepting every load and
+// store is prohibitively expensive, so the library instead has a background
+// helper periodically export the kernel's cache bitmap and infer the
+// touched frontier from it: newly resident pages reveal where the
+// application is reading, and the helper prefetches ahead of that frontier
+// with a window that grows while the guess keeps being right.
+type Mapping struct {
+	f  *File
+	km *vfs.Mapping
+
+	loads atomic.Int64
+
+	mu       sync.Mutex
+	frontier int64 // highest block seen resident
+	window   int64 // current prefetch window in blocks
+	lastSeen int64 // resident count at last scan
+}
+
+// Mmap maps a file through the runtime.
+func (rt *Runtime) Mmap(tl *simtime.Timeline, f *File) *Mapping {
+	return &Mapping{f: f, km: rt.v.Mmap(tl, f.kf), window: 32}
+}
+
+// Kernel exposes the kernel mapping (APPonly workloads call Madvise on it).
+func (m *Mapping) Kernel() *vfs.Mapping { return m.km }
+
+// Load touches [off, off+n), optionally copying into dst. Every
+// MmapScanOps loads, a background bitmap scan runs the prefetch heuristic.
+func (m *Mapping) Load(tl *simtime.Timeline, off, n int64, dst []byte) {
+	m.km.Load(tl, off, n, dst)
+	o := m.f.rt.opt
+	if !o.Enabled {
+		return
+	}
+	if m.loads.Add(1)%o.MmapScanOps == 0 {
+		m.scheduleScan(tl)
+	}
+}
+
+// scheduleScan runs one bitmap-driven prefetch step on a helper thread.
+func (m *Mapping) scheduleScan(tl *simtime.Timeline) {
+	rt := m.f.rt
+	kf := m.f.kf
+	sf := m.f.sf
+	now := tl.Now()
+	rt.workers.Run(now, func(wtl *simtime.Timeline) {
+		fileBlocks := kf.Inode().Blocks()
+		if fileBlocks == 0 {
+			return
+		}
+		// Export-only readahead_info: cheap residency snapshot.
+		snap := bitmap.New(0)
+		info := kf.ReadaheadInfo(wtl, vfs.CacheInfoRequest{
+			DisablePrefetch: true,
+			BitmapLo:        0,
+			BitmapHi:        fileBlocks,
+		}, snap)
+
+		m.mu.Lock()
+		// Find the residency frontier.
+		var frontier int64 = -1
+		for _, r := range snap.PresentRuns(0, fileBlocks) {
+			if r.Hi > frontier {
+				frontier = r.Hi
+			}
+		}
+		if frontier >= 0 {
+			m.frontier = frontier
+		}
+		// Classify by residency density in a recent window behind the
+		// frontier: a sequential reader (plus our own prefetch ahead of
+		// it) leaves that window dense even while eviction hollows out
+		// the stream's tail; random touching over a big file leaves it
+		// sparse. (Keying off frontier motion alone would feed back on
+		// the scanner's own prefetches; whole-file density would be
+		// defeated by eviction.)
+		dense := false
+		if frontier > 0 {
+			wlo := frontier - 4*m.window
+			if wlo < 0 {
+				wlo = 0
+			}
+			resident := snap.CountRange(wlo, frontier)
+			dense = float64(resident) > 0.6*float64(frontier-wlo)
+		}
+		m.lastSeen = info.FileCachedPages
+		if dense {
+			m.window *= 2
+			if max := rt.opt.MaxPrefetchBytes / rt.v.BlockSize(); m.window > max {
+				m.window = max
+			}
+		} else {
+			m.window /= 2
+			if m.window < 8 {
+				m.window = 8
+			}
+		}
+		lo, window := m.frontier, m.window
+		m.mu.Unlock()
+
+		if !dense || lo < 0 || lo >= fileBlocks {
+			return
+		}
+		if rt.freeFrac() < rt.opt.LowWaterFrac {
+			return
+		}
+		hi := lo + window
+		if hi > fileBlocks {
+			hi = fileBlocks
+		}
+		for _, run := range sf.tree.NeedsPrefetch(wtl, lo, hi) {
+			m.f.issuePrefetch(wtl, kf, sf, run.Lo, run.Hi)
+		}
+	})
+}

@@ -1,0 +1,179 @@
+// Package crosslib implements CROSS-LIB, the user-level half of
+// CrossPrefetch (§4): a shim runtime that intercepts file I/O, detects
+// per-descriptor access patterns, keeps a user-level copy of the kernel's
+// per-inode cache bitmap in a concurrent range tree, prefetches through
+// the readahead_info system call on background helper threads, and applies
+// memory-budget-driven aggressive prefetching and eviction.
+package crosslib
+
+import (
+	"repro/internal/rangetree"
+	"repro/internal/simtime"
+)
+
+// Options selects which CROSS-LIB mechanisms are active. The presets below
+// correspond to the paper's comparison approaches (Table 2) and the
+// incremental breakdown (Table 5).
+type Options struct {
+	// Enabled turns interception on; disabled means pure passthrough to
+	// the kernel (the OSonly / APPonly baselines).
+	Enabled bool
+	// Visibility uses readahead_info and the imported cache bitmaps;
+	// without it the library falls back to blind readahead(2) calls.
+	Visibility bool
+	// Predict drives prefetching from the per-descriptor pattern
+	// detector. Mutually exclusive with FetchAll.
+	Predict bool
+	// FetchAll prefetches entire files on open using cache awareness
+	// (the idealistic, memory-insensitive [+fetchall] policy).
+	FetchAll bool
+	// CoveragePrefetch populates missing blocks around random accesses
+	// while free memory lasts — the budget-driven aggressive prefetching
+	// that cuts compulsory misses (§4.6) even for non-sequential
+	// patterns, which pattern windows alone cannot reach.
+	CoveragePrefetch bool
+	// OptLimits passes prefetch-limit overrides to the kernel (§4.7) and
+	// enables the memory-budget aggressive prefetch policy.
+	OptLimits bool
+	// AggressiveEvict enables the budget-driven eviction of inactive
+	// files via fadvise(DONTNEED) (§4.6).
+	AggressiveEvict bool
+	// RangeTreeSpan is the range-tree node width in blocks; 0 selects a
+	// single-node tree (the per-file-bitmap-lock baseline of Table 5).
+	RangeTreeSpan int64
+	// Workers is the number of background prefetch helper threads
+	// (the artifact's NR_WORKERS_VAR).
+	Workers int
+	// OpenPrefetchBytes is the optimistic prefetch issued on open under
+	// the aggressive policy (paper default: 2MB).
+	OpenPrefetchBytes int64
+	// MaxPrefetchBytes caps a single prefetch request (paper: 64MB).
+	MaxPrefetchBytes int64
+	// HighWaterFrac and LowWaterFrac are free-memory fractions: above
+	// HighWaterFrac of free memory, aggressive sizes are allowed; below
+	// LowWaterFrac, all prefetching halts (§4.6).
+	HighWaterFrac, LowWaterFrac float64
+	// MemoryBudgetPages is the per-process cache budget; 0 means the
+	// whole system budget.
+	MemoryBudgetPages int64
+	// InactiveAge marks a file inactive after this much virtual time
+	// without access (paper: 30s on a real machine; scaled down to match
+	// simulated experiment durations).
+	InactiveAge simtime.Duration
+	// EvictCheckOps throttles budget checks to once per this many
+	// intercepted operations.
+	EvictCheckOps int64
+	// MmapScanOps triggers an mmap bitmap scan every this many loads.
+	MmapScanOps int64
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.OpenPrefetchBytes <= 0 {
+		o.OpenPrefetchBytes = 2 << 20
+	}
+	if o.MaxPrefetchBytes <= 0 {
+		o.MaxPrefetchBytes = 64 << 20
+	}
+	// The library's watermarks sit above the kernel's (kswapd maintains
+	// ~1/8 free): CROSS-LIB must act before the kernel's blind LRU does.
+	if o.HighWaterFrac == 0 {
+		o.HighWaterFrac = 0.30
+	}
+	if o.LowWaterFrac == 0 {
+		o.LowWaterFrac = 0.15
+	}
+	if o.InactiveAge <= 0 {
+		o.InactiveAge = 100 * simtime.Millisecond
+	}
+	if o.EvictCheckOps <= 0 {
+		o.EvictCheckOps = 32
+	}
+	if o.MmapScanOps <= 0 {
+		o.MmapScanOps = 64
+	}
+	return o
+}
+
+// Approach names the paper's comparison configurations (Tables 2 and 5).
+type Approach int
+
+// Comparison approaches.
+const (
+	// OSOnly: prefetching fully delegated to kernel readahead (the zero
+	// value — a plain unmodified kernel).
+	OSOnly Approach = iota
+	// AppOnly: application-tailored prefetching with readahead/fadvise;
+	// CROSS-LIB inactive. The application logic lives in each workload.
+	AppOnly
+	// AppOnlyFincore: AppOnly plus a background thread polling fincore
+	// for cache state (motivation Figure 2 only).
+	AppOnlyFincore
+	// CrossVisibility: Table 5 "+cache visibility" — readahead_info with
+	// predictor, single-node tree, static kernel limits.
+	CrossVisibility
+	// CrossVisibilityRangeTree: Table 5 "+range tree".
+	CrossVisibilityRangeTree
+	// CrossPredict: Table 2 CrossP[+predict].
+	CrossPredict
+	// CrossPredictOpt: Table 2 CrossP[+predict+opt] — the full system.
+	CrossPredictOpt
+	// CrossFetchAllOpt: Table 2 CrossP[+fetchall+opt] — idealistic,
+	// memory-insensitive whole-file prefetch.
+	CrossFetchAllOpt
+)
+
+// String names the approach as the paper does.
+func (a Approach) String() string {
+	switch a {
+	case AppOnly:
+		return "APPonly"
+	case AppOnlyFincore:
+		return "APPonly[fincore]"
+	case OSOnly:
+		return "OSonly"
+	case CrossVisibility:
+		return "CrossP[+visibility]"
+	case CrossVisibilityRangeTree:
+		return "CrossP[+visibility+rangetree]"
+	case CrossPredict:
+		return "CrossP[+predict]"
+	case CrossPredictOpt:
+		return "CrossP[+predict+opt]"
+	case CrossFetchAllOpt:
+		return "CrossP[+fetchall+opt]"
+	default:
+		return "unknown"
+	}
+}
+
+// UsesLib reports whether the approach activates CROSS-LIB.
+func (a Approach) UsesLib() bool { return a >= CrossVisibility }
+
+// Options returns the CROSS-LIB configuration for the approach. Baselines
+// return a disabled configuration.
+func (a Approach) Options() Options {
+	o := Options{}
+	switch a {
+	case CrossVisibility:
+		o = Options{Enabled: true, Visibility: true, Predict: true,
+			CoveragePrefetch: true}
+	case CrossVisibilityRangeTree:
+		o = Options{Enabled: true, Visibility: true, Predict: true,
+			CoveragePrefetch: true, RangeTreeSpan: rangetree.DefaultSpan}
+	case CrossPredict:
+		o = Options{Enabled: true, Visibility: true, Predict: true,
+			CoveragePrefetch: true, RangeTreeSpan: rangetree.DefaultSpan}
+	case CrossPredictOpt:
+		o = Options{Enabled: true, Visibility: true, Predict: true,
+			CoveragePrefetch: true, OptLimits: true, AggressiveEvict: true,
+			RangeTreeSpan: rangetree.DefaultSpan}
+	case CrossFetchAllOpt:
+		o = Options{Enabled: true, Visibility: true, FetchAll: true,
+			OptLimits: true, RangeTreeSpan: rangetree.DefaultSpan}
+	}
+	return o.withDefaults()
+}

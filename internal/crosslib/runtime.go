@@ -1,0 +1,261 @@
+package crosslib
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rangetree"
+	"repro/internal/simtime"
+	"repro/internal/vfs"
+)
+
+// Runtime is one process's CROSS-LIB instance.
+type Runtime struct {
+	v   *vfs.VFS
+	opt Options
+
+	workers *simtime.WorkerPool
+
+	mu    sync.Mutex
+	files map[int64]*sharedFile
+
+	ops atomic.Int64 // intercepted operations, for eviction throttling
+
+	evictMu sync.Mutex // serializes budget enforcement passes
+
+	// Stats.
+	prefetchCalls   atomic.Int64 // readahead_info calls issued
+	savedPrefetch   atomic.Int64 // prefetches skipped via cache awareness
+	prefetchedPgs   atomic.Int64
+	evictedPgs      atomic.Int64
+	fincorePolls    atomic.Int64
+	openPrefetches  atomic.Int64
+	droppedPrefetch atomic.Int64
+}
+
+// sharedFile is the per-inode state shared by all descriptors of a file:
+// the user-level range tree (the imported cache bitmap) and activity
+// tracking for the inactive-file LRU.
+type sharedFile struct {
+	inoID int64
+	name  string
+	kf    *vfs.File // any descriptor, used for background prefetch/evict
+	tree  *rangetree.Tree
+
+	lastAccess atomic.Int64 // virtual time of last access
+	fetchAll   atomic.Bool  // whole-file prefetch kicked off
+}
+
+func (sf *sharedFile) touch(at simtime.Time) {
+	for {
+		cur := sf.lastAccess.Load()
+		if int64(at) <= cur || sf.lastAccess.CompareAndSwap(cur, int64(at)) {
+			return
+		}
+	}
+}
+
+// New returns a runtime over the given kernel with the given options.
+func New(v *vfs.VFS, opt Options) *Runtime {
+	opt = opt.withDefaults()
+	return &Runtime{
+		v:       v,
+		opt:     opt,
+		workers: simtime.NewWorkerPool(opt.Workers, 0),
+		files:   make(map[int64]*sharedFile),
+	}
+}
+
+// NewForApproach returns a runtime configured for a paper approach.
+func NewForApproach(v *vfs.VFS, a Approach) *Runtime {
+	return New(v, a.Options())
+}
+
+// VFS exposes the kernel below the runtime.
+func (rt *Runtime) VFS() *vfs.VFS { return rt.v }
+
+// Options reports the active configuration.
+func (rt *Runtime) Options() Options { return rt.opt }
+
+// Stats is a snapshot of runtime counters.
+type Stats struct {
+	PrefetchCalls   int64 // readahead_info calls issued by the library
+	SavedPrefetches int64 // prefetch intents satisfied from user bitmaps
+	PrefetchedPages int64
+	EvictedPages    int64
+	FincorePolls    int64
+	OpenPrefetches  int64
+	DroppedPrefetch int64
+	WorkerJobs      int64
+}
+
+// Stats snapshots the runtime counters.
+func (rt *Runtime) Stats() Stats {
+	return Stats{
+		PrefetchCalls:   rt.prefetchCalls.Load(),
+		SavedPrefetches: rt.savedPrefetch.Load(),
+		PrefetchedPages: rt.prefetchedPgs.Load(),
+		EvictedPages:    rt.evictedPgs.Load(),
+		FincorePolls:    rt.fincorePolls.Load(),
+		OpenPrefetches:  rt.openPrefetches.Load(),
+		DroppedPrefetch: rt.droppedPrefetch.Load(),
+		WorkerJobs:      rt.workers.Jobs(),
+	}
+}
+
+// shared returns (creating on demand) the shared per-inode state.
+func (rt *Runtime) shared(kf *vfs.File, name string) *sharedFile {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	ino := kf.Inode().ID()
+	sf, ok := rt.files[ino]
+	if !ok {
+		sf = &sharedFile{
+			inoID: ino,
+			name:  name,
+			kf:    kf,
+			tree:  rangetree.New(rt.opt.RangeTreeSpan, rt.v.Config().Costs),
+		}
+		rt.files[ino] = sf
+	}
+	return sf
+}
+
+// DropCaches resets the runtime's user-level cache belief (paired with a
+// kernel-level drop between experiment phases).
+func (rt *Runtime) DropCaches(tl *simtime.Timeline) {
+	rt.mu.Lock()
+	files := make([]*sharedFile, 0, len(rt.files))
+	for _, sf := range rt.files {
+		files = append(files, sf)
+	}
+	rt.mu.Unlock()
+	for _, sf := range files {
+		sf.tree.ClearCached(tl, 0, sf.kf.Inode().Blocks())
+		sf.fetchAll.Store(false)
+	}
+}
+
+// budget reports the effective page budget the runtime works against.
+func (rt *Runtime) budget() int64 {
+	cap := rt.v.Cache().Capacity()
+	if rt.opt.MemoryBudgetPages > 0 && rt.opt.MemoryBudgetPages < cap {
+		return rt.opt.MemoryBudgetPages
+	}
+	return cap
+}
+
+// freeFrac reports free budget as a fraction of the budget.
+func (rt *Runtime) freeFrac() float64 {
+	b := rt.budget()
+	free := b - rt.v.Cache().Used()
+	if free < 0 {
+		free = 0
+	}
+	return float64(free) / float64(b)
+}
+
+// tick counts one intercepted operation.
+func (rt *Runtime) tick() int64 { return rt.ops.Add(1) }
+
+// maybeEvict runs the aggressive reclamation policy (§4.6): when the
+// process budget is constrained, evict inactive files front-to-back, then
+// LRU ranges of the coldest active files, via fadvise(DONTNEED).
+func (rt *Runtime) maybeEvict(tl *simtime.Timeline, op int64) {
+	if !rt.opt.AggressiveEvict {
+		return
+	}
+	if op%rt.opt.EvictCheckOps != 0 {
+		return
+	}
+	if rt.freeFrac() >= rt.opt.LowWaterFrac {
+		return
+	}
+	now := tl.Now()
+	rt.workers.Run(now, func(wtl *simtime.Timeline) {
+		rt.evictPass(wtl, now)
+	})
+}
+
+// evictPass frees just enough budget to restore prefetch headroom:
+// whole inactive files first (front of the inactive LRU list), then the
+// least recently touched ranges of the coldest files, via
+// fadvise(DONTNEED) — the paper's two-pronged reclamation (§4.6).
+func (rt *Runtime) evictPass(wtl *simtime.Timeline, now simtime.Time) {
+	rt.evictMu.Lock()
+	defer rt.evictMu.Unlock()
+
+	// Free enough to climb back above the low watermark with margin —
+	// eager enough to keep prefetching alive, modest enough not to
+	// thrash pages the readers are about to use.
+	budget := rt.budget()
+	wantFree := int64(float64(budget) * (rt.opt.LowWaterFrac + 0.05))
+	target := wantFree - (budget - rt.v.Cache().Used())
+	if target <= 0 {
+		return
+	}
+
+	// Snapshot files ordered by last access (coldest first).
+	rt.mu.Lock()
+	candidates := make([]*sharedFile, 0, len(rt.files))
+	for _, sf := range rt.files {
+		candidates = append(candidates, sf)
+	}
+	rt.mu.Unlock()
+	sort.Slice(candidates, func(i, j int) bool {
+		return candidates[i].lastAccess.Load() < candidates[j].lastAccess.Load()
+	})
+
+	freed := int64(0)
+	// Pass 1: whole inactive files.
+	for _, sf := range candidates {
+		if freed >= target {
+			return
+		}
+		idle := now.Sub(simtime.Time(sf.lastAccess.Load()))
+		if idle < rt.opt.InactiveAge {
+			break // list is sorted; the rest are hotter
+		}
+		n := sf.kf.FileCache().CachedPages()
+		if n == 0 {
+			continue
+		}
+		sf.kf.Fadvise(wtl, vfs.AdvDontNeed, 0, 0)
+		sf.tree.ClearCached(wtl, 0, sf.kf.Inode().Blocks())
+		rt.evictedPgs.Add(n)
+		freed += n
+	}
+	// Pass 2: ranges that have genuinely gone inactive. Ranges touched
+	// recently are left alone even under pressure — evicting the live
+	// working set would only be re-fetched (churn), so when nothing is
+	// cold the library lets the kernel LRU arbitrate.
+	bs := rt.v.BlockSize()
+	coldBefore := now.Add(-rt.opt.InactiveAge)
+	for _, sf := range candidates {
+		if freed >= target {
+			return
+		}
+		for _, cr := range sf.tree.ColdestRanges(0) {
+			if freed >= target {
+				return
+			}
+			if cr.LastTouch >= coldBefore {
+				break // sorted by recency: the rest are hotter
+			}
+			hi := cr.Hi
+			if fb := sf.kf.Inode().Blocks(); hi > fb {
+				hi = fb
+			}
+			if hi <= cr.Lo {
+				continue
+			}
+			before := sf.kf.FileCache().CachedPages()
+			sf.kf.Fadvise(wtl, vfs.AdvDontNeed, cr.Lo*bs, (hi-cr.Lo)*bs)
+			sf.tree.ClearCached(wtl, cr.Lo, hi)
+			freedNow := before - sf.kf.FileCache().CachedPages()
+			rt.evictedPgs.Add(freedNow)
+			freed += freedNow
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	crossprefetch "repro"
+	"repro/internal/crosslib"
+	"repro/internal/lsm"
+	"repro/internal/rangetree"
+)
+
+// Ablation sweeps the artifact's customization knobs (§A.6):
+// PREFETCH_SIZE_VAR (per-request prefetch cap), NR_WORKERS_VAR (background
+// helper threads), and CROSS_BITMAP_SHIFT (range-tree node granularity),
+// on the 16-thread multireadrandom workload, all relative to the default
+// CrossP[+predict+opt] configuration.
+func Ablation(o Options) (*Table, error) {
+	p := defaultDBParams(o, 2)
+	threads := 16
+	if o.Quick {
+		threads = 4
+	}
+
+	t := &Table{
+		ID:      "ablate",
+		Title:   "Ablation of CROSS-LIB tunables (multireadrandom)",
+		Columns: []string{"knob", "value", "kops/s", "miss%", "prefetch-calls", "saved-calls"},
+	}
+	t.Note("keys=%d memory=%s threads=%d approach=CrossP[+predict+opt]", p.keys, mb(p.memory), threads)
+
+	run := func(knob, value string, mutate func(*crosslib.Options)) error {
+		opts := crossprefetch.CrossPredictOpt.Options()
+		mutate(&opts)
+		sys := crossprefetch.NewSystem(crossprefetch.Config{
+			Approach:    crossprefetch.CrossPredictOpt,
+			MemoryBytes: p.memory,
+			LibOptions:  &opts,
+		})
+		ops := p.keys / int64(threads) / p.opsFactor
+		res, err := lsm.RunBench(lsm.BenchConfig{
+			Sys: sys, DB: dbOptions(),
+			NumKeys: p.keys, ValueBytes: p.valueBytes,
+			Threads: threads, Workload: lsm.MultiReadRandom,
+			OpsPerThread: ops, Seed: o.Seed + 51,
+		})
+		if err != nil {
+			return err
+		}
+		t.AddRow(knob, value, f0(res.KopsPerSec), f1(res.MissPct),
+			f0(float64(res.Metrics.Lib.PrefetchCalls)),
+			f0(float64(res.Metrics.Lib.SavedPrefetches)))
+		return nil
+	}
+
+	// PREFETCH_SIZE_VAR: the per-request cap.
+	for _, mbCap := range []int64{4, 16, 64} {
+		mbCap := mbCap
+		if err := run("prefetch-size", mb(mbCap<<20), func(o *crosslib.Options) {
+			o.MaxPrefetchBytes = mbCap << 20
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// NR_WORKERS_VAR: background helper threads.
+	for _, w := range []int{1, 4, 8} {
+		w := w
+		if err := run("workers", f0(float64(w)), func(o *crosslib.Options) {
+			o.Workers = w
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// CROSS_BITMAP_SHIFT: range-tree node span (granularity of the
+	// user-level bitmap locks).
+	for _, span := range []int64{0, 1024, rangetree.DefaultSpan, 1 << 15} {
+		span := span
+		name := "single-bitmap"
+		if span > 0 {
+			name = f0(float64(span)) + "-blocks"
+		}
+		if err := run("node-span", name, func(o *crosslib.Options) {
+			o.RangeTreeSpan = span
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickOpts shrinks every experiment to smoke-test size.
+func quickOpts() Options { return Options{Quick: true, Seed: 1} }
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure from the paper's evaluation must be present.
+	want := []string{"fig2", "fig5", "fig6", "tab4", "fig7a", "fig7b",
+		"fig7c", "fig7d", "tab5", "fig8a", "fig8b", "fig9a", "fig9b", "fig10"}
+	for _, id := range want {
+		if _, err := Get(id); err != nil {
+			t.Errorf("missing experiment %s: %v", id, err)
+		}
+		if Describe(id) == "" {
+			t.Errorf("experiment %s has no description", id)
+		}
+	}
+	// Extra registered experiments (ablations) are allowed beyond the
+	// paper's core set.
+	if len(IDs()) < len(want) {
+		t.Errorf("registry has %d entries, want >= %d", len(IDs()), len(want))
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown ID should error")
+	}
+}
+
+// cell looks up a row by leading-column values and returns the named column.
+func cell(t *testing.T, tbl *Table, col string, match ...string) float64 {
+	t.Helper()
+	ci := -1
+	for i, c := range tbl.Columns {
+		if c == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		t.Fatalf("%s: no column %q in %v", tbl.ID, col, tbl.Columns)
+	}
+rows:
+	for _, row := range tbl.Rows {
+		for i, m := range match {
+			if row[i] != m {
+				continue rows
+			}
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[ci], "x"), 64)
+		if err != nil {
+			t.Fatalf("%s: cell %q not numeric", tbl.ID, row[ci])
+		}
+		return v
+	}
+	t.Fatalf("%s: no row matching %v", tbl.ID, match)
+	return 0
+}
+
+func runQuick(t *testing.T, id string) *Table {
+	t.Helper()
+	run, err := Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := run(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Columns) {
+			t.Fatalf("%s: ragged row %v", id, row)
+		}
+	}
+	return tbl
+}
+
+func TestFig5Quick(t *testing.T) {
+	tbl := runQuick(t, "fig5")
+	// Table 3 shape: cross-layered prefetching cuts shared-rand misses.
+	app := cell(t, tbl, "miss%", "shared-rand", "APPonly")
+	cross := cell(t, tbl, "miss%", "shared-rand", "CrossP[+predict]")
+	if cross >= app {
+		t.Errorf("shared-rand miss%%: CrossP %.1f should be < APPonly %.1f", cross, app)
+	}
+}
+
+func TestFig6Quick(t *testing.T) {
+	tbl := runQuick(t, "fig6")
+	if v := cell(t, tbl, "write-MB/s", "4", "OSonly"); v <= 0 {
+		t.Errorf("no write throughput: %v", v)
+	}
+}
+
+func TestTable4Quick(t *testing.T) {
+	tbl := runQuick(t, "tab4")
+	// Table 4 shape: APPonly (madvise RANDOM) is the slowest sequential.
+	app := cell(t, tbl, "MB/s", "readseq", "APPonly")
+	cross := cell(t, tbl, "MB/s", "readseq", "CrossP[+predict+opt]")
+	if app >= cross {
+		t.Errorf("mmap readseq: APPonly %.1f should trail CrossP %.1f", app, cross)
+	}
+}
+
+func TestFig2Quick(t *testing.T) {
+	tbl := runQuick(t, "fig2")
+	app := cell(t, tbl, "kops/s", "APPonly")
+	cross := cell(t, tbl, "kops/s", "CrossP[+predict+opt]")
+	if cross <= app {
+		t.Errorf("fig2: CrossP %.0f kops should beat APPonly %.0f", cross, app)
+	}
+}
+
+func TestFig7aQuick(t *testing.T)  { runQuick(t, "fig7a") }
+func TestFig7bQuick(t *testing.T)  { runQuick(t, "fig7b") }
+func TestFig7cQuick(t *testing.T)  { runQuick(t, "fig7c") }
+func TestFig7dQuick(t *testing.T)  { runQuick(t, "fig7d") }
+func TestTable5Quick(t *testing.T) { runQuick(t, "tab5") }
+func TestFig8aQuick(t *testing.T)  { runQuick(t, "fig8a") }
+func TestFig10Quick(t *testing.T)  { runQuick(t, "fig10") }
+
+func TestFig8bQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	runQuick(t, "fig8b")
+}
+
+func TestFig9aQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	runQuick(t, "fig9a")
+}
+
+func TestFig9bQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	runQuick(t, "fig9b")
+}
+
+func TestAblationQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	runQuick(t, "ablate")
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		ID:      "x",
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+	}
+	tbl.AddRow("1", "two")
+	tbl.AddRow("longer", "3")
+	tbl.Note("n=%d", 7)
+
+	var buf bytes.Buffer
+	tbl.Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "note: n=7") {
+		t.Fatalf("bad text render:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); !strings.HasPrefix(got, "a,b\n1,two\n") {
+		t.Fatalf("bad csv:\n%s", got)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tbl := &Table{ID: "x", Columns: []string{"c"}}
+	tbl.AddRow(`va"l,ue`)
+	var buf bytes.Buffer
+	tbl.WriteCSV(&buf)
+	if !strings.Contains(buf.String(), `"va""l,ue"`) {
+		t.Fatalf("csv escaping wrong: %s", buf.String())
+	}
+}

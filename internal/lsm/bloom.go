@@ -1,0 +1,71 @@
+package lsm
+
+import "hash/fnv"
+
+// bloom is a classic double-hashing Bloom filter, as RocksDB builds per
+// SSTable (block-based filter policy).
+type bloom struct {
+	bits []byte
+	k    int
+}
+
+// newBloomFromKeys builds a filter sized at bitsPerKey for the given keys.
+func newBloomFromKeys(keys []string, bitsPerKey int) bloom {
+	if bitsPerKey < 1 {
+		bitsPerKey = 10
+	}
+	nBits := len(keys) * bitsPerKey
+	if nBits < 64 {
+		nBits = 64
+	}
+	b := bloom{bits: make([]byte, (nBits+7)/8), k: bitsPerKey * 69 / 100} // ln2 ≈ 0.69
+	if b.k < 1 {
+		b.k = 1
+	}
+	if b.k > 30 {
+		b.k = 30
+	}
+	for _, key := range keys {
+		b.add(key)
+	}
+	return b
+}
+
+// bloomFromBytes restores a serialized filter.
+func bloomFromBytes(data []byte, k int) bloom { return bloom{bits: data, k: k} }
+
+func bloomHash(key string) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h1 := h.Sum64()
+	h2 := h1>>33 | h1<<31
+	if h2 == 0 {
+		h2 = 0x9e3779b97f4a7c15
+	}
+	return h1, h2
+}
+
+func (b *bloom) add(key string) {
+	h1, h2 := bloomHash(key)
+	n := uint64(len(b.bits)) * 8
+	for i := 0; i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % n
+		b.bits[bit/8] |= 1 << (bit % 8)
+	}
+}
+
+// mayContain reports whether key is possibly in the set.
+func (b *bloom) mayContain(key string) bool {
+	if len(b.bits) == 0 {
+		return true
+	}
+	h1, h2 := bloomHash(key)
+	n := uint64(len(b.bits)) * 8
+	for i := 0; i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % n
+		if b.bits[bit/8]&(1<<(bit%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}

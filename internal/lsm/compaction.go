@@ -1,0 +1,232 @@
+package lsm
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// maybeCompact checks compaction triggers and runs work on the compaction
+// worker (a background virtual thread, like RocksDB's low-priority pool).
+func (db *DB) maybeCompact(tl *simtime.Timeline) {
+	if db.opt.DisableAutoCompact {
+		return
+	}
+	for {
+		lvl := db.pickCompaction()
+		if lvl < 0 {
+			return
+		}
+		db.compactWorker.Run(tl.Now(), func(wtl *simtime.Timeline) {
+			db.compactLevel(wtl, lvl)
+		})
+	}
+}
+
+// pickCompaction returns a level needing compaction, or -1.
+func (db *DB) pickCompaction() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if len(db.levels[0]) >= db.opt.L0CompactTrigger {
+		return 0
+	}
+	target := db.opt.BaseLevelBytes
+	for lvl := 1; lvl < numLevels-1; lvl++ {
+		var size int64
+		for _, t := range db.levels[lvl] {
+			size += t.size
+		}
+		if size > target {
+			return lvl
+		}
+		target *= db.opt.LevelMultiplier
+	}
+	return -1
+}
+
+// compactLevel merges level lvl inputs with the overlapping tables of
+// lvl+1, writing new non-overlapping tables into lvl+1.
+func (db *DB) compactLevel(tl *simtime.Timeline, lvl int) {
+	db.mu.Lock()
+	var inputs []*sstable
+	if lvl == 0 {
+		inputs = append(inputs, db.levels[0]...)
+	} else if len(db.levels[lvl]) > 0 {
+		// Pick the oldest (first) table at this level.
+		inputs = append(inputs, db.levels[lvl][0])
+	}
+	if len(inputs) == 0 {
+		db.mu.Unlock()
+		return
+	}
+	lo, hi := inputs[0].smallest, inputs[0].largest
+	for _, t := range inputs[1:] {
+		if t.smallest < lo {
+			lo = t.smallest
+		}
+		if t.largest > hi {
+			hi = t.largest
+		}
+	}
+	var overlap []*sstable
+	for _, t := range db.levels[lvl+1] {
+		if t.overlaps(lo, hi) {
+			overlap = append(overlap, t)
+		}
+	}
+	db.mu.Unlock()
+
+	all := append(append([]*sstable(nil), inputs...), overlap...)
+
+	// Merge all inputs oldest-visible-last: iterate each table's blocks
+	// sequentially (this is the scan RocksDB accelerates with its own
+	// compaction readahead; here the configured approach's prefetching
+	// applies) and merge by (key, seq desc), keeping the newest version.
+	merged, bytesRead := db.mergeTables(tl, all)
+	db.mu.Lock()
+	db.stats.Compactions++
+	db.stats.CompactBytesRead += bytesRead
+	db.mu.Unlock()
+
+	// Build output tables, splitting at ~2× memtable size.
+	var outputs []*sstable
+	builder := newTableBuilder(db.opt.BlockBytes)
+	cut := func() {
+		if builder.count == 0 {
+			return
+		}
+		t, err := db.writeAndOpen(tl, builder)
+		if err == nil {
+			outputs = append(outputs, t)
+			db.mu.Lock()
+			db.stats.CompactBytesWritten += t.size
+			db.mu.Unlock()
+		}
+		builder = newTableBuilder(db.opt.BlockBytes)
+	}
+	maxOut := 2 * db.opt.MemtableBytes
+	bottomLevel := lvl+1 == numLevels-1
+	for _, e := range merged {
+		if e.del && bottomLevel {
+			continue // tombstones die at the bottom
+		}
+		builder.add(e.key, e.value, e.seq, e.del)
+		if int64(len(builder.out))+int64(len(builder.buf)) >= maxOut {
+			cut()
+		}
+	}
+	cut()
+
+	// Install: remove inputs + overlap, add outputs to lvl+1.
+	dead := make(map[*sstable]bool, len(all))
+	for _, t := range all {
+		dead[t] = true
+	}
+	db.mu.Lock()
+	var keep0 []*sstable
+	for _, t := range db.levels[lvl] {
+		if !dead[t] {
+			keep0 = append(keep0, t)
+		}
+	}
+	db.levels[lvl] = keep0
+	var keep1 []*sstable
+	for _, t := range db.levels[lvl+1] {
+		if !dead[t] {
+			keep1 = append(keep1, t)
+		}
+	}
+	keep1 = append(keep1, outputs...)
+	sort.Slice(keep1, func(i, j int) bool { return keep1[i].smallest < keep1[j].smallest })
+	db.levels[lvl+1] = keep1
+	db.mu.Unlock()
+
+	db.saveManifest(tl)
+	for _, t := range all {
+		_ = db.sys.Kernel().Remove(tl, t.name)
+	}
+}
+
+// mergeEntry tags a block entry with its source priority (lower = newer
+// table, wins on equal key+seq).
+type mergeSource struct {
+	table   *sstable
+	prio    int
+	block   int
+	entries []blockEntry
+	pos     int
+}
+
+type mergeHeap []*mergeSource
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	a, b := h[i].entries[h[i].pos], h[j].entries[h[j].pos]
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	if a.seq != b.seq {
+		return a.seq > b.seq
+	}
+	return h[i].prio < h[j].prio
+}
+func (h mergeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)        { *h = append(*h, x.(*mergeSource)) }
+func (h *mergeHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h mergeHeap) peek() *mergeSource { return h[0] }
+
+// mergeTables k-way merges tables, newest-priority first, dropping
+// shadowed versions. It returns entries in (key asc) order with only the
+// newest version of each key, plus the bytes read.
+func (db *DB) mergeTables(tl *simtime.Timeline, tables []*sstable) ([]blockEntry, int64) {
+	var h mergeHeap
+	var bytesRead int64
+	advance := func(s *mergeSource) {
+		s.pos++
+		for s.pos >= len(s.entries) {
+			s.block++
+			if s.block >= len(s.table.index) {
+				return
+			}
+			entries, err := s.table.readBlock(tl, s.block)
+			if err != nil {
+				return
+			}
+			bytesRead += s.table.index[s.block].size
+			s.entries, s.pos = entries, 0
+		}
+	}
+	for i, t := range tables {
+		if len(t.index) == 0 {
+			continue
+		}
+		entries, err := t.readBlock(tl, 0)
+		if err != nil {
+			continue
+		}
+		bytesRead += t.index[0].size
+		h = append(h, &mergeSource{table: t, prio: i, entries: entries})
+	}
+	heap.Init(&h)
+
+	var out []blockEntry
+	lastKey := ""
+	have := false
+	for h.Len() > 0 {
+		s := h.peek()
+		e := s.entries[s.pos]
+		if !have || e.key != lastKey {
+			out = append(out, e)
+			lastKey, have = e.key, true
+		}
+		advance(s)
+		if s.pos >= len(s.entries) {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+		tl.Advance(60 * simtime.Nanosecond) // merge CPU per entry
+	}
+	return out, bytesRead
+}

@@ -1,0 +1,590 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	crossprefetch "repro"
+	"repro/internal/crosslib"
+	"repro/internal/simtime"
+	"repro/internal/vfs"
+)
+
+// Options configures a DB.
+type Options struct {
+	// Sys is the simulated system whose approach governs all table I/O.
+	Sys *crossprefetch.System
+	// Dir prefixes all database file names.
+	Dir string
+	// MemtableBytes is the flush threshold (RocksDB: 64MB; scaled down).
+	MemtableBytes int64
+	// BlockBytes is the SSTable data-block size (RocksDB default-ish 16KB).
+	BlockBytes int64
+	// L0CompactTrigger is the L0 file count that triggers compaction.
+	L0CompactTrigger int
+	// BaseLevelBytes is the L1 size target; each level is
+	// LevelMultiplier× the previous.
+	BaseLevelBytes  int64
+	LevelMultiplier int64
+	// BloomBitsPerKey sizes the per-table filters.
+	BloomBitsPerKey int
+	// SyncWAL fsyncs the log on every write (off by default, as db_bench).
+	SyncWAL bool
+	// DisableAutoCompact turns background compaction off (tests).
+	DisableAutoCompact bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Dir == "" {
+		o.Dir = "db"
+	}
+	if o.MemtableBytes <= 0 {
+		o.MemtableBytes = 4 << 20
+	}
+	if o.BlockBytes <= 0 {
+		o.BlockBytes = 16 << 10
+	}
+	if o.L0CompactTrigger <= 0 {
+		o.L0CompactTrigger = 4
+	}
+	if o.BaseLevelBytes <= 0 {
+		o.BaseLevelBytes = 4 * o.MemtableBytes
+	}
+	if o.LevelMultiplier <= 0 {
+		o.LevelMultiplier = 10
+	}
+	if o.BloomBitsPerKey <= 0 {
+		o.BloomBitsPerKey = 10
+	}
+	return o
+}
+
+const numLevels = 7
+
+// DB is the LSM store.
+type DB struct {
+	opt Options
+	sys *crossprefetch.System
+
+	mu      sync.RWMutex
+	mem     *memtable
+	imm     *memtable
+	levels  [numLevels][]*sstable // L0 newest-first; L1+ sorted by smallest
+	wal     *crosslib.File
+	walName string
+	seq     uint64
+	nextNum uint64
+
+	flushWorker   *simtime.Worker
+	compactWorker *simtime.Worker
+	fincoreRR     int
+	loadEnd       simtime.Time
+
+	stats Stats
+}
+
+// Stats counts DB-level operations.
+type Stats struct {
+	Puts, Gets, Hits    int64
+	Flushes             int64
+	Compactions         int64
+	CompactBytesRead    int64
+	CompactBytesWritten int64
+	BlockReads          int64
+}
+
+// Stats snapshots DB counters.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.stats
+}
+
+// Open creates or reopens a database. Reopening replays the manifest and
+// the write-ahead log.
+func Open(tl *simtime.Timeline, opt Options) (*DB, error) {
+	opt = opt.withDefaults()
+	db := &DB{
+		opt:           opt,
+		sys:           opt.Sys,
+		mem:           newMemtable(1),
+		flushWorker:   simtime.NewWorker(tl.Now()),
+		compactWorker: simtime.NewWorker(tl.Now()),
+	}
+	if err := db.loadManifest(tl); err != nil {
+		return nil, err
+	}
+	if err := db.openWAL(tl); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func (db *DB) fileName(kind string, num uint64) string {
+	return fmt.Sprintf("%s/%06d.%s", db.opt.Dir, num, kind)
+}
+
+// openSSTFile opens a table file with the approach-appropriate hints:
+// the APPonly application (like RocksDB, §3.1) distrusts OS readahead and
+// disables it on every table it opens.
+func (db *DB) openSSTFile(tl *simtime.Timeline, name string) (*crosslib.File, error) {
+	f, err := db.sys.Open(tl, name)
+	if err != nil {
+		return nil, err
+	}
+	a := db.sys.Approach()
+	if a == crossprefetch.AppOnly || a == crossprefetch.AppOnlyFincore {
+		f.Kernel().Fadvise(tl, vfs.AdvRandom, 0, 0)
+	}
+	return f, nil
+}
+
+// Put writes a key/value pair.
+func (db *DB) Put(tl *simtime.Timeline, key string, value []byte) error {
+	return db.write(tl, key, value, false)
+}
+
+// Delete removes a key (writes a tombstone).
+func (db *DB) Delete(tl *simtime.Timeline, key string) error {
+	return db.write(tl, key, nil, true)
+}
+
+func (db *DB) write(tl *simtime.Timeline, key string, value []byte, del bool) error {
+	db.mu.Lock()
+	db.seq++
+	seq := db.seq
+	db.stats.Puts++
+	rec := encodeWALRecord(key, value, seq, del)
+	wal := db.wal
+	db.mem.put(key, append([]byte(nil), value...), seq, del)
+	tl.Advance(300 * simtime.Nanosecond) // skiplist insert
+	full := db.mem.bytes >= db.opt.MemtableBytes && db.imm == nil
+	if full {
+		db.imm = db.mem
+		db.mem = newMemtable(int64(seq))
+	}
+	db.mu.Unlock()
+
+	if _, err := wal.Append(tl, rec); err != nil {
+		return err
+	}
+	if db.opt.SyncWAL {
+		if err := wal.Fsync(tl); err != nil {
+			return err
+		}
+	}
+	if full {
+		db.scheduleFlush(tl)
+	}
+	return nil
+}
+
+// Get returns the newest value of key, or ok=false.
+func (db *DB) Get(tl *simtime.Timeline, key string) ([]byte, bool, error) {
+	db.mu.RLock()
+	mem, imm := db.mem, db.imm
+	snap := db.seq
+	// Snapshot the table list (tables are immutable).
+	var l0 []*sstable
+	l0 = append(l0, db.levels[0]...)
+	var deeper [][]*sstable
+	for lvl := 1; lvl < numLevels; lvl++ {
+		if len(db.levels[lvl]) > 0 {
+			deeper = append(deeper, append([]*sstable(nil), db.levels[lvl]...))
+		}
+	}
+	db.mu.RUnlock()
+
+	db.bumpGets()
+	tl.Advance(200 * simtime.Nanosecond)
+
+	if v, del, ok := mem.get(key, snap); ok {
+		return db.hit(v, del)
+	}
+	if imm != nil {
+		if v, del, ok := imm.get(key, snap); ok {
+			return db.hit(v, del)
+		}
+	}
+	for _, t := range l0 {
+		v, del, ok, err := db.tableGet(tl, t, key, snap)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return db.hit(v, del)
+		}
+	}
+	for _, tables := range deeper {
+		// Levels 1+ are sorted and non-overlapping: binary search.
+		i := sort.Search(len(tables), func(i int) bool { return tables[i].largest >= key })
+		if i < len(tables) && tables[i].smallest <= key {
+			v, del, ok, err := db.tableGet(tl, tables[i], key, snap)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				return db.hit(v, del)
+			}
+		}
+	}
+	return nil, false, nil
+}
+
+func (db *DB) bumpGets() {
+	db.mu.Lock()
+	db.stats.Gets++
+	db.mu.Unlock()
+}
+
+func (db *DB) hit(v []byte, del bool) ([]byte, bool, error) {
+	db.mu.Lock()
+	if !del {
+		db.stats.Hits++
+	}
+	db.mu.Unlock()
+	if del {
+		return nil, false, nil
+	}
+	return v, true, nil
+}
+
+func (db *DB) tableGet(tl *simtime.Timeline, t *sstable, key string, snap uint64) ([]byte, bool, bool, error) {
+	tl.Advance(150 * simtime.Nanosecond) // bloom + index probe
+	v, del, ok, err := t.get(tl, key, snap)
+	if ok {
+		db.mu.Lock()
+		db.stats.BlockReads++
+		db.mu.Unlock()
+	}
+	return v, del, ok, err
+}
+
+// MultiGet reads a batch of consecutive keys starting at startKey — the
+// db_bench multireadrandom shape (batched-but-random, §3.4).
+func (db *DB) MultiGet(tl *simtime.Timeline, keys []string) (found int, err error) {
+	for _, k := range keys {
+		_, ok, err := db.Get(tl, k)
+		if err != nil {
+			return found, err
+		}
+		if ok {
+			found++
+		}
+	}
+	return found, nil
+}
+
+// Flush forces the active memtable to an L0 table synchronously.
+func (db *DB) Flush(tl *simtime.Timeline) error {
+	db.mu.Lock()
+	if db.mem.count == 0 {
+		db.mu.Unlock()
+		return nil
+	}
+	for db.imm != nil {
+		// A flush is already queued; run it inline first.
+		db.mu.Unlock()
+		db.scheduleFlush(tl)
+		db.mu.Lock()
+	}
+	db.imm = db.mem
+	db.mem = newMemtable(int64(db.seq + 1))
+	db.mu.Unlock()
+	db.scheduleFlush(tl)
+	tl.WaitUntil(db.flushWorker.Now(), simtime.WaitIO)
+	return nil
+}
+
+// scheduleFlush writes the immutable memtable out on the flush worker.
+func (db *DB) scheduleFlush(tl *simtime.Timeline) {
+	db.flushWorker.Run(tl.Now(), func(wtl *simtime.Timeline) {
+		db.mu.Lock()
+		imm := db.imm
+		db.mu.Unlock()
+		if imm == nil {
+			return
+		}
+		t, err := db.buildTableFromMem(wtl, imm)
+		db.mu.Lock()
+		if err == nil && t != nil {
+			db.levels[0] = append([]*sstable{t}, db.levels[0]...)
+			db.stats.Flushes++
+		}
+		db.imm = nil
+		db.mu.Unlock()
+		if err == nil {
+			db.saveManifest(wtl)
+			db.rotateWAL(wtl)
+		}
+		db.maybeCompact(wtl)
+	})
+}
+
+// buildTableFromMem writes one memtable as an SSTable and opens it.
+func (db *DB) buildTableFromMem(tl *simtime.Timeline, m *memtable) (*sstable, error) {
+	b := newTableBuilder(db.opt.BlockBytes)
+	for n := m.first(); n != nil; n = n.next[0] {
+		b.add(n.key, n.value, n.seq, n.del)
+	}
+	if b.count == 0 {
+		return nil, nil
+	}
+	return db.writeAndOpen(tl, b)
+}
+
+// writeAndOpen persists a built table and opens a read handle on it.
+func (db *DB) writeAndOpen(tl *simtime.Timeline, b *tableBuilder) (*sstable, error) {
+	db.mu.Lock()
+	db.nextNum++
+	num := db.nextNum
+	db.mu.Unlock()
+	name := db.fileName("sst", num)
+	wf, err := db.sys.Create(tl, name)
+	if err != nil {
+		return nil, err
+	}
+	image, index, filter := b.finish(db.opt.BloomBitsPerKey)
+	if err := writeTable(tl, wf, image); err != nil {
+		return nil, err
+	}
+	rf, err := db.openSSTFile(tl, name)
+	if err != nil {
+		return nil, err
+	}
+	return &sstable{
+		num: num, file: rf, name: name,
+		index: index, filter: filter,
+		count: b.count, size: int64(len(image)),
+		smallest: b.smallest, largest: b.largest,
+	}, nil
+}
+
+// FincoreStep drives the APPonly[fincore] baseline (Figure 2): a
+// background helper that polls fincore over one table per call (round
+// robin) and issues readahead for whatever is not resident.
+func (db *DB) FincoreStep(tl *simtime.Timeline) {
+	db.mu.Lock()
+	var tables []*sstable
+	for _, lvl := range db.levels {
+		tables = append(tables, lvl...)
+	}
+	if len(tables) == 0 {
+		db.mu.Unlock()
+		return
+	}
+	db.fincoreRR++
+	t := tables[db.fincoreRR%len(tables)]
+	db.mu.Unlock()
+	t.file.FincorePollStep(tl, t.size/db.sys.Config().BlockSize)
+}
+
+// LoadEnd reports the virtual time at which LoadDB finished; measured
+// phases continue the clock from here so background state (workers,
+// device bookings) stays coherent across phases.
+func (db *DB) LoadEnd() simtime.Time { return db.loadEnd }
+
+// TotalTables reports table counts per level (telemetry/tests).
+func (db *DB) TotalTables() [numLevels]int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out [numLevels]int
+	for i := range db.levels {
+		out[i] = len(db.levels[i])
+	}
+	return out
+}
+
+// DiskBytes reports the total SSTable bytes on disk.
+func (db *DB) DiskBytes() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var n int64
+	for _, lvl := range db.levels {
+		for _, t := range lvl {
+			n += t.size
+		}
+	}
+	return n
+}
+
+// WaitIdle blocks the timeline until background flush/compaction work has
+// drained (virtual time).
+func (db *DB) WaitIdle(tl *simtime.Timeline) {
+	tl.WaitUntil(db.flushWorker.Now(), simtime.WaitIO)
+	tl.WaitUntil(db.compactWorker.Now(), simtime.WaitIO)
+}
+
+// --- WAL ---
+
+func encodeWALRecord(key string, value []byte, seq uint64, del bool) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	rec := make([]byte, 0, len(key)+len(value)+16)
+	n := binary.PutUvarint(tmp[:], seq)
+	rec = append(rec, tmp[:n]...)
+	flags := byte(0)
+	if del {
+		flags = 1
+	}
+	rec = append(rec, flags)
+	n = binary.PutUvarint(tmp[:], uint64(len(key)))
+	rec = append(rec, tmp[:n]...)
+	rec = append(rec, key...)
+	n = binary.PutUvarint(tmp[:], uint64(len(value)))
+	rec = append(rec, tmp[:n]...)
+	rec = append(rec, value...)
+	return rec
+}
+
+func (db *DB) openWAL(tl *simtime.Timeline) error {
+	db.mu.Lock()
+	db.nextNum++
+	num := db.nextNum
+	db.mu.Unlock()
+	name := db.fileName("log", num)
+	f, err := db.sys.Create(tl, name)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	db.wal = f
+	db.walName = name
+	db.mu.Unlock()
+	return nil
+}
+
+// rotateWAL starts a fresh log after a flush and removes the old one.
+func (db *DB) rotateWAL(tl *simtime.Timeline) {
+	db.mu.Lock()
+	old := db.walName
+	db.mu.Unlock()
+	if err := db.openWAL(tl); err != nil {
+		return
+	}
+	_ = db.sys.Kernel().Remove(tl, old)
+}
+
+// replayWAL reloads unflushed writes after a reopen.
+func (db *DB) replayWAL(tl *simtime.Timeline, name string) error {
+	f, err := db.sys.Open(tl, name)
+	if err != nil {
+		return nil // no log: nothing to replay
+	}
+	raw := make([]byte, f.Size())
+	if _, err := f.ReadAt(tl, raw, 0); err != nil {
+		return err
+	}
+	for pos := 0; pos < len(raw); {
+		seq, n := binary.Uvarint(raw[pos:])
+		if n <= 0 {
+			break
+		}
+		pos += n
+		del := raw[pos] == 1
+		pos++
+		klen, n := binary.Uvarint(raw[pos:])
+		pos += n
+		key := string(raw[pos : pos+int(klen)])
+		pos += int(klen)
+		vlen, n := binary.Uvarint(raw[pos:])
+		pos += n
+		val := append([]byte(nil), raw[pos:pos+int(vlen)]...)
+		pos += int(vlen)
+		db.mem.put(key, val, seq, del)
+		if seq > db.seq {
+			db.seq = seq
+		}
+	}
+	return nil
+}
+
+// --- Manifest ---
+
+// saveManifest records the live table set; loadManifest restores it.
+func (db *DB) saveManifest(tl *simtime.Timeline) {
+	db.mu.RLock()
+	var buf []byte
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], db.nextNum)
+	buf = append(buf, tmp[:n]...)
+	n = binary.PutUvarint(tmp[:], db.seq)
+	buf = append(buf, tmp[:n]...)
+	for lvl := 0; lvl < numLevels; lvl++ {
+		n = binary.PutUvarint(tmp[:], uint64(len(db.levels[lvl])))
+		buf = append(buf, tmp[:n]...)
+		for _, t := range db.levels[lvl] {
+			n = binary.PutUvarint(tmp[:], t.num)
+			buf = append(buf, tmp[:n]...)
+		}
+	}
+	walName := db.walName
+	db.mu.RUnlock()
+	_ = walName
+
+	name := db.opt.Dir + "/MANIFEST"
+	_ = db.sys.Kernel().Remove(tl, name)
+	f, err := db.sys.Create(tl, name)
+	if err != nil {
+		return
+	}
+	f.WriteAt(tl, buf, 0)
+	f.Fsync(tl)
+}
+
+func (db *DB) loadManifest(tl *simtime.Timeline) error {
+	name := db.opt.Dir + "/MANIFEST"
+	f, err := db.sys.Open(tl, name)
+	if err != nil {
+		return nil // fresh database
+	}
+	raw := make([]byte, f.Size())
+	if _, err := f.ReadAt(tl, raw, 0); err != nil {
+		return err
+	}
+	pos := 0
+	next, n := binary.Uvarint(raw[pos:])
+	pos += n
+	seq, n := binary.Uvarint(raw[pos:])
+	pos += n
+	db.nextNum, db.seq = next, seq
+	for lvl := 0; lvl < numLevels; lvl++ {
+		cnt, n := binary.Uvarint(raw[pos:])
+		pos += n
+		for i := uint64(0); i < cnt; i++ {
+			num, n := binary.Uvarint(raw[pos:])
+			pos += n
+			tname := db.fileName("sst", num)
+			tf, err := db.openSSTFile(tl, tname)
+			if err != nil {
+				return err
+			}
+			t, err := openTable(tl, num, tname, tf)
+			if err != nil {
+				return err
+			}
+			db.levels[lvl] = append(db.levels[lvl], t)
+		}
+	}
+	// Replay any WAL files left behind (newest numbering wins).
+	for _, fname := range db.sys.FS().List() {
+		if strings.HasSuffix(fname, ".log") && strings.HasPrefix(fname, db.opt.Dir+"/") {
+			if err := db.replayWAL(tl, fname); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close flushes and persists state.
+func (db *DB) Close(tl *simtime.Timeline) error {
+	if err := db.Flush(tl); err != nil {
+		return err
+	}
+	db.WaitIdle(tl)
+	db.saveManifest(tl)
+	return nil
+}

@@ -1,0 +1,324 @@
+package lsm
+
+import (
+	"fmt"
+	"math/rand"
+
+	crossprefetch "repro"
+	"repro/internal/simtime"
+)
+
+// Workload names the db_bench-style access patterns used in the paper's
+// evaluation (Figures 2, 7, 10; Tables 1 and 5).
+type Workload string
+
+// db_bench workloads.
+const (
+	FillSeq         Workload = "fillseq"
+	FillRandom      Workload = "fillrandom"
+	ReadRandom      Workload = "readrandom"
+	ReadSeq         Workload = "readseq"
+	ReadReverse     Workload = "readreverse"
+	ReadScan        Workload = "readscan"
+	MultiReadRandom Workload = "multireadrandom"
+)
+
+// BenchConfig describes one db_bench run.
+type BenchConfig struct {
+	// Sys is a freshly built system.
+	Sys *crossprefetch.System
+	// DB overrides the store options (Sys is filled in automatically).
+	DB Options
+	// NumKeys is the database size in keys.
+	NumKeys int64
+	// ValueBytes is the value size.
+	ValueBytes int
+	// Threads is the client thread count.
+	Threads int
+	// Workload is the measured access pattern.
+	Workload Workload
+	// OpsPerThread bounds the measured operations (0 = NumKeys/Threads).
+	OpsPerThread int64
+	// BatchKeys is the multireadrandom batch length (default 8).
+	BatchKeys int
+	// Seed fixes the random streams.
+	Seed int64
+}
+
+// BenchResult summarizes a run.
+type BenchResult struct {
+	Ops      int64
+	Makespan simtime.Duration
+	// KopsPerSec is thousands of operations per second of virtual time.
+	KopsPerSec float64
+	// MBPerSec is application data volume over the makespan.
+	MBPerSec float64
+	MissPct  float64
+	LockPct  float64
+	Group    simtime.GroupStats
+	Metrics  crossprefetch.Metrics
+	DB       Stats
+}
+
+func (r BenchResult) String() string {
+	return fmt.Sprintf("%.0f kops/s (%.1f MB/s), miss %.1f%%, lock %.1f%%",
+		r.KopsPerSec, r.MBPerSec, r.MissPct, r.LockPct)
+}
+
+// BenchKey formats key i in db_bench style.
+func BenchKey(i int64) string { return fmt.Sprintf("key%016d", i) }
+
+// benchValue builds a deterministic value.
+func benchValue(i int64, size int) []byte {
+	v := make([]byte, size)
+	x := uint64(i)*6364136223846793005 + 1442695040888963407
+	for j := range v {
+		v[j] = byte(x >> (8 * (uint(j) % 8)))
+		if j%8 == 7 {
+			x = x*6364136223846793005 + 1442695040888963407
+		}
+	}
+	return v
+}
+
+// LoadDB creates a database and fills it with NumKeys sequential keys,
+// flushing and settling compactions. The load happens on its own timeline
+// (the paper measures the run phase only).
+func LoadDB(cfg BenchConfig) (*DB, error) {
+	tl := cfg.Sys.Timeline()
+	opt := cfg.DB
+	opt.Sys = cfg.Sys
+	db, err := Open(tl, opt)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int64, cfg.NumKeys)
+	for i := range order {
+		order[i] = int64(i)
+	}
+	if cfg.Workload == FillRandom {
+		rand.New(rand.NewSource(cfg.Seed)).Shuffle(len(order), func(i, j int) {
+			order[i], order[j] = order[j], order[i]
+		})
+	}
+	for _, i := range order {
+		if err := db.Put(tl, BenchKey(i), benchValue(i, cfg.ValueBytes)); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.Flush(tl); err != nil {
+		return nil, err
+	}
+	db.WaitIdle(tl)
+	// Run-phase reads should start cold, as the paper clears the page
+	// cache before each experiment.
+	cfg.Sys.DropAllCaches(tl)
+	db.loadEnd = tl.Now()
+	return db, nil
+}
+
+// RunBench loads a database (unless the workload itself is a fill) and
+// executes the measured phase across client threads.
+func RunBench(cfg BenchConfig) (BenchResult, error) {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.BatchKeys <= 0 {
+		cfg.BatchKeys = 8
+	}
+	if cfg.ValueBytes <= 0 {
+		cfg.ValueBytes = 400
+	}
+
+	isFill := cfg.Workload == FillSeq || cfg.Workload == FillRandom
+	var db *DB
+	var err error
+	if isFill {
+		tl := cfg.Sys.Timeline()
+		opt := cfg.DB
+		opt.Sys = cfg.Sys
+		db, err = Open(tl, opt)
+	} else {
+		db, err = LoadDB(cfg)
+	}
+	if err != nil {
+		return BenchResult{}, err
+	}
+	return runPhase(cfg, db)
+}
+
+func runPhase(cfg BenchConfig, db *DB) (BenchResult, error) {
+	ops := cfg.OpsPerThread
+	if ops <= 0 {
+		ops = cfg.NumKeys / int64(cfg.Threads)
+		if ops < 1 {
+			ops = 1
+		}
+	}
+
+	// Continue the virtual clock where the load phase left off.
+	g := simtime.NewGroup(db.LoadEnd())
+	opCounts := make([]int64, cfg.Threads)
+	byteCounts := make([]int64, cfg.Threads)
+	errs := make([]error, cfg.Threads)
+	for t := 0; t < cfg.Threads; t++ {
+		t := t
+		g.Go(func(id int, tl *simtime.Timeline) {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*2654435761))
+			errs[t] = db.benchThread(tl, g, id, cfg, rng, ops, &opCounts[t], &byteCounts[t])
+		})
+	}
+	g.Wait()
+	gs := g.Stats()
+
+	var res BenchResult
+	for t := range opCounts {
+		res.Ops += opCounts[t]
+		if errs[t] != nil {
+			return res, errs[t]
+		}
+	}
+	var bytes int64
+	for _, b := range byteCounts {
+		bytes += b
+	}
+	res.Makespan = gs.Makespan
+	if gs.Makespan > 0 {
+		res.KopsPerSec = float64(res.Ops) / 1000 / gs.Makespan.Seconds()
+	}
+	res.MBPerSec = simtime.Throughput(bytes, gs.Makespan)
+	res.Group = gs
+	res.Metrics = cfg.Sys.Metrics()
+	res.MissPct = res.Metrics.Cache.MissPercent()
+	res.LockPct = gs.LockPercent()
+	res.DB = db.Stats()
+	return res, nil
+}
+
+// benchThread runs one client thread's operation loop.
+func (db *DB) benchThread(tl *simtime.Timeline, g *simtime.Group, id int,
+	cfg BenchConfig, rng *rand.Rand, ops int64, opCount, byteCount *int64) error {
+
+	n := cfg.NumKeys
+	fincore := db.sys.Approach() == crossprefetch.AppOnlyFincore
+	switch cfg.Workload {
+	case FillSeq, FillRandom:
+		base := int64(id) * ops
+		for i := int64(0); i < ops; i++ {
+			g.Gate(id, tl)
+			k := base + i
+			if cfg.Workload == FillRandom {
+				k = rng.Int63n(n)
+			}
+			if err := db.Put(tl, BenchKey(k), benchValue(k, cfg.ValueBytes)); err != nil {
+				return err
+			}
+			*opCount++
+			*byteCount += int64(cfg.ValueBytes)
+		}
+
+	case ReadRandom:
+		for i := int64(0); i < ops; i++ {
+			g.Gate(id, tl)
+			if fincore && i%32 == 0 {
+				db.FincoreStep(tl)
+			}
+			k := rng.Int63n(n)
+			v, _, err := db.Get(tl, BenchKey(k))
+			if err != nil {
+				return err
+			}
+			*opCount++
+			*byteCount += int64(len(v))
+		}
+
+	case MultiReadRandom:
+		// Batched-but-random: each operation reads BatchKeys consecutive
+		// keys from a random start (§3.4's "batched multi-read random").
+		batch := int64(cfg.BatchKeys)
+		for i := int64(0); i < ops; i += batch {
+			g.Gate(id, tl)
+			if fincore && i%(32*batch) == 0 {
+				db.FincoreStep(tl)
+			}
+			start := rng.Int63n(n - batch)
+			keys := make([]string, batch)
+			for j := int64(0); j < batch; j++ {
+				keys[j] = BenchKey(start + j)
+			}
+			if _, err := db.MultiGet(tl, keys); err != nil {
+				return err
+			}
+			*opCount += batch
+			*byteCount += batch * int64(cfg.ValueBytes)
+		}
+
+	case ReadSeq:
+		// Each thread scans its own shard of the key space.
+		shard := n / int64(cfg.Threads)
+		it := db.NewIterator(tl, false)
+		if !it.Seek(BenchKey(int64(id) * shard)) {
+			return nil
+		}
+		for i := int64(0); i < ops && it.valid; i++ {
+			g.Gate(id, tl)
+			*opCount++
+			*byteCount += int64(len(it.Value()))
+			if !it.Next() {
+				break
+			}
+		}
+
+	case ReadReverse:
+		// Each thread reverse-scans its own shard of the key space, so
+		// threads cover distinct cold data (as db_bench's per-thread
+		// cursors do) rather than drafting behind one another.
+		shard := n / int64(cfg.Threads)
+		it := db.NewIterator(tl, true)
+		if !it.SeekBack(BenchKey(int64(id+1)*shard - 1)) {
+			return nil
+		}
+		for i := int64(0); i < ops && it.valid; i++ {
+			g.Gate(id, tl)
+			*opCount++
+			*byteCount += int64(len(it.Value()))
+			if !it.Next() {
+				break
+			}
+		}
+
+	case ReadScan:
+		// Read-while-scanning: point reads interleaved with short scans.
+		for i := int64(0); i < ops; {
+			g.Gate(id, tl)
+			k := rng.Int63n(n)
+			if i%8 == 0 {
+				it := db.NewIterator(tl, false)
+				if it.Seek(BenchKey(k)) {
+					for j := 0; j < 32 && it.valid; j++ {
+						*byteCount += int64(len(it.Value()))
+						i++
+						*opCount++
+						if !it.Next() {
+							break
+						}
+					}
+				} else {
+					i++
+				}
+				continue
+			}
+			v, _, err := db.Get(tl, BenchKey(k))
+			if err != nil {
+				return err
+			}
+			*byteCount += int64(len(v))
+			i++
+			*opCount++
+		}
+
+	default:
+		return fmt.Errorf("lsm: unknown workload %q", cfg.Workload)
+	}
+	return nil
+}

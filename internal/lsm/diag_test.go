@@ -1,0 +1,31 @@
+package lsm
+
+import (
+	"fmt"
+	"testing"
+
+	crossprefetch "repro"
+)
+
+// TestDiagReadReverse prints the fig7b readreverse shape (diagnostic).
+func TestDiagReadReverse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	for _, a := range []crossprefetch.Approach{crossprefetch.AppOnly, crossprefetch.OSOnly, crossprefetch.CrossPredict, crossprefetch.CrossPredictOpt} {
+		res, err := RunBench(BenchConfig{
+			Sys: crossprefetch.NewSystem(crossprefetch.Config{
+				MemoryBytes: 80 << 20, Approach: a,
+			}),
+			DB:      Options{MemtableBytes: 1 << 20, BlockBytes: 16 << 10},
+			NumKeys: 39062, ValueBytes: 3072,
+			Threads: 16, Workload: ReadReverse, OpsPerThread: 1220, Seed: 12,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("%-24s %5.0f kops miss%%=%4.1f io%%=%4.1f devRd=%6.1fMB pf=%5d\n",
+			a, res.KopsPerSec, res.MissPct, res.Group.IOPercent(),
+			float64(res.Metrics.Device.ReadBytes)/(1<<20), res.Metrics.Lib.PrefetchCalls)
+	}
+}

@@ -1,0 +1,358 @@
+package lsm
+
+import (
+	"container/heap"
+	"sort"
+
+	crossprefetch "repro"
+	"repro/internal/simtime"
+)
+
+// Iterator merges the memtables and all levels into a single sorted view,
+// forward or reverse. Tombstones and shadowed versions are skipped.
+// Iterators hold a consistent snapshot of the table set taken at creation.
+type Iterator struct {
+	db      *DB
+	tl      *simtime.Timeline
+	reverse bool
+	snap    uint64
+
+	sources []*iterSource
+	h       iterHeap
+
+	key   string
+	value []byte
+	valid bool
+
+	appReadahead bool // APPonly: issue explicit readahead on table scans
+}
+
+// iterSource yields (key, value, seq, del) in iteration order.
+type iterSource struct {
+	prio int
+
+	// Memtable snapshot form.
+	mem []memEntry
+
+	// Table form.
+	table *sstable
+	block int
+	ents  []blockEntry
+
+	pos  int
+	done bool
+}
+
+func (s *iterSource) current() (string, []byte, uint64, bool) {
+	if s.mem != nil {
+		e := s.mem[s.pos]
+		return e.key, e.value, e.seq, e.del
+	}
+	e := s.ents[s.pos]
+	return e.key, e.value, e.seq, e.del
+}
+
+// NewIterator returns a forward or reverse iterator.
+func (db *DB) NewIterator(tl *simtime.Timeline, reverse bool) *Iterator {
+	db.mu.RLock()
+	it := &Iterator{db: db, tl: tl, reverse: reverse, snap: db.seq}
+	a := db.sys.Approach()
+	it.appReadahead = a == crossprefetch.AppOnly || a == crossprefetch.AppOnlyFincore
+
+	prio := 0
+	addMem := func(m *memtable) {
+		if m == nil || m.count == 0 {
+			return
+		}
+		var entries []memEntry
+		for n := m.first(); n != nil; n = n.next[0] {
+			entries = append(entries, n.memEntry)
+		}
+		it.sources = append(it.sources, &iterSource{prio: prio, mem: entries})
+		prio++
+	}
+	addMem(db.mem)
+	addMem(db.imm)
+	for _, t := range db.levels[0] {
+		it.sources = append(it.sources, &iterSource{prio: prio, table: t})
+		prio++
+	}
+	for lvl := 1; lvl < numLevels; lvl++ {
+		for _, t := range db.levels[lvl] {
+			it.sources = append(it.sources, &iterSource{prio: prio, table: t})
+		}
+		prio++
+	}
+	db.mu.RUnlock()
+	return it
+}
+
+// loadBlock positions a table source at the given block, reading it.
+func (it *Iterator) loadBlock(s *iterSource, block int) bool {
+	if block < 0 || block >= len(s.table.index) {
+		s.done = true
+		return false
+	}
+	if it.appReadahead && !it.reverse && block%16 == 0 {
+		// The APPonly application compensates for its disabled OS
+		// readahead with explicit readahead(2) on scans (RocksDB's
+		// iterator readahead), clamped by the kernel as in Figure 1.
+		ie := s.table.index[block]
+		s.table.file.Kernel().Readahead(it.tl, ie.off, 2<<20)
+	}
+	ents, err := s.table.readBlock(it.tl, block)
+	if err != nil || len(ents) == 0 {
+		s.done = true
+		return false
+	}
+	s.block, s.ents = block, ents
+	if it.reverse {
+		s.pos = len(ents) - 1
+	} else {
+		s.pos = 0
+	}
+	return true
+}
+
+// settleReverse positions a reverse source at the FIRST (newest, since
+// entries sort by key asc then seq desc) version of the key group its
+// cursor is in. Without this, walking backward would surface a key's
+// oldest version first — resurrecting overwritten values and hiding
+// puts that followed deletes.
+func (it *Iterator) settleReverse(s *iterSource) {
+	if s.mem != nil {
+		for s.pos > 0 && s.mem[s.pos-1].key == s.mem[s.pos].key {
+			s.pos--
+		}
+		return
+	}
+	for {
+		for s.pos > 0 && s.ents[s.pos-1].key == s.ents[s.pos].key {
+			s.pos--
+		}
+		if s.pos > 0 || s.block == 0 {
+			return
+		}
+		// The group may continue into the previous block.
+		if s.table.index[s.block-1].lastKey != s.ents[0].key {
+			return
+		}
+		if !it.loadBlock(s, s.block-1) {
+			return
+		}
+	}
+}
+
+// advance moves a source one entry in iteration order.
+func (it *Iterator) advance(s *iterSource) {
+	if it.reverse {
+		s.pos--
+		if s.pos < 0 {
+			if s.mem != nil {
+				s.done = true
+				return
+			}
+			if !it.loadBlock(s, s.block-1) {
+				return
+			}
+		}
+		it.settleReverse(s)
+		return
+	}
+	s.pos++
+	if s.mem != nil {
+		if s.pos >= len(s.mem) {
+			s.done = true
+		}
+		return
+	}
+	if s.pos >= len(s.ents) {
+		it.loadBlock(s, s.block+1)
+	}
+}
+
+type iterHeap struct {
+	srcs    []*iterSource
+	reverse bool
+}
+
+func (h iterHeap) Len() int { return len(h.srcs) }
+func (h iterHeap) Less(i, j int) bool {
+	ak, _, as, _ := h.srcs[i].current()
+	bk, _, bs, _ := h.srcs[j].current()
+	if ak != bk {
+		if h.reverse {
+			return ak > bk
+		}
+		return ak < bk
+	}
+	if as != bs {
+		return as > bs // newer version first in both directions
+	}
+	return h.srcs[i].prio < h.srcs[j].prio
+}
+func (h iterHeap) Swap(i, j int) { h.srcs[i], h.srcs[j] = h.srcs[j], h.srcs[i] }
+func (h *iterHeap) Push(x any)   { h.srcs = append(h.srcs, x.(*iterSource)) }
+func (h *iterHeap) Pop() any {
+	old := h.srcs
+	n := len(old)
+	x := old[n-1]
+	h.srcs = old[:n-1]
+	return x
+}
+
+// SeekFirst positions at the smallest key (forward) and returns validity.
+func (it *Iterator) SeekFirst() bool { return it.seekEnd() }
+
+// SeekLast positions at the largest key (reverse iterators).
+func (it *Iterator) SeekLast() bool { return it.seekEnd() }
+
+// seekEnd initializes all sources at their start in iteration order.
+func (it *Iterator) seekEnd() bool {
+	it.h = iterHeap{reverse: it.reverse}
+	for _, s := range it.sources {
+		s.done = false
+		if s.mem != nil {
+			if it.reverse {
+				s.pos = len(s.mem) - 1
+			} else {
+				s.pos = 0
+			}
+		} else if !it.loadBlock(s, it.startBlock(s)) {
+			continue
+		}
+		if !s.done {
+			if it.reverse {
+				it.settleReverse(s)
+			}
+			it.h.srcs = append(it.h.srcs, s)
+		}
+	}
+	heap.Init(&it.h)
+	it.valid = true
+	return it.Next()
+}
+
+func (it *Iterator) startBlock(s *iterSource) int {
+	if it.reverse {
+		return len(s.table.index) - 1
+	}
+	return 0
+}
+
+// SeekBack positions a reverse iterator at the last key ≤ target.
+func (it *Iterator) SeekBack(target string) bool {
+	it.h = iterHeap{reverse: it.reverse}
+	for _, s := range it.sources {
+		s.done = false
+		if s.mem != nil {
+			// First index > target, minus one.
+			i := sort.Search(len(s.mem), func(i int) bool { return s.mem[i].key > target })
+			s.pos = i - 1
+			if s.pos < 0 {
+				continue
+			}
+		} else {
+			bi := s.table.blockForBack(target)
+			if bi < 0 {
+				continue // whole table > target
+			}
+			if !it.loadBlock(s, bi) {
+				continue
+			}
+			for s.pos >= 0 && s.ents[s.pos].key > target {
+				s.pos--
+			}
+			if s.pos < 0 {
+				if !it.loadBlock(s, s.block-1) {
+					continue
+				}
+			}
+		}
+		if !s.done {
+			it.settleReverse(s)
+			it.h.srcs = append(it.h.srcs, s)
+		}
+	}
+	heap.Init(&it.h)
+	it.valid = true
+	return it.Next()
+}
+
+// Seek positions the iterator at the first key ≥ target (forward only).
+func (it *Iterator) Seek(target string) bool {
+	it.h = iterHeap{reverse: it.reverse}
+	for _, s := range it.sources {
+		s.done = false
+		if s.mem != nil {
+			s.pos = sort.Search(len(s.mem), func(i int) bool { return s.mem[i].key >= target })
+			if s.pos >= len(s.mem) {
+				continue
+			}
+		} else {
+			bi := s.table.blockFor(target)
+			if bi < 0 {
+				if len(s.table.index) == 0 || s.table.smallest > target {
+					bi = 0
+				} else {
+					continue // whole table < target
+				}
+			}
+			if !it.loadBlock(s, bi) {
+				continue
+			}
+			for s.pos < len(s.ents) && s.ents[s.pos].key < target {
+				s.pos++
+			}
+			if s.pos >= len(s.ents) && !it.loadBlock(s, s.block+1) {
+				continue
+			}
+		}
+		if !s.done {
+			it.h.srcs = append(it.h.srcs, s)
+		}
+	}
+	heap.Init(&it.h)
+	it.valid = true
+	return it.Next()
+}
+
+// Next advances to the next live key in iteration order. It returns false
+// at the end.
+func (it *Iterator) Next() bool {
+	if !it.valid {
+		return false
+	}
+	for it.h.Len() > 0 {
+		s := it.h.srcs[0]
+		k, v, seq, del := s.current()
+		// Advance this source and restore heap order.
+		it.advance(s)
+		if s.done {
+			heap.Pop(&it.h)
+		} else {
+			heap.Fix(&it.h, 0)
+		}
+		it.tl.Advance(80 * simtime.Nanosecond)
+		if seq > it.snap {
+			continue
+		}
+		if k == it.key && it.key != "" {
+			continue // shadowed older version
+		}
+		it.key = k
+		if del {
+			continue
+		}
+		it.value = v
+		return true
+	}
+	it.valid = false
+	return false
+}
+
+// Key returns the current key.
+func (it *Iterator) Key() string { return it.key }
+
+// Value returns the current value.
+func (it *Iterator) Value() []byte { return it.value }

@@ -1,0 +1,81 @@
+package lsm
+
+import (
+	"testing"
+
+	crossprefetch "repro"
+)
+
+func benchDB(b *testing.B, a crossprefetch.Approach, keys int64) *DB {
+	b.Helper()
+	db, err := LoadDB(BenchConfig{
+		Sys: crossprefetch.NewSystem(crossprefetch.Config{
+			MemoryBytes: 64 << 20, Approach: a,
+		}),
+		DB:      Options{MemtableBytes: 512 << 10, BlockBytes: 16 << 10},
+		NumKeys: keys, ValueBytes: 512, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func BenchmarkGet(b *testing.B) {
+	db := benchDB(b, crossprefetch.OSOnly, 10_000)
+	tl := db.sys.Timeline()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := int64(i*2654435761) % 10_000
+		if k < 0 {
+			k += 10_000
+		}
+		if _, ok, err := db.Get(tl, BenchKey(k)); err != nil || !ok {
+			b.Fatalf("get %d failed: %v %v", k, ok, err)
+		}
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	sys := crossprefetch.NewSystem(crossprefetch.Config{MemoryBytes: 64 << 20})
+	tl := sys.Timeline()
+	db, err := Open(tl, Options{Sys: sys, MemtableBytes: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := benchValue(1, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Put(tl, BenchKey(int64(i)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIteratorScan(b *testing.B) {
+	db := benchDB(b, crossprefetch.OSOnly, 10_000)
+	tl := db.sys.Timeline()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := db.NewIterator(tl, false)
+		n := 0
+		for ok := it.SeekFirst(); ok && n < 100; ok = it.Next() {
+			n++
+		}
+	}
+}
+
+// BenchmarkMemtableSkiplist isolates the in-memory structure.
+func BenchmarkMemtableSkiplist(b *testing.B) {
+	m := newMemtable(1)
+	val := benchValue(1, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.put(BenchKey(int64(i%50_000)), val, uint64(i+1), false)
+		if i%4 == 3 {
+			m.get(BenchKey(int64(i%50_000)), uint64(i+1))
+		}
+	}
+}

@@ -1,0 +1,491 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	crossprefetch "repro"
+)
+
+func testSys(a crossprefetch.Approach) *crossprefetch.System {
+	return crossprefetch.NewSystem(crossprefetch.Config{
+		MemoryBytes: 256 << 20,
+		Approach:    a,
+	})
+}
+
+func testDB(t *testing.T, a crossprefetch.Approach) *DB {
+	t.Helper()
+	sys := testSys(a)
+	db, err := Open(sys.Timeline(), Options{
+		Sys:           sys,
+		MemtableBytes: 64 << 10,
+		BlockBytes:    4 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPutGet(t *testing.T) {
+	db := testDB(t, crossprefetch.OSOnly)
+	tl := db.sys.Timeline()
+	if err := db.Put(tl, "alpha", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	db.Put(tl, "beta", []byte("2"))
+	v, ok, err := db.Get(tl, "alpha")
+	if err != nil || !ok || string(v) != "1" {
+		t.Fatalf("Get alpha = %q %v %v", v, ok, err)
+	}
+	if _, ok, _ := db.Get(tl, "gamma"); ok {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestOverwriteAndDelete(t *testing.T) {
+	db := testDB(t, crossprefetch.OSOnly)
+	tl := db.sys.Timeline()
+	db.Put(tl, "k", []byte("v1"))
+	db.Put(tl, "k", []byte("v2"))
+	v, ok, _ := db.Get(tl, "k")
+	if !ok || string(v) != "v2" {
+		t.Fatalf("overwrite lost: %q %v", v, ok)
+	}
+	db.Delete(tl, "k")
+	if _, ok, _ := db.Get(tl, "k"); ok {
+		t.Fatal("deleted key still visible")
+	}
+	// Deletion survives a flush.
+	db.Flush(tl)
+	if _, ok, _ := db.Get(tl, "k"); ok {
+		t.Fatal("tombstone lost in flush")
+	}
+}
+
+func TestFlushToSSTAndReadBack(t *testing.T) {
+	db := testDB(t, crossprefetch.OSOnly)
+	tl := db.sys.Timeline()
+	for i := 0; i < 500; i++ {
+		db.Put(tl, BenchKey(int64(i)), benchValue(int64(i), 100))
+	}
+	db.Flush(tl)
+	tables := db.TotalTables()
+	total := 0
+	for _, n := range tables {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("flush produced no tables")
+	}
+	for i := 0; i < 500; i++ {
+		v, ok, err := db.Get(tl, BenchKey(int64(i)))
+		if err != nil || !ok {
+			t.Fatalf("key %d lost after flush: %v %v", i, ok, err)
+		}
+		if !bytes.Equal(v, benchValue(int64(i), 100)) {
+			t.Fatalf("key %d value corrupt", i)
+		}
+	}
+}
+
+func TestMemtableRolloverAndCompaction(t *testing.T) {
+	db := testDB(t, crossprefetch.OSOnly)
+	tl := db.sys.Timeline()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		db.Put(tl, BenchKey(int64(i%2000)), benchValue(int64(i), 200))
+	}
+	db.Flush(tl)
+	db.WaitIdle(tl)
+	if db.Stats().Flushes == 0 {
+		t.Fatal("no flushes despite rollover-size writes")
+	}
+	if db.Stats().Compactions == 0 {
+		t.Fatal("no compactions despite many L0 tables")
+	}
+	// All live keys remain readable with their newest values (the last
+	// write of key k was at index k+4000 for k<1000, else k+2000).
+	for i := 0; i < 2000; i++ {
+		last := int64(i + 2000)
+		if i < 1000 {
+			last = int64(i + 4000)
+		}
+		want := benchValue(last, 200)
+		v, ok, err := db.Get(tl, BenchKey(int64(i)))
+		if err != nil || !ok {
+			t.Fatalf("key %d lost after compaction: %v %v", i, ok, err)
+		}
+		if !bytes.Equal(v, want) {
+			t.Fatalf("key %d stale after compaction", i)
+		}
+	}
+	// L0 should have been drained below trigger.
+	if got := db.TotalTables()[0]; got >= db.opt.L0CompactTrigger {
+		t.Fatalf("L0 still holds %d tables", got)
+	}
+}
+
+func TestIteratorForward(t *testing.T) {
+	db := testDB(t, crossprefetch.OSOnly)
+	tl := db.sys.Timeline()
+	const n = 1000
+	// Interleave memtable and flushed data.
+	for i := 0; i < n; i += 2 {
+		db.Put(tl, BenchKey(int64(i)), benchValue(int64(i), 50))
+	}
+	db.Flush(tl)
+	for i := 1; i < n; i += 2 {
+		db.Put(tl, BenchKey(int64(i)), benchValue(int64(i), 50))
+	}
+	it := db.NewIterator(tl, false)
+	if !it.SeekFirst() {
+		t.Fatal("empty iterator")
+	}
+	count := 0
+	prev := ""
+	for ok := true; ok; ok = it.Next() {
+		if it.Key() <= prev {
+			t.Fatalf("keys out of order: %q after %q", it.Key(), prev)
+		}
+		prev = it.Key()
+		count++
+	}
+	if count != n {
+		t.Fatalf("iterated %d keys, want %d", count, n)
+	}
+}
+
+func TestIteratorReverse(t *testing.T) {
+	db := testDB(t, crossprefetch.OSOnly)
+	tl := db.sys.Timeline()
+	const n = 800
+	for i := 0; i < n; i++ {
+		db.Put(tl, BenchKey(int64(i)), benchValue(int64(i), 50))
+	}
+	db.Flush(tl)
+	it := db.NewIterator(tl, true)
+	if !it.SeekLast() {
+		t.Fatal("empty reverse iterator")
+	}
+	count := 0
+	prev := "~" // greater than any key
+	for ok := true; ok; ok = it.Next() {
+		if it.Key() >= prev {
+			t.Fatalf("reverse keys out of order: %q after %q", it.Key(), prev)
+		}
+		prev = it.Key()
+		count++
+	}
+	if count != n {
+		t.Fatalf("reverse iterated %d keys, want %d", count, n)
+	}
+}
+
+func TestIteratorSeek(t *testing.T) {
+	db := testDB(t, crossprefetch.OSOnly)
+	tl := db.sys.Timeline()
+	for i := 0; i < 100; i++ {
+		db.Put(tl, BenchKey(int64(i*2)), []byte("v"))
+	}
+	db.Flush(tl)
+	it := db.NewIterator(tl, false)
+	if !it.Seek(BenchKey(51)) {
+		t.Fatal("seek failed")
+	}
+	if it.Key() != BenchKey(52) {
+		t.Fatalf("seek landed on %q, want %q", it.Key(), BenchKey(52))
+	}
+}
+
+func TestIteratorShadowingAndTombstones(t *testing.T) {
+	db := testDB(t, crossprefetch.OSOnly)
+	tl := db.sys.Timeline()
+	for i := 0; i < 100; i++ {
+		db.Put(tl, BenchKey(int64(i)), []byte("old"))
+	}
+	db.Flush(tl)
+	for i := 0; i < 100; i += 2 {
+		db.Put(tl, BenchKey(int64(i)), []byte("new"))
+	}
+	for i := 1; i < 100; i += 4 {
+		db.Delete(tl, BenchKey(int64(i)))
+	}
+	it := db.NewIterator(tl, false)
+	count := 0
+	for ok := it.SeekFirst(); ok; ok = it.Next() {
+		i := count
+		_ = i
+		if it.Key()[:3] != "key" {
+			t.Fatalf("bad key %q", it.Key())
+		}
+		count++
+	}
+	if count != 75 {
+		t.Fatalf("iterator saw %d keys, want 75", count)
+	}
+}
+
+func TestReopenRecoversData(t *testing.T) {
+	sys := testSys(crossprefetch.OSOnly)
+	tl := sys.Timeline()
+	opt := Options{Sys: sys, MemtableBytes: 64 << 10, BlockBytes: 4 << 10}
+	db, err := Open(tl, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		db.Put(tl, BenchKey(int64(i)), benchValue(int64(i), 64))
+	}
+	// Some data flushed, some only in the WAL.
+	if err := db.Close(tl); err != nil {
+		t.Fatal(err)
+	}
+	// Unflushed writes after close (simulating a crash with WAL intact).
+	db.Put(tl, "late", []byte("wal-only"))
+
+	db2, err := Open(tl, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok, err := db2.Get(tl, BenchKey(int64(i)))
+		if err != nil || !ok || !bytes.Equal(v, benchValue(int64(i), 64)) {
+			t.Fatalf("key %d lost across reopen (%v %v)", i, ok, err)
+		}
+	}
+	if v, ok, _ := db2.Get(tl, "late"); !ok || string(v) != "wal-only" {
+		t.Fatal("WAL-only write lost across reopen")
+	}
+}
+
+func TestBloomFilterEffectiveness(t *testing.T) {
+	db := testDB(t, crossprefetch.OSOnly)
+	tl := db.sys.Timeline()
+	for i := 0; i < 2000; i++ {
+		db.Put(tl, BenchKey(int64(i)), []byte("v"))
+	}
+	db.Flush(tl)
+	db.WaitIdle(tl)
+	before := db.Stats().BlockReads
+	// Misses should mostly be filtered without block I/O.
+	for i := 0; i < 500; i++ {
+		db.Get(tl, BenchKey(int64(1_000_000+i)))
+	}
+	extra := db.Stats().BlockReads - before
+	if extra > 50 {
+		t.Fatalf("bloom filter let %d/500 misses through to blocks", extra)
+	}
+}
+
+func TestBloomUnit(t *testing.T) {
+	keys := make([]string, 500)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	b := newBloomFromKeys(keys, 10)
+	for _, k := range keys {
+		if !b.mayContain(k) {
+			t.Fatalf("false negative for %s", k)
+		}
+	}
+	fp := 0
+	for i := 0; i < 1000; i++ {
+		if b.mayContain(fmt.Sprintf("absent-%d", i)) {
+			fp++
+		}
+	}
+	if fp > 60 {
+		t.Fatalf("false positive rate too high: %d/1000", fp)
+	}
+}
+
+func TestMemtableProperty(t *testing.T) {
+	// Property: memtable get returns the newest version below the
+	// snapshot, matching a reference map.
+	f := func(ops []uint16, seed int64) bool {
+		m := newMemtable(seed)
+		ref := make(map[string]string)
+		var seq uint64
+		for _, op := range ops {
+			seq++
+			k := fmt.Sprintf("k%d", op%50)
+			v := fmt.Sprintf("v%d", seq)
+			m.put(k, []byte(v), seq, false)
+			ref[k] = v
+		}
+		for k, want := range ref {
+			got, del, ok := m.get(k, seq)
+			if !ok || del || string(got) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSSTableRoundTripProperty(t *testing.T) {
+	sys := testSys(crossprefetch.OSOnly)
+	tl := sys.Timeline()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		b := newTableBuilder(2048)
+		n := 50 + rng.Intn(500)
+		keys := make([]string, n)
+		vals := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			keys[i] = fmt.Sprintf("key%08d", i*3+rng.Intn(3))
+			vals[i] = benchValue(int64(i), 10+rng.Intn(100))
+		}
+		// Keys must be unique & sorted; regenerate deterministically.
+		for i := 0; i < n; i++ {
+			keys[i] = fmt.Sprintf("key%08d", i)
+			b.add(keys[i], vals[i], uint64(i+1), false)
+		}
+		image, _, _ := b.finish(10)
+		name := fmt.Sprintf("tbl-%d", trial)
+		f, err := sys.Create(tl, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := writeTable(tl, f, image); err != nil {
+			t.Fatal(err)
+		}
+		rf, _ := sys.Open(tl, name)
+		tbl, err := openTable(tl, uint64(trial), name, rf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tbl.count != int64(n) {
+			t.Fatalf("count = %d, want %d", tbl.count, n)
+		}
+		for i := 0; i < n; i += 7 {
+			v, del, ok, err := tbl.get(tl, keys[i], ^uint64(0))
+			if err != nil || !ok || del || !bytes.Equal(v, vals[i]) {
+				t.Fatalf("trial %d key %s mismatch (%v %v %v)", trial, keys[i], ok, del, err)
+			}
+		}
+		if _, _, ok, _ := tbl.get(tl, "key99999999", ^uint64(0)); ok {
+			t.Fatal("phantom key")
+		}
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	cfg := BenchConfig{
+		Sys:     testSys(crossprefetch.CrossPredictOpt),
+		DB:      Options{MemtableBytes: 128 << 10, BlockBytes: 4 << 10},
+		NumKeys: 3000, ValueBytes: 100,
+		Threads: 4, Workload: ReadRandom, OpsPerThread: 500, Seed: 3,
+	}
+	res, err := RunBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 2000 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+	if res.KopsPerSec <= 0 {
+		t.Fatal("no throughput")
+	}
+	if res.DB.Hits != res.DB.Gets {
+		t.Fatalf("random reads over live keys should all hit: %d/%d", res.DB.Hits, res.DB.Gets)
+	}
+}
+
+func TestBenchWorkloadsRun(t *testing.T) {
+	for _, w := range []Workload{ReadSeq, ReadReverse, ReadScan, MultiReadRandom, FillSeq} {
+		t.Run(string(w), func(t *testing.T) {
+			res, err := RunBench(BenchConfig{
+				Sys:     testSys(crossprefetch.OSOnly),
+				DB:      Options{MemtableBytes: 128 << 10, BlockBytes: 4 << 10},
+				NumKeys: 2000, ValueBytes: 100,
+				Threads: 2, Workload: w, OpsPerThread: 400, Seed: 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops == 0 || res.Makespan <= 0 {
+				t.Fatalf("empty result: %+v", res)
+			}
+		})
+	}
+}
+
+func TestApproachShapesMultiReadRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	run := func(a crossprefetch.Approach) BenchResult {
+		res, err := RunBench(BenchConfig{
+			Sys: crossprefetch.NewSystem(crossprefetch.Config{
+				MemoryBytes: 64 << 20, Approach: a,
+			}),
+			DB:      Options{MemtableBytes: 1 << 20, BlockBytes: 16 << 10},
+			NumKeys: 40_000, ValueBytes: 800, // ~37MB of values
+			Threads: 4, Workload: MultiReadRandom, OpsPerThread: 4000, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	app := run(crossprefetch.AppOnly)
+	cross := run(crossprefetch.CrossPredictOpt)
+	// Figure 2 / Figure 7a shape: cross-layered prefetching beats the
+	// RocksDB-style APPonly (readahead disabled) configuration.
+	if cross.KopsPerSec <= app.KopsPerSec {
+		t.Fatalf("CrossPredictOpt (%.0f kops) should beat APPonly (%.0f kops)",
+			cross.KopsPerSec, app.KopsPerSec)
+	}
+	if cross.MissPct >= app.MissPct {
+		t.Fatalf("CrossPredictOpt miss%% (%.1f) should be below APPonly (%.1f)",
+			cross.MissPct, app.MissPct)
+	}
+}
+
+func TestIteratorSeekBack(t *testing.T) {
+	db := testDB(t, crossprefetch.OSOnly)
+	tl := db.sys.Timeline()
+	for i := 0; i < 100; i++ {
+		db.Put(tl, BenchKey(int64(i*2)), []byte("v"))
+	}
+	db.Flush(tl)
+	it := db.NewIterator(tl, true)
+	// Target between keys: lands on the last key <= target.
+	if !it.SeekBack(BenchKey(51)) {
+		t.Fatal("seekback failed")
+	}
+	if it.Key() != BenchKey(50) {
+		t.Fatalf("seekback landed on %q, want %q", it.Key(), BenchKey(50))
+	}
+	// Walks strictly backwards from there.
+	prev := it.Key()
+	count := 1
+	for it.Next() {
+		if it.Key() >= prev {
+			t.Fatalf("reverse order violated: %q after %q", it.Key(), prev)
+		}
+		prev = it.Key()
+		count++
+	}
+	if count != 26 {
+		t.Fatalf("seekback iterated %d keys, want 26", count)
+	}
+	// Target beyond the last key starts at the end.
+	if !it.SeekBack(BenchKey(10_000)) || it.Key() != BenchKey(198) {
+		t.Fatalf("seekback beyond end landed on %q", it.Key())
+	}
+	// Target before the first key finds nothing.
+	it2 := db.NewIterator(tl, true)
+	if it2.SeekBack("kex") {
+		t.Fatalf("seekback before start should be invalid, got %q", it2.Key())
+	}
+}

@@ -1,0 +1,349 @@
+package pagecache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitmap"
+	"repro/internal/simtime"
+)
+
+// FileCache is the per-inode cache state: the page index (Xarray model),
+// its tree lock, and the CROSS-OS cache bitmap with its own lock.
+type FileCache struct {
+	cache *Cache
+	inoID int64
+
+	mu         sync.RWMutex      // real guard for pages + bitmap + flags
+	treeLedger *simtime.RWLedger // virtual page-cache tree lock
+	bmLedger   *simtime.RWLedger // virtual bitmap lock (fast path)
+	pages      map[int64]*page
+	bm         *bitmap.Bitmap
+
+	hits   atomic.Int64
+	misses atomic.Int64
+
+	// Per-inode LRU state (Config.PerInodeLRU), guarded by Cache.lruMu.
+	ownActive   pageList
+	ownInactive pageList
+	lastTouch   atomic.Int64 // virtual time of last lookup
+}
+
+// InoID reports the inode this state belongs to.
+func (fc *FileCache) InoID() int64 { return fc.inoID }
+
+// Span reports the extent of the file's bitmap in blocks.
+func (fc *FileCache) Span() int64 {
+	fc.mu.RLock()
+	defer fc.mu.RUnlock()
+	return fc.bm.Len()
+}
+
+// CachedPages reports how many of the file's pages are resident.
+func (fc *FileCache) CachedPages() int64 {
+	fc.mu.RLock()
+	defer fc.mu.RUnlock()
+	return fc.bm.Count()
+}
+
+// Hits and Misses report the per-file lookup counters.
+func (fc *FileCache) Hits() int64   { return fc.hits.Load() }
+func (fc *FileCache) Misses() int64 { return fc.misses.Load() }
+
+// TreeLockStats exposes the virtual tree-lock contention counters.
+func (fc *FileCache) TreeLockStats() simtime.RWLedgerStats { return fc.treeLedger.Stats() }
+
+// LookupResult describes the cache state of a requested page range.
+type LookupResult struct {
+	// Present marks which pages of [lo,hi) were resident (index 0 = lo).
+	Present []bool
+	// PresentCount is the number of resident pages.
+	PresentCount int64
+	// ReadyAt is the latest ready time among resident pages — a reader
+	// consuming them must wait until then (in-flight prefetch).
+	ReadyAt simtime.Time
+	// MarkerHit reports that a resident page carried the PG_readahead
+	// marker; the lookup cleared it.
+	MarkerHit bool
+}
+
+// LookupRange walks the page index for pages [lo, hi) on the regular I/O
+// (slow) path: it charges the tree lock shared for the walk, counts hits
+// and misses, touches LRU state, and clears any readahead marker it
+// crosses. tl may be nil for timeless inspection.
+func (fc *FileCache) LookupRange(tl *simtime.Timeline, lo, hi int64) LookupResult {
+	n := hi - lo
+	if n <= 0 {
+		return LookupResult{}
+	}
+	if tl != nil {
+		fc.treeLedger.Read(tl, simtime.Duration(n)*fc.cache.cfg.Costs.TreeLookup)
+	}
+
+	res := LookupResult{Present: make([]bool, n)}
+	var touched []*page
+	fc.mu.Lock()
+	for i := lo; i < hi; i++ {
+		p, ok := fc.pages[i]
+		if !ok {
+			continue
+		}
+		res.Present[i-lo] = true
+		res.PresentCount++
+		if p.readyAt > res.ReadyAt {
+			res.ReadyAt = p.readyAt
+		}
+		if p.marker {
+			p.marker = false
+			res.MarkerHit = true
+		}
+		touched = append(touched, p)
+	}
+	fc.mu.Unlock()
+
+	fc.hits.Add(res.PresentCount)
+	fc.misses.Add(n - res.PresentCount)
+	fc.cache.hits.Add(res.PresentCount)
+	fc.cache.misses.Add(n - res.PresentCount)
+	if tl != nil {
+		fc.lastTouch.Store(int64(tl.Now()))
+	}
+
+	if len(touched) > 0 {
+		fc.cache.touch(tl, touched)
+	}
+	return res
+}
+
+// InsertOptions modify InsertRange behaviour.
+type InsertOptions struct {
+	// ReadyAt is when the pages' backing I/O completes (0 = already done).
+	ReadyAt simtime.Time
+	// Dirty marks the pages as needing writeback.
+	Dirty bool
+	// MarkerAt places the PG_readahead marker on this page (-1 = none).
+	MarkerAt int64
+}
+
+// InsertRange installs pages [lo, hi), charging the tree lock exclusive,
+// allocating frames (which may trigger reclaim, charged per policy), and
+// updating the per-inode bitmap once after the walk (§4.4). It returns how
+// many pages were newly inserted (already-present pages are left alone,
+// though Dirty is ORed in).
+func (fc *FileCache) InsertRange(tl *simtime.Timeline, lo, hi int64, opt InsertOptions) int64 {
+	n := hi - lo
+	if n <= 0 {
+		return 0
+	}
+	costs := fc.cache.cfg.Costs
+	if tl != nil {
+		// As in Linux, insertion batches acquire and drop the tree lock
+		// per pagevec, letting concurrent lookups interleave with a
+		// large (prefetch) insert instead of stalling for its entirety.
+		chargeBatched(n, func(batch int64) {
+			fc.treeLedger.Write(tl, simtime.Duration(batch)*costs.TreeInsert)
+		})
+		tl.Advance(simtime.Duration(n) * costs.PageAlloc)
+	}
+
+	var fresh []*page
+	var inserted int64
+	fc.mu.Lock()
+	for i := lo; i < hi; i++ {
+		if p, ok := fc.pages[i]; ok {
+			if opt.Dirty && !p.dirty {
+				p.dirty = true
+				fc.cache.dirty.Add(1)
+			}
+			// An already-present page keeps its earlier ready time: a
+			// redundant re-fetch doesn't delay existing readers.
+			if i == opt.MarkerAt {
+				p.marker = true
+			}
+			continue
+		}
+		p := &page{fc: fc, idx: i, readyAt: opt.ReadyAt, dirty: opt.Dirty}
+		if opt.Dirty {
+			fc.cache.dirty.Add(1)
+		}
+		if i == opt.MarkerAt {
+			p.marker = true
+		}
+		fc.pages[i] = p
+		fresh = append(fresh, p)
+		inserted++
+	}
+	if inserted > 0 {
+		// One bitmap update after the whole walk, under the bitmap lock.
+		if tl != nil {
+			fc.bmLedger.Write(tl, costs.BitmapOp*simtime.Duration(1+n/64))
+		}
+		fc.bm.SetRange(lo, hi)
+		// SetRange may set bits for pages that were already present —
+		// that is exactly what the kernel bitmap would show.
+	}
+	fc.mu.Unlock()
+
+	if inserted > 0 {
+		if tl != nil {
+			fc.lastTouch.Store(int64(tl.Now()))
+		}
+		fc.cache.used.Add(inserted)
+		fc.cache.link(fresh)
+		fc.cache.reclaimIfNeeded(tl)
+	}
+	return inserted
+}
+
+// SetDirtyRange marks resident pages [lo,hi) dirty (buffered writes).
+func (fc *FileCache) SetDirtyRange(tl *simtime.Timeline, lo, hi int64) {
+	if tl != nil {
+		fc.treeLedger.Write(tl, simtime.Duration(hi-lo)*fc.cache.cfg.Costs.TreeLookup)
+	}
+	fc.mu.Lock()
+	for i := lo; i < hi; i++ {
+		if p, ok := fc.pages[i]; ok && !p.dirty {
+			p.dirty = true
+			fc.cache.dirty.Add(1)
+		}
+	}
+	fc.mu.Unlock()
+}
+
+// RemoveRange evicts pages [lo, hi) (fadvise DONTNEED, truncation),
+// writing back dirty pages. It returns the number of pages removed.
+func (fc *FileCache) RemoveRange(tl *simtime.Timeline, lo, hi int64) int64 {
+	if hi <= lo {
+		return 0
+	}
+	var victims []*page
+	fc.mu.Lock()
+	for i := lo; i < hi; i++ {
+		if p, ok := fc.pages[i]; ok {
+			delete(fc.pages, i)
+			victims = append(victims, p)
+		}
+	}
+	if len(victims) > 0 {
+		fc.bm.ClearRange(lo, hi)
+	}
+	fc.mu.Unlock()
+	if len(victims) == 0 {
+		return 0
+	}
+	if tl != nil {
+		chargeBatched(int64(len(victims)), func(batch int64) {
+			fc.treeLedger.Write(tl, simtime.Duration(batch)*fc.cache.cfg.Costs.TreeDelete)
+		})
+		fc.bmLedger.Write(tl, fc.cache.cfg.Costs.BitmapOp*simtime.Duration(1+(hi-lo)/64))
+	}
+	fc.cache.finishEviction(tl, victims, true)
+	return int64(len(victims))
+}
+
+// FastMissingRuns answers "which of [lo, hi) needs fetching?" via the
+// bitmap fast path: it charges only the bitmap lock shared, never the
+// tree lock. This is the readahead_info lookup (§4.4).
+func (fc *FileCache) FastMissingRuns(tl *simtime.Timeline, lo, hi int64) []bitmap.Run {
+	if tl != nil {
+		fc.bmLedger.Read(tl, fc.cache.cfg.Costs.BitmapOp*simtime.Duration(1+(hi-lo)/64))
+	}
+	fc.mu.RLock()
+	defer fc.mu.RUnlock()
+	return fc.bm.MissingRuns(lo, hi)
+}
+
+// ExportBitmap copies the bitmap window [lo, hi) into dst, charging the
+// bitmap lock shared plus per-word copy cost (the selective export to
+// CROSS-LIB).
+func (fc *FileCache) ExportBitmap(tl *simtime.Timeline, lo, hi int64, dst *bitmap.Bitmap) {
+	if hi <= lo {
+		return
+	}
+	words := simtime.Duration(1 + (hi-lo)/64)
+	if tl != nil {
+		fc.bmLedger.Read(tl, fc.cache.cfg.Costs.BitmapOp*words)
+		tl.Advance(fc.cache.cfg.Costs.BitmapCopy * words)
+	}
+	fc.mu.RLock()
+	fc.bm.CopyRange(dst, lo, hi)
+	fc.mu.RUnlock()
+}
+
+// WalkResident calls fn for every resident page index in [lo, hi) while
+// holding the tree lock exclusive for the whole walk — the fincore model
+// (§2.1): expensive, coarse, and obstructive.
+func (fc *FileCache) WalkResident(tl *simtime.Timeline, lo, hi int64, fn func(idx int64)) {
+	if tl != nil {
+		fc.treeLedger.Write(tl, simtime.Duration(hi-lo)*fc.cache.cfg.Costs.FincoreWalk)
+	}
+	fc.mu.RLock()
+	defer fc.mu.RUnlock()
+	for i := lo; i < hi; i++ {
+		if _, ok := fc.pages[i]; ok {
+			fn(i)
+		}
+	}
+}
+
+// ledgerBatch is the pagevec size for batched tree-lock acquisitions.
+const ledgerBatch = 64
+
+// chargeBatched invokes charge once per batch of up to ledgerBatch items.
+func chargeBatched(n int64, charge func(batch int64)) {
+	for n > 0 {
+		b := n
+		if b > ledgerBatch {
+			b = ledgerBatch
+		}
+		charge(b)
+		n -= b
+	}
+}
+
+// CollectDirtyRuns returns the contiguous runs of dirty resident pages in
+// [lo, hi) and clears their dirty flags (fsync harvesting). The caller is
+// responsible for issuing the writeback I/O.
+func (fc *FileCache) CollectDirtyRuns(tl *simtime.Timeline, lo, hi int64) []bitmap.Run {
+	if tl != nil {
+		fc.treeLedger.Read(tl, simtime.Duration(hi-lo)*fc.cache.cfg.Costs.TreeLookup)
+	}
+	var runs []bitmap.Run
+	fc.mu.Lock()
+	runStart := int64(-1)
+	for i := lo; i < hi; i++ {
+		p, ok := fc.pages[i]
+		if ok && p.dirty {
+			p.dirty = false
+			fc.cache.dirty.Add(-1)
+			if runStart < 0 {
+				runStart = i
+			}
+			continue
+		}
+		if runStart >= 0 {
+			runs = append(runs, bitmap.Run{Lo: runStart, Hi: i})
+			runStart = -1
+		}
+	}
+	if runStart >= 0 {
+		runs = append(runs, bitmap.Run{Lo: runStart, Hi: hi})
+	}
+	fc.mu.Unlock()
+	return runs
+}
+
+// ResidentReadyAt reports the latest ready time among resident pages in
+// [lo,hi) without charging lock time (used after an insert to wait for
+// in-flight I/O the thread itself scheduled).
+func (fc *FileCache) ResidentReadyAt(lo, hi int64) simtime.Time {
+	fc.mu.RLock()
+	defer fc.mu.RUnlock()
+	var latest simtime.Time
+	for i := lo; i < hi; i++ {
+		if p, ok := fc.pages[i]; ok && p.readyAt > latest {
+			latest = p.readyAt
+		}
+	}
+	return latest
+}

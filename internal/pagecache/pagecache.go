@@ -1,0 +1,256 @@
+// Package pagecache implements the simulated OS page cache that CROSS-OS
+// extends.
+//
+// Structure mirrors what the paper's analysis depends on:
+//
+//   - Each file has a page index (Linux's per-inode Xarray) guarded by one
+//     reader-writer lock. Regular I/O lookups take it shared; inserts and
+//     deletes take it exclusive. This is the "single big per-file
+//     cache-tree lock" whose contention §3.2 measures.
+//   - Alongside the index, CROSS-OS maintains a per-inode block bitmap with
+//     its own rw-lock: the delineated fast path (§4.4) that readahead_info
+//     queries instead of walking the tree.
+//   - Pages live on global active/inactive LRU lists. Allocation beyond the
+//     high watermark wakes background reclaim (kswapd, charged to its own
+//     virtual worker); allocation beyond capacity forces direct reclaim,
+//     charged to the allocating thread — which is how aggressive
+//     prefetching pollutes the cache and slows everyone down (§5.2).
+//
+// Pages carry a ready time: asynchronously prefetched pages are present in
+// the index immediately but a reader arriving before the device completes
+// waits for the remainder, modeling the overlap of prefetch and compute.
+package pagecache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitmap"
+	"repro/internal/simtime"
+)
+
+// Config sizes the cache.
+type Config struct {
+	// BlockSize is the page size in bytes.
+	BlockSize int64
+	// CapacityPages is the memory budget in pages.
+	CapacityPages int64
+	// Costs is the CPU cost table.
+	Costs simtime.Costs
+	// KswapdWorkers is the number of background reclaim workers.
+	KswapdWorkers int
+	// PerInodeLRU switches reclaim from the global active/inactive lists
+	// to per-inode lists with coldest-file-first victim selection — the
+	// paper's stated future work (§4.6: "fine-grained per-inode LRUs
+	// within the OS to expedite memory reclamation").
+	PerInodeLRU bool
+}
+
+// FlushFn writes back a dirty run of a file's pages, returning the
+// virtual completion time. Installed by the VFS layer.
+type FlushFn func(at simtime.Time, inoID, lo, hi int64) simtime.Time
+
+// Cache is the global page cache.
+type Cache struct {
+	cfg   Config
+	flush FlushFn
+
+	used atomic.Int64
+
+	lruMu    sync.Mutex
+	active   pageList
+	inactive pageList
+
+	kswapd *simtime.WorkerPool
+
+	filesMu sync.Mutex
+	files   map[int64]*FileCache
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	dirty         atomic.Int64
+	evictions     atomic.Int64
+	directReclaim atomic.Int64
+	kswapdRuns    atomic.Int64
+	writebacks    atomic.Int64
+}
+
+// New returns a cache with the given configuration. flush may be nil if no
+// file will ever have dirty pages.
+func New(cfg Config, flush FlushFn) *Cache {
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = 4096
+	}
+	if cfg.CapacityPages <= 0 {
+		cfg.CapacityPages = 1 << 20
+	}
+	if cfg.KswapdWorkers <= 0 {
+		cfg.KswapdWorkers = 1
+	}
+	return &Cache{
+		cfg:    cfg,
+		flush:  flush,
+		kswapd: simtime.NewWorkerPool(cfg.KswapdWorkers, 0),
+		files:  make(map[int64]*FileCache),
+	}
+}
+
+// SetFlushFn installs the dirty-page writeback hook.
+func (c *Cache) SetFlushFn(f FlushFn) { c.flush = f }
+
+// Capacity reports the memory budget in pages.
+func (c *Cache) Capacity() int64 { return c.cfg.CapacityPages }
+
+// Used reports resident pages.
+func (c *Cache) Used() int64 { return c.used.Load() }
+
+// Dirty reports resident pages awaiting writeback.
+func (c *Cache) Dirty() int64 { return c.dirty.Load() }
+
+// Free reports pages available before the budget is exhausted.
+func (c *Cache) Free() int64 {
+	f := c.cfg.CapacityPages - c.used.Load()
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+func (c *Cache) highWater() int64 { return c.cfg.CapacityPages * 15 / 16 }
+func (c *Cache) lowWater() int64  { return c.cfg.CapacityPages * 7 / 8 }
+
+// File returns (creating if needed) the per-inode cache state.
+func (c *Cache) File(inoID int64) *FileCache {
+	c.filesMu.Lock()
+	defer c.filesMu.Unlock()
+	fc, ok := c.files[inoID]
+	if !ok {
+		fc = &FileCache{
+			cache:      c,
+			inoID:      inoID,
+			treeLedger: simtime.NewRWLedger("tree"),
+			bmLedger:   simtime.NewRWLedger("bitmap"),
+			pages:      make(map[int64]*page),
+			bm:         bitmap.New(0),
+		}
+		c.files[inoID] = fc
+	}
+	return fc
+}
+
+// DropFile discards all cached pages of an inode (file deletion).
+func (c *Cache) DropFile(tl *simtime.Timeline, inoID int64) {
+	c.filesMu.Lock()
+	fc := c.files[inoID]
+	delete(c.files, inoID)
+	c.filesMu.Unlock()
+	if fc != nil {
+		fc.RemoveRange(tl, 0, fc.bm.Len())
+	}
+}
+
+// DropAll evicts every resident page (echo 3 > /proc/sys/vm/drop_caches),
+// preserving the per-file state objects so open handles stay valid.
+func (c *Cache) DropAll(tl *simtime.Timeline) {
+	c.filesMu.Lock()
+	fcs := make([]*FileCache, 0, len(c.files))
+	for _, fc := range c.files {
+		fcs = append(fcs, fc)
+	}
+	c.filesMu.Unlock()
+	for _, fc := range fcs {
+		fc.RemoveRange(tl, 0, fc.Span())
+	}
+}
+
+// Stats is a snapshot of global cache counters.
+type Stats struct {
+	Capacity      int64
+	Used          int64
+	Dirty         int64
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	DirectReclaim int64
+	KswapdRuns    int64
+	Writebacks    int64
+}
+
+// MissPercent reports cache misses as a percentage of lookups.
+func (s Stats) MissPercent() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(s.Misses) / float64(total)
+}
+
+// Stats snapshots the global counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Capacity:      c.cfg.CapacityPages,
+		Used:          c.used.Load(),
+		Dirty:         c.dirty.Load(),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		DirectReclaim: c.directReclaim.Load(),
+		KswapdRuns:    c.kswapdRuns.Load(),
+		Writebacks:    c.writebacks.Load(),
+	}
+}
+
+// page is one resident page frame.
+type page struct {
+	fc      *FileCache
+	idx     int64
+	readyAt simtime.Time
+	dirty   bool
+	marker  bool // PG_readahead
+
+	// LRU linkage, guarded by Cache.lruMu.
+	prev, next *page
+	list       *pageList
+	accessed   bool
+}
+
+// pageList is an intrusive doubly linked LRU list. Head is most recent.
+type pageList struct {
+	head, tail *page
+	n          int64
+}
+
+func (l *pageList) pushHead(p *page) {
+	p.prev, p.next, p.list = nil, l.head, l
+	if l.head != nil {
+		l.head.prev = p
+	}
+	l.head = p
+	if l.tail == nil {
+		l.tail = p
+	}
+	l.n++
+}
+
+func (l *pageList) remove(p *page) {
+	if p.prev != nil {
+		p.prev.next = p.next
+	} else {
+		l.head = p.next
+	}
+	if p.next != nil {
+		p.next.prev = p.prev
+	} else {
+		l.tail = p.prev
+	}
+	p.prev, p.next, p.list = nil, nil, nil
+	l.n--
+}
+
+func (l *pageList) popTail() *page {
+	p := l.tail
+	if p != nil {
+		l.remove(p)
+	}
+	return p
+}

@@ -1,0 +1,65 @@
+package pagecache
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := newTestCache(1 << 20)
+	fc := c.File(1)
+	fc.InsertRange(nil, 0, 1<<16, InsertOptions{MarkerAt: -1})
+	tl := simtime.NewTimeline(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := int64(i*13) % (1 << 15)
+		fc.LookupRange(tl, lo, lo+4)
+	}
+}
+
+func BenchmarkInsertEvictCycle(b *testing.B) {
+	c := newTestCache(4096)
+	fc := c.File(1)
+	tl := simtime.NewTimeline(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lo := int64(i*64) % (1 << 20)
+		fc.InsertRange(tl, lo, lo+64, InsertOptions{MarkerAt: -1})
+	}
+}
+
+func BenchmarkFastMissingRunsVsWalk(b *testing.B) {
+	c := newTestCache(1 << 20)
+	fc := c.File(1)
+	for i := int64(0); i < 1<<16; i += 5 {
+		fc.InsertRange(nil, i, i+2, InsertOptions{MarkerAt: -1})
+	}
+	b.Run("bitmap-fast-path", func(b *testing.B) {
+		tl := simtime.NewTimeline(0)
+		for i := 0; i < b.N; i++ {
+			fc.FastMissingRuns(tl, 0, 2048)
+		}
+	})
+	b.Run("fincore-walk", func(b *testing.B) {
+		tl := simtime.NewTimeline(0)
+		for i := 0; i < b.N; i++ {
+			fc.WalkResident(tl, 0, 2048, func(int64) {})
+		}
+	})
+}
+
+func BenchmarkConcurrentLookups(b *testing.B) {
+	c := newTestCache(1 << 20)
+	fc := c.File(1)
+	fc.InsertRange(nil, 0, 1<<16, InsertOptions{MarkerAt: -1})
+	b.RunParallel(func(pb *testing.PB) {
+		tl := simtime.NewTimeline(0)
+		i := int64(0)
+		for pb.Next() {
+			lo := (i * 6151) % (1 << 15)
+			fc.LookupRange(tl, lo, lo+4)
+			i++
+		}
+	})
+}

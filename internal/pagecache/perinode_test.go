@@ -1,0 +1,77 @@
+package pagecache
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func newPerInodeCache(capacity int64) *Cache {
+	return New(Config{
+		BlockSize: 4096, CapacityPages: capacity,
+		Costs: simtime.DefaultCosts(), PerInodeLRU: true,
+	}, nil)
+}
+
+func TestPerInodeLRUEvictsColdestFileFirst(t *testing.T) {
+	c := newPerInodeCache(100)
+	cold := c.File(1)
+	hot := c.File(2)
+	tl := simtime.NewTimeline(0)
+
+	cold.InsertRange(tl, 0, 40, InsertOptions{MarkerAt: -1})
+	cold.LookupRange(tl, 0, 40) // touched early
+	tl.Advance(simtime.Millisecond)
+	hot.InsertRange(tl, 0, 40, InsertOptions{MarkerAt: -1})
+	hot.LookupRange(tl, 0, 40) // touched later: hotter file
+
+	// Pressure from a third file forces reclaim.
+	tl.Advance(simtime.Millisecond)
+	filler := c.File(3)
+	filler.InsertRange(tl, 0, 40, InsertOptions{MarkerAt: -1})
+
+	if c.Used() > 100 {
+		t.Fatalf("capacity exceeded: %d", c.Used())
+	}
+	coldLeft := cold.CachedPages()
+	hotLeft := hot.CachedPages()
+	if coldLeft >= hotLeft {
+		t.Fatalf("coldest file should be evicted first: cold=%d hot=%d", coldLeft, hotLeft)
+	}
+	if hotLeft != 40 {
+		t.Fatalf("hot file should be untouched, kept %d/40", hotLeft)
+	}
+}
+
+func TestPerInodeLRUStillBoundsCapacity(t *testing.T) {
+	c := newPerInodeCache(64)
+	tl := simtime.NewTimeline(0)
+	for f := int64(1); f <= 8; f++ {
+		fc := c.File(f)
+		fc.InsertRange(tl, 0, 32, InsertOptions{MarkerAt: -1})
+		fc.LookupRange(tl, 0, 32)
+		tl.Advance(simtime.Microsecond)
+	}
+	if c.Used() > 64 {
+		t.Fatalf("capacity exceeded: %d", c.Used())
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("no evictions under pressure")
+	}
+}
+
+func TestPerInodeLRUHotPagesSurviveWithinFile(t *testing.T) {
+	c := newPerInodeCache(60)
+	fc := c.File(1)
+	tl := simtime.NewTimeline(0)
+	fc.InsertRange(tl, 0, 40, InsertOptions{MarkerAt: -1})
+	// Heat pages 0-9 (two accesses promote to the file's active list).
+	fc.LookupRange(tl, 0, 10)
+	fc.LookupRange(tl, 0, 10)
+	// Same-file pressure.
+	fc.InsertRange(tl, 100, 140, InsertOptions{MarkerAt: -1})
+	res := fc.LookupRange(tl, 0, 10)
+	if res.PresentCount < 8 {
+		t.Fatalf("hot pages evicted: %d/10 survive", res.PresentCount)
+	}
+}

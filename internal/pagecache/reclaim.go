@@ -1,0 +1,292 @@
+package pagecache
+
+import "repro/internal/simtime"
+
+// link puts freshly inserted pages on the inactive list (Linux admits new
+// file pages to inactive; promotion to active happens on re-access). With
+// PerInodeLRU, each page goes onto its own file's lists instead.
+func (c *Cache) link(fresh []*page) {
+	c.lruMu.Lock()
+	for _, p := range fresh {
+		if c.cfg.PerInodeLRU {
+			p.fc.ownInactive.pushHead(p)
+		} else {
+			c.inactive.pushHead(p)
+		}
+	}
+	c.lruMu.Unlock()
+}
+
+// touch records accesses for LRU aging: a second access promotes an
+// inactive page to the active list.
+func (c *Cache) touch(tl *simtime.Timeline, pages []*page) {
+	c.lruMu.Lock()
+	moved := 0
+	for _, p := range pages {
+		if p.list == nil {
+			continue // being evicted concurrently
+		}
+		if !p.accessed {
+			p.accessed = true
+			continue
+		}
+		switch p.list {
+		case &c.inactive:
+			c.inactive.remove(p)
+			c.active.pushHead(p)
+			moved++
+		case &p.fc.ownInactive:
+			p.fc.ownInactive.remove(p)
+			p.fc.ownActive.pushHead(p)
+			moved++
+		}
+	}
+	c.lruMu.Unlock()
+	if tl != nil && moved > 0 {
+		tl.Advance(simtime.Duration(moved) * c.cfg.Costs.LRUOp)
+	}
+}
+
+// reclaimIfNeeded enforces the memory budget after an allocation.
+// Above capacity: direct reclaim, charged to the allocating thread.
+// Above the high watermark: background reclaim on the kswapd worker.
+func (c *Cache) reclaimIfNeeded(tl *simtime.Timeline) {
+	used := c.used.Load()
+	switch {
+	case used > c.cfg.CapacityPages:
+		target := used - c.lowWater()
+		c.directReclaim.Add(1)
+		c.reclaim(tl, target, true)
+	case used > c.highWater():
+		target := used - c.lowWater()
+		c.kswapdRuns.Add(1)
+		at := simtime.Time(0)
+		if tl != nil {
+			at = tl.Now()
+		}
+		c.kswapd.Run(at, func(wtl *simtime.Timeline) {
+			c.reclaim(wtl, target, false)
+		})
+	}
+}
+
+// reclaim evicts up to target pages from the LRU lists, aging active pages
+// into inactive when the inactive list runs dry.
+func (c *Cache) reclaim(tl *simtime.Timeline, target int64, direct bool) {
+	if target <= 0 {
+		return
+	}
+	if c.cfg.PerInodeLRU {
+		c.reclaimPerInode(tl, target, direct)
+		return
+	}
+	var victims []*page
+	c.lruMu.Lock()
+	for int64(len(victims)) < target {
+		p := c.inactive.popTail()
+		if p == nil {
+			// Age: demote a batch from the active tail.
+			aged := false
+			for i := 0; i < 32; i++ {
+				ap := c.active.popTail()
+				if ap == nil {
+					break
+				}
+				ap.accessed = false
+				c.inactive.pushHead(ap)
+				aged = true
+			}
+			if !aged {
+				break
+			}
+			continue
+		}
+		// Second-chance: a recently re-accessed page rotates once.
+		if p.accessed {
+			p.accessed = false
+			c.inactive.pushHead(p)
+			// Avoid infinite rotation on a fully hot list.
+			if c.inactive.tail == p {
+				break
+			}
+			continue
+		}
+		victims = append(victims, p)
+	}
+	c.lruMu.Unlock()
+	if len(victims) == 0 {
+		return
+	}
+	if tl != nil {
+		cost := simtime.Duration(len(victims)) * c.cfg.Costs.ReclaimPage
+		if !direct {
+			cost = cost / 2 // background reclaim batches better
+		}
+		tl.Advance(cost)
+	}
+	c.evictFromFiles(tl, victims)
+}
+
+// reclaimPerInode picks victims coldest-file-first: files are ranked by
+// their last lookup time, and each victim file's own inactive (then aged
+// active) list is drained before moving to the next — sparing hot files
+// entirely, which the global LRU cannot guarantee.
+func (c *Cache) reclaimPerInode(tl *simtime.Timeline, target int64, direct bool) {
+	c.filesMu.Lock()
+	files := make([]*FileCache, 0, len(c.files))
+	for _, fc := range c.files {
+		files = append(files, fc)
+	}
+	c.filesMu.Unlock()
+	sortFilesByTouch(files)
+
+	var victims []*page
+	c.lruMu.Lock()
+	for _, fc := range files {
+		for int64(len(victims)) < target {
+			p := fc.ownInactive.popTail()
+			if p == nil {
+				// Age this file's active pages once, then move on.
+				aged := false
+				for i := 0; i < 32; i++ {
+					ap := fc.ownActive.popTail()
+					if ap == nil {
+						break
+					}
+					ap.accessed = false
+					fc.ownInactive.pushHead(ap)
+					aged = true
+				}
+				if !aged {
+					break
+				}
+				continue
+			}
+			if p.accessed {
+				p.accessed = false
+				fc.ownInactive.pushHead(p)
+				if fc.ownInactive.tail == p {
+					break
+				}
+				continue
+			}
+			victims = append(victims, p)
+		}
+		if int64(len(victims)) >= target {
+			break
+		}
+	}
+	c.lruMu.Unlock()
+	if len(victims) == 0 {
+		return
+	}
+	if tl != nil {
+		cost := simtime.Duration(len(victims)) * c.cfg.Costs.ReclaimPage
+		if !direct {
+			cost /= 2
+		}
+		tl.Advance(cost)
+	}
+	c.evictFromFiles(tl, victims)
+}
+
+func sortFilesByTouch(files []*FileCache) {
+	// Insertion sort: file counts are modest and mostly pre-sorted
+	// between consecutive reclaim passes.
+	for i := 1; i < len(files); i++ {
+		for j := i; j > 0 && files[j].lastTouch.Load() < files[j-1].lastTouch.Load(); j-- {
+			files[j], files[j-1] = files[j-1], files[j]
+		}
+	}
+}
+
+// evictFromFiles removes chosen victims from their files' page maps and
+// bitmaps, writing back dirty pages.
+func (c *Cache) evictFromFiles(tl *simtime.Timeline, victims []*page) {
+	// Group by file to batch lock acquisitions and bitmap updates.
+	byFile := make(map[*FileCache][]*page)
+	for _, p := range victims {
+		byFile[p.fc] = append(byFile[p.fc], p)
+	}
+	for fc, pages := range byFile {
+		var confirmed []*page
+		fc.mu.Lock()
+		for _, p := range pages {
+			if cur, ok := fc.pages[p.idx]; ok && cur == p {
+				delete(fc.pages, p.idx)
+				fc.bm.Clear(p.idx)
+				confirmed = append(confirmed, p)
+			}
+		}
+		fc.mu.Unlock()
+		if len(confirmed) == 0 {
+			continue
+		}
+		if tl != nil {
+			chargeBatched(int64(len(confirmed)), func(batch int64) {
+				fc.treeLedger.Write(tl, simtime.Duration(batch)*c.cfg.Costs.TreeDelete)
+			})
+		}
+		c.finishEviction(tl, confirmed, false)
+	}
+}
+
+// finishEviction unlinks victims from the LRU (if still linked), accounts
+// them, and writes back dirty pages. Callers have already removed the
+// pages from their file maps.
+func (c *Cache) finishEviction(tl *simtime.Timeline, victims []*page, unlink bool) {
+	if unlink {
+		c.lruMu.Lock()
+		for _, p := range victims {
+			if p.list != nil {
+				p.list.remove(p)
+			}
+		}
+		c.lruMu.Unlock()
+	}
+	c.used.Add(-int64(len(victims)))
+	c.evictions.Add(int64(len(victims)))
+
+	if c.flush == nil {
+		return
+	}
+	// Write back dirty pages as contiguous runs per file.
+	type key struct{ fc *FileCache }
+	dirtyByFile := make(map[key][]int64)
+	for _, p := range victims {
+		if p.dirty {
+			p.dirty = false
+			c.dirty.Add(-1)
+			dirtyByFile[key{p.fc}] = append(dirtyByFile[key{p.fc}], p.idx)
+		}
+	}
+	at := simtime.Time(0)
+	if tl != nil {
+		at = tl.Now()
+	}
+	for k, idxs := range dirtyByFile {
+		sortInt64(idxs)
+		lo := idxs[0]
+		prev := lo
+		for _, i := range idxs[1:] {
+			if i == prev+1 {
+				prev = i
+				continue
+			}
+			c.flush(at, k.fc.inoID, lo, prev+1)
+			c.writebacks.Add(prev + 1 - lo)
+			lo, prev = i, i
+		}
+		c.flush(at, k.fc.inoID, lo, prev+1)
+		c.writebacks.Add(prev + 1 - lo)
+	}
+}
+
+func sortInt64(s []int64) {
+	// Insertion sort: victim runs are short and usually nearly sorted.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package predictor implements CROSS-LIB's low-overhead access-pattern
+// detector (§4.6): an n-bit saturating sequentiality counter per file
+// descriptor.
+//
+// The counter classifies a descriptor's stream into seven states from
+// HighlyRandom to DefinitelySequential. Sequential (and consistent strided)
+// accesses increment it; near random accesses decrement it gently; far
+// random accesses knock it down hard. The number of blocks to prefetch
+// grows exponentially (2^n) with the counter, and once the counter
+// saturates at either end the predictor throttles itself, skipping updates
+// for the next n accesses — the steady-state optimization the paper uses
+// to keep per-I/O overhead negligible.
+package predictor
+
+// State is the classified access pattern.
+type State int
+
+// Pattern states, in increasing order of sequentiality (§4.6's seven
+// states; the paper's bit patterns map onto this ordering).
+const (
+	HighlyRandom     State = iota // beyond the max prefetch distance
+	Random                        // random but within the distance
+	PartiallyRandom               // mixed sequential and random
+	LikelySequential              // frequent sequential with random interspersed
+	Sequential                    // sequential but with strides
+	MostlySequential
+	DefinitelySequential
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case HighlyRandom:
+		return "highly-random"
+	case Random:
+		return "random"
+	case PartiallyRandom:
+		return "partially-random"
+	case LikelySequential:
+		return "likely-sequential"
+	case Sequential:
+		return "sequential"
+	case MostlySequential:
+		return "mostly-sequential"
+	default:
+		return "definitely-sequential"
+	}
+}
+
+// Config carries the predictor tunables.
+type Config struct {
+	// Bits sizes the counter: states span [0, 2^Bits - 2]. The paper
+	// finds 3 bits (7 states) best across its workloads.
+	Bits int
+	// MaxDistanceBlocks is the random/highly-random boundary: a jump
+	// beyond this distance is a hard reset (paper: 128KB = 32 blocks).
+	MaxDistanceBlocks int64
+	// SteadySkip is how many observations to skip once saturated.
+	SteadySkip int
+	// BaseBlocks scales the exponential prefetch amount: prefetch =
+	// BaseBlocks << counter once the counter reaches LikelySequential.
+	BaseBlocks int64
+}
+
+// DefaultConfig returns the paper's tuning: 3-bit counter, 128KB max
+// distance, 4-block base.
+func DefaultConfig() Config {
+	return Config{Bits: 3, MaxDistanceBlocks: 32, SteadySkip: 8, BaseBlocks: 4}
+}
+
+// Predictor is the per-file-descriptor pattern detector. It is not
+// synchronized; each descriptor owns one.
+type Predictor struct {
+	cfg     Config
+	counter int
+	maxCnt  int
+
+	primed  bool
+	lastEnd int64 // block after the previous access
+	stride  int64 // detected inter-access stride (0 = contiguous)
+	strideN int   // consecutive confirmations of the stride
+
+	skip int // remaining steady-state skips
+
+	observes int64
+	skipped  int64
+}
+
+// New returns a predictor with the given configuration.
+func New(cfg Config) *Predictor {
+	if cfg.Bits <= 0 {
+		cfg.Bits = 3
+	}
+	if cfg.MaxDistanceBlocks <= 0 {
+		cfg.MaxDistanceBlocks = 32
+	}
+	if cfg.BaseBlocks <= 0 {
+		cfg.BaseBlocks = 4
+	}
+	return &Predictor{cfg: cfg, maxCnt: (1 << cfg.Bits) - 2}
+}
+
+// State reports the current classification.
+func (p *Predictor) State() State {
+	s := State(p.counter)
+	if s > DefinitelySequential {
+		s = DefinitelySequential
+	}
+	return s
+}
+
+// Observes and Skipped report how many accesses were examined vs skipped
+// by the steady-state throttle.
+func (p *Predictor) Observes() int64 { return p.observes }
+func (p *Predictor) Skipped() int64  { return p.skipped }
+
+// Observe feeds one access of `blocks` blocks at block offset `lo` into
+// the detector.
+func (p *Predictor) Observe(lo, blocks int64) {
+	if blocks < 1 {
+		blocks = 1
+	}
+	defer func() {
+		p.lastEnd = lo + blocks
+		p.primed = true
+	}()
+
+	if p.skip > 0 {
+		p.skip--
+		p.skipped++
+		return
+	}
+	p.observes++
+
+	if !p.primed {
+		// Files open in the most random state: nothing prefetched until
+		// evidence accumulates (§4.6).
+		return
+	}
+
+	gap := lo - p.lastEnd
+	switch {
+	case gap == 0:
+		// Perfectly sequential.
+		p.bump(+1)
+		p.stride, p.strideN = 0, 0
+	case gap == p.stride && gap != 0 && abs(gap) <= p.cfg.MaxDistanceBlocks:
+		// Consistent stride (forward or backward): sequential-with-
+		// strides once confirmed.
+		p.strideN++
+		if p.strideN >= 2 {
+			p.bump(+1)
+		}
+	case abs(gap) <= p.cfg.MaxDistanceBlocks:
+		// Nearby jump: candidate stride; mild penalty.
+		p.stride, p.strideN = gap, 1
+		p.bump(-1)
+	default:
+		// Far jump: hard penalty.
+		p.stride, p.strideN = 0, 0
+		p.bump(-2)
+	}
+
+	// Steady state reached: skip the next n observations.
+	if p.cfg.SteadySkip > 0 && (p.counter == 0 || p.counter == p.maxCnt) {
+		p.skip = p.cfg.SteadySkip
+	}
+}
+
+func (p *Predictor) bump(d int) {
+	p.counter += d
+	if p.counter < 0 {
+		p.counter = 0
+	}
+	if p.counter > p.maxCnt {
+		p.counter = p.maxCnt
+	}
+}
+
+func abs(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// PrefetchBlocks reports how many blocks to prefetch given the current
+// state: zero below LikelySequential, otherwise BaseBlocks << counter.
+func (p *Predictor) PrefetchBlocks() int64 {
+	if State(p.counter) < LikelySequential {
+		return 0
+	}
+	return p.cfg.BaseBlocks << uint(p.counter)
+}
+
+// Next predicts the start block and length of the upcoming access window:
+// from the end of the last access (following the detected stride), sized
+// by PrefetchBlocks. A zero-length window means "do not prefetch".
+func (p *Predictor) Next() (lo, blocks int64) {
+	n := p.PrefetchBlocks()
+	if n == 0 {
+		return 0, 0
+	}
+	lo = p.lastEnd
+	if p.stride != 0 && p.strideN >= 2 {
+		lo = p.lastEnd + p.stride
+		if p.stride < 0 {
+			// Backward stream (e.g. RocksDB reverse iteration): prefetch
+			// behind the cursor.
+			lo = p.lastEnd + p.stride*2 - n
+			if lo < 0 {
+				lo = 0
+			}
+		}
+	}
+	return lo, n
+}

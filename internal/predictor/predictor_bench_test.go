@@ -1,0 +1,51 @@
+package predictor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkObserveSequential(b *testing.B) {
+	p := New(DefaultConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Observe(int64(i)*4, 4)
+	}
+}
+
+func BenchmarkObserveRandom(b *testing.B) {
+	p := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(1))
+	offs := make([]int64, 4096)
+	for i := range offs {
+		offs[i] = rng.Int63n(1 << 30)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Observe(offs[i%len(offs)], 4)
+	}
+}
+
+// BenchmarkCounterBitsAblation sweeps the counter width (the paper settles
+// on 3 bits) over a mixed access stream, reporting prediction volume.
+func BenchmarkCounterBitsAblation(b *testing.B) {
+	for _, bits := range []int{2, 3, 4, 5} {
+		b.Run(map[int]string{2: "2bit", 3: "3bit", 4: "4bit", 5: "5bit"}[bits], func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Bits = bits
+			p := New(cfg)
+			rng := rand.New(rand.NewSource(7))
+			pos := int64(0)
+			var prefetched int64
+			for i := 0; i < b.N; i++ {
+				if rng.Intn(5) == 0 {
+					pos = rng.Int63n(1 << 30)
+				}
+				p.Observe(pos, 4)
+				pos += 4
+				prefetched += p.PrefetchBlocks()
+			}
+			b.ReportMetric(float64(prefetched)/float64(b.N), "blocks/op")
+		})
+	}
+}

@@ -1,0 +1,199 @@
+package predictor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOpensRandom(t *testing.T) {
+	p := New(DefaultConfig())
+	if p.State() != HighlyRandom {
+		t.Fatalf("initial state = %v", p.State())
+	}
+	if p.PrefetchBlocks() != 0 {
+		t.Fatal("no prefetch before evidence")
+	}
+}
+
+func TestSequentialRampsUp(t *testing.T) {
+	p := New(DefaultConfig())
+	for i := int64(0); i < 20; i++ {
+		p.Observe(i*4, 4)
+	}
+	if p.State() != DefinitelySequential {
+		t.Fatalf("state after 20 sequential = %v", p.State())
+	}
+	if p.PrefetchBlocks() == 0 {
+		t.Fatal("sequential stream should prefetch")
+	}
+	lo, n := p.Next()
+	if lo != 80 {
+		t.Fatalf("next window starts at %d, want 80", lo)
+	}
+	if n != 4<<6 {
+		t.Fatalf("prefetch blocks = %d, want %d", n, 4<<6)
+	}
+}
+
+func TestPrefetchGrowsExponentially(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SteadySkip = 0
+	p := New(cfg)
+	var sizes []int64
+	pos := int64(0)
+	for i := 0; i < 8; i++ {
+		p.Observe(pos, 4)
+		pos += 4
+		sizes = append(sizes, p.PrefetchBlocks())
+	}
+	// Once prefetching starts, each step doubles until saturation.
+	started := false
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i-1] > 0 {
+			started = true
+			if sizes[i] != sizes[i-1] && sizes[i] != sizes[i-1]*2 {
+				t.Fatalf("growth not exponential: %v", sizes)
+			}
+		}
+	}
+	if !started {
+		t.Fatalf("prefetching never started: %v", sizes)
+	}
+}
+
+func TestRandomKnocksDown(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SteadySkip = 0
+	p := New(cfg)
+	for i := int64(0); i < 20; i++ {
+		p.Observe(i*4, 4)
+	}
+	// Far random jumps: two hard penalties should leave sequential range.
+	p.Observe(1_000_000, 4)
+	p.Observe(5_000, 4)
+	p.Observe(900_000, 4)
+	if p.State() >= LikelySequential {
+		t.Fatalf("state after random jumps = %v", p.State())
+	}
+	if p.PrefetchBlocks() != 0 {
+		t.Fatal("random stream should not prefetch")
+	}
+}
+
+func TestForwardStrideDetected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SteadySkip = 0
+	p := New(cfg)
+	// Read 4 blocks, skip 4: stride of +4 from each access end.
+	for i := int64(0); i < 30; i++ {
+		p.Observe(i*8, 4)
+	}
+	if p.State() < LikelySequential {
+		t.Fatalf("strided stream state = %v", p.State())
+	}
+	lo, n := p.Next()
+	if n == 0 {
+		t.Fatal("strided stream should prefetch")
+	}
+	// Next window starts at the predicted next access: last access ended
+	// at 29*8+4 = 236 and the stream strides +4, so the next read lands
+	// at block 240.
+	if lo != 240 {
+		t.Fatalf("strided next = %d, want 240", lo)
+	}
+}
+
+func TestBackwardStreamPrefetchesBehind(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SteadySkip = 0
+	p := New(cfg)
+	pos := int64(100_000)
+	for i := 0; i < 30; i++ {
+		p.Observe(pos, 4)
+		pos -= 4
+	}
+	if p.State() < LikelySequential {
+		t.Fatalf("reverse stream state = %v", p.State())
+	}
+	lo, n := p.Next()
+	if n == 0 {
+		t.Fatal("reverse stream should prefetch")
+	}
+	if lo >= pos {
+		t.Fatalf("reverse prefetch should target blocks before the cursor: lo=%d cursor=%d", lo, pos)
+	}
+}
+
+func TestSteadyStateThrottling(t *testing.T) {
+	p := New(DefaultConfig())
+	for i := int64(0); i < 100; i++ {
+		p.Observe(i*4, 4)
+	}
+	if p.Skipped() == 0 {
+		t.Fatal("saturated predictor should skip observations")
+	}
+	if p.Observes()+p.Skipped() != 100 {
+		t.Fatalf("observes %d + skipped %d != 100", p.Observes(), p.Skipped())
+	}
+}
+
+func TestMixedPatternOscillates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SteadySkip = 0
+	p := New(cfg)
+	rng := rand.New(rand.NewSource(42))
+	pos := int64(0)
+	for i := 0; i < 200; i++ {
+		if i%3 == 0 {
+			pos = rng.Int63n(1_000_000)
+		}
+		p.Observe(pos, 4)
+		pos += 4
+	}
+	// 2/3 sequential, 1/3 far random: should land mid-scale, never
+	// definitely sequential.
+	if p.State() == DefinitelySequential {
+		t.Fatalf("mixed pattern classified %v", p.State())
+	}
+}
+
+func TestConfigDefaultsApplied(t *testing.T) {
+	p := New(Config{})
+	if p.maxCnt != 6 {
+		t.Fatalf("default 3-bit counter max = %d, want 6", p.maxCnt)
+	}
+	for i := int64(0); i < 50; i++ {
+		p.Observe(i*4, 4)
+	}
+	if p.PrefetchBlocks() == 0 {
+		t.Fatal("defaults should allow prefetching")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	names := map[State]string{
+		HighlyRandom:         "highly-random",
+		Random:               "random",
+		PartiallyRandom:      "partially-random",
+		LikelySequential:     "likely-sequential",
+		Sequential:           "sequential",
+		MostlySequential:     "mostly-sequential",
+		DefinitelySequential: "definitely-sequential",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestZeroBlockObserve(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Observe(0, 0) // treated as 1 block
+	p.Observe(1, 0)
+	p.Observe(2, 0)
+	if p.State() == HighlyRandom && p.Observes() > 1 {
+		// Counter should have moved for back-to-back sequential singles.
+		t.Fatalf("sequential single-block accesses not detected: %v", p.State())
+	}
+}

@@ -1,0 +1,290 @@
+// Package rangetree implements CROSS-LIB's concurrent per-file range tree
+// (§4.5): the user-level structure that tracks which blocks of a file are
+// believed cached, partitioned into nodes so that threads operating on
+// non-conflicting ranges of a shared file never serialize.
+//
+// Each node covers a contiguous span of blocks and embeds a bitmap with one
+// bit per block in its range. Every node carries its own reader-writer
+// lock (both a real lock for data-structure safety and a virtual ledger for
+// contention accounting). Nodes are created on demand as the file grows, so
+// the tree's footprint scales with the touched portion of the file, and a
+// span of one huge node degrades to the paper's baseline "single per-file
+// bitmap lock" — which is exactly the ablation Table 5 isolates.
+//
+// Bits have three states folded into two bitmaps: cached (the block is
+// believed resident) and requested (a prefetch is in flight), which is how
+// threads sharing a file avoid issuing redundant prefetch system calls.
+package rangetree
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/bitmap"
+	"repro/internal/simtime"
+)
+
+// DefaultSpan is the default node width in blocks (4096 blocks = 16MB of
+// 4KB pages): wide enough to amortize node overhead, narrow enough that
+// threads streaming through disjoint file regions touch disjoint nodes.
+const DefaultSpan = 4096
+
+// Tree is a concurrent range tree over the blocks of one file.
+type Tree struct {
+	span  int64
+	costs simtime.Costs
+
+	mu    sync.RWMutex
+	nodes map[int64]*node
+}
+
+// node covers blocks [lo, lo+span).
+type node struct {
+	lo int64
+
+	mu        sync.RWMutex
+	ledger    *simtime.RWLedger
+	cached    *bitmap.Bitmap // node-relative: bit i = block lo+i
+	requested *bitmap.Bitmap
+	lastTouch simtime.Time // most recent access through this node
+}
+
+func (n *node) touch(tl *simtime.Timeline) {
+	if tl != nil && tl.Now() > n.lastTouch {
+		n.lastTouch = tl.Now()
+	}
+}
+
+// New returns a tree with the given node span in blocks. span <= 0 selects
+// a single-node tree (the no-range-tree baseline).
+func New(span int64, costs simtime.Costs) *Tree {
+	if span <= 0 {
+		span = 1 << 40 // effectively one node
+	}
+	return &Tree{span: span, costs: costs, nodes: make(map[int64]*node)}
+}
+
+// Span reports the node width in blocks.
+func (t *Tree) Span() int64 { return t.span }
+
+// Nodes reports how many nodes have been materialized.
+func (t *Tree) Nodes() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.nodes)
+}
+
+// node returns (creating on demand) the node covering block idx, charging
+// the descend cost.
+func (t *Tree) node(tl *simtime.Timeline, idx int64) *node {
+	if tl != nil {
+		tl.Advance(t.costs.RangeTreeOp)
+	}
+	key := idx / t.span
+	t.mu.RLock()
+	n, ok := t.nodes[key]
+	t.mu.RUnlock()
+	if ok {
+		return n
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n, ok = t.nodes[key]; ok {
+		return n
+	}
+	n = &node{
+		lo:        key * t.span,
+		ledger:    simtime.NewRWLedger("rtnode"),
+		cached:    bitmap.New(0),
+		requested: bitmap.New(0),
+	}
+	t.nodes[key] = n
+	return n
+}
+
+// forEachNode invokes fn once per node overlapping [lo, hi), with the
+// intersection clamped to the node.
+func (t *Tree) forEachNode(tl *simtime.Timeline, lo, hi int64, fn func(n *node, nlo, nhi int64)) {
+	if hi <= lo {
+		return
+	}
+	for pos := lo; pos < hi; {
+		n := t.node(tl, pos)
+		nhi := n.lo + t.span
+		if nhi > hi {
+			nhi = hi
+		}
+		fn(n, pos, nhi)
+		pos = nhi
+	}
+}
+
+// lockHold computes the virtual hold time for a bitmap operation over n
+// blocks.
+func (t *Tree) lockHold(blocks int64) simtime.Duration {
+	return t.costs.BitmapOp * simtime.Duration(1+blocks/64)
+}
+
+// MarkCached records blocks [lo, hi) as resident.
+func (t *Tree) MarkCached(tl *simtime.Timeline, lo, hi int64) {
+	t.forEachNode(tl, lo, hi, func(n *node, nlo, nhi int64) {
+		if tl != nil {
+			n.ledger.Write(tl, t.lockHold(nhi-nlo))
+		}
+		n.mu.Lock()
+		n.cached.SetRange(nlo-n.lo, nhi-n.lo)
+		n.requested.ClearRange(nlo-n.lo, nhi-n.lo)
+		n.touch(tl)
+		n.mu.Unlock()
+	})
+}
+
+// ClearCached records blocks [lo, hi) as evicted.
+func (t *Tree) ClearCached(tl *simtime.Timeline, lo, hi int64) {
+	t.forEachNode(tl, lo, hi, func(n *node, nlo, nhi int64) {
+		if tl != nil {
+			n.ledger.Write(tl, t.lockHold(nhi-nlo))
+		}
+		n.mu.Lock()
+		n.cached.ClearRange(nlo-n.lo, nhi-n.lo)
+		n.requested.ClearRange(nlo-n.lo, nhi-n.lo)
+		n.mu.Unlock()
+	})
+}
+
+// CachedCount reports how many blocks of [lo, hi) are believed resident.
+func (t *Tree) CachedCount(tl *simtime.Timeline, lo, hi int64) int64 {
+	var total int64
+	t.forEachNode(tl, lo, hi, func(n *node, nlo, nhi int64) {
+		if tl != nil {
+			n.ledger.Read(tl, t.lockHold(nhi-nlo))
+		}
+		n.mu.RLock()
+		total += n.cached.CountRange(nlo-n.lo, nhi-n.lo)
+		n.mu.RUnlock()
+	})
+	return total
+}
+
+// NeedsPrefetch returns the runs of [lo, hi) that are neither believed
+// cached nor already requested, and atomically marks them requested so
+// concurrent threads sharing the file do not issue duplicate prefetches
+// (§4.5). The caller must follow up with MarkCached (on success) or
+// ClearRequested (on failure).
+func (t *Tree) NeedsPrefetch(tl *simtime.Timeline, lo, hi int64) []bitmap.Run {
+	var runs []bitmap.Run
+	t.forEachNode(tl, lo, hi, func(n *node, nlo, nhi int64) {
+		if tl != nil {
+			n.ledger.Write(tl, t.lockHold(nhi-nlo))
+		}
+		n.mu.Lock()
+		rlo, rhi := nlo-n.lo, nhi-n.lo
+		runStart := int64(-1)
+		for i := rlo; i < rhi; i++ {
+			if !n.cached.Test(i) && !n.requested.Test(i) {
+				if runStart < 0 {
+					runStart = i
+				}
+				continue
+			}
+			if runStart >= 0 {
+				runs = append(runs, bitmap.Run{Lo: n.lo + runStart, Hi: n.lo + i})
+				runStart = -1
+			}
+		}
+		if runStart >= 0 {
+			runs = append(runs, bitmap.Run{Lo: n.lo + runStart, Hi: n.lo + rhi})
+		}
+		n.requested.SetRange(rlo, rhi)
+		n.mu.Unlock()
+	})
+	// Merge runs that are contiguous across node boundaries.
+	merged := runs[:0]
+	for _, r := range runs {
+		if len(merged) > 0 && merged[len(merged)-1].Hi == r.Lo {
+			merged[len(merged)-1].Hi = r.Hi
+			continue
+		}
+		merged = append(merged, r)
+	}
+	return merged
+}
+
+// ClearRequested drops in-flight marks for [lo, hi) (failed prefetch).
+func (t *Tree) ClearRequested(tl *simtime.Timeline, lo, hi int64) {
+	t.forEachNode(tl, lo, hi, func(n *node, nlo, nhi int64) {
+		if tl != nil {
+			n.ledger.Write(tl, t.lockHold(nhi-nlo))
+		}
+		n.mu.Lock()
+		n.requested.ClearRange(nlo-n.lo, nhi-n.lo)
+		n.mu.Unlock()
+	})
+}
+
+// ImportBitmap merges a kernel-exported residency window into the tree:
+// bits set in src (a file-absolute bitmap) within [lo, hi) become cached;
+// bits clear become not-cached. This reconciles user-level belief with
+// kernel truth after a readahead_info call.
+func (t *Tree) ImportBitmap(tl *simtime.Timeline, src *bitmap.Bitmap, lo, hi int64) {
+	t.forEachNode(tl, lo, hi, func(n *node, nlo, nhi int64) {
+		if tl != nil {
+			n.ledger.Write(tl, t.lockHold(nhi-nlo))
+		}
+		n.mu.Lock()
+		for i := nlo; i < nhi; i++ {
+			if src.Test(i) {
+				n.cached.Set(i - n.lo)
+			} else {
+				n.cached.Clear(i - n.lo)
+				n.requested.Clear(i - n.lo)
+			}
+		}
+		n.mu.Unlock()
+	})
+}
+
+// ColdRange is a node's block range with cache population and recency,
+// used by CROSS-LIB's aggressive reclamation to pick LRU ranges (§4.6).
+type ColdRange struct {
+	Lo, Hi    int64
+	Cached    int64
+	LastTouch simtime.Time
+}
+
+// ColdestRanges returns up to max node ranges holding cached blocks,
+// coldest (least recently touched) first.
+func (t *Tree) ColdestRanges(max int) []ColdRange {
+	t.mu.RLock()
+	out := make([]ColdRange, 0, len(t.nodes))
+	for _, n := range t.nodes {
+		n.mu.RLock()
+		cr := ColdRange{Lo: n.lo, Hi: n.lo + t.span, Cached: n.cached.Count(), LastTouch: n.lastTouch}
+		n.mu.RUnlock()
+		if cr.Cached > 0 {
+			out = append(out, cr)
+		}
+	}
+	t.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].LastTouch < out[j].LastTouch })
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// LockStats aggregates the per-node ledger contention counters.
+func (t *Tree) LockStats() simtime.RWLedgerStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out simtime.RWLedgerStats
+	out.Name = "rangetree"
+	for _, n := range t.nodes {
+		s := n.ledger.Stats()
+		out.Reads += s.Reads
+		out.Writes += s.Writes
+		out.ReadWait += s.ReadWait
+		out.WriteWait += s.WriteWait
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package rangetree
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func BenchmarkNeedsPrefetch(b *testing.B) {
+	tr := New(DefaultSpan, simtime.DefaultCosts())
+	tr.MarkCached(nil, 0, 1<<18)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lo := int64(i*331) % (1 << 18)
+		runs := tr.NeedsPrefetch(nil, lo, lo+64)
+		for _, r := range runs {
+			tr.ClearRequested(nil, r.Lo, r.Hi)
+		}
+	}
+}
+
+func BenchmarkMarkCached(b *testing.B) {
+	tr := New(DefaultSpan, simtime.DefaultCosts())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lo := int64(i*257) % (1 << 18)
+		tr.MarkCached(nil, lo, lo+32)
+	}
+}
+
+// BenchmarkSpanAblation compares the range tree against the single-bitmap
+// baseline under concurrent disjoint access — the Table 5 "+range tree"
+// effect in microcosm.
+func BenchmarkSpanAblation(b *testing.B) {
+	for _, span := range []int64{0, 1024, DefaultSpan, 1 << 16} {
+		name := "single-node"
+		if span > 0 {
+			name = byteCount(span)
+		}
+		b.Run(name, func(b *testing.B) {
+			tr := New(span, simtime.DefaultCosts())
+			b.RunParallel(func(pb *testing.PB) {
+				tl := simtime.NewTimeline(0)
+				i := int64(0)
+				for pb.Next() {
+					lo := (i * 8191) % (1 << 20)
+					tr.MarkCached(tl, lo, lo+64)
+					tr.CachedCount(tl, lo, lo+64)
+					i++
+				}
+			})
+		})
+	}
+}
+
+func byteCount(span int64) string {
+	switch {
+	case span >= 1<<16:
+		return "span-64Ki"
+	case span >= 4096:
+		return "span-4Ki"
+	default:
+		return "span-1Ki"
+	}
+}

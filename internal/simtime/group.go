@@ -1,0 +1,244 @@
+package simtime
+
+import "sync"
+
+// DefaultGateWindow bounds how far ahead of the slowest group member a
+// simulated thread may run in virtual time. Small windows keep the FIFO
+// resource ledgers virtually coherent (a thread racing ahead in real time
+// would otherwise reserve device/lock slots "in the future" and serialize
+// everyone behind it); the cost is a little real-world synchronization.
+const DefaultGateWindow = 50 * Microsecond
+
+// Group runs a set of simulated threads (one goroutine each, one Timeline
+// each) and aggregates their virtual-time accounting. The group's makespan
+// is the latest finish time across members, which is what workload
+// throughput is computed against.
+//
+// Members should call Gate at operation boundaries (top of their workload
+// loop, holding no locks): Gate blocks a member that has run more than the
+// gate window ahead of the slowest active member, keeping virtual clocks
+// in rough lockstep.
+type Group struct {
+	start  Time
+	window Duration
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	timelines []*Timeline
+	gated     []Time // last gated time per member
+	done      []bool
+	wg        sync.WaitGroup
+}
+
+// NewGroup returns a group whose members all start at the given time.
+func NewGroup(start Time) *Group {
+	g := &Group{start: start, window: DefaultGateWindow}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// SetGateWindow overrides the lockstep window (0 restores the default).
+func (g *Group) SetGateWindow(w Duration) {
+	g.mu.Lock()
+	if w <= 0 {
+		w = DefaultGateWindow
+	}
+	g.window = w
+	g.mu.Unlock()
+}
+
+// Go launches fn as a simulated thread with its own timeline. The integer
+// is the member index assigned in launch order.
+func (g *Group) Go(fn func(id int, tl *Timeline)) {
+	g.mu.Lock()
+	id := len(g.timelines)
+	tl := NewTimeline(g.start)
+	g.timelines = append(g.timelines, tl)
+	g.gated = append(g.gated, g.start)
+	g.done = append(g.done, false)
+	g.mu.Unlock()
+
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		fn(id, tl)
+		g.mu.Lock()
+		g.done[id] = true
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	}()
+}
+
+// minActiveLocked returns the earliest gated time among unfinished members.
+func (g *Group) minActiveLocked() (Time, bool) {
+	min, any := Time(0), false
+	for i, t := range g.gated {
+		if g.done[i] {
+			continue
+		}
+		if !any || t < min {
+			min, any = t, true
+		}
+	}
+	return min, any
+}
+
+// Gate publishes the member's progress and blocks while it is more than
+// the gate window ahead of the slowest active member. Call it at operation
+// boundaries while holding no locks.
+func (g *Group) Gate(id int, tl *Timeline) {
+	g.mu.Lock()
+	g.gated[id] = tl.Now()
+	g.cond.Broadcast()
+	for {
+		min, any := g.minActiveLocked()
+		if !any || tl.Now() <= min.Add(g.window) {
+			break
+		}
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// Wait blocks until every member launched so far has returned.
+func (g *Group) Wait() { g.wg.Wait() }
+
+// GroupStats aggregates the accounting of all members after Wait.
+type GroupStats struct {
+	Threads  int
+	Makespan Duration // latest member finish − group start
+	Total    Stats    // field-wise sum across members
+}
+
+// LockPercent reports lock wait as a percentage of summed member time.
+func (s GroupStats) LockPercent() float64 { return s.Total.LockPercent() }
+
+// IOPercent reports I/O wait as a percentage of summed member time.
+func (s GroupStats) IOPercent() float64 {
+	if s.Total.Elapsed <= 0 {
+		return 0
+	}
+	return 100 * float64(s.Total.IOWait) / float64(s.Total.Elapsed)
+}
+
+// Stats aggregates member accounting. Call only after Wait.
+func (g *Group) Stats() GroupStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out GroupStats
+	out.Threads = len(g.timelines)
+	latest := g.start
+	for _, tl := range g.timelines {
+		if tl.Now() > latest {
+			latest = tl.Now()
+		}
+		out.Total.Merge(tl.Stats())
+	}
+	out.Makespan = latest.Sub(g.start)
+	return out
+}
+
+// Worker models a background thread (a CROSS-LIB prefetch helper, kswapd,
+// a compaction thread) that exists only in virtual time: submitted work
+// executes inline on the submitting goroutine, but its time is charged to
+// the worker's own timeline so the submitter does not block.
+//
+// A submission at virtual time t is processed no earlier than t and no
+// earlier than the worker's previous work finishing, which is exactly a
+// FIFO queue of one server.
+type Worker struct {
+	mu   sync.Mutex
+	tl   *Timeline
+	busy int64 // jobs processed
+}
+
+// NewWorker returns a background worker starting at the given time.
+func NewWorker(start Time) *Worker {
+	return &Worker{tl: NewTimeline(start)}
+}
+
+// Run executes fn on the worker's timeline, starting no earlier than the
+// submission time at. It returns the worker's virtual time when fn
+// finished. fn runs inline under the worker's lock, so submissions from
+// multiple threads serialize (as they would on a single helper thread).
+func (w *Worker) Run(at Time, fn func(tl *Timeline)) Time {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.tl.Now() < at {
+		// The worker was idle between its last job and this arrival.
+		w.tl.WaitUntil(at, WaitIO)
+	}
+	fn(w.tl)
+	w.busy++
+	return w.tl.Now()
+}
+
+// Now reports the worker's current virtual time.
+func (w *Worker) Now() Time {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.tl.Now()
+}
+
+// Jobs reports how many submissions the worker has processed.
+func (w *Worker) Jobs() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.busy
+}
+
+// WorkerPool is a set of background workers; submissions pick the worker
+// that can start earliest, approximating a multi-server FIFO queue.
+type WorkerPool struct {
+	workers []*Worker
+}
+
+// NewWorkerPool returns a pool of n background workers.
+func NewWorkerPool(n int, start Time) *WorkerPool {
+	if n < 1 {
+		n = 1
+	}
+	ws := make([]*Worker, n)
+	for i := range ws {
+		ws[i] = NewWorker(start)
+	}
+	return &WorkerPool{workers: ws}
+}
+
+// Size reports the number of workers in the pool.
+func (p *WorkerPool) Size() int { return len(p.workers) }
+
+// Run submits fn at virtual time at to the least-busy worker and returns
+// the virtual completion time.
+func (p *WorkerPool) Run(at Time, fn func(tl *Timeline)) Time {
+	best := p.workers[0]
+	bestFree := best.Now()
+	for _, w := range p.workers[1:] {
+		if now := w.Now(); now < bestFree {
+			best, bestFree = w, now
+		}
+	}
+	return best.Run(at, fn)
+}
+
+// EarliestFree reports the soonest virtual time any worker could start a
+// new job — the pool's backlog horizon. Submitters use it to drop work
+// when the helpers are saturated.
+func (p *WorkerPool) EarliestFree() Time {
+	best := p.workers[0].Now()
+	for _, w := range p.workers[1:] {
+		if now := w.Now(); now < best {
+			best = now
+		}
+	}
+	return best
+}
+
+// Jobs reports total submissions processed across the pool.
+func (p *WorkerPool) Jobs() int64 {
+	var n int64
+	for _, w := range p.workers {
+		n += w.Jobs()
+	}
+	return n
+}

@@ -1,0 +1,308 @@
+package simtime
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimelineAdvance(t *testing.T) {
+	tl := NewTimeline(0)
+	tl.Advance(5 * Microsecond)
+	if got := tl.Now(); got != Time(5*Microsecond) {
+		t.Fatalf("Now = %v, want 5µs", got)
+	}
+	if got := tl.Account(WaitCPU); got != 5*Microsecond {
+		t.Fatalf("CPU account = %v, want 5µs", got)
+	}
+	tl.Advance(-3) // negative is a no-op
+	if got := tl.Now(); got != Time(5*Microsecond) {
+		t.Fatalf("Now after negative advance = %v", got)
+	}
+}
+
+func TestTimelineWaitUntil(t *testing.T) {
+	tl := NewTimeline(Time(100))
+	tl.WaitUntil(Time(50), WaitIO) // past: no-op
+	if tl.Now() != Time(100) {
+		t.Fatalf("wait into the past moved the clock to %v", tl.Now())
+	}
+	tl.WaitUntil(Time(400), WaitIO)
+	if tl.Now() != Time(400) {
+		t.Fatalf("Now = %v, want 400", tl.Now())
+	}
+	if got := tl.Account(WaitIO); got != Duration(300) {
+		t.Fatalf("IO account = %v, want 300", got)
+	}
+	if got := tl.Elapsed(); got != Duration(300) {
+		t.Fatalf("Elapsed = %v, want 300", got)
+	}
+}
+
+func TestLedgerSerializes(t *testing.T) {
+	lg := NewLedger("dev")
+	a := NewTimeline(0)
+	b := NewTimeline(0)
+	lg.Use(a, 100)
+	lg.Use(b, 100)
+	// b arrived at 0 but the resource was busy until 100.
+	if b.Now() != Time(200) {
+		t.Fatalf("second user finishes at %v, want 200", b.Now())
+	}
+	if got := b.Account(WaitLock); got != Duration(100) {
+		t.Fatalf("second user lock wait = %v, want 100", got)
+	}
+	st := lg.Stats()
+	if st.Acquires != 2 || st.Hold != 200 || st.Wait != 100 {
+		t.Fatalf("ledger stats = %+v", st)
+	}
+}
+
+func TestLedgerIdleGap(t *testing.T) {
+	lg := NewLedger("dev")
+	a := NewTimeline(0)
+	lg.Use(a, 100)
+	late := NewTimeline(1000)
+	lg.Use(late, 50)
+	if late.Now() != Time(1050) {
+		t.Fatalf("late user should not queue behind idle gap; Now = %v", late.Now())
+	}
+	if late.Account(WaitLock) != 0 {
+		t.Fatalf("late user should see no wait, got %v", late.Account(WaitLock))
+	}
+}
+
+func TestLedgerReserveAt(t *testing.T) {
+	lg := NewLedger("dev")
+	s1, e1 := lg.ReserveAt(10, 30)
+	if s1 != 10 || e1 != 40 {
+		t.Fatalf("first reservation [%v,%v], want [10,40]", s1, e1)
+	}
+	// A later-arriving but virtually-earlier request backfills the idle
+	// gap before the first booking.
+	s2, e2 := lg.ReserveAt(0, 10)
+	if s2 != 0 || e2 != 10 {
+		t.Fatalf("backfill reservation [%v,%v], want [0,10]", s2, e2)
+	}
+	// An overlapping request queues behind the conflicting span.
+	s3, e3 := lg.ReserveAt(5, 10)
+	if s3 != 40 || e3 != 50 {
+		t.Fatalf("conflicting reservation [%v,%v], want [40,50]", s3, e3)
+	}
+}
+
+func TestLedgerConcurrentReservationsDisjoint(t *testing.T) {
+	lg := NewLedger("dev")
+	const n = 64
+	type span struct{ s, e Time }
+	spans := make([]span, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, e := lg.ReserveAt(Time(i), 7)
+			spans[i] = span{s, e}
+		}(i)
+	}
+	wg.Wait()
+	// All reservations must be pairwise non-overlapping.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a, b := spans[i], spans[j]
+			if a.s < b.e && b.s < a.e {
+				t.Fatalf("overlapping reservations %v and %v", a, b)
+			}
+		}
+	}
+	if got := lg.Stats().Hold; got != Duration(7*n) {
+		t.Fatalf("total hold = %v, want %v", got, 7*n)
+	}
+}
+
+func TestRWLedgerReadersOverlap(t *testing.T) {
+	lg := NewRWLedger("tree")
+	a := NewTimeline(0)
+	b := NewTimeline(0)
+	lg.Read(a, 100)
+	lg.Read(b, 100)
+	if a.Now() != 100 || b.Now() != 100 {
+		t.Fatalf("readers should overlap: a=%v b=%v", a.Now(), b.Now())
+	}
+	w := NewTimeline(0)
+	lg.Write(w, 50)
+	if w.Now() != 150 {
+		t.Fatalf("writer should wait for readers: finishes at %v, want 150", w.Now())
+	}
+	// A reader overlapping the writer's span queues behind it.
+	r2 := NewTimeline(120)
+	lg.Read(r2, 10)
+	if r2.Now() != 160 {
+		t.Fatalf("reader overlapping writer finishes at %v, want 160", r2.Now())
+	}
+	// A reader whose span ends before the writer starts backfills freely.
+	r3 := NewTimeline(0)
+	lg.Read(r3, 10)
+	if r3.Now() != 10 {
+		t.Fatalf("pre-writer reader finishes at %v, want 10", r3.Now())
+	}
+}
+
+func TestRWLedgerStats(t *testing.T) {
+	lg := NewRWLedger("tree")
+	tl := NewTimeline(0)
+	lg.Write(tl, 100)
+	tl2 := NewTimeline(0)
+	lg.Read(tl2, 10)
+	st := lg.Stats()
+	if st.Reads != 1 || st.Writes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ReadWait != 100 {
+		t.Fatalf("read wait = %v, want 100", st.ReadWait)
+	}
+}
+
+func TestGroupMakespan(t *testing.T) {
+	g := NewGroup(0)
+	for i := 0; i < 4; i++ {
+		i := i
+		g.Go(func(id int, tl *Timeline) {
+			tl.Advance(Duration(i+1) * Microsecond)
+		})
+	}
+	g.Wait()
+	st := g.Stats()
+	if st.Threads != 4 {
+		t.Fatalf("threads = %d", st.Threads)
+	}
+	if st.Makespan != 4*Microsecond {
+		t.Fatalf("makespan = %v, want 4µs", st.Makespan)
+	}
+	if st.Total.CPU != 10*Microsecond {
+		t.Fatalf("total cpu = %v, want 10µs", st.Total.CPU)
+	}
+}
+
+func TestWorkerQueuesFIFO(t *testing.T) {
+	w := NewWorker(0)
+	end1 := w.Run(100, func(tl *Timeline) { tl.Advance(50) })
+	if end1 != 150 {
+		t.Fatalf("first job ends at %v, want 150", end1)
+	}
+	// Submitted "earlier" in virtual time but after the first job in real
+	// order: starts when the worker frees up.
+	end2 := w.Run(0, func(tl *Timeline) { tl.Advance(10) })
+	if end2 != 160 {
+		t.Fatalf("second job ends at %v, want 160", end2)
+	}
+	if w.Jobs() != 2 {
+		t.Fatalf("jobs = %d", w.Jobs())
+	}
+}
+
+func TestWorkerPoolSpreadsLoad(t *testing.T) {
+	p := NewWorkerPool(2, 0)
+	e1 := p.Run(0, func(tl *Timeline) { tl.Advance(100) })
+	e2 := p.Run(0, func(tl *Timeline) { tl.Advance(100) })
+	if e1 != 100 || e2 != 100 {
+		t.Fatalf("two workers should run in parallel: %v %v", e1, e2)
+	}
+	e3 := p.Run(0, func(tl *Timeline) { tl.Advance(10) })
+	if e3 != 110 {
+		t.Fatalf("third job should queue: ends %v, want 110", e3)
+	}
+	if p.Jobs() != 3 {
+		t.Fatalf("jobs = %d", p.Jobs())
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	mb := int64(1 << 20)
+	if got := Throughput(100*mb, Second); got != 100 {
+		t.Fatalf("Throughput = %v, want 100", got)
+	}
+	if got := Throughput(100*mb, 0); got != 0 {
+		t.Fatalf("Throughput with zero elapsed = %v, want 0", got)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{2500, "2.500µs"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+// Property: a ledger's admitted spans never start before the request time
+// and are pairwise non-overlapping.
+func TestLedgerDisjointProperty(t *testing.T) {
+	lg := NewLedger("p")
+	type sp struct{ s, e Time }
+	var spans []sp
+	f := func(at uint16, hold uint8) bool {
+		s, e := lg.ReserveAt(Time(at), Duration(hold))
+		if s < Time(at) || e != s.Add(Duration(hold)) {
+			return false
+		}
+		if hold > 0 {
+			for _, o := range spans {
+				if s < o.e && o.s < e {
+					return false
+				}
+			}
+			spans = append(spans, sp{s, e})
+			if len(spans) > 90 {
+				spans = spans[1:] // mirror the ledger's forgetting window
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RW ledger writers never overlap any other recent reservation
+// (recent = within the ledger's forgetting window).
+func TestRWLedgerWriterExclusionProperty(t *testing.T) {
+	lg := NewRWLedger("p")
+	type span struct {
+		s, e  Time
+		write bool
+	}
+	var spans []span
+	f := func(at uint16, hold uint8, write bool) bool {
+		var s, e Time
+		if write {
+			s, e = lg.ReserveWrite(Time(at), Duration(hold))
+		} else {
+			s, e = lg.ReserveRead(Time(at), Duration(hold))
+		}
+		for _, o := range spans {
+			if (write || o.write) && s < o.e && o.s < e && hold > 0 && o.e > o.s {
+				return false
+			}
+		}
+		if hold > 0 {
+			spans = append(spans, span{s, e, write})
+			if len(spans) > 60 { // stay within both rings' memory
+				spans = spans[1:]
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

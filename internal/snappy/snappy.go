@@ -1,0 +1,210 @@
+// Package snappy implements a from-scratch LZ77 byte-oriented block
+// compressor in the Snappy format family (varint-length header, literal
+// and copy tags, 64KB matching window), plus the parallel file-compression
+// application the paper uses for its memory-sensitivity study (§5.5,
+// Figure 9b): 16 threads streaming 100MB files, each read with one or two
+// large sequential reads, compressed, and written back out.
+package snappy
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// maxBlockSize is the matching window (as in real Snappy).
+const maxBlockSize = 65536
+
+const (
+	tagLiteral = 0x00
+	tagCopy1   = 0x01
+	tagCopy2   = 0x02
+)
+
+// MaxEncodedLen bounds the worst-case encoding size of n source bytes.
+func MaxEncodedLen(n int) int { return 32 + n + n/6 }
+
+// Encode compresses src, appending to dst (which may be nil).
+func Encode(dst, src []byte) []byte {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(src)))
+	dst = append(dst, hdr[:n]...)
+	for len(src) > 0 {
+		blk := src
+		if len(blk) > maxBlockSize {
+			blk = blk[:maxBlockSize]
+		}
+		src = src[len(blk):]
+		dst = encodeBlock(dst, blk)
+	}
+	return dst
+}
+
+// encodeBlock compresses one block with a hash-table greedy matcher.
+func encodeBlock(dst, src []byte) []byte {
+	if len(src) < 4 {
+		return emitLiteral(dst, src)
+	}
+	var table [1 << 12]int32 // position+1 of last occurrence of a 4-byte hash
+	hash := func(u uint32) uint32 { return (u * 0x1e35a7bd) >> 20 }
+
+	litStart := 0
+	i := 0
+	for i+4 <= len(src) {
+		u := binary.LittleEndian.Uint32(src[i:])
+		h := hash(u)
+		cand := int(table[h]) - 1
+		table[h] = int32(i + 1)
+		if cand >= 0 && i-cand < maxBlockSize && binary.LittleEndian.Uint32(src[cand:]) == u {
+			// Emit pending literals, then extend the match.
+			dst = emitLiteral(dst, src[litStart:i])
+			matchLen := 4
+			for i+matchLen < len(src) && src[cand+matchLen] == src[i+matchLen] {
+				matchLen++
+			}
+			dst = emitCopy(dst, i-cand, matchLen)
+			i += matchLen
+			litStart = i
+			continue
+		}
+		i++
+	}
+	return emitLiteral(dst, src[litStart:])
+}
+
+func emitLiteral(dst, lit []byte) []byte {
+	for len(lit) > 0 {
+		chunk := lit
+		if len(chunk) > 65536 {
+			chunk = chunk[:65536]
+		}
+		lit = lit[len(chunk):]
+		n := len(chunk) - 1
+		switch {
+		case n < 60:
+			dst = append(dst, byte(n)<<2|tagLiteral)
+		case n < 1<<8:
+			dst = append(dst, 60<<2|tagLiteral, byte(n))
+		default:
+			dst = append(dst, 61<<2|tagLiteral, byte(n), byte(n>>8))
+		}
+		dst = append(dst, chunk...)
+	}
+	return dst
+}
+
+// emitCopy encodes a back-reference of length ≥ 4 at the given offset.
+func emitCopy(dst []byte, offset, length int) []byte {
+	for length >= 68 {
+		dst = append(dst, 63<<2|tagCopy2, byte(offset), byte(offset>>8))
+		length -= 64
+	}
+	if length > 64 {
+		dst = append(dst, 59<<2|tagCopy2, byte(offset), byte(offset>>8))
+		length -= 60
+	}
+	if length >= 12 || offset >= 2048 {
+		dst = append(dst, byte(length-1)<<2|tagCopy2, byte(offset), byte(offset>>8))
+		return dst
+	}
+	// 1-byte-offset form: length 4..11, offset < 2048.
+	dst = append(dst, byte(offset>>8)<<5|byte(length-4)<<2|tagCopy1, byte(offset))
+	return dst
+}
+
+// ErrCorrupt reports undecodable input.
+var ErrCorrupt = errors.New("snappy: corrupt input")
+
+// DecodedLen returns the decoded length of an encoded buffer.
+func DecodedLen(src []byte) (int, error) {
+	v, n := binary.Uvarint(src)
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	return int(v), nil
+}
+
+// Decode decompresses src into a fresh buffer.
+func Decode(src []byte) ([]byte, error) {
+	want, n := binary.Uvarint(src)
+	if n <= 0 {
+		return nil, ErrCorrupt
+	}
+	src = src[n:]
+	dst := make([]byte, 0, want)
+	for len(src) > 0 {
+		tag := src[0]
+		switch tag & 0x03 {
+		case tagLiteral:
+			ln := int(tag >> 2)
+			src = src[1:]
+			switch {
+			case ln < 60:
+				ln++
+			case ln == 60:
+				if len(src) < 1 {
+					return nil, ErrCorrupt
+				}
+				ln = int(src[0]) + 1
+				src = src[1:]
+			case ln == 61:
+				if len(src) < 2 {
+					return nil, ErrCorrupt
+				}
+				ln = int(src[0]) | int(src[1])<<8
+				ln++
+				src = src[2:]
+			default:
+				return nil, ErrCorrupt
+			}
+			if len(src) < ln {
+				return nil, ErrCorrupt
+			}
+			dst = append(dst, src[:ln]...)
+			src = src[ln:]
+		case tagCopy1:
+			if len(src) < 2 {
+				return nil, ErrCorrupt
+			}
+			length := int(tag>>2)&0x07 + 4
+			offset := int(tag>>5)<<8 | int(src[1])
+			src = src[2:]
+			var err error
+			dst, err = appendCopy(dst, offset, length)
+			if err != nil {
+				return nil, err
+			}
+		case tagCopy2:
+			if len(src) < 3 {
+				return nil, ErrCorrupt
+			}
+			length := int(tag>>2) + 1
+			offset := int(src[1]) | int(src[2])<<8
+			src = src[3:]
+			var err error
+			dst, err = appendCopy(dst, offset, length)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, ErrCorrupt
+		}
+	}
+	if len(dst) != int(want) {
+		return nil, fmt.Errorf("snappy: decoded %d bytes, header said %d: %w",
+			len(dst), want, ErrCorrupt)
+	}
+	return dst, nil
+}
+
+// appendCopy resolves a back-reference, handling overlapping copies.
+func appendCopy(dst []byte, offset, length int) ([]byte, error) {
+	if offset <= 0 || offset > len(dst) {
+		return nil, ErrCorrupt
+	}
+	pos := len(dst) - offset
+	for i := 0; i < length; i++ {
+		dst = append(dst, dst[pos+i])
+	}
+	return dst, nil
+}

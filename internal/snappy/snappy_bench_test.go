@@ -1,0 +1,45 @@
+package snappy
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func benchData(redundancy int) []byte {
+	rng := rand.New(rand.NewSource(3))
+	src := make([]byte, 1<<20)
+	for i := range src {
+		src[i] = byte(rng.Intn(redundancy))
+	}
+	return src
+}
+
+func BenchmarkEncodeCompressible(b *testing.B) {
+	src := benchData(4)
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		Encode(nil, src)
+	}
+}
+
+func BenchmarkEncodeRandom(b *testing.B) {
+	src := benchData(256)
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		Encode(nil, src)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	src := benchData(8)
+	enc := Encode(nil, src)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec, err := Decode(enc)
+		if err != nil || !bytes.Equal(dec[:8], src[:8]) {
+			b.Fatal("decode failed")
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package vfs
+
+import (
+	"repro/internal/bitmap"
+	"repro/internal/simtime"
+)
+
+// CacheInfoRequest is the control-plane half of the readahead_info `info`
+// structure (§4.4): what to prefetch, which bitmap window to export, and
+// optional limit relaxation.
+type CacheInfoRequest struct {
+	// Offset and Bytes describe the byte range to prefetch. Bytes == 0
+	// makes the call export-only (no prefetch).
+	Offset, Bytes int64
+	// BitmapLo and BitmapHi select the block window of the per-inode
+	// cache bitmap to copy out. BitmapHi == 0 defaults to the prefetch
+	// range (rounded to words).
+	BitmapLo, BitmapHi int64
+	// LimitOverride, in pages, raises the per-call prefetch cap beyond
+	// the kernel's static window when the kernel allows it (§4.7).
+	LimitOverride int64
+	// DisablePrefetch turns this call into a pure query.
+	DisablePrefetch bool
+}
+
+// CacheInfo is the telemetry half of the `info` structure filled by the
+// kernel on return.
+type CacheInfo struct {
+	// RequestedPages and PrefetchedPages report the prefetch outcome —
+	// the visibility whose absence causes Figure 1's pathologies.
+	RequestedPages  int64
+	PrefetchedPages int64
+	// AlreadyCached reports that every requested page was resident (the
+	// call issued no I/O).
+	AlreadyCached bool
+	// FileCachedPages is the file's resident page count.
+	FileCachedPages int64
+	// Hits and Misses are the file's lifetime lookup counters.
+	Hits, Misses int64
+	// FreePages and CapacityPages describe the global memory budget.
+	FreePages, CapacityPages int64
+	// ReadyAt is the completion time of the I/O issued by this call.
+	ReadyAt simtime.Time
+}
+
+// ReadaheadInfo is the new multi-purpose system call (§4.4). In one kernel
+// crossing it:
+//
+//  1. checks the requested range against the per-inode cache bitmap via
+//     the delineated fast path (bitmap rw-lock, never the cache-tree
+//     lock);
+//  2. issues asynchronous prefetch I/O for only the missing runs, clamped
+//     by the effective prefetch limit;
+//  3. copies the requested bitmap window into dst (selective export); and
+//  4. fills the telemetry fields of CacheInfo.
+//
+// dst may be nil to skip the export.
+func (f *File) ReadaheadInfo(tl *simtime.Timeline, req CacheInfoRequest, dst *bitmap.Bitmap) CacheInfo {
+	v := f.v
+	v.enter(tl, SysReadaheadInfo)
+	bs := v.BlockSize()
+	fileBlocks := f.ino.Blocks()
+
+	var info CacheInfo
+	info.CapacityPages = v.cache.Capacity()
+	info.FreePages = v.cache.Free()
+
+	lo, hi := v.blockRange(req.Offset, req.Bytes)
+	if hi > fileBlocks {
+		hi = fileBlocks
+	}
+	if req.Bytes > 0 && hi > lo {
+		info.RequestedPages = hi - lo
+
+		// Effective per-call limit: static kernel cap, or the caller's
+		// override when the kernel is configured to allow it.
+		limit := v.cfg.RA.MaxPages
+		if v.cfg.AllowLimitOverride && req.LimitOverride > limit {
+			limit = req.LimitOverride
+			if maxPages := v.cfg.MaxPrefetchBytes / bs; limit > maxPages {
+				limit = maxPages
+			}
+		}
+		if hi-lo > limit {
+			hi = lo + limit
+			info.RequestedPages = hi - lo
+		}
+
+		// Fast path: bitmap lookup only.
+		missing := f.fc.FastMissingRuns(tl, lo, hi)
+		switch {
+		case len(missing) == 0:
+			info.AlreadyCached = true
+		case req.DisablePrefetch:
+			// Pure query; report what would be fetched.
+		default:
+			issued := f.prefetchRuns(tl, tl.Now(), missing, -1)
+			info.PrefetchedPages = issued
+			info.ReadyAt = f.fc.ResidentReadyAt(lo, hi)
+		}
+	}
+
+	// Selective bitmap export.
+	if dst != nil {
+		blo, bhi := req.BitmapLo, req.BitmapHi
+		if bhi <= blo {
+			blo, bhi = lo, hi
+		}
+		if bhi > fileBlocks {
+			bhi = fileBlocks
+		}
+		f.fc.ExportBitmap(tl, blo, bhi, dst)
+	}
+
+	info.FileCachedPages = f.fc.CachedPages()
+	info.Hits = f.fc.Hits()
+	info.Misses = f.fc.Misses()
+	return info
+}

@@ -1,0 +1,97 @@
+package vfs
+
+import (
+	"testing"
+
+	"repro/internal/blockdev"
+	"repro/internal/simtime"
+)
+
+// TestDeviceErrorPropagatesThroughFsync exercises the failure-injection
+// path: injected device write errors must surface to the caller.
+func TestDeviceErrorPropagatesThroughFsync(t *testing.T) {
+	v := newTestKernel(t, 10000)
+	tl := simtime.NewTimeline(0)
+	f, _ := v.Create(tl, "x")
+	f.WriteAt(tl, make([]byte, 64<<10), 0)
+	v.Device().FaultFn = func(op blockdev.Op, bytes int64) bool {
+		return op == blockdev.OpWrite
+	}
+	if err := f.Fsync(tl); err != blockdev.ErrInjected {
+		t.Fatalf("fsync err = %v, want ErrInjected", err)
+	}
+	// Clearing the fault lets the retry succeed; the pages are still
+	// dirty because the failed fsync consumed the dirty-run harvest —
+	// write them again to re-dirty, then sync.
+	v.Device().FaultFn = nil
+	f.WriteAt(tl, make([]byte, 64<<10), 0)
+	if err := f.Fsync(tl); err != nil {
+		t.Fatalf("retry fsync failed: %v", err)
+	}
+}
+
+// TestPrefetchSwallowsDeviceErrors: asynchronous readahead failures must
+// not corrupt state — the pages simply stay absent and a later demand read
+// retries (and here succeeds).
+func TestPrefetchSwallowsDeviceErrors(t *testing.T) {
+	v := newTestKernel(t, 100000)
+	tl := simtime.NewTimeline(0)
+	v.FS().CreateSynthetic(tl, "big", 10<<20)
+	f, _ := v.Open(tl, "big")
+
+	fail := true
+	v.Device().FaultFn = func(op blockdev.Op, bytes int64) bool { return fail }
+	if n := f.Readahead(tl, 0, 128<<10); n == 0 {
+		t.Fatal("readahead submitted nothing")
+	}
+	if got := f.fc.CachedPages(); got != 0 {
+		t.Fatalf("failed prefetch cached %d pages", got)
+	}
+	// Demand read after the fault clears works.
+	fail = false
+	buf := make([]byte, 4096)
+	if _, err := f.ReadAt(tl, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReclaimUnderExtremePressure: a cache far too small for the workload
+// must keep functioning (every read direct-reclaims).
+func TestReclaimUnderExtremePressure(t *testing.T) {
+	v := newTestKernel(t, 16) // 64KB of cache
+	tl := simtime.NewTimeline(0)
+	v.FS().CreateSynthetic(tl, "big", 4<<20)
+	f, _ := v.Open(tl, "big")
+	buf := make([]byte, 64<<10)
+	for off := int64(0); off < 4<<20; off += int64(len(buf)) {
+		if _, err := f.ReadAt(tl, buf, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if used := v.Cache().Used(); used > 16 {
+		t.Fatalf("cache exceeded capacity: %d", used)
+	}
+	if v.Cache().Stats().DirectReclaim == 0 {
+		t.Fatal("expected direct reclaim under extreme pressure")
+	}
+}
+
+// TestWriterThrottling: buffered writers must be throttled to device write
+// bandwidth once dirty pages pile up, instead of running at memory speed.
+func TestWriterThrottling(t *testing.T) {
+	v := newTestKernel(t, 4096) // 16MB cache
+	tl := simtime.NewTimeline(0)
+	f, _ := v.Create(tl, "out")
+	buf := make([]byte, 1<<20)
+	const total = 64 << 20
+	for off := int64(0); off < total; off += int64(len(buf)) {
+		if _, err := f.WriteAt(tl, buf, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 64MB at the NVMe's 900MB/s write bandwidth needs >= ~71ms; an
+	// unthrottled writer would finish in ~copy time (~6ms).
+	if got := tl.Elapsed(); got < 50*simtime.Millisecond {
+		t.Fatalf("writer not throttled: 64MB in %v", got)
+	}
+}

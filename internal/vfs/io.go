@@ -1,0 +1,289 @@
+package vfs
+
+import (
+	"repro/internal/bitmap"
+	"repro/internal/blockdev"
+	"repro/internal/pagecache"
+	"repro/internal/readahead"
+	"repro/internal/simtime"
+)
+
+// ReadAt implements pread(2): it walks the page cache (slow path, tree
+// lock shared), synchronously fetches missing blocks, consults the
+// kernel readahead state machine, waits for any in-flight prefetch
+// covering the range, and copies the data to the caller.
+func (f *File) ReadAt(tl *simtime.Timeline, dst []byte, off int64) (int, error) {
+	f.v.enter(tl, SysRead)
+	if off < 0 || len(dst) == 0 {
+		return 0, nil
+	}
+	size := f.ino.Size()
+	if off >= size {
+		return 0, nil
+	}
+	n := int64(len(dst))
+	if off+n > size {
+		n = size - off
+	}
+	lo, hi := f.v.blockRange(off, n)
+	fileBlocks := f.ino.Blocks()
+
+	res := f.fc.LookupRange(tl, lo, hi)
+
+	// Demand-fetch the missing pages synchronously.
+	missed := res.PresentCount < hi-lo
+	if missed {
+		var runs []bitmap.Run
+		runStart := int64(-1)
+		for i := lo; i < hi; i++ {
+			if !res.Present[i-lo] {
+				if runStart < 0 {
+					runStart = i
+				}
+			} else if runStart >= 0 {
+				runs = append(runs, bitmap.Run{Lo: runStart, Hi: i})
+				runStart = -1
+			}
+		}
+		if runStart >= 0 {
+			runs = append(runs, bitmap.Run{Lo: runStart, Hi: hi})
+		}
+		f.fetchRuns(tl, runs)
+	}
+
+	// Kernel readahead decision (under the file's readahead state).
+	f.mu.Lock()
+	action := f.ra.OnDemand(f.v.cfg.RA, lo, hi-lo, fileBlocks,
+		res.MarkerHit, !res.Present[0])
+	f.mu.Unlock()
+	if action.Pages() > 0 {
+		// Both the sync initial window and the async marker ramp are
+		// submitted without blocking the reader beyond its demanded
+		// pages; later readers touching the window wait on readyAt.
+		missing := f.fc.FastMissingRuns(tl, action.Lo, action.Hi)
+		f.prefetchRuns(tl, tl.Now(), missing, action.MarkerAt)
+	}
+
+	// Wait for in-flight prefetch covering the demanded range. The wait
+	// is capped at what a fresh priority-lane read of the range would
+	// cost: the device's queues serve a blocking reader no slower than
+	// that even when the async lane is backlogged.
+	f.waitInflight(tl, res.ReadyAt, n)
+
+	// Copy to user space.
+	pages := hi - lo
+	tl.Advance(simtime.Duration(pages) * f.v.cfg.Costs.PageCopy)
+	read := f.ino.ReadAt(dst[:n], off)
+	return read, nil
+}
+
+// waitInflight blocks the thread for in-flight prefetch I/O covering a
+// demanded range of reqBytes, capped at the priority-lane fetch cost.
+func (f *File) waitInflight(tl *simtime.Timeline, readyAt simtime.Time, reqBytes int64) {
+	if readyAt <= tl.Now() {
+		return
+	}
+	cap := tl.Now().Add(f.v.dev.SyncCost(blockdev.OpRead, reqBytes))
+	if readyAt > cap {
+		readyAt = cap
+	}
+	tl.WaitUntil(readyAt, simtime.WaitIO)
+}
+
+// Read reads from the file's current position, advancing it.
+func (f *File) Read(tl *simtime.Timeline, dst []byte) (int, error) {
+	f.mu.Lock()
+	off := f.pos
+	f.mu.Unlock()
+	n, err := f.ReadAt(tl, dst, off)
+	f.mu.Lock()
+	f.pos = off + int64(n)
+	f.mu.Unlock()
+	return n, err
+}
+
+// SeekTo sets the file position to an absolute offset.
+func (f *File) SeekTo(off int64) {
+	f.mu.Lock()
+	f.pos = off
+	f.mu.Unlock()
+}
+
+// WriteAt implements pwrite(2) with buffered (write-back) semantics: data
+// lands in the page cache dirty and in the backing store; device writes
+// happen on eviction or fsync. Partial-block edges over existing data
+// perform read-modify-write fetches.
+func (f *File) WriteAt(tl *simtime.Timeline, data []byte, off int64) (int, error) {
+	f.v.enter(tl, SysWrite)
+	if len(data) == 0 {
+		return 0, nil
+	}
+	bs := f.v.BlockSize()
+	n := int64(len(data))
+	lo, hi := f.v.blockRange(off, n)
+	oldSize := f.ino.Size()
+
+	// RMW: a partial first/last block that exists on disk and is not
+	// cached must be fetched first.
+	var rmw []bitmap.Run
+	if off%bs != 0 && off < oldSize {
+		if res := f.fc.LookupRange(tl, lo, lo+1); res.PresentCount == 0 {
+			rmw = append(rmw, bitmap.Run{Lo: lo, Hi: lo + 1})
+		}
+	}
+	if (off+n)%bs != 0 && off+n < oldSize && hi-1 != lo {
+		if res := f.fc.LookupRange(tl, hi-1, hi); res.PresentCount == 0 {
+			rmw = append(rmw, bitmap.Run{Lo: hi - 1, Hi: hi})
+		}
+	}
+	if len(rmw) > 0 {
+		f.fetchRuns(tl, rmw)
+	}
+
+	// Move the data: backing store now, device on writeback.
+	f.ino.WriteAt(data, off)
+	tl.Advance(simtime.Duration(hi-lo) * f.v.cfg.Costs.PageCopy)
+	f.fc.InsertRange(tl, lo, hi, pagecache.InsertOptions{Dirty: true, MarkerAt: -1})
+	f.fc.SetDirtyRange(tl, lo, hi)
+	f.v.balanceDirty(tl)
+	return int(n), nil
+}
+
+// balanceDirty throttles buffered writers (balance_dirty_pages): once
+// dirty pages exceed ~20% of memory and the device's writeback queue is
+// backed up, the writer stalls until the queue drains to the congestion
+// horizon — without this, buffered writes would "complete" at memory speed
+// while the writeback debt grows unboundedly into the async lane.
+func (v *VFS) balanceDirty(tl *simtime.Timeline) {
+	if v.cache.Dirty() <= v.cache.Capacity()/5 {
+		return
+	}
+	if b := v.dev.Backlog(tl.Now()); b > v.cfg.CongestionLimit {
+		tl.WaitUntil(tl.Now().Add(b-v.cfg.CongestionLimit), simtime.WaitIO)
+	}
+}
+
+// Append writes at the end of the file, advancing the position.
+func (f *File) Append(tl *simtime.Timeline, data []byte) (int, error) {
+	return f.WriteAt(tl, data, f.ino.Size())
+}
+
+// Fsync writes back all dirty pages synchronously, charging the caller.
+func (f *File) Fsync(tl *simtime.Timeline) error {
+	f.v.enter(tl, SysFsync)
+	runs := f.fc.CollectDirtyRuns(tl, 0, f.ino.Blocks())
+	bs := f.v.BlockSize()
+	for _, r := range runs {
+		remaining := r.Blocks() * bs
+		for remaining > 0 {
+			chunk := remaining
+			if chunk > maxVFSRequest {
+				chunk = maxVFSRequest
+			}
+			if err := f.v.dev.Access(tl, blockdev.OpWrite, chunk); err != nil {
+				return err
+			}
+			remaining -= chunk
+		}
+	}
+	return nil
+}
+
+// Readahead implements readahead(2). As in Linux, the request is clamped
+// to the kernel's static window cap — the under-prefetch pathology of
+// paper Figure 1: an application asking for 4MB gets 128KB. It returns the
+// bytes actually submitted.
+func (f *File) Readahead(tl *simtime.Timeline, off, nbytes int64) int64 {
+	f.v.enter(tl, SysReadahead)
+	bs := f.v.BlockSize()
+	maxBytes := f.v.cfg.RA.MaxPages * bs
+	if nbytes > maxBytes {
+		nbytes = maxBytes
+	}
+	lo, hi := f.v.blockRange(off, nbytes)
+	if fb := f.ino.Blocks(); hi > fb {
+		hi = fb
+	}
+	if hi <= lo {
+		return 0
+	}
+	// The legacy path walks the cache tree (no bitmap fast path).
+	res := f.fc.LookupRange(tl, lo, hi)
+	var runs []bitmap.Run
+	runStart := int64(-1)
+	for i := lo; i < hi; i++ {
+		if !res.Present[i-lo] {
+			if runStart < 0 {
+				runStart = i
+			}
+		} else if runStart >= 0 {
+			runs = append(runs, bitmap.Run{Lo: runStart, Hi: i})
+			runStart = -1
+		}
+	}
+	if runStart >= 0 {
+		runs = append(runs, bitmap.Run{Lo: runStart, Hi: hi})
+	}
+	f.prefetchRuns(tl, tl.Now(), runs, -1)
+	return (hi - lo) * bs
+}
+
+// Advice is the fadvise(2) hint set.
+type Advice int
+
+// fadvise hints.
+const (
+	AdvNormal Advice = iota
+	AdvSequential
+	AdvRandom
+	AdvWillNeed
+	AdvDontNeed
+)
+
+// Fadvise implements posix_fadvise(2).
+func (f *File) Fadvise(tl *simtime.Timeline, adv Advice, off, nbytes int64) {
+	f.v.enter(tl, SysFadvise)
+	switch adv {
+	case AdvNormal:
+		f.mu.Lock()
+		f.ra.SetMode(readahead.ModeNormal)
+		f.mu.Unlock()
+	case AdvSequential:
+		f.mu.Lock()
+		f.ra.SetMode(readahead.ModeSequential)
+		f.mu.Unlock()
+	case AdvRandom:
+		f.mu.Lock()
+		f.ra.SetMode(readahead.ModeRandom)
+		f.mu.Unlock()
+	case AdvWillNeed:
+		// Equivalent to readahead(2); reuse its clamped path without
+		// double-counting the syscall.
+		f.v.counters[SysReadahead].Add(-1)
+		f.Readahead(tl, off, nbytes)
+	case AdvDontNeed:
+		lo := off / f.v.BlockSize()
+		hi := (off + nbytes + f.v.BlockSize() - 1) / f.v.BlockSize()
+		if nbytes == 0 {
+			hi = f.ino.Blocks()
+		}
+		f.fc.RemoveRange(tl, lo, hi)
+	}
+}
+
+// Fincore implements the fincore/mincore residency query (§2.1): it holds
+// the process address-space lock and walks the cache tree, which is both
+// slow and obstructive. The result is written into dst.
+func (f *File) Fincore(tl *simtime.Timeline, lo, hi int64, dst *bitmap.Bitmap) {
+	f.v.enter(tl, SysFincore)
+	if fb := f.ino.Blocks(); hi > fb {
+		hi = fb
+	}
+	if hi <= lo {
+		return
+	}
+	// Hold the mmap lock for the whole walk.
+	f.v.mmapLock.Use(tl, simtime.Duration(hi-lo)*f.v.cfg.Costs.FincoreWalk/4)
+	dst.ClearRange(lo, hi)
+	f.fc.WalkResident(tl, lo, hi, func(i int64) { dst.Set(i) })
+}

@@ -1,0 +1,300 @@
+// Package vfs implements the simulated kernel's system-call layer,
+// including the CROSS-OS extensions from the paper:
+//
+//   - the classic POSIX surface: open, pread/pwrite, readahead(2),
+//     fadvise(2), fincore, fsync, mmap;
+//   - the new multi-purpose readahead_info system call (§4.4), which in a
+//     single kernel crossing prefetches missing blocks via the bitmap fast
+//     path, exports a window of the per-inode cache bitmap, and returns
+//     OS telemetry (per-file cache usage, hit/miss counters, free memory);
+//   - the prefetch-limit relaxation (§4.7): readahead_info requests may
+//     exceed the kernel's static window cap when the VFS is configured to
+//     allow it, with requests chunked at the 2MB VFS I/O granularity.
+//
+// Every call charges a fixed syscall crossing plus per-page costs in
+// virtual time; data reads/writes move real bytes through internal/fs.
+package vfs
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitmap"
+	"repro/internal/blockdev"
+	"repro/internal/fs"
+	"repro/internal/pagecache"
+	"repro/internal/readahead"
+	"repro/internal/simtime"
+)
+
+// maxVFSRequest is the largest single device request the VFS issues (the
+// paper: "the VFS layer limits an I/O request to a maximum of 2MB").
+const maxVFSRequest = 2 << 20
+
+// Config carries the kernel tunables.
+type Config struct {
+	// Costs is the CPU cost table.
+	Costs simtime.Costs
+	// RA configures the kernel readahead state machine; RA.MaxPages is
+	// the static prefetch limit Figure 10 sweeps.
+	RA readahead.Config
+	// AllowLimitOverride lets readahead_info callers exceed RA.MaxPages
+	// (the CROSS-OS "+opt" path, §4.7).
+	AllowLimitOverride bool
+	// MaxPrefetchBytes caps a single readahead_info request even with
+	// override (paper: 64MB).
+	MaxPrefetchBytes int64
+	// CongestionLimit is the prefetch congestion-control threshold: once
+	// the device's queued transfers extend this far into the future,
+	// further asynchronous prefetch is postponed so blocking I/O is not
+	// delayed (§4.7). Zero selects the default.
+	CongestionLimit simtime.Duration
+}
+
+// DefaultConfig returns Linux-like defaults on the paper's testbed.
+func DefaultConfig() Config {
+	return Config{
+		Costs:              simtime.DefaultCosts(),
+		RA:                 readahead.DefaultConfig(),
+		AllowLimitOverride: false,
+		MaxPrefetchBytes:   64 << 20,
+	}
+}
+
+// Syscall identifies a system call for the counter table.
+type Syscall int
+
+// Syscall identifiers.
+const (
+	SysOpen Syscall = iota
+	SysRead
+	SysWrite
+	SysFsync
+	SysReadahead
+	SysFadvise
+	SysFincore
+	SysReadaheadInfo
+	SysMmapFault
+	numSyscalls
+)
+
+// String names the syscall.
+func (s Syscall) String() string {
+	return [...]string{"open", "read", "write", "fsync", "readahead",
+		"fadvise", "fincore", "readahead_info", "mmap_fault"}[s]
+}
+
+// VFS is one simulated kernel instance: a file system on a device plus the
+// shared page cache.
+type VFS struct {
+	cfg   Config
+	fsys  *fs.FS
+	dev   *blockdev.Device
+	cache *pagecache.Cache
+
+	// mmapLock models the per-address-space lock fincore/mincore hold
+	// while building cache residency info (§2.1).
+	mmapLock *simtime.Ledger
+
+	counters [numSyscalls]atomic.Int64
+}
+
+// New assembles a kernel over the given file system, device, and cache.
+// It installs the cache's dirty-page writeback hook.
+func New(cfg Config, fsys *fs.FS, dev *blockdev.Device, cache *pagecache.Cache) *VFS {
+	if cfg.MaxPrefetchBytes <= 0 {
+		cfg.MaxPrefetchBytes = 64 << 20
+	}
+	if cfg.RA.MaxPages <= 0 {
+		cfg.RA = readahead.DefaultConfig()
+	}
+	if cfg.CongestionLimit <= 0 {
+		cfg.CongestionLimit = 5 * simtime.Millisecond
+	}
+	v := &VFS{
+		cfg:      cfg,
+		fsys:     fsys,
+		dev:      dev,
+		cache:    cache,
+		mmapLock: simtime.NewLedger("mmap_lock"),
+	}
+	cache.SetFlushFn(v.flushRun)
+	return v
+}
+
+// Cache exposes the page cache (telemetry, tests).
+func (v *VFS) Cache() *pagecache.Cache { return v.cache }
+
+// FS exposes the file system.
+func (v *VFS) FS() *fs.FS { return v.fsys }
+
+// Device exposes the block device.
+func (v *VFS) Device() *blockdev.Device { return v.dev }
+
+// Config reports the kernel configuration.
+func (v *VFS) Config() Config { return v.cfg }
+
+// BlockSize reports the page/block size.
+func (v *VFS) BlockSize() int64 { return v.fsys.BlockSize() }
+
+// SyscallCount reports invocations of one syscall.
+func (v *VFS) SyscallCount(s Syscall) int64 { return v.counters[s].Load() }
+
+// PrefetchSyscalls reports the total prefetch-related kernel crossings
+// (readahead + fadvise + readahead_info) — the overhead CROSS-LIB's cache
+// awareness is designed to reduce.
+func (v *VFS) PrefetchSyscalls() int64 {
+	return v.counters[SysReadahead].Load() +
+		v.counters[SysFadvise].Load() +
+		v.counters[SysReadaheadInfo].Load()
+}
+
+func (v *VFS) enter(tl *simtime.Timeline, s Syscall) {
+	v.counters[s].Add(1)
+	if tl != nil {
+		tl.Advance(v.cfg.Costs.Syscall)
+	}
+}
+
+// File is an open file description (one per open(2), like struct file):
+// it carries its own readahead state and file position.
+type File struct {
+	v   *VFS
+	ino *fs.Inode
+	fc  *pagecache.FileCache
+
+	mu  sync.Mutex
+	ra  readahead.State
+	pos int64
+}
+
+// Inode exposes the underlying inode.
+func (f *File) Inode() *fs.Inode { return f.ino }
+
+// FileCache exposes the per-inode cache state.
+func (f *File) FileCache() *pagecache.FileCache { return f.fc }
+
+// Size reports the current file size.
+func (f *File) Size() int64 { return f.ino.Size() }
+
+// RAMode reports the file's readahead mode (set via Fadvise).
+func (f *File) RAMode() readahead.Mode {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ra.Mode()
+}
+
+// Open opens an existing file.
+func (v *VFS) Open(tl *simtime.Timeline, name string) (*File, error) {
+	v.enter(tl, SysOpen)
+	ino, err := v.fsys.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &File{v: v, ino: ino, fc: v.cache.File(ino.ID())}, nil
+}
+
+// Create creates and opens a new file.
+func (v *VFS) Create(tl *simtime.Timeline, name string) (*File, error) {
+	v.enter(tl, SysOpen)
+	ino, err := v.fsys.Create(tl, name)
+	if err != nil {
+		return nil, err
+	}
+	return &File{v: v, ino: ino, fc: v.cache.File(ino.ID())}, nil
+}
+
+// OpenOrCreate opens name, creating it if absent.
+func (v *VFS) OpenOrCreate(tl *simtime.Timeline, name string) (*File, error) {
+	if f, err := v.Open(tl, name); err == nil {
+		return f, nil
+	}
+	return v.Create(tl, name)
+}
+
+// Remove deletes a file and drops its cached pages.
+func (v *VFS) Remove(tl *simtime.Timeline, name string) error {
+	v.enter(tl, SysOpen)
+	ino, err := v.fsys.Open(name)
+	if err != nil {
+		return err
+	}
+	v.cache.DropFile(tl, ino.ID())
+	return v.fsys.Remove(tl, name)
+}
+
+// ErrShortRead reports a read that hit EOF before filling the buffer.
+var ErrShortRead = errors.New("vfs: short read")
+
+// blockRange converts a byte range to the covering block range.
+func (v *VFS) blockRange(off, n int64) (lo, hi int64) {
+	bs := v.BlockSize()
+	return off / bs, (off + n + bs - 1) / bs
+}
+
+// fetchRuns synchronously reads the given missing logical-block runs from
+// the device, charging the thread, and inserts the pages.
+func (f *File) fetchRuns(tl *simtime.Timeline, runs []bitmap.Run) {
+	bs := f.v.BlockSize()
+	for _, r := range runs {
+		for _, pr := range f.ino.MapRange(r.Lo, r.Hi) {
+			remaining := pr.Count * bs
+			for remaining > 0 {
+				chunk := remaining
+				if chunk > maxVFSRequest {
+					chunk = maxVFSRequest
+				}
+				_ = f.v.dev.Access(tl, blockdev.OpRead, chunk)
+				remaining -= chunk
+			}
+		}
+		f.fc.InsertRange(tl, r.Lo, r.Hi, pagecache.InsertOptions{MarkerAt: -1})
+	}
+}
+
+// prefetchRuns asynchronously reads missing runs: device time is reserved
+// from `at` without blocking, and pages are inserted with their ready
+// times. The tree-lock insertion cost is charged to tl (the readahead work
+// happens in the calling context, as in Linux). markerAt places the
+// PG_readahead marker. Returns pages issued.
+func (f *File) prefetchRuns(tl *simtime.Timeline, at simtime.Time, runs []bitmap.Run, markerAt int64) int64 {
+	bs := f.v.BlockSize()
+	var issued int64
+	for _, r := range runs {
+		for _, pr := range f.ino.MapRange(r.Lo, r.Hi) {
+			lo := pr.Logical
+			remaining := pr.Count * bs
+			for remaining > 0 {
+				// Congestion control: postpone prefetch that would pile
+				// onto an already-backlogged device (§4.7).
+				if f.v.dev.Backlog(at) > f.v.cfg.CongestionLimit {
+					return issued
+				}
+				chunk := remaining
+				if chunk > maxVFSRequest {
+					chunk = maxVFSRequest
+				}
+				done, err := f.v.dev.AccessAsync(at, blockdev.OpRead, chunk)
+				if err != nil {
+					return issued
+				}
+				chunkBlocks := (chunk + bs - 1) / bs
+				n := f.fc.InsertRange(tl, lo, lo+chunkBlocks, pagecache.InsertOptions{
+					ReadyAt:  done,
+					MarkerAt: markerAt,
+				})
+				issued += n
+				lo += chunkBlocks
+				remaining -= chunk
+			}
+		}
+	}
+	return issued
+}
+
+// flushRun is the page cache's dirty writeback hook: an async device write.
+func (v *VFS) flushRun(at simtime.Time, inoID, lo, hi int64) simtime.Time {
+	done, _ := v.dev.AccessAsync(at, blockdev.OpWrite, (hi-lo)*v.BlockSize())
+	return done
+}

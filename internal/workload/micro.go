@@ -1,0 +1,219 @@
+// Package workload implements the paper's custom multi-threaded
+// microbenchmarks (§5.2.1): 16KB reads over private or shared files, with
+// sequential or random access, plus the readers+writers sharing benchmark
+// of Figure 6 and the mmap benchmark of Table 4.
+//
+// Each workload encodes the per-approach *application* behaviour the paper
+// describes: APPonly issues its own fadvise/readahead calls (sequential)
+// or disables OS prefetching (random); APPonly[fincore] adds a background
+// cache-poller; OSonly leaves everything to the kernel; the Cross*
+// approaches go through CROSS-LIB.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	crossprefetch "repro"
+	"repro/internal/crosslib"
+	"repro/internal/simtime"
+	"repro/internal/vfs"
+)
+
+// MicroConfig describes one microbenchmark run.
+type MicroConfig struct {
+	// Sys is a freshly built system (cold cache).
+	Sys *crossprefetch.System
+	// Threads is the worker count.
+	Threads int
+	// IOSize is the per-read size (paper: 16KB).
+	IOSize int64
+	// TotalBytes is the aggregate data footprint across all threads
+	// (paper: 200GB against 93GB of memory — 2.15×).
+	TotalBytes int64
+	// Shared selects one file shared by all threads (each thread owning
+	// a non-overlapping region) instead of per-thread private files.
+	Shared bool
+	// Sequential selects streaming access within each thread's region;
+	// otherwise offsets are uniformly random within the region.
+	Sequential bool
+	// OpsPerThread bounds the reads per thread; 0 reads each region once.
+	OpsPerThread int64
+	// Writers adds concurrent writer threads (Figure 6); writers update
+	// random non-overlapping 16KB chunks of their own region.
+	Writers int
+	// Seed makes random access reproducible.
+	Seed int64
+}
+
+// Result summarizes a run.
+type Result struct {
+	// ReadBytes and WriteBytes are the application-level volumes moved.
+	ReadBytes, WriteBytes int64
+	// Makespan is the virtual duration of the slowest thread.
+	Makespan simtime.Duration
+	// ReadMBs and WriteMBs are aggregate throughputs over the makespan.
+	ReadMBs, WriteMBs float64
+	// MissPct is the page-cache miss rate (Table 3 / Table 1).
+	MissPct float64
+	// LockPct is lock wait as a share of total thread time (Table 1).
+	LockPct float64
+	// Group carries the raw thread accounting.
+	Group simtime.GroupStats
+	// Metrics is the end-of-run cross-layer snapshot.
+	Metrics crossprefetch.Metrics
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("read %.1f MB/s, write %.1f MB/s, miss %.1f%%, lock %.1f%%",
+		r.ReadMBs, r.WriteMBs, r.MissPct, r.LockPct)
+}
+
+// applyAppPolicy performs the APPonly open-time behaviour for a file: hint
+// sequential streams and explicitly disable OS prefetching for random ones
+// (the RocksDB behaviour §3.1 describes).
+func applyAppPolicy(tl *simtime.Timeline, f *crosslib.File, sequential bool) {
+	if sequential {
+		f.Kernel().Fadvise(tl, vfs.AdvSequential, 0, 0)
+	} else {
+		f.Kernel().Fadvise(tl, vfs.AdvRandom, 0, 0)
+	}
+}
+
+// RunMicro executes the microbenchmark and reports the result.
+func RunMicro(cfg MicroConfig) (Result, error) {
+	sys := cfg.Sys
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.IOSize <= 0 {
+		cfg.IOSize = 16 << 10
+	}
+	approach := sys.Approach()
+	setup := sys.Timeline()
+
+	region := cfg.TotalBytes / int64(cfg.Threads)
+	region -= region % cfg.IOSize
+	if region <= 0 {
+		return Result{}, fmt.Errorf("workload: total %d too small for %d threads", cfg.TotalBytes, cfg.Threads)
+	}
+
+	// Provision files.
+	nFiles := cfg.Threads
+	if cfg.Shared {
+		nFiles = 1
+	}
+	for i := 0; i < nFiles; i++ {
+		size := region
+		if cfg.Shared {
+			size = region * int64(cfg.Threads)
+		}
+		if err := sys.CreateSynthetic(setup, fileName(cfg.Shared, i), size); err != nil {
+			return Result{}, err
+		}
+	}
+
+	ops := cfg.OpsPerThread
+	if ops <= 0 {
+		ops = region / cfg.IOSize
+	}
+
+	g := sys.Group()
+	readBytes := make([]int64, cfg.Threads)
+	for t := 0; t < cfg.Threads; t++ {
+		t := t
+		g.Go(func(id int, tl *simtime.Timeline) {
+			f, err := sys.Open(tl, fileName(cfg.Shared, t))
+			if err != nil {
+				return
+			}
+			base := int64(0)
+			if cfg.Shared {
+				base = int64(t) * region
+			}
+			if approach == crosslib.AppOnly || approach == crosslib.AppOnlyFincore {
+				applyAppPolicy(tl, f, cfg.Sequential)
+			}
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*7919))
+			buf := make([]byte, cfg.IOSize)
+			chunks := region / cfg.IOSize
+			for i := int64(0); i < ops; i++ {
+				g.Gate(id, tl)
+				var off int64
+				if cfg.Sequential {
+					off = base + (i%chunks)*cfg.IOSize
+				} else {
+					off = base + rng.Int63n(chunks)*cfg.IOSize
+				}
+				if approach == crosslib.AppOnly && cfg.Sequential && i%64 == 0 {
+					// App-tailored prefetching: readahead ahead of the
+					// stream (clamped by the kernel — Figure 1).
+					f.Kernel().Readahead(tl, off, 4<<20)
+				}
+				if approach == crosslib.AppOnlyFincore && i%64 == 0 {
+					f.FincorePollStep(tl, 4<<20/sys.Config().BlockSize)
+				}
+				n, err := f.ReadAt(tl, buf, off)
+				if err != nil {
+					return
+				}
+				readBytes[t] += int64(n)
+			}
+		})
+	}
+
+	// Figure 6 writers.
+	writeBytes := make([]int64, cfg.Writers)
+	if cfg.Writers > 0 && cfg.Shared {
+		for w := 0; w < cfg.Writers; w++ {
+			w := w
+			g.Go(func(id int, tl *simtime.Timeline) {
+				f, err := sys.Open(tl, fileName(true, 0))
+				if err != nil {
+					return
+				}
+				// Writers own the tail end of each reader region to stay
+				// non-overlapping with other writers.
+				rng := rand.New(rand.NewSource(cfg.Seed + 104729 + int64(w)))
+				buf := make([]byte, cfg.IOSize)
+				wRegion := region * int64(cfg.Threads) / int64(cfg.Writers)
+				wBase := int64(w) * wRegion
+				chunks := wRegion / cfg.IOSize
+				for i := int64(0); i < ops; i++ {
+					g.Gate(id, tl)
+					off := wBase + rng.Int63n(chunks)*cfg.IOSize
+					n, err := f.WriteAt(tl, buf, off)
+					if err != nil {
+						return
+					}
+					writeBytes[w] += int64(n)
+				}
+			})
+		}
+	}
+
+	g.Wait()
+	gs := g.Stats()
+	var res Result
+	for _, b := range readBytes {
+		res.ReadBytes += b
+	}
+	for _, b := range writeBytes {
+		res.WriteBytes += b
+	}
+	res.Makespan = gs.Makespan
+	res.ReadMBs = simtime.Throughput(res.ReadBytes, gs.Makespan)
+	res.WriteMBs = simtime.Throughput(res.WriteBytes, gs.Makespan)
+	res.Group = gs
+	res.Metrics = sys.Metrics()
+	res.MissPct = res.Metrics.Cache.MissPercent()
+	res.LockPct = gs.LockPercent()
+	return res, nil
+}
+
+func fileName(shared bool, i int) string {
+	if shared {
+		return "shared.dat"
+	}
+	return fmt.Sprintf("private-%d.dat", i)
+}

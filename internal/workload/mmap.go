@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	crossprefetch "repro"
+	"repro/internal/crosslib"
+	"repro/internal/simtime"
+	"repro/internal/vfs"
+)
+
+// MmapConfig describes the Table 4 mmap benchmark: threads load a shared
+// mapped file sequentially or randomly.
+type MmapConfig struct {
+	Sys        *crossprefetch.System
+	Threads    int
+	TotalBytes int64
+	LoadSize   int64 // bytes touched per access (paper: 16KB batches)
+	Sequential bool
+	Seed       int64
+}
+
+// RunMmap executes the mmap benchmark.
+func RunMmap(cfg MmapConfig) (Result, error) {
+	sys := cfg.Sys
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.LoadSize <= 0 {
+		cfg.LoadSize = 16 << 10
+	}
+	approach := sys.Approach()
+	setup := sys.Timeline()
+
+	region := cfg.TotalBytes / int64(cfg.Threads)
+	region -= region % cfg.LoadSize
+	if region <= 0 {
+		return Result{}, fmt.Errorf("workload: mmap total %d too small", cfg.TotalBytes)
+	}
+	if err := sys.CreateSynthetic(setup, "mmap.dat", region*int64(cfg.Threads)); err != nil {
+		return Result{}, err
+	}
+
+	g := sys.Group()
+	loaded := make([]int64, cfg.Threads)
+	for t := 0; t < cfg.Threads; t++ {
+		t := t
+		g.Go(func(id int, tl *simtime.Timeline) {
+			f, err := sys.Open(tl, "mmap.dat")
+			if err != nil {
+				return
+			}
+			m := sys.Lib().Mmap(tl, f)
+			if approach == crosslib.AppOnly || approach == crosslib.AppOnlyFincore {
+				// The paper: APPonly turns prefetching off via madvise.
+				m.Kernel().Madvise(tl, vfs.AdvRandom)
+			}
+			base := int64(t) * region
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*31337))
+			chunks := region / cfg.LoadSize
+			for i := int64(0); i < chunks; i++ {
+				g.Gate(id, tl)
+				var off int64
+				if cfg.Sequential {
+					off = base + i*cfg.LoadSize
+				} else {
+					off = base + rng.Int63n(chunks)*cfg.LoadSize
+				}
+				m.Load(tl, off, cfg.LoadSize, nil)
+				loaded[t] += cfg.LoadSize
+			}
+		})
+	}
+	g.Wait()
+	gs := g.Stats()
+	var res Result
+	for _, b := range loaded {
+		res.ReadBytes += b
+	}
+	res.Makespan = gs.Makespan
+	res.ReadMBs = simtime.Throughput(res.ReadBytes, gs.Makespan)
+	res.Group = gs
+	res.Metrics = sys.Metrics()
+	res.MissPct = res.Metrics.Cache.MissPercent()
+	res.LockPct = gs.LockPercent()
+	return res, nil
+}
