@@ -1,0 +1,19 @@
+# Tier-1 gate (see ROADMAP.md): every PR must leave `make check` green.
+.PHONY: check build test vet race bench
+
+check: vet build race
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem -run=^$$

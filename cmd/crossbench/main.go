@@ -8,22 +8,34 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
+
+// telemetryRecord is one audited system in the -telemetry-json output.
+type telemetryRecord struct {
+	Experiment string              `json:"experiment"`
+	System     string              `json:"system"`
+	Audit      string              `json:"audit"` // "ok" or the violation list
+	Snapshot   *telemetry.Snapshot `json:"snapshot"`
+}
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment ID (see -list), or \"all\"")
-		list  = flag.Bool("list", false, "list available experiments")
-		scale = flag.Int64("scale", 0, "capacity divisor (0 = experiment default)")
-		quick = flag.Bool("quick", false, "smoke-test sizes")
-		seed  = flag.Int64("seed", 1, "random seed")
-		csv   = flag.String("csv", "", "also write results as CSV to this file")
+		exp     = flag.String("exp", "", "experiment ID (see -list), or \"all\"")
+		list    = flag.Bool("list", false, "list available experiments")
+		scale   = flag.Int64("scale", 0, "capacity divisor (0 = experiment default)")
+		quick   = flag.Bool("quick", false, "smoke-test sizes")
+		seed    = flag.Int64("seed", 1, "random seed")
+		csv     = flag.String("csv", "", "also write results as CSV to this file")
+		tel     = flag.Bool("telemetry", false, "record and audit cross-layer telemetry per system")
+		telJSON = flag.String("telemetry-json", "", "write telemetry snapshots as JSON to this file (implies -telemetry)")
 	)
 	flag.Parse()
 
@@ -54,6 +66,12 @@ func main() {
 		csvOut = f
 	}
 
+	if *telJSON != "" {
+		*tel = true
+	}
+	experiments.EnableTelemetry(*tel)
+
+	var telRecords []telemetryRecord
 	opts := experiments.Options{Scale: *scale, Quick: *quick, Seed: *seed}
 	for _, id := range ids {
 		run, err := experiments.Get(id)
@@ -75,6 +93,34 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
+		}
+		if *tel {
+			for _, r := range experiments.DrainTelemetry() {
+				audit := "ok"
+				if r.Audit != nil {
+					audit = r.Audit.Error()
+				}
+				fmt.Printf("telemetry %s %s: audit %s", id, r.Label, audit)
+				if r.Snapshot != nil {
+					fmt.Printf(" (prefetch effectiveness %.2f, %d events)",
+						r.Snapshot.PrefetchEffectiveness(), r.Snapshot.EventsTotal)
+				}
+				fmt.Println()
+				telRecords = append(telRecords, telemetryRecord{
+					Experiment: id, System: r.Label, Audit: audit, Snapshot: r.Snapshot,
+				})
+			}
+		}
+	}
+
+	if *telJSON != "" {
+		data, err := json.MarshalIndent(telRecords, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*telJSON, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 }

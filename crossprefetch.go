@@ -26,12 +26,16 @@
 package crossprefetch
 
 import (
+	"errors"
+	"sync"
+
 	"repro/internal/blockdev"
 	"repro/internal/crosslib"
 	"repro/internal/fs"
 	"repro/internal/pagecache"
 	"repro/internal/readahead"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 	"repro/internal/vfs"
 )
 
@@ -84,6 +88,13 @@ type Config struct {
 	PerInodeLRU bool
 	// Costs, when non-nil, overrides the calibrated CPU cost table.
 	Costs *simtime.Costs
+	// Telemetry enables the cross-layer observability subsystem: one
+	// shared recorder threaded through the device, cache, kernel, and
+	// library. Disabled (the default) it costs nothing on the hot paths.
+	Telemetry bool
+	// TelemetryEventCap bounds the decision-trace ring buffer (default
+	// 4096 events; older events are dropped, counters stay exact).
+	TelemetryEventCap int
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +122,13 @@ type System struct {
 	cache  *pagecache.Cache
 	kernel *vfs.VFS
 	lib    *crosslib.Runtime
+
+	rec *telemetry.Recorder
+
+	// procMu guards procs: extra runtimes from NewProcess, tracked so
+	// AuditTelemetry can sum library stats across all of them.
+	procMu sync.Mutex
+	procs  []*crosslib.Runtime
 }
 
 // NewSystem assembles the full stack for the given configuration.
@@ -149,7 +167,15 @@ func NewSystem(cfg Config) *System {
 	}
 	lib := crosslib.New(kernel, opts)
 
-	return &System{cfg: cfg, dev: dev, fsys: fsys, cache: cache, kernel: kernel, lib: lib}
+	s := &System{cfg: cfg, dev: dev, fsys: fsys, cache: cache, kernel: kernel, lib: lib}
+	if cfg.Telemetry {
+		s.rec = telemetry.NewRecorder(cfg.TelemetryEventCap)
+		dev.SetTelemetry(s.rec)
+		cache.SetTelemetry(s.rec)
+		kernel.SetTelemetry(s.rec)
+		lib.SetTelemetry(s.rec)
+	}
+	return s
 }
 
 // Timeline returns a fresh virtual-time thread clock starting at zero.
@@ -189,7 +215,49 @@ func (s *System) NewProcess() *crosslib.Runtime {
 	if s.cfg.LibOptions != nil {
 		opts = *s.cfg.LibOptions
 	}
-	return crosslib.New(s.kernel, opts)
+	rt := crosslib.New(s.kernel, opts)
+	if s.rec != nil {
+		rt.SetTelemetry(s.rec)
+		s.procMu.Lock()
+		s.procs = append(s.procs, rt)
+		s.procMu.Unlock()
+	}
+	return rt
+}
+
+// Telemetry exposes the shared recorder, or nil when Config.Telemetry is
+// off.
+func (s *System) Telemetry() *telemetry.Recorder { return s.rec }
+
+// ErrTelemetryDisabled is returned by AuditTelemetry on a system built
+// without Config.Telemetry.
+var ErrTelemetryDisabled = errors.New("crossprefetch: telemetry disabled")
+
+// AuditTelemetry snapshots the recorder and reconciles every layer's
+// account of the prefetch pipeline (see telemetry.Audit). It returns nil
+// when all invariants hold. Call it at a quiescent point (the inline
+// worker pool guarantees one after any I/O call returns).
+func (s *System) AuditTelemetry() error {
+	if s.rec == nil {
+		return ErrTelemetryDisabled
+	}
+	saved := s.lib.Stats().SavedPrefetches
+	dropped := s.lib.Stats().DroppedPrefetch
+	s.procMu.Lock()
+	for _, rt := range s.procs {
+		st := rt.Stats()
+		saved += st.SavedPrefetches
+		dropped += st.DroppedPrefetch
+	}
+	s.procMu.Unlock()
+	return telemetry.Audit(s.rec.Snapshot(), telemetry.AuditInput{
+		BlockSize:          s.cfg.BlockSize,
+		CacheUsed:          s.cache.Used(),
+		LibSavedPrefetches: saved,
+		LibDroppedPrefetch: dropped,
+		HasLibStats:        true,
+		StrictDevice:       true,
+	})
 }
 
 // Open opens a file through the configured approach's I/O path.
@@ -231,6 +299,9 @@ type Metrics struct {
 	Reads      int64
 	Writes     int64
 	MmapFaults int64
+	// Telemetry is the cross-layer recorder snapshot; nil unless
+	// Config.Telemetry is set.
+	Telemetry *telemetry.Snapshot
 }
 
 // Metrics snapshots all layers.
@@ -243,5 +314,6 @@ func (s *System) Metrics() Metrics {
 		Reads:      s.kernel.SyscallCount(vfs.SysRead),
 		Writes:     s.kernel.SyscallCount(vfs.SysWrite),
 		MmapFaults: s.kernel.SyscallCount(vfs.SysMmapFault),
+		Telemetry:  s.rec.Snapshot(),
 	}
 }

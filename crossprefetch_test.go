@@ -2,10 +2,12 @@ package crossprefetch_test
 
 import (
 	"bytes"
+	"math/rand"
 	"testing"
 
 	crossprefetch "repro"
 	"repro/internal/blockdev"
+	"repro/internal/telemetry"
 )
 
 func TestZeroValueConfig(t *testing.T) {
@@ -123,5 +125,70 @@ func TestNewProcessIsolation(t *testing.T) {
 	f2.ReadAt(tl, buf, 0)
 	if got := sys.Cache().Stats().Misses; got != missesBefore {
 		t.Fatalf("process 2 should hit process 1's pages (misses %d -> %d)", missesBefore, got)
+	}
+}
+
+func TestTelemetryAuditReconciles(t *testing.T) {
+	// The audit cross-checks every layer's counters against its neighbors:
+	// any double count or missed decrement in the instrumentation (or in
+	// the accounting it observes) surfaces as an invariant violation. Run
+	// it over both a sequential scan (prefetch-heavy) and a random workload
+	// under memory pressure (eviction/waste-heavy).
+	run := func(t *testing.T, random bool) {
+		sys := crossprefetch.NewSystem(crossprefetch.Config{
+			Approach:    crossprefetch.CrossPredictOpt,
+			MemoryBytes: 16 << 20,
+			Telemetry:   true,
+		})
+		tl := sys.Timeline()
+		if err := sys.CreateSynthetic(tl, "data", 32<<20); err != nil {
+			t.Fatal(err)
+		}
+		f, err := sys.Open(tl, "data")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 16384)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 1024; i++ {
+			off := int64(i) * int64(len(buf))
+			if random {
+				off = rng.Int63n(32<<20 - int64(len(buf)))
+			}
+			if _, err := f.ReadAt(tl, buf, off); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.Close(tl); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.AuditTelemetry(); err != nil {
+			t.Fatal(err)
+		}
+		snap := sys.Metrics().Telemetry
+		if snap == nil {
+			t.Fatal("Metrics.Telemetry nil with telemetry enabled")
+		}
+		if snap.Counter(telemetry.CtrCacheInsertedPages) == 0 {
+			t.Fatal("no cache insertions recorded")
+		}
+		if snap.EventsTotal == 0 {
+			t.Fatal("no prefetch decisions traced")
+		}
+	}
+	t.Run("sequential", func(t *testing.T) { run(t, false) })
+	t.Run("random", func(t *testing.T) { run(t, true) })
+}
+
+func TestTelemetryDisabledByDefault(t *testing.T) {
+	sys := crossprefetch.NewSystem(crossprefetch.Config{MemoryBytes: 16 << 20})
+	if sys.Telemetry() != nil {
+		t.Fatal("recorder allocated without opt-in")
+	}
+	if sys.Metrics().Telemetry != nil {
+		t.Fatal("Metrics.Telemetry non-nil without opt-in")
+	}
+	if err := sys.AuditTelemetry(); err != crossprefetch.ErrTelemetryDisabled {
+		t.Fatalf("AuditTelemetry = %v, want ErrTelemetryDisabled", err)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 )
 
 // Op distinguishes request directions.
@@ -121,6 +122,10 @@ type Device struct {
 	readBytes  atomic.Int64
 	writeBytes atomic.Int64
 
+	// rec, when non-nil, receives latency/size histograms and byte
+	// counters for every request (telemetry opt-in).
+	rec *telemetry.Recorder
+
 	// FaultFn, when non-nil, is consulted per request; returning true
 	// fails the request with ErrInjected. Used by failure-injection tests.
 	FaultFn func(op Op, bytes int64) bool
@@ -140,6 +145,23 @@ func New(cfg Config) *Device {
 
 // Config reports the device configuration.
 func (d *Device) Config() Config { return d.cfg }
+
+// SetTelemetry installs the telemetry recorder (nil disables).
+func (d *Device) SetTelemetry(rec *telemetry.Recorder) { d.rec = rec }
+
+// record reports one completed request spanning [start, done) to the
+// telemetry recorder.
+func (d *Device) record(op Op, bytes int64, start, done simtime.Time) {
+	if op == OpWrite {
+		d.rec.Observe(telemetry.HistDevWriteLat, int64(done.Sub(start)))
+		d.rec.Observe(telemetry.HistDevWriteBytes, bytes)
+		d.rec.Add(telemetry.CtrDeviceWriteBytes, bytes)
+		return
+	}
+	d.rec.Observe(telemetry.HistDevReadLat, int64(done.Sub(start)))
+	d.rec.Observe(telemetry.HistDevReadBytes, bytes)
+	d.rec.Add(telemetry.CtrDeviceReadBytes, bytes)
+}
 
 // BlockSize reports the device block size.
 func (d *Device) BlockSize() int64 { return d.cfg.BlockSize }
@@ -175,12 +197,16 @@ func (d *Device) Access(tl *simtime.Timeline, op Op, bytes int64) error {
 	}
 	bw, lat := d.params(op)
 	hold := d.cfg.CmdOverhead + d.transfer(bytes, bw)
-	_, end := d.bwSync.ReserveAt(tl.Now(), hold)
+	start := tl.Now()
+	_, end := d.bwSync.ReserveAt(start, hold)
 	// Blocking traffic also occupies combined capacity, throttling the
 	// bandwidth the async lane can consume.
-	d.bwAll.ReserveAt(tl.Now(), hold)
+	d.bwAll.ReserveAt(start, hold)
 	tl.WaitUntil(end.Add(lat), simtime.WaitIO)
 	d.account(op, bytes)
+	if d.rec != nil {
+		d.record(op, bytes, start, end.Add(lat))
+	}
 	return nil
 }
 
@@ -203,6 +229,9 @@ func (d *Device) AccessAsync(at simtime.Time, op Op, bytes int64) (simtime.Time,
 	}
 	done := d.AccessAt(at, op, bytes)
 	d.account(op, bytes)
+	if d.rec != nil {
+		d.record(op, bytes, at, done)
+	}
 	return done, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/bitmap"
 	"repro/internal/predictor"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 	"repro/internal/vfs"
 )
 
@@ -22,8 +23,9 @@ type File struct {
 	predMu sync.Mutex
 	pred   *predictor.Predictor
 
-	mu  sync.Mutex
-	pos int64
+	mu     sync.Mutex
+	pos    int64
+	closed bool
 }
 
 // Open opens an existing file through the runtime.
@@ -76,6 +78,49 @@ func (rt *Runtime) wrap(tl *simtime.Timeline, kf *vfs.File, name string) *File {
 	return f
 }
 
+// Close releases the descriptor: the kernel descriptor is closed and,
+// when this was the last descriptor of its inode, the shared per-inode
+// state (range tree, activity tracking) is dropped from the runtime.
+// Without this, long-running processes that churn through files leak one
+// sharedFile plus one kernel descriptor per open, and the eviction pass
+// keeps scanning files nobody will touch again. Idempotent.
+//
+// Safe with respect to background prefetch: the worker pool executes jobs
+// inline on the submitting thread, so no job can still reference sf.kf
+// after every opener has returned.
+func (f *File) Close(tl *simtime.Timeline) error {
+	f.mu.Lock()
+	closed := f.closed
+	f.closed = true
+	f.mu.Unlock()
+	if closed {
+		return nil
+	}
+	sf := f.sf
+	if sf == nil {
+		// Disabled runtime: plain kernel descriptor.
+		f.kf.Close(tl)
+		return nil
+	}
+	rt := f.rt
+	rt.mu.Lock()
+	sf.refs--
+	last := sf.refs == 0
+	if last {
+		delete(rt.files, sf.inoID)
+	}
+	rt.mu.Unlock()
+	// sf.kf is the descriptor background work borrows; it is closed only
+	// by the last closer, which may not be the descriptor that donated it.
+	if f.kf != sf.kf {
+		f.kf.Close(tl)
+	}
+	if last {
+		sf.kf.Close(tl)
+	}
+	return nil
+}
+
 // Kernel exposes the underlying kernel descriptor (APPonly workloads issue
 // their own readahead/fadvise through it).
 func (f *File) Kernel() *vfs.File { return f.kf }
@@ -102,7 +147,7 @@ func (f *File) ReadAt(tl *simtime.Timeline, dst []byte, off int64) (int, error) 
 	op := f.rt.tick()
 	if o.Predict && f.pred != nil {
 		f.predMu.Lock()
-		f.pred.Observe(lo, hi-lo)
+		skipped := f.pred.Observe(lo, hi-lo)
 		plo, pn := f.pred.Next()
 		f.predMu.Unlock()
 		switch {
@@ -110,6 +155,11 @@ func (f *File) ReadAt(tl *simtime.Timeline, dst []byte, off int64) (int, error) 
 			f.prefetchAsync(tl, plo, pn)
 		case o.CoveragePrefetch:
 			f.coveragePrefetch(tl, lo)
+		case skipped:
+			// Steady-state throttle: the predictor deliberately examined
+			// nothing, so no new intent was formed this access.
+			f.rt.rec.Event(tl.Now(), telemetry.OutcomeThrottledSteadyState,
+				f.sf.inoID, lo, lo)
 		}
 	}
 	if o.FetchAll {
@@ -202,6 +252,8 @@ func (f *File) prefetchAsync(tl *simtime.Timeline, lo, blocks int64) {
 	if !o.FetchAll && (o.OptLimits || o.AggressiveEvict || o.CoveragePrefetch) {
 		free := rt.freeFrac()
 		if free < o.LowWaterFrac {
+			rt.rec.Event(tl.Now(), telemetry.OutcomeDroppedLowMemory,
+				f.sf.inoID, lo, lo+blocks)
 			return
 		}
 		if free < o.HighWaterFrac {
@@ -220,6 +272,7 @@ func (f *File) prefetchAsync(tl *simtime.Timeline, lo, blocks int64) {
 		// Everything already cached or in flight: the prefetch system
 		// call is elided — the core saving of cache visibility (§4.2).
 		rt.savedPrefetch.Add(1)
+		rt.rec.Event(tl.Now(), telemetry.OutcomeSavedByBitmap, f.sf.inoID, lo, hi)
 		return
 	}
 	// Batching hysteresis: a window whose uncovered tail is still tiny is
@@ -232,6 +285,8 @@ func (f *File) prefetchAsync(tl *simtime.Timeline, lo, blocks int64) {
 		for _, r := range runs {
 			f.sf.tree.ClearRequested(tl, r.Lo, r.Hi)
 		}
+		rt.rec.Event(tl.Now(), telemetry.OutcomeThrottledBatching,
+			f.sf.inoID, lo, lo+missing)
 		return
 	}
 
@@ -245,6 +300,7 @@ func (f *File) prefetchAsync(tl *simtime.Timeline, lo, blocks int64) {
 			f.sf.tree.ClearRequested(tl, r.Lo, r.Hi)
 		}
 		rt.droppedPrefetch.Add(1)
+		rt.rec.Event(now, telemetry.OutcomeDroppedQueueFull, f.sf.inoID, lo, hi)
 		return
 	}
 	sf := f.sf
@@ -267,6 +323,8 @@ func (f *File) issuePrefetch(wtl *simtime.Timeline, kf *vfs.File, sf *sharedFile
 	o := rt.opt
 	bs := rt.v.BlockSize()
 
+	rt.rec.Event(wtl.Now(), telemetry.OutcomeIssued, sf.inoID, lo, hi)
+
 	if !o.Visibility {
 		// Degraded mode: blind readahead(2), no state import.
 		kf.Readahead(wtl, lo*bs, (hi-lo)*bs)
@@ -285,6 +343,7 @@ func (f *File) issuePrefetch(wtl *simtime.Timeline, kf *vfs.File, sf *sharedFile
 		if o.OptLimits {
 			req.LimitOverride = hi - pos
 		}
+		rt.rec.Add(telemetry.CtrLibIssuedPages, hi-pos)
 		snap := bitmap.New(0)
 		info := kf.ReadaheadInfo(wtl, req, snap)
 		rt.prefetchCalls.Add(1)
@@ -324,6 +383,8 @@ func (f *File) coveragePrefetch(tl *simtime.Timeline, lo int64) {
 	o := rt.opt
 	free := rt.freeFrac()
 	if free < o.LowWaterFrac {
+		rt.rec.Event(tl.Now(), telemetry.OutcomeDroppedLowMemory,
+			f.sf.inoID, lo, lo)
 		return
 	}
 	chunk := int64(64) // 256KB of 4KB blocks without opt

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/rangetree"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 	"repro/internal/vfs"
 )
 
@@ -23,6 +24,10 @@ type Runtime struct {
 	ops atomic.Int64 // intercepted operations, for eviction throttling
 
 	evictMu sync.Mutex // serializes budget enforcement passes
+
+	// rec, when non-nil, receives the prefetch decision trace and the
+	// library-side accounting counters (telemetry opt-in).
+	rec *telemetry.Recorder
 
 	// Stats.
 	prefetchCalls   atomic.Int64 // readahead_info calls issued
@@ -42,6 +47,7 @@ type sharedFile struct {
 	name  string
 	kf    *vfs.File // any descriptor, used for background prefetch/evict
 	tree  *rangetree.Tree
+	refs  int // live descriptors, guarded by Runtime.mu
 
 	lastAccess atomic.Int64 // virtual time of last access
 	fetchAll   atomic.Bool  // whole-file prefetch kicked off
@@ -74,6 +80,16 @@ func NewForApproach(v *vfs.VFS, a Approach) *Runtime {
 
 // VFS exposes the kernel below the runtime.
 func (rt *Runtime) VFS() *vfs.VFS { return rt.v }
+
+// SetTelemetry installs the telemetry recorder (nil disables).
+func (rt *Runtime) SetTelemetry(rec *telemetry.Recorder) { rt.rec = rec }
+
+// SharedFiles reports live per-inode state entries (leak detection).
+func (rt *Runtime) SharedFiles() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.files)
+}
 
 // Options reports the active configuration.
 func (rt *Runtime) Options() Options { return rt.opt }
@@ -119,6 +135,7 @@ func (rt *Runtime) shared(kf *vfs.File, name string) *sharedFile {
 		}
 		rt.files[ino] = sf
 	}
+	sf.refs++
 	return sf
 }
 
@@ -208,7 +225,12 @@ func (rt *Runtime) evictPass(wtl *simtime.Timeline, now simtime.Time) {
 	})
 
 	freed := int64(0)
-	// Pass 1: whole inactive files.
+	// Pass 1: whole inactive files. Credit only what the fadvise actually
+	// freed (before/after residency), not the pre-call CachedPages count:
+	// pages beyond EOF after a truncate, pages another thread re-faults
+	// concurrently, or dirty pages a flush pins can all survive the
+	// DONTNEED, and crediting them would end the pass while the budget is
+	// still over target.
 	for _, sf := range candidates {
 		if freed >= target {
 			return
@@ -217,14 +239,15 @@ func (rt *Runtime) evictPass(wtl *simtime.Timeline, now simtime.Time) {
 		if idle < rt.opt.InactiveAge {
 			break // list is sorted; the rest are hotter
 		}
-		n := sf.kf.FileCache().CachedPages()
-		if n == 0 {
+		before := sf.kf.FileCache().CachedPages()
+		if before == 0 {
 			continue
 		}
 		sf.kf.Fadvise(wtl, vfs.AdvDontNeed, 0, 0)
 		sf.tree.ClearCached(wtl, 0, sf.kf.Inode().Blocks())
-		rt.evictedPgs.Add(n)
-		freed += n
+		freedNow := before - sf.kf.FileCache().CachedPages()
+		rt.evictedPgs.Add(freedNow)
+		freed += freedNow
 	}
 	// Pass 2: ranges that have genuinely gone inactive. Ranges touched
 	// recently are left alone even under pressure — evicting the live

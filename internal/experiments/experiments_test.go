@@ -189,3 +189,31 @@ func TestCSVEscaping(t *testing.T) {
 		t.Fatalf("csv escaping wrong: %s", buf.String())
 	}
 }
+
+func TestTelemetryDrainAuditsEverySystem(t *testing.T) {
+	EnableTelemetry(true)
+	defer EnableTelemetry(false)
+	runQuick(t, "fig5")
+	results := DrainTelemetry()
+	if len(results) == 0 {
+		t.Fatal("no systems registered with telemetry enabled")
+	}
+	for _, r := range results {
+		if r.Audit != nil {
+			t.Errorf("%s: %v", r.Label, r.Audit)
+		}
+		if r.Snapshot == nil {
+			t.Errorf("%s: nil snapshot", r.Label)
+		}
+	}
+	if got := DrainTelemetry(); len(got) != 0 {
+		t.Fatalf("drain did not clear the registry: %d left", len(got))
+	}
+}
+
+func TestTelemetryDisabledRegistersNothing(t *testing.T) {
+	runQuick(t, "fig6")
+	if got := DrainTelemetry(); len(got) != 0 {
+		t.Fatalf("systems registered while telemetry disabled: %d", len(got))
+	}
+}

@@ -132,7 +132,12 @@ func newSys(c sysConfig) *crossprefetch.System {
 	if c.device.Name != "" {
 		cfg.Device = c.device
 	}
-	return crossprefetch.NewSystem(cfg)
+	cfg.Telemetry = telemetryEnabled()
+	sys := crossprefetch.NewSystem(cfg)
+	if cfg.Telemetry {
+		registerTelemetry(sysLabel(c), sys)
+	}
+	return sys
 }
 
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }

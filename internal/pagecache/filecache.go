@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bitmap"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 )
 
 // FileCache is the per-inode cache state: the page index (Xarray model),
@@ -82,6 +83,7 @@ func (fc *FileCache) LookupRange(tl *simtime.Timeline, lo, hi int64) LookupResul
 
 	res := LookupResult{Present: make([]bool, n)}
 	var touched []*page
+	var prefetchHits int64
 	fc.mu.Lock()
 	for i := lo; i < hi; i++ {
 		p, ok := fc.pages[i]
@@ -97,9 +99,14 @@ func (fc *FileCache) LookupRange(tl *simtime.Timeline, lo, hi int64) LookupResul
 			p.marker = false
 			res.MarkerHit = true
 		}
+		if p.prefetched {
+			p.prefetched = false
+			prefetchHits++
+		}
 		touched = append(touched, p)
 	}
 	fc.mu.Unlock()
+	fc.cache.rec.Add(telemetry.CtrPrefetchHitPages, prefetchHits)
 
 	fc.hits.Add(res.PresentCount)
 	fc.misses.Add(n - res.PresentCount)
@@ -123,6 +130,9 @@ type InsertOptions struct {
 	Dirty bool
 	// MarkerAt places the PG_readahead marker on this page (-1 = none).
 	MarkerAt int64
+	// Prefetched marks the pages as prefetch-inserted for the telemetry
+	// effectiveness accounting (set by the VFS prefetch path).
+	Prefetched bool
 }
 
 // InsertRange installs pages [lo, hi), charging the tree lock exclusive,
@@ -162,7 +172,8 @@ func (fc *FileCache) InsertRange(tl *simtime.Timeline, lo, hi int64, opt InsertO
 			}
 			continue
 		}
-		p := &page{fc: fc, idx: i, readyAt: opt.ReadyAt, dirty: opt.Dirty}
+		p := &page{fc: fc, idx: i, readyAt: opt.ReadyAt, dirty: opt.Dirty,
+			prefetched: opt.Prefetched}
 		if opt.Dirty {
 			fc.cache.dirty.Add(1)
 		}
@@ -187,6 +198,10 @@ func (fc *FileCache) InsertRange(tl *simtime.Timeline, lo, hi int64, opt InsertO
 	if inserted > 0 {
 		if tl != nil {
 			fc.lastTouch.Store(int64(tl.Now()))
+		}
+		fc.cache.rec.Add(telemetry.CtrCacheInsertedPages, inserted)
+		if opt.Prefetched {
+			fc.cache.rec.Add(telemetry.CtrCachePrefetchInsertedPages, inserted)
 		}
 		fc.cache.used.Add(inserted)
 		fc.cache.link(fresh)

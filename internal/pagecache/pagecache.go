@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/bitmap"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 )
 
 // Config sizes the cache.
@@ -54,6 +55,10 @@ type FlushFn func(at simtime.Time, inoID, lo, hi int64) simtime.Time
 type Cache struct {
 	cfg   Config
 	flush FlushFn
+
+	// rec, when non-nil, receives insertion/removal counters and the
+	// prefetch-effectiveness accounting (telemetry opt-in).
+	rec *telemetry.Recorder
 
 	used atomic.Int64
 
@@ -97,6 +102,9 @@ func New(cfg Config, flush FlushFn) *Cache {
 
 // SetFlushFn installs the dirty-page writeback hook.
 func (c *Cache) SetFlushFn(f FlushFn) { c.flush = f }
+
+// SetTelemetry installs the telemetry recorder (nil disables).
+func (c *Cache) SetTelemetry(rec *telemetry.Recorder) { c.rec = rec }
 
 // Capacity reports the memory budget in pages.
 func (c *Cache) Capacity() int64 { return c.cfg.CapacityPages }
@@ -207,6 +215,10 @@ type page struct {
 	readyAt simtime.Time
 	dirty   bool
 	marker  bool // PG_readahead
+	// prefetched marks a page inserted by a prefetch and not yet read —
+	// the state the Leap-style effectiveness accounting tracks. A lookup
+	// clears it (hit); eviction of a still-set page is wasted prefetch.
+	prefetched bool
 
 	// LRU linkage, guarded by Cache.lruMu.
 	prev, next *page

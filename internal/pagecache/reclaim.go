@@ -1,6 +1,9 @@
 package pagecache
 
-import "repro/internal/simtime"
+import (
+	"repro/internal/simtime"
+	"repro/internal/telemetry"
+)
 
 // link puts freshly inserted pages on the inactive list (Linux admits new
 // file pages to inactive; promotion to active happens on re-access). With
@@ -246,6 +249,33 @@ func (c *Cache) finishEviction(tl *simtime.Timeline, victims []*page, unlink boo
 	}
 	c.used.Add(-int64(len(victims)))
 	c.evictions.Add(int64(len(victims)))
+
+	if c.rec != nil {
+		c.rec.Add(telemetry.CtrCacheRemovedPages, int64(len(victims)))
+		// Pages still flagged prefetched were never read: wasted prefetch.
+		var wasted, minIdx int64
+		minIdx = -1
+		for _, p := range victims {
+			if p.prefetched {
+				p.prefetched = false
+				wasted++
+				if minIdx < 0 || p.idx < minIdx {
+					minIdx = p.idx
+				}
+			}
+		}
+		if wasted > 0 {
+			c.rec.Add(telemetry.CtrPrefetchWastedPages, wasted)
+			// Both callers pass single-file batches; the event's page count
+			// (hi-lo) is the wasted total, anchored at the lowest index.
+			at := simtime.Time(0)
+			if tl != nil {
+				at = tl.Now()
+			}
+			c.rec.Event(at, telemetry.OutcomeEvictedBeforeUse,
+				victims[0].fc.inoID, minIdx, minIdx+wasted)
+		}
+	}
 
 	if c.flush == nil {
 		return

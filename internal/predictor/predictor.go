@@ -77,6 +77,7 @@ type Predictor struct {
 
 	primed  bool
 	lastEnd int64 // block after the previous access
+	lastLen int64 // length of the previous access in blocks
 	stride  int64 // detected inter-access stride (0 = contiguous)
 	strideN int   // consecutive confirmations of the stride
 
@@ -115,27 +116,29 @@ func (p *Predictor) Observes() int64 { return p.observes }
 func (p *Predictor) Skipped() int64  { return p.skipped }
 
 // Observe feeds one access of `blocks` blocks at block offset `lo` into
-// the detector.
-func (p *Predictor) Observe(lo, blocks int64) {
+// the detector. It reports whether the steady-state throttle skipped the
+// update (the caller can surface that in a decision trace).
+func (p *Predictor) Observe(lo, blocks int64) (skippedObs bool) {
 	if blocks < 1 {
 		blocks = 1
 	}
 	defer func() {
 		p.lastEnd = lo + blocks
+		p.lastLen = blocks
 		p.primed = true
 	}()
 
 	if p.skip > 0 {
 		p.skip--
 		p.skipped++
-		return
+		return true
 	}
 	p.observes++
 
 	if !p.primed {
 		// Files open in the most random state: nothing prefetched until
 		// evidence accumulates (§4.6).
-		return
+		return false
 	}
 
 	gap := lo - p.lastEnd
@@ -165,6 +168,7 @@ func (p *Predictor) Observe(lo, blocks int64) {
 	if p.cfg.SteadySkip > 0 && (p.counter == 0 || p.counter == p.maxCnt) {
 		p.skip = p.cfg.SteadySkip
 	}
+	return false
 }
 
 func (p *Predictor) bump(d int) {
@@ -203,11 +207,14 @@ func (p *Predictor) Next() (lo, blocks int64) {
 	}
 	lo = p.lastEnd
 	if p.stride != 0 && p.strideN >= 2 {
+		// The gap-based stride means the next access starts at
+		// lastEnd+stride and ends near lastEnd+stride+lastLen.
 		lo = p.lastEnd + p.stride
 		if p.stride < 0 {
 			// Backward stream (e.g. RocksDB reverse iteration): prefetch
-			// behind the cursor.
-			lo = p.lastEnd + p.stride*2 - n
+			// behind the cursor, with the window ending at the expected
+			// next access's end so that access is always covered.
+			lo = p.lastEnd + p.stride + p.lastLen - n
 			if lo < 0 {
 				lo = 0
 			}

@@ -124,6 +124,67 @@ func TestBackwardStreamPrefetchesBehind(t *testing.T) {
 	}
 }
 
+func TestBackwardWindowCoversNextAccess(t *testing.T) {
+	// Regression test for the backward-stride window placement: the window
+	// must contain the immediately next expected access. The old math
+	// (lastEnd + stride*2 - n) ended the window one access too early, so a
+	// reverse scanner never found its next read prefetched.
+	cfg := DefaultConfig()
+	cfg.SteadySkip = 0
+	p := New(cfg)
+	pos := int64(100_000)
+	for i := 0; i < 30; i++ {
+		p.Observe(pos, 4)
+		pos -= 4
+	}
+	// The stream's next access will be [pos, pos+4).
+	lo, n := p.Next()
+	if n == 0 {
+		t.Fatal("reverse stream should prefetch")
+	}
+	if pos < lo || pos+4 > lo+n {
+		t.Fatalf("window [%d,%d) does not cover next access [%d,%d)",
+			lo, lo+n, pos, pos+4)
+	}
+}
+
+func TestBackwardSingleBlockWindowCoversNextAccess(t *testing.T) {
+	// Same property for 1-block descending reads, where the gap-based
+	// stride (-2) differs from the access step (-1).
+	cfg := DefaultConfig()
+	cfg.SteadySkip = 0
+	p := New(cfg)
+	pos := int64(50_000)
+	for i := 0; i < 30; i++ {
+		p.Observe(pos, 1)
+		pos--
+	}
+	lo, n := p.Next()
+	if n == 0 {
+		t.Fatal("reverse stream should prefetch")
+	}
+	if pos < lo || pos+1 > lo+n {
+		t.Fatalf("window [%d,%d) does not cover next access [%d,%d)",
+			lo, lo+n, pos, pos+1)
+	}
+}
+
+func TestObserveReportsSkipped(t *testing.T) {
+	p := New(DefaultConfig())
+	sawSkip := false
+	for i := int64(0); i < 100; i++ {
+		if p.Observe(i*4, 4) {
+			sawSkip = true
+		}
+	}
+	if !sawSkip {
+		t.Fatal("saturated predictor never reported a skipped observation")
+	}
+	if p.Skipped() == 0 {
+		t.Fatal("skipped counter did not advance")
+	}
+}
+
 func TestSteadyStateThrottling(t *testing.T) {
 	p := New(DefaultConfig())
 	for i := int64(0); i < 100; i++ {

@@ -142,8 +142,14 @@ func (s *State) OnDemand(cfg Config, off, req, fileBlocks int64, hitMarker, miss
 	}
 	max := s.maxPages(cfg)
 
+	// A read is sequential when it starts at or before the previous end
+	// and extends strictly past it. Using > prevEnd (not > prevEnd-1)
+	// matters: an exact re-read of the previous range ends at prevEnd and
+	// advances nothing, so it must classify as non-sequential — otherwise
+	// a re-read of cold pages restarts a readahead window for data the
+	// reader already consumed.
 	sequential := !s.primed && off == 0 ||
-		s.primed && off <= s.prevEnd && off+req > s.prevEnd-1
+		s.primed && off <= s.prevEnd && off+req > s.prevEnd
 
 	switch {
 	case hitMarker:

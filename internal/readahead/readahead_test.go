@@ -145,6 +145,37 @@ func TestSequenceOfMarkerlessSequentialMisses(t *testing.T) {
 	}
 }
 
+func TestSequentialOverlapClassification(t *testing.T) {
+	// Regression test for the sequentiality check's off-by-one: a read is
+	// sequential only when it extends strictly past prevEnd. An exact
+	// re-read of the previous range (its pages since evicted, so missed is
+	// true) used to satisfy `off+req > prevEnd-1` and restart a sync
+	// readahead window for data the reader already consumed.
+	cases := []struct {
+		name       string
+		off, req   int64
+		wantWindow bool
+	}{
+		{"exact re-read", 0, 4, false},
+		{"re-read last page", 3, 1, false},
+		{"overlap extending", 2, 4, true},
+		{"adjacent", 4, 4, true},
+		{"backward within previous", 0, 2, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var s State
+			cfg := DefaultConfig()
+			s.OnDemand(cfg, 0, 4, fileBlocks, false, true) // prime: prevEnd = 4
+			a := s.OnDemand(cfg, tc.off, tc.req, fileBlocks, false, true)
+			if got := a.Pages() > 0; got != tc.wantWindow {
+				t.Fatalf("off=%d req=%d: window=%v (action %+v), want window=%v",
+					tc.off, tc.req, got, a, tc.wantWindow)
+			}
+		})
+	}
+}
+
 func TestModeString(t *testing.T) {
 	if ModeNormal.String() != "normal" || ModeSequential.String() != "sequential" || ModeRandom.String() != "random" {
 		t.Fatal("mode strings wrong")

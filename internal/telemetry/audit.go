@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AuditInput carries the external ground truth Audit reconciles the
+// recorder's counters against.
+type AuditInput struct {
+	// BlockSize converts the device byte counters to pages.
+	BlockSize int64
+	// CacheUsed is the cache's own resident-page count at audit time.
+	CacheUsed int64
+	// LibSavedPrefetches and LibDroppedPrefetch are the CROSS-LIB stats
+	// counters (summed over runtimes sharing the recorder); consulted
+	// when HasLibStats is set.
+	LibSavedPrefetches int64
+	LibDroppedPrefetch int64
+	HasLibStats        bool
+	// StrictDevice additionally requires every device read to be
+	// accounted to a VFS demand fetch or prefetch — true whenever the
+	// kernel under audit is the device's only client.
+	StrictDevice bool
+}
+
+// Audit cross-checks the layers' accounts of the same work and returns
+// nil when they reconcile, or one error listing every violated
+// invariant. The point is regression detection: each invariant below is
+// an identity the stack maintains by construction, so a mismatch means
+// some layer's accounting broke (exactly the class of bug a flat,
+// single-layer counter cannot expose).
+func Audit(s *Snapshot, in AuditInput) error {
+	if s == nil {
+		return fmt.Errorf("telemetry audit: nil snapshot (telemetry disabled?)")
+	}
+	var bad []string
+	fail := func(format string, args ...any) {
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+
+	// Kernel-internal: the limit clamp splits every requested page into
+	// admitted or rejected, never both, never neither.
+	req := s.Counter(CtrKernelRequestedPages)
+	adm := s.Counter(CtrKernelAdmittedPages)
+	rej := s.Counter(CtrKernelRejectedPages)
+	if req != adm+rej {
+		fail("kernel requested %d != admitted %d + rejected %d", req, adm, rej)
+	}
+
+	// Lib <-> kernel: every page the library hands to readahead_info is
+	// seen by the kernel (the library clamps to the file before calling,
+	// so the counts match exactly).
+	if lib := s.Counter(CtrLibIssuedPages); lib != adm+rej {
+		fail("lib issued %d pages != kernel admitted %d + rejected %d", lib, adm, rej)
+	}
+
+	// Cache <-> cache: insertions minus removals is exactly residency.
+	ins := s.Counter(CtrCacheInsertedPages)
+	rem := s.Counter(CtrCacheRemovedPages)
+	if ins-rem != in.CacheUsed {
+		fail("cache inserted %d - removed %d = %d != resident %d", ins, rem, ins-rem, in.CacheUsed)
+	}
+
+	// VFS <-> cache: every page the VFS prefetch path inserted was
+	// flagged prefetched by the cache, and vice versa.
+	vfsIns := s.Counter(CtrVFSPrefetchInsertedPages)
+	cacheIns := s.Counter(CtrCachePrefetchInsertedPages)
+	if vfsIns != cacheIns {
+		fail("vfs prefetch-inserted %d pages != cache prefetch-inserted %d", vfsIns, cacheIns)
+	}
+
+	// readahead_info reports a subset of all VFS prefetch insertions
+	// (kernel readahead and fault-around also insert).
+	if kp := s.Counter(CtrKernelPrefetchedPages); kp > vfsIns {
+		fail("readahead_info prefetched %d pages > all vfs prefetch insertions %d", kp, vfsIns)
+	}
+
+	// Effectiveness: a prefetched page is consumed at most once, as a
+	// hit or as waste.
+	hit := s.Counter(CtrPrefetchHitPages)
+	wasted := s.Counter(CtrPrefetchWastedPages)
+	if hit+wasted > cacheIns {
+		fail("prefetch hits %d + wasted %d > prefetched insertions %d", hit, wasted, cacheIns)
+	}
+
+	// Trace <-> counter: the evicted-before-use events carry exactly the
+	// wasted pages.
+	if ev := s.Outcome(OutcomeEvictedBeforeUse); ev.Pages != wasted {
+		fail("evicted-before-use trace pages %d != wasted counter %d", ev.Pages, wasted)
+	}
+
+	// Trace <-> lib stats: the decision trace and the library's flat
+	// counters describe the same decisions.
+	if in.HasLibStats {
+		if ev := s.Outcome(OutcomeSavedByBitmap); ev.Events != in.LibSavedPrefetches {
+			fail("saved-by-bitmap trace events %d != lib saved prefetches %d", ev.Events, in.LibSavedPrefetches)
+		}
+		if ev := s.Outcome(OutcomeDroppedQueueFull); ev.Events != in.LibDroppedPrefetch {
+			fail("dropped-queue-full trace events %d != lib dropped prefetches %d", ev.Events, in.LibDroppedPrefetch)
+		}
+	}
+
+	// Device <-> VFS: for a kernel that is the device's only client,
+	// every read the device served was a demand fetch or a prefetch.
+	if in.StrictDevice && in.BlockSize > 0 {
+		devPages := s.Counter(CtrDeviceReadBytes) / in.BlockSize
+		vfsPages := s.Counter(CtrVFSDemandFetchPages) + s.Counter(CtrVFSPrefetchDevicePages)
+		if devPages != vfsPages {
+			fail("device read %d pages != vfs demand %d + prefetch %d",
+				devPages, s.Counter(CtrVFSDemandFetchPages), s.Counter(CtrVFSPrefetchDevicePages))
+		}
+	}
+
+	// Trace bookkeeping: per-outcome totals must cover everything the
+	// ring ever saw.
+	var traced int64
+	for o := Outcome(0); o < numOutcomes; o++ {
+		traced += s.Outcome(o).Events
+	}
+	if traced != s.EventsTotal {
+		fail("outcome totals %d != events recorded %d", traced, s.EventsTotal)
+	}
+
+	if len(bad) == 0 {
+		return nil
+	}
+	return fmt.Errorf("telemetry audit: %d invariant(s) violated:\n  %s",
+		len(bad), strings.Join(bad, "\n  "))
+}

@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// OutcomeStat is one outcome's exact totals.
+type OutcomeStat struct {
+	Events int64 `json:"events"`
+	Pages  int64 `json:"pages"`
+}
+
+// Snapshot is a point-in-time view of a Recorder, suitable for export
+// (JSON/CSV) and for Audit.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Outcomes   map[string]OutcomeStat       `json:"outcomes"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Syscalls   map[string]HistogramSnapshot `json:"syscalls"`
+	// Events is the bounded decision trace, oldest first.
+	Events []Event `json:"events,omitempty"`
+	// EventsTotal counts all events ever recorded; EventsDropped counts
+	// those the ring overwrote.
+	EventsTotal   int64 `json:"events_total"`
+	EventsDropped int64 `json:"events_dropped"`
+
+	// Typed views for Audit (the maps are for export only).
+	counters [numCounters]int64
+	outcomes [numOutcomes]OutcomeStat
+}
+
+// Counter reads one counter from the snapshot.
+func (s *Snapshot) Counter(c Counter) int64 { return s.counters[c] }
+
+// Outcome reads one outcome's totals from the snapshot.
+func (s *Snapshot) Outcome(o Outcome) OutcomeStat { return s.outcomes[o] }
+
+// Snapshot captures the recorder's current state. Returns nil on a nil
+// recorder (telemetry disabled).
+func (r *Recorder) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	s := &Snapshot{
+		Counters:   make(map[string]int64, numCounters),
+		Outcomes:   make(map[string]OutcomeStat, numOutcomes),
+		Histograms: make(map[string]HistogramSnapshot, numHists),
+		Syscalls:   make(map[string]HistogramSnapshot),
+	}
+	for c := Counter(0); c < numCounters; c++ {
+		v := r.counters[c].Load()
+		s.counters[c] = v
+		s.Counters[c.String()] = v
+	}
+	for o := Outcome(0); o < numOutcomes; o++ {
+		st := OutcomeStat{Events: r.outcomes[o].events.Load(), Pages: r.outcomes[o].pages.Load()}
+		s.outcomes[o] = st
+		s.Outcomes[o.String()] = st
+	}
+	for h := Hist(0); h < numHists; h++ {
+		s.Histograms[h.String()] = r.hists[h].Snapshot()
+	}
+	for i := 0; i < MaxSyscallKinds; i++ {
+		if r.syscallNames[i] == "" {
+			continue
+		}
+		s.Syscalls[r.syscallNames[i]] = r.syscalls[i].Snapshot()
+	}
+	s.Events, s.EventsTotal, s.EventsDropped = r.ring.snapshot()
+	return s
+}
+
+// PrefetchEffectiveness reports used/(used+wasted) over consumed
+// prefetched pages — the Leap accuracy metric. Returns 0 when no
+// prefetched page has been consumed yet.
+func (s *Snapshot) PrefetchEffectiveness() float64 {
+	hit := s.Counter(CtrPrefetchHitPages)
+	wasted := s.Counter(CtrPrefetchWastedPages)
+	if hit+wasted == 0 {
+		return 0
+	}
+	return float64(hit) / float64(hit+wasted)
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteCSV writes the snapshot as flat CSV rows:
+//
+//	kind,name,field,value
+//
+// Counters export one row; outcomes export events and pages rows;
+// histograms (including syscalls) export count/sum/mean/min/max/p50/p99.
+func (s *Snapshot) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "kind,name,field,value"); err != nil {
+		return err
+	}
+	row := func(kind, name, field string, value any) error {
+		_, err := fmt.Fprintf(w, "%s,%s,%s,%v\n", kind, name, field, value)
+		return err
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		if err := row("counter", name, "value", s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Outcomes) {
+		st := s.Outcomes[name]
+		if err := row("outcome", name, "events", st.Events); err != nil {
+			return err
+		}
+		if err := row("outcome", name, "pages", st.Pages); err != nil {
+			return err
+		}
+	}
+	histRows := func(kind string, m map[string]HistogramSnapshot) error {
+		for _, name := range sortedKeys(m) {
+			h := m[name]
+			for _, f := range []struct {
+				field string
+				value any
+			}{
+				{"count", h.Count}, {"sum", h.Sum}, {"mean", h.Mean},
+				{"min", h.Min}, {"max", h.Max}, {"p50", h.P50}, {"p99", h.P99},
+			} {
+				if err := row(kind, name, f.field, f.value); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := histRows("histogram", s.Histograms); err != nil {
+		return err
+	}
+	if err := histRows("syscall", s.Syscalls); err != nil {
+		return err
+	}
+	if err := row("trace", "events", "total", s.EventsTotal); err != nil {
+		return err
+	}
+	return row("trace", "events", "dropped", s.EventsDropped)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

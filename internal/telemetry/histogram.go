@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the number of log2 buckets: bucket i counts samples v
+// with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i). Bucket 0 holds
+// v <= 0. 64 buckets cover the full int64 range.
+const histBuckets = 65
+
+// Histogram is a lock-free log2-bucketed histogram. The zero value is
+// ready to use; all methods are safe for concurrent callers.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	// maxP1 and minP1 store value+1 so that 0 means "unset" and real
+	// zero samples are still representable.
+	maxP1 atomic.Int64
+	minP1 atomic.Int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	idx := 0
+	if v > 0 {
+		idx = bits.Len64(uint64(v))
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.maxP1.Load()
+		if cur != 0 && v+1 <= cur {
+			break
+		}
+		if h.maxP1.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+	for {
+		cur := h.minP1.Load()
+		if cur != 0 && v+1 >= cur {
+			break
+		}
+		if h.minP1.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum reports the sum of samples.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// HistogramSnapshot is an exportable view of a histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P99   int64   `json:"p99"`
+	// Buckets lists only the non-empty log2 buckets.
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// BucketCount is one non-empty log2 bucket: samples in [Lo, Hi).
+type BucketCount struct {
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+// Snapshot captures the histogram. Quantiles are upper bounds of the
+// bucket the quantile falls in (log2 resolution).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	if s.Count == 0 {
+		return s
+	}
+	s.Mean = float64(s.Sum) / float64(s.Count)
+	if v := h.minP1.Load(); v != 0 {
+		s.Min = v - 1
+	}
+	if v := h.maxP1.Load(); v != 0 {
+		s.Max = v - 1
+	}
+	var seen int64
+	p50, p99 := s.Count/2+1, s.Count-s.Count/100
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		s.Buckets = append(s.Buckets, BucketCount{Lo: lo, Hi: hi, Count: n})
+		if seen < p50 && seen+n >= p50 {
+			s.P50 = hi - 1
+		}
+		if seen < p99 && seen+n >= p99 {
+			s.P99 = hi - 1
+		}
+		seen += n
+	}
+	if s.P50 > s.Max {
+		s.P50 = s.Max
+	}
+	if s.P99 > s.Max {
+		s.P99 = s.Max
+	}
+	return s
+}
+
+// bucketBounds reports the value range [lo, hi) of bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 1
+	}
+	// Positive int64 samples have bits.Len64 <= 63, so the top bucket's
+	// upper bound saturates at MaxInt64.
+	lo = int64(1) << (i - 1)
+	if i >= 63 {
+		return lo, math.MaxInt64
+	}
+	return lo, int64(1) << i
+}

@@ -1,0 +1,266 @@
+// Package telemetry is the cross-layer observability subsystem for the
+// simulated stack: per-layer latency/size histograms charged in virtual
+// time, a bounded structured trace of prefetch decisions, cross-layer
+// counters, and a reconciliation audit (Audit) that asserts the layers'
+// accounts of the same work agree.
+//
+// The paper's readahead_info call is itself a telemetry channel (§4.4):
+// it exports per-file cache usage, hit/miss counters and the memory
+// budget to userspace. This package generalizes that idea to the whole
+// stack — blockdev, pagecache, vfs, and crosslib each report into one
+// Recorder — and adds the Leap-style prefetch effectiveness accounting
+// (prefetched pages later hit vs. evicted unused).
+//
+// The subsystem is strictly opt-in. Every Recorder method is safe on a
+// nil receiver and returns immediately, so instrumented layers hold a
+// plain *Recorder field that stays nil when telemetry is disabled: the
+// hot paths pay one predictable nil check and allocate nothing.
+package telemetry
+
+import (
+	"sync/atomic"
+
+	"repro/internal/simtime"
+)
+
+// Counter identifies one cross-layer counter. The counters deliberately
+// measure the same work from different layers' points of view — that
+// redundancy is what Audit reconciles.
+type Counter int
+
+// Cross-layer counters.
+const (
+	// CtrLibIssuedPages is the pages CROSS-LIB asked readahead_info to
+	// prefetch (per kernel crossing, before the kernel's limit clamp).
+	CtrLibIssuedPages Counter = iota
+	// CtrKernelRequestedPages is the pages readahead_info saw requested
+	// after clamping to the file but before the prefetch-limit clamp.
+	CtrKernelRequestedPages
+	// CtrKernelAdmittedPages is the portion within the effective limit.
+	CtrKernelAdmittedPages
+	// CtrKernelRejectedPages is the portion the limit clamp cut off.
+	CtrKernelRejectedPages
+	// CtrKernelPrefetchedPages is the pages readahead_info actually
+	// submitted I/O for (missing, not congestion-postponed).
+	CtrKernelPrefetchedPages
+	// CtrVFSPrefetchInsertedPages is the pages the VFS prefetch path
+	// (readahead_info, kernel readahead, fault-around) newly inserted.
+	CtrVFSPrefetchInsertedPages
+	// CtrVFSPrefetchDevicePages is the pages of device reads the VFS
+	// prefetch path issued (includes redundant re-reads of chunks whose
+	// pages raced in).
+	CtrVFSPrefetchDevicePages
+	// CtrVFSDemandFetchPages is the pages of blocking demand device
+	// reads (cache misses and read-modify-write edges).
+	CtrVFSDemandFetchPages
+	// CtrCacheInsertedPages is the pages newly inserted into the cache.
+	CtrCacheInsertedPages
+	// CtrCacheRemovedPages is the pages evicted or dropped.
+	CtrCacheRemovedPages
+	// CtrCachePrefetchInsertedPages is the inserted pages that came from
+	// a prefetch (the effectiveness denominator).
+	CtrCachePrefetchInsertedPages
+	// CtrPrefetchHitPages is the prefetched pages a later lookup used.
+	CtrPrefetchHitPages
+	// CtrPrefetchWastedPages is the prefetched pages evicted unused.
+	CtrPrefetchWastedPages
+	// CtrDeviceReadBytes and CtrDeviceWriteBytes are raw device traffic.
+	CtrDeviceReadBytes
+	CtrDeviceWriteBytes
+
+	numCounters
+)
+
+// String names the counter (JSON/CSV key).
+func (c Counter) String() string {
+	return [...]string{
+		"lib_issued_pages",
+		"kernel_requested_pages",
+		"kernel_admitted_pages",
+		"kernel_rejected_pages",
+		"kernel_prefetched_pages",
+		"vfs_prefetch_inserted_pages",
+		"vfs_prefetch_device_pages",
+		"vfs_demand_fetch_pages",
+		"cache_inserted_pages",
+		"cache_removed_pages",
+		"cache_prefetch_inserted_pages",
+		"prefetch_hit_pages",
+		"prefetch_wasted_pages",
+		"device_read_bytes",
+		"device_write_bytes",
+	}[c]
+}
+
+// Outcome classifies one prefetch-decision trace event.
+type Outcome int
+
+// Prefetch decision outcomes.
+const (
+	// OutcomeIssued: the intent reached the kernel as readahead work.
+	OutcomeIssued Outcome = iota
+	// OutcomeSavedByBitmap: the user-level bitmap showed the range
+	// cached or in flight, so the kernel crossing was elided (§4.2).
+	OutcomeSavedByBitmap
+	// OutcomeDroppedLowMemory: free memory below the low watermark.
+	OutcomeDroppedLowMemory
+	// OutcomeThrottledBatching: the uncovered tail was too small to be
+	// worth a crossing yet (hysteresis); the intent waits to accumulate.
+	OutcomeThrottledBatching
+	// OutcomeThrottledSteadyState: the saturated predictor skipped the
+	// observation and produced no window.
+	OutcomeThrottledSteadyState
+	// OutcomeDroppedQueueFull: every helper thread was booked past the
+	// useful horizon; the intent was dropped.
+	OutcomeDroppedQueueFull
+	// OutcomeEvictedBeforeUse: prefetched pages were reclaimed before
+	// any reader touched them (wasted prefetch, the Leap metric).
+	OutcomeEvictedBeforeUse
+
+	numOutcomes
+)
+
+// String names the outcome (JSON/CSV key).
+func (o Outcome) String() string {
+	return [...]string{
+		"issued",
+		"saved-by-bitmap",
+		"dropped-low-memory",
+		"throttled-batching",
+		"throttled-steady-state",
+		"dropped-queue-full",
+		"evicted-before-use",
+	}[o]
+}
+
+// Hist identifies one built-in histogram.
+type Hist int
+
+// Built-in latency/size histograms.
+const (
+	// HistDevReadLat / HistDevWriteLat: submit-to-complete device times
+	// (queueing + command + transfer + latency), in virtual nanoseconds.
+	HistDevReadLat Hist = iota
+	HistDevWriteLat
+	// HistDevReadBytes / HistDevWriteBytes: per-request sizes in bytes.
+	HistDevReadBytes
+	HistDevWriteBytes
+	// HistPrefetchLat: prefetch issue-to-complete time per device chunk.
+	HistPrefetchLat
+
+	numHists
+)
+
+// String names the histogram (JSON/CSV key).
+func (h Hist) String() string {
+	return [...]string{
+		"dev_read_lat_ns",
+		"dev_write_lat_ns",
+		"dev_read_bytes",
+		"dev_write_bytes",
+		"prefetch_lat_ns",
+	}[h]
+}
+
+// MaxSyscallKinds bounds the per-syscall latency histogram table.
+const MaxSyscallKinds = 16
+
+// outcomeCell accumulates per-outcome totals independently of the ring,
+// so counts stay exact even after the trace wraps.
+type outcomeCell struct {
+	events atomic.Int64
+	pages  atomic.Int64
+}
+
+// Recorder is the shared sink all layers report into. The zero value is
+// not used directly; construct with NewRecorder. All methods are safe on
+// a nil *Recorder and do nothing, which is the disabled fast path.
+type Recorder struct {
+	counters [numCounters]atomic.Int64
+	outcomes [numOutcomes]outcomeCell
+	hists    [numHists]Histogram
+
+	syscallNames [MaxSyscallKinds]string
+	syscalls     [MaxSyscallKinds]Histogram
+
+	ring ring
+}
+
+// DefaultEventCap is the default decision-trace ring size.
+const DefaultEventCap = 4096
+
+// NewRecorder returns a recorder whose decision trace keeps the most
+// recent eventCap events (<=0 selects DefaultEventCap).
+func NewRecorder(eventCap int) *Recorder {
+	if eventCap <= 0 {
+		eventCap = DefaultEventCap
+	}
+	r := &Recorder{}
+	r.ring.init(eventCap)
+	return r
+}
+
+// Add increments a cross-layer counter.
+func (r *Recorder) Add(c Counter, n int64) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.counters[c].Add(n)
+}
+
+// CounterValue reads one counter.
+func (r *Recorder) CounterValue(c Counter) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.counters[c].Load()
+}
+
+// Observe records one sample into a built-in histogram.
+func (r *Recorder) Observe(h Hist, v int64) {
+	if r == nil {
+		return
+	}
+	r.hists[h].Observe(v)
+}
+
+// RegisterSyscall names a per-syscall latency slot (the vfs layer calls
+// this once per syscall kind; telemetry cannot import vfs).
+func (r *Recorder) RegisterSyscall(i int, name string) {
+	if r == nil || i < 0 || i >= MaxSyscallKinds {
+		return
+	}
+	r.syscallNames[i] = name
+}
+
+// ObserveSyscall records one syscall latency sample (virtual ns).
+func (r *Recorder) ObserveSyscall(i int, ns int64) {
+	if r == nil || i < 0 || i >= MaxSyscallKinds {
+		return
+	}
+	r.syscalls[i].Observe(ns)
+}
+
+// Event records one prefetch-decision trace event for pages [lo, hi) of
+// inode ino. The per-outcome totals always advance; the ring keeps the
+// most recent events for inspection.
+func (r *Recorder) Event(at simtime.Time, o Outcome, ino, lo, hi int64) {
+	if r == nil {
+		return
+	}
+	pages := hi - lo
+	if pages < 0 {
+		pages = 0
+	}
+	r.outcomes[o].events.Add(1)
+	r.outcomes[o].pages.Add(pages)
+	r.ring.record(Event{At: at, Outcome: o, Ino: ino, Lo: lo, Hi: hi, Pages: pages})
+}
+
+// OutcomeTotals reports the exact event and page totals for one outcome.
+func (r *Recorder) OutcomeTotals(o Outcome) (events, pages int64) {
+	if r == nil {
+		return 0, 0
+	}
+	return r.outcomes[o].events.Load(), r.outcomes[o].pages.Load()
+}

@@ -3,6 +3,7 @@ package vfs
 import (
 	"repro/internal/bitmap"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 )
 
 // CacheInfoRequest is the control-plane half of the readahead_info `info`
@@ -57,6 +58,7 @@ type CacheInfo struct {
 // dst may be nil to skip the export.
 func (f *File) ReadaheadInfo(tl *simtime.Timeline, req CacheInfoRequest, dst *bitmap.Bitmap) CacheInfo {
 	v := f.v
+	defer v.observeSyscall(tl, SysReadaheadInfo)()
 	v.enter(tl, SysReadaheadInfo)
 	bs := v.BlockSize()
 	fileBlocks := f.ino.Blocks()
@@ -71,6 +73,7 @@ func (f *File) ReadaheadInfo(tl *simtime.Timeline, req CacheInfoRequest, dst *bi
 	}
 	if req.Bytes > 0 && hi > lo {
 		info.RequestedPages = hi - lo
+		preClamp := hi - lo
 
 		// Effective per-call limit: static kernel cap, or the caller's
 		// override when the kernel is configured to allow it.
@@ -85,6 +88,9 @@ func (f *File) ReadaheadInfo(tl *simtime.Timeline, req CacheInfoRequest, dst *bi
 			hi = lo + limit
 			info.RequestedPages = hi - lo
 		}
+		v.rec.Add(telemetry.CtrKernelRequestedPages, preClamp)
+		v.rec.Add(telemetry.CtrKernelAdmittedPages, hi-lo)
+		v.rec.Add(telemetry.CtrKernelRejectedPages, preClamp-(hi-lo))
 
 		// Fast path: bitmap lookup only.
 		missing := f.fc.FastMissingRuns(tl, lo, hi)
@@ -97,6 +103,7 @@ func (f *File) ReadaheadInfo(tl *simtime.Timeline, req CacheInfoRequest, dst *bi
 			issued := f.prefetchRuns(tl, tl.Now(), missing, -1)
 			info.PrefetchedPages = issued
 			info.ReadyAt = f.fc.ResidentReadyAt(lo, hi)
+			v.rec.Add(telemetry.CtrKernelPrefetchedPages, issued)
 		}
 	}
 

@@ -8,11 +8,28 @@ import (
 	"repro/internal/simtime"
 )
 
+// observeSyscall records the virtual duration of the syscall body that runs
+// between this call and the returned func (deferred by the caller). The
+// disabled path returns a shared no-op closure: no allocation, no clock
+// reads.
+func (v *VFS) observeSyscall(tl *simtime.Timeline, s Syscall) func() {
+	if v.rec == nil || tl == nil {
+		return noopObserve
+	}
+	t0 := tl.Now()
+	return func() {
+		v.rec.ObserveSyscall(int(s), int64(tl.Now().Sub(t0)))
+	}
+}
+
+var noopObserve = func() {}
+
 // ReadAt implements pread(2): it walks the page cache (slow path, tree
 // lock shared), synchronously fetches missing blocks, consults the
 // kernel readahead state machine, waits for any in-flight prefetch
 // covering the range, and copies the data to the caller.
 func (f *File) ReadAt(tl *simtime.Timeline, dst []byte, off int64) (int, error) {
+	defer f.v.observeSyscall(tl, SysRead)()
 	f.v.enter(tl, SysRead)
 	if off < 0 || len(dst) == 0 {
 		return 0, nil
@@ -114,6 +131,7 @@ func (f *File) SeekTo(off int64) {
 // happen on eviction or fsync. Partial-block edges over existing data
 // perform read-modify-write fetches.
 func (f *File) WriteAt(tl *simtime.Timeline, data []byte, off int64) (int, error) {
+	defer f.v.observeSyscall(tl, SysWrite)()
 	f.v.enter(tl, SysWrite)
 	if len(data) == 0 {
 		return 0, nil
@@ -170,6 +188,7 @@ func (f *File) Append(tl *simtime.Timeline, data []byte) (int, error) {
 
 // Fsync writes back all dirty pages synchronously, charging the caller.
 func (f *File) Fsync(tl *simtime.Timeline) error {
+	defer f.v.observeSyscall(tl, SysFsync)()
 	f.v.enter(tl, SysFsync)
 	runs := f.fc.CollectDirtyRuns(tl, 0, f.ino.Blocks())
 	bs := f.v.BlockSize()
@@ -194,6 +213,7 @@ func (f *File) Fsync(tl *simtime.Timeline) error {
 // paper Figure 1: an application asking for 4MB gets 128KB. It returns the
 // bytes actually submitted.
 func (f *File) Readahead(tl *simtime.Timeline, off, nbytes int64) int64 {
+	defer f.v.observeSyscall(tl, SysReadahead)()
 	f.v.enter(tl, SysReadahead)
 	bs := f.v.BlockSize()
 	maxBytes := f.v.cfg.RA.MaxPages * bs

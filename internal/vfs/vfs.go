@@ -26,6 +26,7 @@ import (
 	"repro/internal/pagecache"
 	"repro/internal/readahead"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 )
 
 // maxVFSRequest is the largest single device request the VFS issues (the
@@ -76,13 +77,14 @@ const (
 	SysFincore
 	SysReadaheadInfo
 	SysMmapFault
+	SysClose
 	numSyscalls
 )
 
 // String names the syscall.
 func (s Syscall) String() string {
 	return [...]string{"open", "read", "write", "fsync", "readahead",
-		"fadvise", "fincore", "readahead_info", "mmap_fault"}[s]
+		"fadvise", "fincore", "readahead_info", "mmap_fault", "close"}[s]
 }
 
 // VFS is one simulated kernel instance: a file system on a device plus the
@@ -98,6 +100,14 @@ type VFS struct {
 	mmapLock *simtime.Ledger
 
 	counters [numSyscalls]atomic.Int64
+
+	// openFiles tracks live open file descriptions (Open/Create minus
+	// Close) so descriptor leaks are observable.
+	openFiles atomic.Int64
+
+	// rec, when non-nil, receives syscall latency histograms and the
+	// cross-layer prefetch accounting counters (telemetry opt-in).
+	rec *telemetry.Recorder
 }
 
 // New assembles a kernel over the given file system, device, and cache.
@@ -123,6 +133,15 @@ func New(cfg Config, fsys *fs.FS, dev *blockdev.Device, cache *pagecache.Cache) 
 	return v
 }
 
+// SetTelemetry installs the telemetry recorder (nil disables) and
+// registers the syscall names for the latency table.
+func (v *VFS) SetTelemetry(rec *telemetry.Recorder) {
+	v.rec = rec
+	for s := Syscall(0); s < numSyscalls; s++ {
+		rec.RegisterSyscall(int(s), s.String())
+	}
+}
+
 // Cache exposes the page cache (telemetry, tests).
 func (v *VFS) Cache() *pagecache.Cache { return v.cache }
 
@@ -140,6 +159,9 @@ func (v *VFS) BlockSize() int64 { return v.fsys.BlockSize() }
 
 // SyscallCount reports invocations of one syscall.
 func (v *VFS) SyscallCount(s Syscall) int64 { return v.counters[s].Load() }
+
+// OpenFiles reports live open file descriptions (opens minus closes).
+func (v *VFS) OpenFiles() int64 { return v.openFiles.Load() }
 
 // PrefetchSyscalls reports the total prefetch-related kernel crossings
 // (readahead + fadvise + readahead_info) — the overhead CROSS-LIB's cache
@@ -164,9 +186,10 @@ type File struct {
 	ino *fs.Inode
 	fc  *pagecache.FileCache
 
-	mu  sync.Mutex
-	ra  readahead.State
-	pos int64
+	mu     sync.Mutex
+	ra     readahead.State
+	pos    int64
+	closed bool
 }
 
 // Inode exposes the underlying inode.
@@ -192,6 +215,7 @@ func (v *VFS) Open(tl *simtime.Timeline, name string) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
+	v.openFiles.Add(1)
 	return &File{v: v, ino: ino, fc: v.cache.File(ino.ID())}, nil
 }
 
@@ -202,7 +226,22 @@ func (v *VFS) Create(tl *simtime.Timeline, name string) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
+	v.openFiles.Add(1)
 	return &File{v: v, ino: ino, fc: v.cache.File(ino.ID())}, nil
+}
+
+// Close releases the open file description. Idempotent: only the first
+// call charges the syscall and decrements the open count.
+func (f *File) Close(tl *simtime.Timeline) {
+	f.mu.Lock()
+	closed := f.closed
+	f.closed = true
+	f.mu.Unlock()
+	if closed {
+		return
+	}
+	f.v.enter(tl, SysClose)
+	f.v.openFiles.Add(-1)
 }
 
 // OpenOrCreate opens name, creating it if absent.
@@ -246,6 +285,7 @@ func (f *File) fetchRuns(tl *simtime.Timeline, runs []bitmap.Run) {
 					chunk = maxVFSRequest
 				}
 				_ = f.v.dev.Access(tl, blockdev.OpRead, chunk)
+				f.v.rec.Add(telemetry.CtrVFSDemandFetchPages, chunk/bs)
 				remaining -= chunk
 			}
 		}
@@ -280,10 +320,14 @@ func (f *File) prefetchRuns(tl *simtime.Timeline, at simtime.Time, runs []bitmap
 					return issued
 				}
 				chunkBlocks := (chunk + bs - 1) / bs
+				f.v.rec.Add(telemetry.CtrVFSPrefetchDevicePages, chunkBlocks)
+				f.v.rec.Observe(telemetry.HistPrefetchLat, int64(done.Sub(at)))
 				n := f.fc.InsertRange(tl, lo, lo+chunkBlocks, pagecache.InsertOptions{
-					ReadyAt:  done,
-					MarkerAt: markerAt,
+					ReadyAt:    done,
+					MarkerAt:   markerAt,
+					Prefetched: true,
 				})
+				f.v.rec.Add(telemetry.CtrVFSPrefetchInsertedPages, n)
 				issued += n
 				lo += chunkBlocks
 				remaining -= chunk
