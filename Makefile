@@ -1,10 +1,16 @@
 # Tier-1 gate (see ROADMAP.md): every PR must leave `make check` green.
-.PHONY: check build test vet race bench
+.PHONY: check build test vet race bench chaos errgate
 
-check: vet build race
+check: vet errgate build race
 
 vet:
 	go vet ./...
+
+# Swallowed-device-error gate: demand-path device accesses must never
+# discard their error (the pre-fix `_ = f.v.dev.Access(...)` pattern).
+errgate:
+	@! grep -rn '_ = .*dev\.Access' --include='*.go' . \
+		|| (echo 'errgate: swallowed device error (handle or propagate it)'; exit 1)
 
 build:
 	go build ./...
@@ -14,6 +20,11 @@ test:
 
 race:
 	go test -race ./...
+
+# Fault-plan sweep under the race detector: the chaos harness plus every
+# fault-injection, retry/backoff, and circuit-breaker test.
+chaos:
+	go test -race -run 'Chaos|Fault|Breaker|Retry|Inject|Transient|Poison|Dirty' ./...
 
 bench:
 	go test -bench=. -benchmem -run=^$$

@@ -81,6 +81,10 @@ type Config struct {
 	// KernelRAMaxBytes is the kernel's static prefetch window limit
 	// (default 128KB; Figure 10 sweeps it).
 	KernelRAMaxBytes int64
+	// DemandRetries bounds the kernel's transparent retries of a
+	// transient device fault on blocking paths — demand reads, fsync,
+	// mmap faults (default 3; see internal/vfs).
+	DemandRetries int
 	// LibOptions, when non-nil, overrides Approach's CROSS-LIB options.
 	LibOptions *crosslib.Options
 	// PerInodeLRU enables the per-inode LRU reclaim extension (the
@@ -158,6 +162,7 @@ func NewSystem(cfg Config) *System {
 		// the Cross* approaches only.
 		AllowLimitOverride: cfg.Approach.UsesLib(),
 		MaxPrefetchBytes:   64 << 20,
+		DemandRetries:      cfg.DemandRetries,
 	}
 	kernel := vfs.New(kcfg, fsys, dev, cache)
 
@@ -241,13 +246,16 @@ func (s *System) AuditTelemetry() error {
 	if s.rec == nil {
 		return ErrTelemetryDisabled
 	}
-	saved := s.lib.Stats().SavedPrefetches
-	dropped := s.lib.Stats().DroppedPrefetch
+	st := s.lib.Stats()
+	saved := st.SavedPrefetches
+	dropped := st.DroppedPrefetch
+	droppedBrk := st.DroppedBreaker
 	s.procMu.Lock()
 	for _, rt := range s.procs {
 		st := rt.Stats()
 		saved += st.SavedPrefetches
 		dropped += st.DroppedPrefetch
+		droppedBrk += st.DroppedBreaker
 	}
 	s.procMu.Unlock()
 	return telemetry.Audit(s.rec.Snapshot(), telemetry.AuditInput{
@@ -255,6 +263,7 @@ func (s *System) AuditTelemetry() error {
 		CacheUsed:          s.cache.Used(),
 		LibSavedPrefetches: saved,
 		LibDroppedPrefetch: dropped,
+		LibDroppedBreaker:  droppedBrk,
 		HasLibStats:        true,
 		StrictDevice:       true,
 	})

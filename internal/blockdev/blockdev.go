@@ -100,8 +100,37 @@ func HDDConfig() Config {
 	}
 }
 
-// ErrInjected is returned by a device whose fault hook fired.
+// ErrInjected is returned by a device whose fault injector fired.
 var ErrInjected = errors.New("blockdev: injected I/O error")
+
+// Fault is an injector's verdict on one request. A zero Fault means the
+// request proceeds untouched. Stall delays the request (whether or not
+// it also fails) without occupying the device — a latency spike. A
+// non-nil Err fails the request after the stall elapses.
+type Fault struct {
+	Stall simtime.Duration
+	Err   error
+}
+
+// FaultInjector decides the fate of each device request. Implementations
+// must be safe for concurrent use and — to keep simulations reproducible
+// — should derive decisions from (op, off, bytes) deterministically, not
+// from call order. internal/faultinject provides the standard
+// implementation; tests may supply stubs.
+type FaultInjector interface {
+	Inject(op Op, off, bytes int64) Fault
+}
+
+// transienter is implemented by errors that may succeed on retry.
+type transienter interface{ Transient() bool }
+
+// IsTransient reports whether err carries a transient classification —
+// i.e. retrying the same request may succeed. Persistent faults (and
+// errors with no classification) report false.
+func IsTransient(err error) bool {
+	var t transienter
+	return errors.As(err, &t) && t.Transient()
+}
 
 // Device is a virtual-time block device with two-priority scheduling:
 // synchronous (blocking) requests are served from a priority lane and
@@ -126,9 +155,12 @@ type Device struct {
 	// counters for every request (telemetry opt-in).
 	rec *telemetry.Recorder
 
-	// FaultFn, when non-nil, is consulted per request; returning true
-	// fails the request with ErrInjected. Used by failure-injection tests.
-	FaultFn func(op Op, bytes int64) bool
+	// inj, when non-nil, is consulted per request and may stall or fail
+	// it (failure injection; see FaultInjector).
+	inj FaultInjector
+
+	injFaults  atomic.Int64
+	injStallNs atomic.Int64
 }
 
 // New returns a device with the given configuration.
@@ -148,6 +180,29 @@ func (d *Device) Config() Config { return d.cfg }
 
 // SetTelemetry installs the telemetry recorder (nil disables).
 func (d *Device) SetTelemetry(rec *telemetry.Recorder) { d.rec = rec }
+
+// SetFaultInjector installs the fault injector (nil disables). Not safe
+// to call concurrently with in-flight requests.
+func (d *Device) SetFaultInjector(inj FaultInjector) { d.inj = inj }
+
+// inject consults the injector for a request on [off, off+bytes) and
+// accounts any verdict. The returned fault's Stall has already been
+// charged to the counters; the caller applies it to its timeline.
+func (d *Device) inject(op Op, off, bytes int64) Fault {
+	if d.inj == nil {
+		return Fault{}
+	}
+	f := d.inj.Inject(op, off, bytes)
+	if f.Stall > 0 {
+		d.injStallNs.Add(int64(f.Stall))
+		d.rec.Add(telemetry.CtrDeviceInjectedStallNs, int64(f.Stall))
+	}
+	if f.Err != nil {
+		d.injFaults.Add(1)
+		d.rec.Add(telemetry.CtrDeviceInjectedFaults, 1)
+	}
+	return f
+}
 
 // record reports one completed request spanning [start, done) to the
 // telemetry recorder.
@@ -187,13 +242,20 @@ func (d *Device) account(op Op, bytes int64) {
 	}
 }
 
-// Access performs a synchronous request of bytes in direction op at the
-// thread's current time, blocking the thread until completion (queueing
-// behind other blocking requests + command + transfer + latency). Blocking
-// requests take the priority lane: they never wait behind prefetch.
-func (d *Device) Access(tl *simtime.Timeline, op Op, bytes int64) error {
-	if d.FaultFn != nil && d.FaultFn(op, bytes) {
-		return ErrInjected
+// Access performs a synchronous request of bytes in direction op on the
+// device range starting at byte offset off, at the thread's current
+// time, blocking the thread until completion (queueing behind other
+// blocking requests + command + transfer + latency). Blocking requests
+// take the priority lane: they never wait behind prefetch. An injected
+// fault stalls the requester (latency spike) and, on failure, returns
+// the injected error without occupying the device or moving any data.
+func (d *Device) Access(tl *simtime.Timeline, op Op, off, bytes int64) error {
+	f := d.inject(op, off, bytes)
+	if f.Err != nil {
+		if f.Stall > 0 {
+			tl.WaitUntil(tl.Now().Add(f.Stall), simtime.WaitIO)
+		}
+		return f.Err
 	}
 	bw, lat := d.params(op)
 	hold := d.cfg.CmdOverhead + d.transfer(bytes, bw)
@@ -202,19 +264,20 @@ func (d *Device) Access(tl *simtime.Timeline, op Op, bytes int64) error {
 	// Blocking traffic also occupies combined capacity, throttling the
 	// bandwidth the async lane can consume.
 	d.bwAll.ReserveAt(start, hold)
-	tl.WaitUntil(end.Add(lat), simtime.WaitIO)
+	tl.WaitUntil(end.Add(lat).Add(f.Stall), simtime.WaitIO)
 	d.account(op, bytes)
 	if d.rec != nil {
-		d.record(op, bytes, start, end.Add(lat))
+		d.record(op, bytes, start, end.Add(lat).Add(f.Stall))
 	}
 	return nil
 }
 
 // AccessAt reserves asynchronous device time for a request submitted at
 // virtual time at and returns its completion time, without blocking any
-// timeline. This is the prefetch/writeback path; the caller records the
-// completion as the affected pages' ready time, and should consult
-// Backlog first to apply congestion control.
+// timeline. This is the raw reservation primitive: it bypasses fault
+// injection and stats — use AccessAsync for the instrumented path. The
+// caller records the completion as the affected pages' ready time, and
+// should consult Backlog first to apply congestion control.
 func (d *Device) AccessAt(at simtime.Time, op Op, bytes int64) simtime.Time {
 	bw, lat := d.params(op)
 	hold := d.cfg.CmdOverhead + d.transfer(bytes, bw)
@@ -222,12 +285,16 @@ func (d *Device) AccessAt(at simtime.Time, op Op, bytes int64) simtime.Time {
 	return end.Add(lat)
 }
 
-// AccessAsync is AccessAt plus stats accounting and fault injection.
-func (d *Device) AccessAsync(at simtime.Time, op Op, bytes int64) (simtime.Time, error) {
-	if d.FaultFn != nil && d.FaultFn(op, bytes) {
-		return at, ErrInjected
+// AccessAsync is AccessAt plus stats accounting and fault injection for
+// a request on the device range starting at byte offset off. A failed
+// request completes (with its error) after any injected stall, without
+// occupying the device.
+func (d *Device) AccessAsync(at simtime.Time, op Op, off, bytes int64) (simtime.Time, error) {
+	f := d.inject(op, off, bytes)
+	if f.Err != nil {
+		return at.Add(f.Stall), f.Err
 	}
-	done := d.AccessAt(at, op, bytes)
+	done := d.AccessAt(at, op, bytes).Add(f.Stall)
 	d.account(op, bytes)
 	if d.rec != nil {
 		d.record(op, bytes, at, done)
@@ -264,6 +331,11 @@ type Stats struct {
 	ReadBytes  int64
 	WriteBytes int64
 	Busy       simtime.Duration
+	// InjectedFaults counts requests failed by the injector; they are
+	// excluded from the op/byte counters above. InjectedStall is virtual
+	// time added by injected latency spikes.
+	InjectedFaults int64
+	InjectedStall  simtime.Duration
 }
 
 // String formats device stats for harness output.
@@ -276,11 +348,13 @@ func (s Stats) String() string {
 // Stats snapshots the device counters.
 func (d *Device) Stats() Stats {
 	return Stats{
-		Name:       d.cfg.Name,
-		ReadOps:    d.readOps.Load(),
-		WriteOps:   d.writeOps.Load(),
-		ReadBytes:  d.readBytes.Load(),
-		WriteBytes: d.writeBytes.Load(),
-		Busy:       d.bwAll.Stats().Hold,
+		Name:           d.cfg.Name,
+		ReadOps:        d.readOps.Load(),
+		WriteOps:       d.writeOps.Load(),
+		ReadBytes:      d.readBytes.Load(),
+		WriteBytes:     d.writeBytes.Load(),
+		Busy:           d.bwAll.Stats().Hold,
+		InjectedFaults: d.injFaults.Load(),
+		InjectedStall:  simtime.Duration(d.injStallNs.Load()),
 	}
 }

@@ -1,6 +1,7 @@
 package blockdev
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/simtime"
@@ -21,7 +22,7 @@ func testConfig() Config {
 func TestSyncReadTiming(t *testing.T) {
 	d := New(testConfig())
 	tl := simtime.NewTimeline(0)
-	if err := d.Access(tl, OpRead, 1<<30); err != nil {
+	if err := d.Access(tl, OpRead, 0, 1<<30); err != nil {
 		t.Fatal(err)
 	}
 	// 1 GB at 1 GB/s = 1s transfer + 10µs cmd + 100µs latency.
@@ -39,10 +40,10 @@ func TestBandwidthSerializes(t *testing.T) {
 	d := New(testConfig())
 	a := simtime.NewTimeline(0)
 	b := simtime.NewTimeline(0)
-	if err := d.Access(a, OpRead, 512<<20); err != nil {
+	if err := d.Access(a, OpRead, 0, 512<<20); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Access(b, OpRead, 512<<20); err != nil {
+	if err := d.Access(b, OpRead, 0, 512<<20); err != nil {
 		t.Fatal(err)
 	}
 	// b queues behind a's 500ms transfer: aggregate limited to device bw.
@@ -61,8 +62,8 @@ func TestLatencyOverlaps(t *testing.T) {
 	// overlap, so the second completes well before 2×(latency+transfer).
 	a := simtime.NewTimeline(0)
 	b := simtime.NewTimeline(0)
-	_ = d.Access(a, OpRead, 4096)
-	_ = d.Access(b, OpRead, 4096)
+	_ = d.Access(a, OpRead, 0, 4096)
+	_ = d.Access(b, OpRead, 0, 4096)
 	serial := 2 * (110*simtime.Microsecond + simtime.Duration(4096))
 	if b.Elapsed() >= serial {
 		t.Fatalf("latencies did not overlap: b elapsed %v >= serial %v", b.Elapsed(), serial)
@@ -76,9 +77,9 @@ func TestSmallRequestsCostMore(t *testing.T) {
 	tl2 := simtime.NewTimeline(0)
 	// Same bytes: 256 × 4KB vs 1 × 1MB.
 	for i := 0; i < 256; i++ {
-		_ = d1.Access(tl1, OpRead, 4096)
+		_ = d1.Access(tl1, OpRead, 0, 4096)
 	}
-	_ = d2.Access(tl2, OpRead, 1<<20)
+	_ = d2.Access(tl2, OpRead, 0, 1<<20)
 	if tl1.Elapsed() <= tl2.Elapsed() {
 		t.Fatalf("small requests should be slower: %v vs %v", tl1.Elapsed(), tl2.Elapsed())
 	}
@@ -88,9 +89,9 @@ func TestWriteSlowerThanRead(t *testing.T) {
 	d := New(NVMeConfig())
 	r := simtime.NewTimeline(0)
 	w := simtime.NewTimeline(0)
-	_ = d.Access(r, OpRead, 100<<20)
+	_ = d.Access(r, OpRead, 0, 100<<20)
 	d2 := New(NVMeConfig())
-	_ = d2.Access(w, OpWrite, 100<<20)
+	_ = d2.Access(w, OpWrite, 0, 100<<20)
 	if w.Elapsed() <= r.Elapsed() {
 		t.Fatalf("write should be slower: read %v write %v", r.Elapsed(), w.Elapsed())
 	}
@@ -98,7 +99,7 @@ func TestWriteSlowerThanRead(t *testing.T) {
 
 func TestAsyncDoesNotBlockSync(t *testing.T) {
 	d := New(testConfig())
-	done, err := d.AccessAsync(0, OpRead, 1<<30)
+	done, err := d.AccessAsync(0, OpRead, 0, 1<<30)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestAsyncDoesNotBlockSync(t *testing.T) {
 	// Priority scheduling: a blocking request must NOT queue behind the
 	// prefetch transfer (§4.7's congestion-control property).
 	tl := simtime.NewTimeline(0)
-	_ = d.Access(tl, OpRead, 4096)
+	_ = d.Access(tl, OpRead, 0, 4096)
 	if tl.Elapsed() > simtime.Millisecond {
 		t.Fatalf("sync request queued behind async transfer: %v", tl.Elapsed())
 	}
@@ -117,7 +118,7 @@ func TestAsyncDoesNotBlockSync(t *testing.T) {
 		t.Fatalf("backlog = %v, want >= 1s", d.Backlog(0))
 	}
 	// And further async requests queue behind everything.
-	done2, _ := d.AccessAsync(0, OpRead, 4096)
+	done2, _ := d.AccessAsync(0, OpRead, 0, 4096)
 	if done2 < done {
 		t.Fatalf("async requests should serialize: %v < %v", done2, done)
 	}
@@ -126,7 +127,7 @@ func TestAsyncDoesNotBlockSync(t *testing.T) {
 func TestSyncAlsoConsumesCombinedCapacity(t *testing.T) {
 	d := New(testConfig())
 	tl := simtime.NewTimeline(0)
-	_ = d.Access(tl, OpRead, 512<<20)
+	_ = d.Access(tl, OpRead, 0, 512<<20)
 	// The async lane must see the sync transfer as occupancy.
 	if d.Backlog(0) < 400*simtime.Millisecond {
 		t.Fatalf("sync traffic invisible to async lane: backlog %v", d.Backlog(0))
@@ -138,29 +139,67 @@ func TestRemoteSlowerThanLocal(t *testing.T) {
 	remote := New(RemoteNVMeConfig())
 	a := simtime.NewTimeline(0)
 	b := simtime.NewTimeline(0)
-	_ = local.Access(a, OpRead, 16384)
-	_ = remote.Access(b, OpRead, 16384)
+	_ = local.Access(a, OpRead, 0, 16384)
+	_ = remote.Access(b, OpRead, 0, 16384)
 	if b.Elapsed() <= a.Elapsed() {
 		t.Fatalf("remote should be slower: local %v remote %v", a.Elapsed(), b.Elapsed())
 	}
 }
 
+// stubInjector fails requests whose start offset is in fail; blockdev's
+// own tests cannot import internal/faultinject (cycle), so integration
+// with the real injector is tested there.
+type stubInjector struct {
+	fail  map[int64]bool
+	stall simtime.Duration
+}
+
+func (s *stubInjector) Inject(op Op, off, bytes int64) Fault {
+	f := Fault{Stall: s.stall}
+	if s.fail[off] {
+		f.Err = ErrInjected
+	}
+	return f
+}
+
 func TestFaultInjection(t *testing.T) {
 	d := New(testConfig())
-	calls := 0
-	d.FaultFn = func(op Op, bytes int64) bool {
-		calls++
-		return calls == 2
-	}
+	d.SetFaultInjector(&stubInjector{fail: map[int64]bool{4096: true}})
 	tl := simtime.NewTimeline(0)
-	if err := d.Access(tl, OpRead, 4096); err != nil {
+	if err := d.Access(tl, OpRead, 0, 4096); err != nil {
 		t.Fatalf("first access failed: %v", err)
 	}
-	if err := d.Access(tl, OpRead, 4096); err != ErrInjected {
+	if err := d.Access(tl, OpRead, 4096, 4096); !errors.Is(err, ErrInjected) {
 		t.Fatalf("second access err = %v, want ErrInjected", err)
 	}
-	if st := d.Stats(); st.ReadOps != 1 {
-		t.Fatalf("failed request should not be counted: %+v", st)
+	if st := d.Stats(); st.ReadOps != 1 || st.InjectedFaults != 1 {
+		t.Fatalf("failed request accounting: %+v", st)
+	}
+}
+
+func TestInjectedStallDelaysRequest(t *testing.T) {
+	clean := New(testConfig())
+	a := simtime.NewTimeline(0)
+	_ = clean.Access(a, OpRead, 0, 4096)
+
+	d := New(testConfig())
+	d.SetFaultInjector(&stubInjector{stall: 5 * simtime.Millisecond})
+	b := simtime.NewTimeline(0)
+	_ = d.Access(b, OpRead, 0, 4096)
+	if got, want := b.Elapsed(), a.Elapsed()+5*simtime.Millisecond; got != want {
+		t.Fatalf("stalled read elapsed %v, want %v", got, want)
+	}
+	if st := d.Stats(); st.InjectedStall != 5*simtime.Millisecond {
+		t.Fatalf("InjectedStall = %v", st.InjectedStall)
+	}
+}
+
+func TestIsTransient(t *testing.T) {
+	if IsTransient(ErrInjected) {
+		t.Fatal("bare ErrInjected should not be transient")
+	}
+	if IsTransient(nil) {
+		t.Fatal("nil error should not be transient")
 	}
 }
 

@@ -1,0 +1,178 @@
+package crosslib
+
+import (
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/simtime"
+	"repro/internal/telemetry"
+)
+
+// transientReads makes every read fail once per site, then clear.
+func transientReads(repeats int) *faultinject.Injector {
+	return faultinject.New(faultinject.Plan{
+		Seed:             7,
+		TransientRepeats: repeats,
+		Ranges:           []faultinject.RangeFault{{Lo: 0, Hi: 1 << 40, Class: faultinject.Transient, Reads: true}},
+	})
+}
+
+// TestPrefetchRetriesTransient: a transient device fault under a
+// background prefetch is absorbed by the library's backoff-retry — the
+// workload still completes and retries are accounted.
+func TestPrefetchRetriesTransient(t *testing.T) {
+	v := newKernel(1_000_000)
+	rt := NewForApproach(v, CrossPredictOpt)
+	rec := telemetry.NewRecorder(0)
+	rt.SetTelemetry(rec)
+	v.SetTelemetry(rec)
+	tl := simtime.NewTimeline(0)
+	v.FS().CreateSynthetic(tl, "big", 32<<20)
+	v.Device().SetFaultInjector(transientReads(1)) // each site fails once
+
+	f, err := rt.Open(tl, "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16384)
+	for off := int64(0); off < 8<<20; off += int64(len(buf)) {
+		if _, err := f.ReadAt(tl, buf, off); err != nil {
+			t.Fatalf("read at %d: %v", off, err)
+		}
+	}
+	st := rt.Stats()
+	if st.PrefetchRetries == 0 {
+		t.Fatal("no prefetch retries under transient faults")
+	}
+	if st.BreakerTrips != 0 {
+		t.Fatalf("breaker tripped %d times although every retry succeeds", st.BreakerTrips)
+	}
+	if got := rec.CounterValue(telemetry.CtrLibPrefetchRetries); got != st.PrefetchRetries {
+		t.Fatalf("telemetry retries %d != stats retries %d", got, st.PrefetchRetries)
+	}
+}
+
+// TestBreakerTripsAndRecovers: persistent prefetch failures open the
+// per-file breaker (background prefetch stops; demand reads carry on);
+// after the fault clears and the cool-off elapses, a probe prefetch
+// closes it again.
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	v := newKernel(1_000_000)
+	opt := CrossPredictOpt.Options()
+	opt.BreakerThreshold = 2
+	opt.BreakerCooloff = 2 * simtime.Millisecond
+	rt := New(v, opt)
+	rec := telemetry.NewRecorder(0)
+	rt.SetTelemetry(rec)
+	v.SetTelemetry(rec)
+	tl := simtime.NewTimeline(0)
+	v.FS().CreateSynthetic(tl, "big", 64<<20)
+	v.Device().SetFaultInjector(faultinject.New(faultinject.Plan{
+		Seed:   7,
+		Ranges: []faultinject.RangeFault{{Lo: 0, Hi: 1 << 40, Class: faultinject.Persistent, Reads: true}},
+	}))
+
+	f, err := rt.Open(tl, "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16384)
+	for off := int64(0); off < 8<<20; off += int64(len(buf)) {
+		f.ReadAt(tl, buf, off) // demand reads fail too; keep going
+	}
+	st := rt.Stats()
+	if st.BreakerTrips == 0 {
+		t.Fatal("breaker never tripped under persistent faults")
+	}
+	if st.DroppedBreaker == 0 {
+		t.Fatal("no prefetch intents dropped while the breaker was open")
+	}
+
+	// Fault clears; past the cool-off the next prefetch probes and the
+	// breaker closes.
+	v.Device().SetFaultInjector(nil)
+	tl.WaitUntil(tl.Now().Add(10*simtime.Millisecond), simtime.WaitIO)
+	for off := int64(8 << 20); off < 24<<20; off += int64(len(buf)) {
+		if _, err := f.ReadAt(tl, buf, off); err != nil {
+			t.Fatalf("read after fault cleared: %v", err)
+		}
+	}
+	st = rt.Stats()
+	if st.BreakerRecoveries == 0 {
+		t.Fatal("breaker never recovered after the fault cleared")
+	}
+	if got := rec.CounterValue(telemetry.CtrLibBreakerTrips); got != st.BreakerTrips {
+		t.Fatalf("telemetry trips %d != stats trips %d", got, st.BreakerTrips)
+	}
+	if got := rec.CounterValue(telemetry.CtrLibBreakerRecoveries); got != st.BreakerRecoveries {
+		t.Fatalf("telemetry recoveries %d != stats recoveries %d", got, st.BreakerRecoveries)
+	}
+	// The file must still prefetch normally once closed.
+	if rt.Stats().PrefetchedPages == 0 {
+		t.Fatal("no pages prefetched after recovery")
+	}
+}
+
+// faultRun executes one sequential-read workload under a transient
+// fault plan and returns the observables a deterministic simulation
+// must reproduce exactly.
+type faultRunResult struct {
+	makespan  simtime.Duration
+	stats     Stats
+	retries   int64
+	faults    int64
+	issued    int64
+	demandRtr int64
+}
+
+func faultRun(t *testing.T, faultSeed int64) faultRunResult {
+	t.Helper()
+	v := newKernel(1_000_000)
+	opt := CrossPredictOpt.Options()
+	opt.FaultSeed = faultSeed
+	rt := New(v, opt)
+	rec := telemetry.NewRecorder(0)
+	rt.SetTelemetry(rec)
+	v.SetTelemetry(rec)
+	v.Device().SetTelemetry(rec)
+	tl := simtime.NewTimeline(0)
+	v.FS().CreateSynthetic(tl, "big", 32<<20)
+	v.Device().SetFaultInjector(transientReads(1))
+
+	f, err := rt.Open(tl, "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16384)
+	for off := int64(0); off < 8<<20; off += int64(len(buf)) {
+		if _, err := f.ReadAt(tl, buf, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return faultRunResult{
+		makespan:  tl.Elapsed(),
+		stats:     rt.Stats(),
+		retries:   rec.CounterValue(telemetry.CtrLibPrefetchRetries),
+		faults:    rec.CounterValue(telemetry.CtrDeviceInjectedFaults),
+		issued:    rec.CounterValue(telemetry.CtrLibIssuedPages),
+		demandRtr: rec.CounterValue(telemetry.CtrVFSDemandRetries),
+	}
+}
+
+// TestRetryScheduleDeterministic: identical seed and plan must yield an
+// identical virtual-time schedule (makespan) and identical fault,
+// retry, and prefetch accounting across independent runs — the whole
+// point of hash-based fault decisions and seeded backoff jitter.
+func TestRetryScheduleDeterministic(t *testing.T) {
+	a := faultRun(t, 42)
+	b := faultRun(t, 42)
+	if a.makespan != b.makespan {
+		t.Fatalf("makespan differs across identical runs: %v vs %v", a.makespan, b.makespan)
+	}
+	if a != b {
+		t.Fatalf("run observables differ:\n a=%+v\n b=%+v", a, b)
+	}
+	if a.retries == 0 || a.faults == 0 {
+		t.Fatalf("degenerate run (retries=%d faults=%d): plan injected nothing", a.retries, a.faults)
+	}
+}

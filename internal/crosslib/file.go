@@ -4,6 +4,8 @@ import (
 	"sync"
 
 	"repro/internal/bitmap"
+	"repro/internal/blockdev"
+	"repro/internal/faultinject"
 	"repro/internal/predictor"
 	"repro/internal/simtime"
 	"repro/internal/telemetry"
@@ -245,6 +247,15 @@ func (f *File) prefetchAsync(tl *simtime.Timeline, lo, blocks int64) {
 		return
 	}
 
+	// Circuit breaker: a file whose background prefetches keep failing
+	// is left to demand reads until the breaker half-opens again.
+	if o.Visibility && o.BreakerThreshold > 0 && !f.sf.brk.allow(tl.Now()) {
+		rt.droppedBreaker.Add(1)
+		rt.rec.Event(tl.Now(), telemetry.OutcomeDroppedBreakerOpen,
+			f.sf.inoID, lo, lo+blocks)
+		return
+	}
+
 	// Memory budget policy (§4.6): halt entirely below the low
 	// watermark; below the high watermark, stay within the kernel's
 	// static window even when opt would allow more. The FetchAll policy
@@ -326,13 +337,15 @@ func (f *File) issuePrefetch(wtl *simtime.Timeline, kf *vfs.File, sf *sharedFile
 	rt.rec.Event(wtl.Now(), telemetry.OutcomeIssued, sf.inoID, lo, hi)
 
 	if !o.Visibility {
-		// Degraded mode: blind readahead(2), no state import.
+		// Degraded mode: blind readahead(2), no state import — device
+		// errors are invisible here, so no retry or breaker either.
 		kf.Readahead(wtl, lo*bs, (hi-lo)*bs)
 		rt.prefetchCalls.Add(1)
 		sf.tree.MarkCached(wtl, lo, min64(hi, lo+rt.v.Config().RA.MaxPages))
 		return
 	}
 
+	attempt := 0
 	for pos := lo; pos < hi; {
 		req := vfs.CacheInfoRequest{
 			Offset:   pos * bs,
@@ -351,14 +364,43 @@ func (f *File) issuePrefetch(wtl *simtime.Timeline, kf *vfs.File, sf *sharedFile
 
 		// Reconcile: the exported bitmap is the kernel's truth for
 		// [pos, pos+granted) — including prefetched pages, minus
-		// anything congestion control postponed (those stay missing in
-		// the tree and will be retried).
+		// anything congestion control postponed or a device fault
+		// aborted (both stay missing in the tree and can be retried).
 		granted := info.RequestedPages
+		if granted > 0 {
+			sf.tree.ImportBitmap(wtl, snap, pos, pos+granted)
+		}
+
+		if err := info.PrefetchErr; err != nil {
+			if blockdev.IsTransient(err) && attempt < o.RetryMax {
+				// Exponential backoff with seeded jitter on the worker
+				// timeline, then re-issue the still-missing remainder.
+				attempt++
+				delay := retryDelay(o, sf.inoID, pos, attempt)
+				wtl.WaitUntil(wtl.Now().Add(delay), simtime.WaitIO)
+				rt.prefetchRetries.Add(1)
+				rt.rec.Add(telemetry.CtrLibPrefetchRetries, 1)
+				rt.rec.Event(wtl.Now(), telemetry.OutcomeRetriedTransient,
+					sf.inoID, pos, hi)
+				continue
+			}
+			// Definitive failure: give the range back and feed the
+			// breaker. Demand reads still cover the data.
+			f.noteFault(wtl, sf, true)
+			sf.tree.ClearRequested(wtl, pos, hi)
+			return
+		}
+		if info.PrefetchedPages > 0 {
+			// Only device-backed successes feed the breaker: a call
+			// satisfied entirely from cache proves nothing about the
+			// device and must not reset (or close) the breaker.
+			f.noteFault(wtl, sf, false)
+		}
+
 		if granted <= 0 {
 			sf.tree.ClearRequested(wtl, pos, hi)
 			break
 		}
-		sf.tree.ImportBitmap(wtl, snap, pos, pos+granted)
 		pos += granted
 
 		if !o.OptLimits {
@@ -369,6 +411,42 @@ func (f *File) issuePrefetch(wtl *simtime.Timeline, kf *vfs.File, sf *sharedFile
 			sf.tree.ClearRequested(wtl, pos, hi)
 			break
 		}
+	}
+}
+
+// retryDelay is the deterministic backoff before transient-fault retry
+// n (1-based): RetryBase<<(n-1), stretched by seeded jitter so retries
+// across files decorrelate without wall-clock randomness.
+func retryDelay(o Options, ino, lo int64, attempt int) simtime.Duration {
+	d := o.RetryBase << (attempt - 1)
+	if o.RetryJitterFrac > 0 {
+		h := faultinject.Hash(uint64(o.FaultSeed), uint64(ino), uint64(lo), uint64(attempt))
+		frac := float64(h>>11) / float64(1<<53) // [0, 1)
+		d += simtime.Duration(float64(d) * o.RetryJitterFrac * frac)
+	}
+	return d
+}
+
+// noteFault feeds one definitive background-prefetch outcome to the
+// file's circuit breaker and records trips/recoveries.
+func (f *File) noteFault(wtl *simtime.Timeline, sf *sharedFile, failed bool) {
+	o := f.rt.opt
+	if o.BreakerThreshold <= 0 {
+		return
+	}
+	now := wtl.Now()
+	if failed {
+		if sf.brk.failure(now, o.BreakerThreshold, o.BreakerCooloff) {
+			f.rt.breakerTrips.Add(1)
+			f.rt.rec.Add(telemetry.CtrLibBreakerTrips, 1)
+			f.rt.rec.Event(now, telemetry.OutcomeBreakerTripped, sf.inoID, 0, 0)
+		}
+		return
+	}
+	if sf.brk.success() {
+		f.rt.breakerRecovered.Add(1)
+		f.rt.rec.Add(telemetry.CtrLibBreakerRecoveries, 1)
+		f.rt.rec.Event(now, telemetry.OutcomeBreakerRecovered, sf.inoID, 0, 0)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bitmap"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 	"repro/internal/vfs"
 )
 
@@ -36,16 +37,18 @@ func (rt *Runtime) Mmap(tl *simtime.Timeline, f *File) *Mapping {
 func (m *Mapping) Kernel() *vfs.Mapping { return m.km }
 
 // Load touches [off, off+n), optionally copying into dst. Every
-// MmapScanOps loads, a background bitmap scan runs the prefetch heuristic.
-func (m *Mapping) Load(tl *simtime.Timeline, off, n int64, dst []byte) {
-	m.km.Load(tl, off, n, dst)
+// MmapScanOps loads, a background bitmap scan runs the prefetch
+// heuristic. A demand (fault-in) device error is returned.
+func (m *Mapping) Load(tl *simtime.Timeline, off, n int64, dst []byte) error {
+	err := m.km.Load(tl, off, n, dst)
 	o := m.f.rt.opt
 	if !o.Enabled {
-		return
+		return err
 	}
 	if m.loads.Add(1)%o.MmapScanOps == 0 {
 		m.scheduleScan(tl)
 	}
+	return err
 }
 
 // scheduleScan runs one bitmap-driven prefetch step on a helper thread.
@@ -110,6 +113,13 @@ func (m *Mapping) scheduleScan(tl *simtime.Timeline) {
 		m.mu.Unlock()
 
 		if !dense || lo < 0 || lo >= fileBlocks {
+			return
+		}
+		if o := rt.opt; o.Visibility && o.BreakerThreshold > 0 &&
+			!sf.brk.allow(wtl.Now()) {
+			rt.droppedBreaker.Add(1)
+			rt.rec.Event(wtl.Now(), telemetry.OutcomeDroppedBreakerOpen,
+				sf.inoID, lo, lo+window)
 			return
 		}
 		if rt.freeFrac() < rt.opt.LowWaterFrac {

@@ -65,6 +65,29 @@ type Options struct {
 	EvictCheckOps int64
 	// MmapScanOps triggers an mmap bitmap scan every this many loads.
 	MmapScanOps int64
+
+	// RetryMax is how many times a background prefetch retries a
+	// transient device fault before giving up (negative disables
+	// retries). Persistent faults are never retried.
+	RetryMax int
+	// RetryBase is the first retry's backoff; attempt n waits
+	// RetryBase<<(n-1) plus jitter.
+	RetryBase simtime.Duration
+	// RetryJitterFrac stretches each backoff by up to this fraction of
+	// deterministic, seeded jitter (decorrelates retries across files
+	// without wall-clock randomness).
+	RetryJitterFrac float64
+	// BreakerThreshold trips a per-file circuit breaker after this many
+	// consecutive background prefetch failures. While open, prefetch for
+	// the file is dropped — the application degrades to plain demand
+	// reads — until BreakerCooloff elapses and a probe prefetch
+	// succeeds. <= 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooloff is how long an open breaker suppresses prefetch
+	// before half-opening for a single probe.
+	BreakerCooloff simtime.Duration
+	// FaultSeed seeds the retry jitter hash.
+	FaultSeed int64
 }
 
 // withDefaults fills unset fields.
@@ -94,6 +117,27 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MmapScanOps <= 0 {
 		o.MmapScanOps = 64
+	}
+	if o.RetryMax == 0 {
+		o.RetryMax = 2
+	}
+	if o.RetryMax < 0 {
+		o.RetryMax = 0
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 200 * simtime.Microsecond
+	}
+	if o.RetryJitterFrac == 0 {
+		o.RetryJitterFrac = 0.25
+	}
+	if o.RetryJitterFrac < 0 {
+		o.RetryJitterFrac = 0
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 8
+	}
+	if o.BreakerCooloff <= 0 {
+		o.BreakerCooloff = 20 * simtime.Millisecond
 	}
 	return o
 }

@@ -30,13 +30,17 @@ type Runtime struct {
 	rec *telemetry.Recorder
 
 	// Stats.
-	prefetchCalls   atomic.Int64 // readahead_info calls issued
-	savedPrefetch   atomic.Int64 // prefetches skipped via cache awareness
-	prefetchedPgs   atomic.Int64
-	evictedPgs      atomic.Int64
-	fincorePolls    atomic.Int64
-	openPrefetches  atomic.Int64
-	droppedPrefetch atomic.Int64
+	prefetchCalls    atomic.Int64 // readahead_info calls issued
+	savedPrefetch    atomic.Int64 // prefetches skipped via cache awareness
+	prefetchedPgs    atomic.Int64
+	evictedPgs       atomic.Int64
+	fincorePolls     atomic.Int64
+	openPrefetches   atomic.Int64
+	droppedPrefetch  atomic.Int64
+	prefetchRetries  atomic.Int64
+	breakerTrips     atomic.Int64
+	breakerRecovered atomic.Int64
+	droppedBreaker   atomic.Int64
 }
 
 // sharedFile is the per-inode state shared by all descriptors of a file:
@@ -51,6 +55,60 @@ type sharedFile struct {
 
 	lastAccess atomic.Int64 // virtual time of last access
 	fetchAll   atomic.Bool  // whole-file prefetch kicked off
+
+	brk breaker // background-prefetch circuit breaker
+}
+
+// breaker is the per-file circuit breaker over background prefetch
+// (§fault tolerance): repeated device failures open it, suppressing
+// prefetch so the file degrades to demand reads; after a cool-off it
+// half-opens and a single probe prefetch decides whether it closes.
+type breaker struct {
+	mu       sync.Mutex
+	fails    int          // consecutive background prefetch failures
+	open     bool         // prefetch suppressed
+	reopenAt simtime.Time // when an open breaker next admits a probe
+}
+
+// allow reports whether a prefetch may proceed at now: always while
+// closed, and past reopenAt while open (half-open probing). The probe
+// is resolved where a prefetch is actually issued — intents that pass
+// this check but die on the way (already cached, batching hysteresis)
+// don't consume it; a failed probe pushes reopenAt out again.
+func (b *breaker) allow(now simtime.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.open || now >= b.reopenAt
+}
+
+// failure records a definitive prefetch failure; reports whether this
+// one tripped the breaker (closed -> open edge).
+func (b *breaker) failure(now simtime.Time, threshold int, cooloff simtime.Duration) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	b.reopenAt = now.Add(cooloff)
+	if b.open {
+		return false // failed half-open probe: stay open, extend cool-off
+	}
+	if b.fails >= threshold {
+		b.open = true
+		return true
+	}
+	return false
+}
+
+// success records a prefetch success; reports whether it closed an open
+// breaker (a recovery).
+func (b *breaker) success() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	if b.open {
+		b.open = false
+		return true
+	}
+	return false
 }
 
 func (sf *sharedFile) touch(at simtime.Time) {
@@ -104,6 +162,13 @@ type Stats struct {
 	OpenPrefetches  int64
 	DroppedPrefetch int64
 	WorkerJobs      int64
+	// Fault-tolerance counters: transient-fault retries issued, per-file
+	// breaker trips and recoveries, and prefetch intents dropped while a
+	// breaker was open.
+	PrefetchRetries   int64
+	BreakerTrips      int64
+	BreakerRecoveries int64
+	DroppedBreaker    int64
 }
 
 // Stats snapshots the runtime counters.
@@ -117,6 +182,11 @@ func (rt *Runtime) Stats() Stats {
 		OpenPrefetches:  rt.openPrefetches.Load(),
 		DroppedPrefetch: rt.droppedPrefetch.Load(),
 		WorkerJobs:      rt.workers.Jobs(),
+
+		PrefetchRetries:   rt.prefetchRetries.Load(),
+		BreakerTrips:      rt.breakerTrips.Load(),
+		BreakerRecoveries: rt.breakerRecovered.Load(),
+		DroppedBreaker:    rt.droppedBreaker.Load(),
 	}
 }
 

@@ -126,6 +126,25 @@ func TestTable5Quick(t *testing.T) { runQuick(t, "tab5") }
 func TestFig8aQuick(t *testing.T)  { runQuick(t, "fig8a") }
 func TestFig10Quick(t *testing.T)  { runQuick(t, "fig10") }
 
+// TestChaosQuick runs the fault-injection sweep; the runner itself
+// asserts byte-correctness, audit reconciliation, breaker trip +
+// recovery, bounded slowdown, and schedule determinism.
+func TestChaosQuick(t *testing.T) {
+	tbl := runQuick(t, "chaos")
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("chaos produced %d rows, want 3", len(tbl.Rows))
+	}
+	if got := cell(t, tbl, "trips", "transient10"); got < 1 {
+		t.Fatalf("transient10 breaker trips = %v, want >= 1", got)
+	}
+	if got := cell(t, tbl, "recoveries", "transient10"); got < 1 {
+		t.Fatalf("transient10 breaker recoveries = %v, want >= 1", got)
+	}
+	if got := cell(t, tbl, "read-errs", "persistent-range"); got < 1 {
+		t.Fatalf("persistent-range read errors = %v, want >= 1", got)
+	}
+}
+
 func TestFig8bQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")

@@ -61,6 +61,7 @@ type FS struct {
 
 	mu      sync.RWMutex
 	files   map[string]*Inode
+	byID    map[int64]*Inode
 	nextIno int64
 
 	allocMu  sync.Mutex
@@ -81,6 +82,7 @@ func New(layout Layout, blockSize int64, costs simtime.Costs) *FS {
 		layout:    layout,
 		blockSize: blockSize,
 		files:     make(map[string]*Inode),
+		byID:      make(map[int64]*Inode),
 		journal:   simtime.NewLedger(layout.String() + ".journal"),
 		costs:     costs,
 	}
@@ -148,8 +150,18 @@ func (f *FS) Create(tl *simtime.Timeline, name string) (*Inode, error) {
 	f.nextIno++
 	ino := &Inode{fs: f, id: f.nextIno, name: name}
 	f.files[name] = ino
+	f.byID[ino.id] = ino
 	f.metadataOp(tl)
 	return ino, nil
+}
+
+// InodeByID looks up an inode by number, or nil for a deleted/unknown
+// file. The page cache's writeback hook uses it to map a dirty run's
+// logical blocks to device offsets.
+func (f *FS) InodeByID(id int64) *Inode {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.byID[id]
 }
 
 // CreateSynthetic creates a file of the given logical size whose blocks are
@@ -193,6 +205,7 @@ func (f *FS) Remove(tl *simtime.Timeline, name string) error {
 		return fmt.Errorf("fs: remove %s: no such file", name)
 	}
 	delete(f.files, name)
+	delete(f.byID, ino.id)
 	f.mu.Unlock()
 
 	ino.mu.Lock()

@@ -200,6 +200,9 @@ func (fc *FileCache) InsertRange(tl *simtime.Timeline, lo, hi int64, opt InsertO
 			fc.lastTouch.Store(int64(tl.Now()))
 		}
 		fc.cache.rec.Add(telemetry.CtrCacheInsertedPages, inserted)
+		if opt.Dirty {
+			fc.cache.rec.Add(telemetry.CtrCacheDirtyInsertedPages, inserted)
+		}
 		if opt.Prefetched {
 			fc.cache.rec.Add(telemetry.CtrCachePrefetchInsertedPages, inserted)
 		}

@@ -48,8 +48,10 @@ type Config struct {
 }
 
 // FlushFn writes back a dirty run of a file's pages, returning the
-// virtual completion time. Installed by the VFS layer.
-type FlushFn func(at simtime.Time, inoID, lo, hi int64) simtime.Time
+// virtual completion time. Installed by the VFS layer. On error the
+// cache keeps the affected pages dirty (re-inserting evicted victims)
+// so a failed writeback never silently discards unwritten data.
+type FlushFn func(at simtime.Time, inoID, lo, hi int64) (simtime.Time, error)
 
 // Cache is the global page cache.
 type Cache struct {
@@ -219,6 +221,9 @@ type page struct {
 	// the state the Leap-style effectiveness accounting tracks. A lookup
 	// clears it (hit); eviction of a still-set page is wasted prefetch.
 	prefetched bool
+	// wbFails counts failed writeback attempts; at maxWritebackAttempts
+	// the page is dropped and the loss surfaced via telemetry.
+	wbFails int8
 
 	// LRU linkage, guarded by Cache.lruMu.
 	prev, next *page

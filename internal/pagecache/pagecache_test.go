@@ -168,13 +168,13 @@ func TestDirtyWritebackOnEviction(t *testing.T) {
 	var flushed []int64
 	var mu sync.Mutex
 	c := New(Config{BlockSize: 4096, CapacityPages: 50, Costs: simtime.DefaultCosts()},
-		func(at simtime.Time, ino, lo, hi int64) simtime.Time {
+		func(at simtime.Time, ino, lo, hi int64) (simtime.Time, error) {
 			mu.Lock()
 			for i := lo; i < hi; i++ {
 				flushed = append(flushed, i)
 			}
 			mu.Unlock()
-			return at
+			return at, nil
 		})
 	fc := c.File(1)
 	fc.InsertRange(nil, 0, 40, InsertOptions{Dirty: true, MarkerAt: -1})

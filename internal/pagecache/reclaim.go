@@ -280,42 +280,94 @@ func (c *Cache) finishEviction(tl *simtime.Timeline, victims []*page, unlink boo
 	if c.flush == nil {
 		return
 	}
-	// Write back dirty pages as contiguous runs per file.
-	type key struct{ fc *FileCache }
-	dirtyByFile := make(map[key][]int64)
+	// Write back dirty pages as contiguous runs per file. The pages (not
+	// just their indices) are kept so a failed flush can re-insert its
+	// run dirty instead of silently discarding unwritten data.
+	dirtyByFile := make(map[*FileCache][]*page)
 	for _, p := range victims {
 		if p.dirty {
 			p.dirty = false
 			c.dirty.Add(-1)
-			dirtyByFile[key{p.fc}] = append(dirtyByFile[key{p.fc}], p.idx)
+			dirtyByFile[p.fc] = append(dirtyByFile[p.fc], p)
 		}
 	}
 	at := simtime.Time(0)
 	if tl != nil {
 		at = tl.Now()
 	}
-	for k, idxs := range dirtyByFile {
-		sortInt64(idxs)
-		lo := idxs[0]
-		prev := lo
-		for _, i := range idxs[1:] {
-			if i == prev+1 {
-				prev = i
+	for fc, pages := range dirtyByFile {
+		sortPagesByIdx(pages)
+		runStart := 0
+		for i := 1; i <= len(pages); i++ {
+			if i < len(pages) && pages[i].idx == pages[i-1].idx+1 {
 				continue
 			}
-			c.flush(at, k.fc.inoID, lo, prev+1)
-			c.writebacks.Add(prev + 1 - lo)
-			lo, prev = i, i
+			run := pages[runStart:i]
+			lo, hi := run[0].idx, run[len(run)-1].idx+1
+			if _, err := c.flush(at, fc.inoID, lo, hi); err != nil {
+				c.requeueDirty(tl, fc, run)
+			} else {
+				c.writebacks.Add(hi - lo)
+			}
+			runStart = i
 		}
-		c.flush(at, k.fc.inoID, lo, prev+1)
-		c.writebacks.Add(prev + 1 - lo)
 	}
 }
 
-func sortInt64(s []int64) {
+// maxWritebackAttempts bounds how often a dirty page survives failed
+// writeback before being dropped (with the loss surfaced in telemetry)
+// — an unbounded requeue loop against a persistently failing device
+// would pin the cache full of unreclaimable pages.
+const maxWritebackAttempts = 3
+
+// requeueDirty puts evicted-but-unwritten pages back into their file,
+// dirty, so a failed writeback loses no data. Pages that have exhausted
+// their attempt budget are dropped and counted as lost. The re-inserted
+// pages land at the LRU head and deliberately do NOT trigger another
+// reclaim pass (the caller is inside one).
+func (c *Cache) requeueDirty(tl *simtime.Timeline, fc *FileCache, run []*page) {
+	var requeued []*page
+	fc.mu.Lock()
+	for _, p := range run {
+		p.wbFails++
+		if p.wbFails >= maxWritebackAttempts {
+			c.rec.Add(telemetry.CtrWritebackLostPages, 1)
+			continue
+		}
+		if cur, ok := fc.pages[p.idx]; ok {
+			// A fresh page raced into the slot (the backing store already
+			// holds the written bytes, so its content is current); it
+			// inherits the writeback obligation.
+			if !cur.dirty {
+				cur.dirty = true
+				c.dirty.Add(1)
+			}
+			continue
+		}
+		p.dirty = true
+		c.dirty.Add(1)
+		fc.pages[p.idx] = p
+		fc.bm.Set(p.idx)
+		requeued = append(requeued, p)
+	}
+	fc.mu.Unlock()
+	if len(requeued) == 0 {
+		return
+	}
+	n := int64(len(requeued))
+	c.used.Add(n)
+	// The re-insertion is a fresh (dirty) insertion for the audit's
+	// books: inserted − removed = resident stays exact, and the dirty
+	// count keeps these pages out of the clean (read-backed) total.
+	c.rec.Add(telemetry.CtrCacheInsertedPages, n)
+	c.rec.Add(telemetry.CtrCacheDirtyInsertedPages, n)
+	c.link(requeued)
+}
+
+func sortPagesByIdx(s []*page) {
 	// Insertion sort: victim runs are short and usually nearly sorted.
 	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+		for j := i; j > 0 && s[j].idx < s[j-1].idx; j-- {
 			s[j], s[j-1] = s[j-1], s[j]
 		}
 	}

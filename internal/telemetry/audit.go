@@ -12,11 +12,12 @@ type AuditInput struct {
 	BlockSize int64
 	// CacheUsed is the cache's own resident-page count at audit time.
 	CacheUsed int64
-	// LibSavedPrefetches and LibDroppedPrefetch are the CROSS-LIB stats
-	// counters (summed over runtimes sharing the recorder); consulted
-	// when HasLibStats is set.
+	// LibSavedPrefetches, LibDroppedPrefetch, and LibDroppedBreaker are
+	// the CROSS-LIB stats counters (summed over runtimes sharing the
+	// recorder); consulted when HasLibStats is set.
 	LibSavedPrefetches int64
 	LibDroppedPrefetch int64
+	LibDroppedBreaker  int64
 	HasLibStats        bool
 	// StrictDevice additionally requires every device read to be
 	// accounted to a VFS demand fetch or prefetch — true whenever the
@@ -99,6 +100,34 @@ func Audit(s *Snapshot, in AuditInput) error {
 		if ev := s.Outcome(OutcomeDroppedQueueFull); ev.Events != in.LibDroppedPrefetch {
 			fail("dropped-queue-full trace events %d != lib dropped prefetches %d", ev.Events, in.LibDroppedPrefetch)
 		}
+		if ev := s.Outcome(OutcomeDroppedBreakerOpen); ev.Events != in.LibDroppedBreaker {
+			fail("dropped-breaker-open trace events %d != lib breaker drops %d", ev.Events, in.LibDroppedBreaker)
+		}
+	}
+
+	// Cache-poisoning guard: every page inserted CLEAN was backed by a
+	// successful device read (demand fetch or prefetch). A failed read
+	// that still inserted pages breaks this inequality.
+	cleanIns := ins - s.Counter(CtrCacheDirtyInsertedPages)
+	readBacked := s.Counter(CtrVFSDemandFetchPages) + s.Counter(CtrVFSPrefetchDevicePages)
+	if cleanIns > readBacked {
+		fail("clean cache insertions %d > read-backed pages %d (poisoned cache entries?)", cleanIns, readBacked)
+	}
+
+	// Trace <-> counter: retry and breaker events carry exactly the flat
+	// counters' totals, and every device-fault event implies an injected
+	// (or real) device failure.
+	if ev := s.Outcome(OutcomeRetriedTransient); ev.Events != s.Counter(CtrLibPrefetchRetries) {
+		fail("retried-transient trace events %d != lib prefetch retries %d", ev.Events, s.Counter(CtrLibPrefetchRetries))
+	}
+	if ev := s.Outcome(OutcomeBreakerTripped); ev.Events != s.Counter(CtrLibBreakerTrips) {
+		fail("breaker-tripped trace events %d != breaker trips %d", ev.Events, s.Counter(CtrLibBreakerTrips))
+	}
+	if ev := s.Outcome(OutcomeBreakerRecovered); ev.Events != s.Counter(CtrLibBreakerRecoveries) {
+		fail("breaker-recovered trace events %d != breaker recoveries %d", ev.Events, s.Counter(CtrLibBreakerRecoveries))
+	}
+	if ev := s.Outcome(OutcomeDeviceFault); ev.Events > s.Counter(CtrDeviceInjectedFaults) {
+		fail("device-fault trace events %d > injected device faults %d", ev.Events, s.Counter(CtrDeviceInjectedFaults))
 	}
 
 	// Device <-> VFS: for a kernel that is the device's only client,

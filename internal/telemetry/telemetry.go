@@ -67,6 +67,35 @@ const (
 	// CtrDeviceReadBytes and CtrDeviceWriteBytes are raw device traffic.
 	CtrDeviceReadBytes
 	CtrDeviceWriteBytes
+	// CtrCacheDirtyInsertedPages is the inserted pages that entered dirty
+	// (buffered writes, writeback requeues). Clean insertions — the rest —
+	// must be backed by successful device reads; Audit checks that, which
+	// is the cache-poisoning guard.
+	CtrCacheDirtyInsertedPages
+	// CtrDeviceInjectedFaults counts requests failed by the fault injector.
+	CtrDeviceInjectedFaults
+	// CtrDeviceInjectedStallNs is virtual time added by injected latency
+	// spikes (on failing and non-failing requests alike).
+	CtrDeviceInjectedStallNs
+	// CtrVFSDemandRetries counts blocking-read/fsync retries of transient
+	// device faults.
+	CtrVFSDemandRetries
+	// CtrVFSDemandIOErrors counts demand I/O that failed for good (the
+	// error the application sees).
+	CtrVFSDemandIOErrors
+	// CtrVFSWritebackRetries counts background writeback retries of
+	// transient device faults.
+	CtrVFSWritebackRetries
+	// CtrWritebackLostPages counts dirty pages dropped after exhausting
+	// the writeback retry budget (surfaced data loss, never silent).
+	CtrWritebackLostPages
+	// CtrLibPrefetchRetries counts CROSS-LIB background-prefetch retries
+	// after transient faults (backoff + jitter path).
+	CtrLibPrefetchRetries
+	// CtrLibBreakerTrips and CtrLibBreakerRecoveries count per-file
+	// circuit-breaker transitions (closed→open, open→closed).
+	CtrLibBreakerTrips
+	CtrLibBreakerRecoveries
 
 	numCounters
 )
@@ -89,6 +118,16 @@ func (c Counter) String() string {
 		"prefetch_wasted_pages",
 		"device_read_bytes",
 		"device_write_bytes",
+		"cache_dirty_inserted_pages",
+		"device_injected_faults",
+		"device_injected_stall_ns",
+		"vfs_demand_retries",
+		"vfs_demand_io_errors",
+		"vfs_writeback_retries",
+		"writeback_lost_pages",
+		"lib_prefetch_retries",
+		"lib_breaker_trips",
+		"lib_breaker_recoveries",
 	}[c]
 }
 
@@ -116,6 +155,21 @@ const (
 	// OutcomeEvictedBeforeUse: prefetched pages were reclaimed before
 	// any reader touched them (wasted prefetch, the Leap metric).
 	OutcomeEvictedBeforeUse
+	// OutcomeDeviceFault: a prefetch device request failed (injected or
+	// real); the affected pages were NOT inserted into the cache.
+	OutcomeDeviceFault
+	// OutcomeRetriedTransient: a transient prefetch fault was retried
+	// after virtual-time backoff.
+	OutcomeRetriedTransient
+	// OutcomeDroppedBreakerOpen: the per-file circuit breaker was open, so
+	// the prefetch intent was dropped (degraded to demand reads).
+	OutcomeDroppedBreakerOpen
+	// OutcomeBreakerTripped: repeated prefetch failures opened the
+	// per-file breaker.
+	OutcomeBreakerTripped
+	// OutcomeBreakerRecovered: a half-open probe succeeded and the breaker
+	// closed again.
+	OutcomeBreakerRecovered
 
 	numOutcomes
 )
@@ -130,6 +184,11 @@ func (o Outcome) String() string {
 		"throttled-steady-state",
 		"dropped-queue-full",
 		"evicted-before-use",
+		"device-fault",
+		"retried-transient",
+		"dropped-breaker-open",
+		"breaker-tripped",
+		"breaker-recovered",
 	}[o]
 }
 

@@ -42,6 +42,11 @@ type CacheInfo struct {
 	FreePages, CapacityPages int64
 	// ReadyAt is the completion time of the I/O issued by this call.
 	ReadyAt simtime.Time
+	// PrefetchErr is the device error that aborted this call's prefetch,
+	// if any. Pages covered by the failed portion were NOT inserted; the
+	// transient-vs-persistent classification (blockdev.IsTransient)
+	// drives the caller's retry policy.
+	PrefetchErr error
 }
 
 // ReadaheadInfo is the new multi-purpose system call (§4.4). In one kernel
@@ -100,8 +105,9 @@ func (f *File) ReadaheadInfo(tl *simtime.Timeline, req CacheInfoRequest, dst *bi
 		case req.DisablePrefetch:
 			// Pure query; report what would be fetched.
 		default:
-			issued := f.prefetchRuns(tl, tl.Now(), missing, -1)
+			issued, err := f.prefetchRuns(tl, tl.Now(), missing, -1)
 			info.PrefetchedPages = issued
+			info.PrefetchErr = err
 			info.ReadyAt = f.fc.ResidentReadyAt(lo, hi)
 			v.rec.Add(telemetry.CtrKernelPrefetchedPages, issued)
 		}

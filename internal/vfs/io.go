@@ -6,6 +6,7 @@ import (
 	"repro/internal/pagecache"
 	"repro/internal/readahead"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 )
 
 // observeSyscall records the virtual duration of the syscall body that runs
@@ -65,7 +66,10 @@ func (f *File) ReadAt(tl *simtime.Timeline, dst []byte, off int64) (int, error) 
 		if runStart >= 0 {
 			runs = append(runs, bitmap.Run{Lo: runStart, Hi: hi})
 		}
-		f.fetchRuns(tl, runs)
+		if err := f.fetchRuns(tl, runs); err != nil {
+			// The demand data never arrived; nothing was copied out.
+			return 0, err
+		}
 	}
 
 	// Kernel readahead decision (under the file's readahead state).
@@ -77,8 +81,11 @@ func (f *File) ReadAt(tl *simtime.Timeline, dst []byte, off int64) (int, error) 
 		// Both the sync initial window and the async marker ramp are
 		// submitted without blocking the reader beyond its demanded
 		// pages; later readers touching the window wait on readyAt.
+		// Readahead is best-effort: a device fault here inserts nothing
+		// (recorded in the decision trace) and the pages fall back to
+		// demand reads.
 		missing := f.fc.FastMissingRuns(tl, action.Lo, action.Hi)
-		f.prefetchRuns(tl, tl.Now(), missing, action.MarkerAt)
+		_, _ = f.prefetchRuns(tl, tl.Now(), missing, action.MarkerAt)
 	}
 
 	// Wait for in-flight prefetch covering the demanded range. The wait
@@ -155,7 +162,11 @@ func (f *File) WriteAt(tl *simtime.Timeline, data []byte, off int64) (int, error
 		}
 	}
 	if len(rmw) > 0 {
-		f.fetchRuns(tl, rmw)
+		// A failed read-modify-write edge fetch fails the write: merging
+		// into a block we could not read would corrupt its other bytes.
+		if err := f.fetchRuns(tl, rmw); err != nil {
+			return 0, err
+		}
 	}
 
 	// Move the data: backing store now, device on writeback.
@@ -187,21 +198,48 @@ func (f *File) Append(tl *simtime.Timeline, data []byte) (int, error) {
 }
 
 // Fsync writes back all dirty pages synchronously, charging the caller.
+// On a device error the not-yet-written blocks are re-marked dirty
+// (CollectDirtyRuns cleared them optimistically), so a failed fsync
+// leaves the data cached and dirty for a later retry rather than
+// silently dropping the writeback obligation.
 func (f *File) Fsync(tl *simtime.Timeline) error {
 	defer f.v.observeSyscall(tl, SysFsync)()
 	f.v.enter(tl, SysFsync)
 	runs := f.fc.CollectDirtyRuns(tl, 0, f.ino.Blocks())
+	for i, r := range runs {
+		if err := f.syncWriteRun(tl, r); err != nil {
+			for _, later := range runs[i+1:] {
+				f.fc.SetDirtyRange(tl, later.Lo, later.Hi)
+			}
+			f.v.rec.Add(telemetry.CtrVFSDemandIOErrors, 1)
+			return err
+		}
+	}
+	return nil
+}
+
+// syncWriteRun writes back one run of blocks through the blocking lane,
+// chunked at the VFS request size over the run's physical segments. On
+// error the unwritten tail of the run is re-marked dirty.
+func (f *File) syncWriteRun(tl *simtime.Timeline, r bitmap.Run) error {
 	bs := f.v.BlockSize()
-	for _, r := range runs {
-		remaining := r.Blocks() * bs
+	for _, pr := range f.ino.MapRange(r.Lo, r.Hi) {
+		lo := pr.Logical
+		devOff := pr.Phys * bs
+		remaining := pr.Count * bs
 		for remaining > 0 {
 			chunk := remaining
 			if chunk > maxVFSRequest {
 				chunk = maxVFSRequest
 			}
-			if err := f.v.dev.Access(tl, blockdev.OpWrite, chunk); err != nil {
+			if err := f.v.syncAccess(tl, blockdev.OpWrite, devOff, chunk); err != nil {
+				f.fc.SetDirtyRange(tl, lo, r.Hi)
+				f.v.rec.Event(tl.Now(), telemetry.OutcomeDeviceFault, f.ino.ID(), lo, r.Hi)
 				return err
 			}
+			cb := (chunk + bs - 1) / bs
+			lo += cb
+			devOff += chunk
 			remaining -= chunk
 		}
 	}
@@ -244,7 +282,11 @@ func (f *File) Readahead(tl *simtime.Timeline, off, nbytes int64) int64 {
 	if runStart >= 0 {
 		runs = append(runs, bitmap.Run{Lo: runStart, Hi: hi})
 	}
-	f.prefetchRuns(tl, tl.Now(), runs, -1)
+	// readahead(2) is advisory: a device fault inserts nothing and is
+	// reported only through the bytes-submitted return value.
+	if issued, err := f.prefetchRuns(tl, tl.Now(), runs, -1); err != nil {
+		return issued * bs
+	}
 	return (hi - lo) * bs
 }
 

@@ -71,16 +71,19 @@ const faultAroundPages = 16
 // Load touches bytes [off, off+n) of the mapping, faulting in missing
 // pages. When dst is non-nil the bytes are also copied out (so callers
 // that need content correctness can verify it); the copy itself is free in
-// virtual time, matching mmap's zero-copy promise.
-func (m *Mapping) Load(tl *simtime.Timeline, off, n int64, dst []byte) {
+// virtual time, matching mmap's zero-copy promise. A device fault on the
+// demand (fault-in) path is returned — the simulation's stand-in for the
+// SIGBUS a real mapping would raise; fault-path readahead stays
+// best-effort.
+func (m *Mapping) Load(tl *simtime.Timeline, off, n int64, dst []byte) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	f := m.f
 	v := f.v
 	size := f.ino.Size()
 	if off >= size {
-		return
+		return nil
 	}
 	if off+n > size {
 		n = size - off
@@ -119,7 +122,9 @@ func (m *Mapping) Load(tl *simtime.Timeline, off, n int64, dst []byte) {
 					v.enter(tl, SysMmapFault)
 					tl.Advance(v.cfg.Costs.FaultEntry)
 					m.faults.add(1)
-					f.fetchRuns(tl, []bitmap.Run{{Lo: i, Hi: i + 1}})
+					if err := f.fetchRuns(tl, []bitmap.Run{{Lo: i, Hi: i + 1}}); err != nil {
+						return err
+					}
 				}
 				continue
 			}
@@ -135,7 +140,9 @@ func (m *Mapping) Load(tl *simtime.Timeline, off, n int64, dst []byte) {
 				fhi = fileBlocks
 			}
 			missing := f.fc.FastMissingRuns(tl, r.Lo, fhi)
-			f.fetchRuns(tl, missing)
+			if err := f.fetchRuns(tl, missing); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -146,7 +153,7 @@ func (m *Mapping) Load(tl *simtime.Timeline, off, n int64, dst []byte) {
 	m.mu.Unlock()
 	if action.Pages() > 0 {
 		missing := f.fc.FastMissingRuns(tl, action.Lo, action.Hi)
-		f.prefetchRuns(tl, tl.Now(), missing, action.MarkerAt)
+		_, _ = f.prefetchRuns(tl, tl.Now(), missing, action.MarkerAt)
 	}
 
 	f.waitInflight(tl, res.ReadyAt, n)
@@ -157,4 +164,5 @@ func (m *Mapping) Load(tl *simtime.Timeline, off, n int64, dst []byte) {
 		}
 		f.ino.ReadAt(dst[:want], off)
 	}
+	return nil
 }

@@ -51,6 +51,13 @@ type Config struct {
 	// further asynchronous prefetch is postponed so blocking I/O is not
 	// delayed (§4.7). Zero selects the default.
 	CongestionLimit simtime.Duration
+	// DemandRetries bounds how many times a blocking (demand read,
+	// fsync) or writeback device request retries a transient fault
+	// before the error surfaces; DemandRetryBase is the virtual-time
+	// backoff before the first retry, doubling each attempt. Zero values
+	// select 3 retries and 50µs.
+	DemandRetries   int
+	DemandRetryBase simtime.Duration
 }
 
 // DefaultConfig returns Linux-like defaults on the paper's testbed.
@@ -121,6 +128,12 @@ func New(cfg Config, fsys *fs.FS, dev *blockdev.Device, cache *pagecache.Cache) 
 	}
 	if cfg.CongestionLimit <= 0 {
 		cfg.CongestionLimit = 5 * simtime.Millisecond
+	}
+	if cfg.DemandRetries <= 0 {
+		cfg.DemandRetries = 3
+	}
+	if cfg.DemandRetryBase <= 0 {
+		cfg.DemandRetryBase = 50 * simtime.Microsecond
 	}
 	v := &VFS{
 		cfg:      cfg,
@@ -272,54 +285,97 @@ func (v *VFS) blockRange(off, n int64) (lo, hi int64) {
 	return off / bs, (off + n + bs - 1) / bs
 }
 
+// syncAccess is Device.Access plus bounded transient-fault retry with
+// exponential virtual-time backoff — the demand path's resilience:
+// transient device glitches are absorbed here (charged as wait time),
+// while persistent faults and exhausted budgets surface to the caller.
+func (v *VFS) syncAccess(tl *simtime.Timeline, op blockdev.Op, off, bytes int64) error {
+	err := v.dev.Access(tl, op, off, bytes)
+	for attempt := 1; err != nil && blockdev.IsTransient(err) && attempt <= v.cfg.DemandRetries; attempt++ {
+		tl.WaitUntil(tl.Now().Add(v.cfg.DemandRetryBase<<(attempt-1)), simtime.WaitIO)
+		v.rec.Add(telemetry.CtrVFSDemandRetries, 1)
+		err = v.dev.Access(tl, op, off, bytes)
+	}
+	return err
+}
+
 // fetchRuns synchronously reads the given missing logical-block runs from
-// the device, charging the thread, and inserts the pages.
-func (f *File) fetchRuns(tl *simtime.Timeline, runs []bitmap.Run) {
+// the device, charging the thread, and inserts the pages — each chunk
+// strictly after its device read succeeded, so a failed read can never
+// leave bitmap bits or tree entries claiming data that was never
+// fetched (cache poisoning). Hole blocks (unmapped) are zero-fill and
+// insert without I/O. On error, chunks already fetched stay cached; the
+// rest of the range stays absent, and the error propagates.
+func (f *File) fetchRuns(tl *simtime.Timeline, runs []bitmap.Run) error {
 	bs := f.v.BlockSize()
 	for _, r := range runs {
+		cursor := r.Lo
 		for _, pr := range f.ino.MapRange(r.Lo, r.Hi) {
+			if pr.Logical > cursor {
+				f.fc.InsertRange(tl, cursor, pr.Logical, pagecache.InsertOptions{MarkerAt: -1})
+			}
+			lo := pr.Logical
+			devOff := pr.Phys * bs
 			remaining := pr.Count * bs
 			for remaining > 0 {
 				chunk := remaining
 				if chunk > maxVFSRequest {
 					chunk = maxVFSRequest
 				}
-				_ = f.v.dev.Access(tl, blockdev.OpRead, chunk)
-				f.v.rec.Add(telemetry.CtrVFSDemandFetchPages, chunk/bs)
+				if err := f.v.syncAccess(tl, blockdev.OpRead, devOff, chunk); err != nil {
+					f.v.rec.Add(telemetry.CtrVFSDemandIOErrors, 1)
+					f.v.rec.Event(tl.Now(), telemetry.OutcomeDeviceFault,
+						f.ino.ID(), lo, lo+(chunk+bs-1)/bs)
+					return err
+				}
+				chunkBlocks := (chunk + bs - 1) / bs
+				f.v.rec.Add(telemetry.CtrVFSDemandFetchPages, chunkBlocks)
+				f.fc.InsertRange(tl, lo, lo+chunkBlocks, pagecache.InsertOptions{MarkerAt: -1})
+				lo += chunkBlocks
+				devOff += chunk
 				remaining -= chunk
 			}
+			cursor = pr.Logical + pr.Count
 		}
-		f.fc.InsertRange(tl, r.Lo, r.Hi, pagecache.InsertOptions{MarkerAt: -1})
+		if cursor < r.Hi {
+			f.fc.InsertRange(tl, cursor, r.Hi, pagecache.InsertOptions{MarkerAt: -1})
+		}
 	}
+	return nil
 }
 
 // prefetchRuns asynchronously reads missing runs: device time is reserved
 // from `at` without blocking, and pages are inserted with their ready
 // times. The tree-lock insertion cost is charged to tl (the readahead work
 // happens in the calling context, as in Linux). markerAt places the
-// PG_readahead marker. Returns pages issued.
-func (f *File) prefetchRuns(tl *simtime.Timeline, at simtime.Time, runs []bitmap.Run, markerAt int64) int64 {
+// PG_readahead marker. Returns pages issued and the first device error;
+// a failed chunk inserts nothing (the poisoning guard) and aborts the
+// remainder of the request, leaving the pages to demand reads.
+func (f *File) prefetchRuns(tl *simtime.Timeline, at simtime.Time, runs []bitmap.Run, markerAt int64) (int64, error) {
 	bs := f.v.BlockSize()
 	var issued int64
 	for _, r := range runs {
 		for _, pr := range f.ino.MapRange(r.Lo, r.Hi) {
 			lo := pr.Logical
+			devOff := pr.Phys * bs
 			remaining := pr.Count * bs
 			for remaining > 0 {
 				// Congestion control: postpone prefetch that would pile
 				// onto an already-backlogged device (§4.7).
 				if f.v.dev.Backlog(at) > f.v.cfg.CongestionLimit {
-					return issued
+					return issued, nil
 				}
 				chunk := remaining
 				if chunk > maxVFSRequest {
 					chunk = maxVFSRequest
 				}
-				done, err := f.v.dev.AccessAsync(at, blockdev.OpRead, chunk)
-				if err != nil {
-					return issued
-				}
 				chunkBlocks := (chunk + bs - 1) / bs
+				done, err := f.v.dev.AccessAsync(at, blockdev.OpRead, devOff, chunk)
+				if err != nil {
+					f.v.rec.Event(at, telemetry.OutcomeDeviceFault,
+						f.ino.ID(), lo, lo+chunkBlocks)
+					return issued, err
+				}
 				f.v.rec.Add(telemetry.CtrVFSPrefetchDevicePages, chunkBlocks)
 				f.v.rec.Observe(telemetry.HistPrefetchLat, int64(done.Sub(at)))
 				n := f.fc.InsertRange(tl, lo, lo+chunkBlocks, pagecache.InsertOptions{
@@ -330,15 +386,51 @@ func (f *File) prefetchRuns(tl *simtime.Timeline, at simtime.Time, runs []bitmap
 				f.v.rec.Add(telemetry.CtrVFSPrefetchInsertedPages, n)
 				issued += n
 				lo += chunkBlocks
+				devOff += chunk
 				remaining -= chunk
 			}
 		}
 	}
-	return issued
+	return issued, nil
 }
 
-// flushRun is the page cache's dirty writeback hook: an async device write.
-func (v *VFS) flushRun(at simtime.Time, inoID, lo, hi int64) simtime.Time {
-	done, _ := v.dev.AccessAsync(at, blockdev.OpWrite, (hi-lo)*v.BlockSize())
-	return done
+// flushRun is the page cache's dirty writeback hook: async device writes
+// for the physical segments backing logical blocks [lo, hi) of inoID,
+// with bounded virtual-time retry of transient faults. On error the
+// cache re-inserts the run's pages dirty (see pagecache.FlushFn).
+func (v *VFS) flushRun(at simtime.Time, inoID, lo, hi int64) (simtime.Time, error) {
+	bs := v.BlockSize()
+	last := at
+	write := func(devOff, bytes int64) error {
+		submit := at
+		for attempt := 0; ; attempt++ {
+			done, err := v.dev.AccessAsync(submit, blockdev.OpWrite, devOff, bytes)
+			if err == nil {
+				if done > last {
+					last = done
+				}
+				return nil
+			}
+			if !blockdev.IsTransient(err) || attempt >= v.cfg.DemandRetries {
+				return err
+			}
+			v.rec.Add(telemetry.CtrVFSWritebackRetries, 1)
+			submit = done.Add(v.cfg.DemandRetryBase << attempt)
+		}
+	}
+	ino := v.fsys.InodeByID(inoID)
+	if ino == nil {
+		// Deleted file: write addressed by logical position (the data is
+		// going away anyway; this keeps the device time honest).
+		if err := write(lo*bs, (hi-lo)*bs); err != nil {
+			return last, err
+		}
+		return last, nil
+	}
+	for _, pr := range ino.MapRange(lo, hi) {
+		if err := write(pr.Phys*bs, pr.Count*bs); err != nil {
+			return last, err
+		}
+	}
+	return last, nil
 }

@@ -67,7 +67,9 @@ func RunMmap(cfg MmapConfig) (Result, error) {
 				} else {
 					off = base + rng.Int63n(chunks)*cfg.LoadSize
 				}
-				m.Load(tl, off, cfg.LoadSize, nil)
+				if err := m.Load(tl, off, cfg.LoadSize, nil); err != nil {
+					continue
+				}
 				loaded[t] += cfg.LoadSize
 			}
 		})
