@@ -1,7 +1,12 @@
 # Tier-1 gate (see ROADMAP.md): every PR must leave `make check` green.
-.PHONY: check build test vet race bench chaos errgate
+.PHONY: check build test vet race bench chaos errgate fmtgate trace bench-json
 
-check: vet errgate build race
+check: vet errgate fmtgate build race
+
+# Formatting gate: the tree must be gofmt-clean.
+fmtgate:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then echo "fmtgate: gofmt needed:"; echo "$$out"; exit 1; fi
 
 vet:
 	go vet ./...
@@ -28,3 +33,14 @@ chaos:
 
 bench:
 	go test -bench=. -benchmem -run=^$$
+
+# Span-tracing demo: run the fig5 microbenchmark grid with every operation
+# traced, write trace.json (load it at ui.perfetto.dev), and print the
+# critical-path report for the retained slow spans.
+trace:
+	go run ./cmd/crossbench -exp fig5 -quick -trace trace.json -trace-report
+
+# Archive benchmark numbers (ns/op, allocs/op, pages/s) as JSON for
+# cross-PR diffing.
+bench-json:
+	go run ./cmd/benchjson -out BENCH_PR3.json

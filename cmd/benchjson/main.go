@@ -1,0 +1,131 @@
+// Command benchjson runs a set of Go benchmarks and archives the parsed
+// results as JSON, so perf changes can be diffed across PRs without
+// eyeballing `go test -bench` text.
+//
+// Usage:
+//
+//	benchjson -out BENCH_PR3.json [-bench Trace] [-pkg .,./internal/pagecache]
+//
+// Each record carries the benchmark name, iteration count, ns/op,
+// B/op, allocs/op, and any custom metrics the benchmark reported
+// (pages/s for the tracing benchmarks).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Op         string             `json:"op"`
+	Package    string             `json:"package"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"bytes_per_op"`
+	AllocsOp   float64            `json:"allocs_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"` // pages/s etc.
+}
+
+func main() {
+	var (
+		out   = flag.String("out", "BENCH_PR3.json", "output JSON file")
+		bench = flag.String("bench", "Trace", "benchmark regexp passed to go test")
+		pkgs  = flag.String("pkg", ".", "comma-separated package list")
+		btime = flag.String("benchtime", "", "optional -benchtime value (e.g. 100x)")
+	)
+	flag.Parse()
+
+	var results []result
+	for _, pkg := range strings.Split(*pkgs, ",") {
+		pkg = strings.TrimSpace(pkg)
+		if pkg == "" {
+			continue
+		}
+		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", pkg}
+		if *btime != "" {
+			args = append(args, "-benchtime", *btime)
+		}
+		cmd := exec.Command("go", args...)
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: go %s: %v\n", strings.Join(args, " "), err)
+			os.Exit(1)
+		}
+		results = append(results, parse(pkg, &buf)...)
+	}
+
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Package != results[j].Package {
+			return results[i].Package < results[j].Package
+		}
+		return results[i].Op < results[j].Op
+	})
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err == nil {
+		err = os.WriteFile(*out, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d result(s) to %s\n", len(results), *out)
+}
+
+// parse extracts benchmark lines of the form
+//
+//	BenchmarkName-8   123   456.7 ns/op   89 B/op   2 allocs/op   1234 pages/s
+//
+// from go test output. Unit tokens follow their values.
+func parse(pkg string, buf *bytes.Buffer) []result {
+	var out []result
+	sc := bufio.NewScanner(buf)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := result{Op: fields[0], Package: pkg, Iterations: iters}
+		// Strip the GOMAXPROCS suffix ("BenchmarkFoo-8" -> "BenchmarkFoo").
+		if i := strings.LastIndex(fields[0], "-"); i > 0 {
+			if _, err := strconv.Atoi(fields[0][i+1:]); err == nil {
+				r.Op = fields[0][:i]
+			}
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsOp = v
+			default:
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[unit] = v
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}

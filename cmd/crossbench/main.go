@@ -36,6 +36,12 @@ func main() {
 		csv     = flag.String("csv", "", "also write results as CSV to this file")
 		tel     = flag.Bool("telemetry", false, "record and audit cross-layer telemetry per system")
 		telJSON = flag.String("telemetry-json", "", "write telemetry snapshots as JSON to this file (implies -telemetry)")
+
+		trace       = flag.String("trace", "", "write sampled spans as Chrome trace-event JSON (Perfetto-loadable) to this file (implies -telemetry)")
+		traceSample = flag.Int64("trace-sample", 1, "trace 1-in-N top-level operations")
+		traceInode  = flag.Bool("trace-per-inode", false, "sample whole inodes instead of 1-in-N operations")
+		traceReport = flag.Bool("trace-report", false, "print the critical-path report for retained slow spans (implies -trace sampling)")
+		prom        = flag.String("prom", "", "write the last audited system's telemetry as Prometheus text exposition to this file (implies -telemetry)")
 	)
 	flag.Parse()
 
@@ -66,12 +72,25 @@ func main() {
 		csvOut = f
 	}
 
-	if *telJSON != "" {
+	if *telJSON != "" || *prom != "" {
+		*tel = true
+	}
+	tracing := *trace != "" || *traceReport
+	if tracing {
 		*tel = true
 	}
 	experiments.EnableTelemetry(*tel)
+	if tracing {
+		experiments.EnableTracing(&experiments.TraceConfig{
+			SampleEvery: *traceSample,
+			PerInode:    *traceInode,
+			Seed:        *seed,
+		})
+	}
 
 	var telRecords []telemetryRecord
+	var traceProcs []telemetry.TraceProcess
+	var lastSnapshot *telemetry.Snapshot
 	opts := experiments.Options{Scale: *scale, Quick: *quick, Seed: *seed}
 	for _, id := range ids {
 		run, err := experiments.Get(id)
@@ -109,7 +128,54 @@ func main() {
 				telRecords = append(telRecords, telemetryRecord{
 					Experiment: id, System: r.Label, Audit: audit, Snapshot: r.Snapshot,
 				})
+				if r.Snapshot != nil {
+					lastSnapshot = r.Snapshot
+				}
+				if r.Tracer != nil {
+					traceProcs = append(traceProcs, telemetry.TraceProcess{
+						Name: id + " " + r.Label, Tracer: r.Tracer,
+					})
+				}
 			}
+		}
+	}
+
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err == nil {
+			err = telemetry.WriteChromeTrace(f, traceProcs)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: wrote %d process(es) to %s (load in Perfetto: ui.perfetto.dev)\n",
+			len(traceProcs), *trace)
+	}
+	if *traceReport {
+		if err := telemetry.WriteCriticalPathReport(os.Stdout, traceProcs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *prom != "" {
+		if lastSnapshot == nil {
+			fmt.Fprintln(os.Stderr, "-prom: no telemetry snapshot recorded")
+			os.Exit(1)
+		}
+		f, err := os.Create(*prom)
+		if err == nil {
+			err = lastSnapshot.WritePrometheus(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 

@@ -99,6 +99,24 @@ type Config struct {
 	// TelemetryEventCap bounds the decision-trace ring buffer (default
 	// 4096 events; older events are dropped, counters stay exact).
 	TelemetryEventCap int
+	// Trace enables request-scoped span tracing: sampled top-level
+	// operations carry a span tree through library, kernel, cache, and
+	// device, in virtual time, feeding the flight recorder and the
+	// Chrome-trace / critical-path exports. Disabled (the default) it
+	// costs one nil check and zero allocations on the hot paths.
+	Trace bool
+	// TraceSampleEvery samples 1-in-N top-level operations (default 1 =
+	// every operation). Ignored when TracePerInode is set.
+	TraceSampleEvery int64
+	// TracePerInode switches to deterministic per-inode sampling: an
+	// inode is either always or never traced, keyed by TraceSeed.
+	TracePerInode bool
+	// TraceSeed seeds the sampling hash (per-inode mode) so runs are
+	// reproducible.
+	TraceSeed int64
+	// TraceKeepPerOp bounds the flight recorder: the slowest N root
+	// spans per operation class are retained (default 8).
+	TraceKeepPerOp int
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +146,7 @@ type System struct {
 	lib    *crosslib.Runtime
 
 	rec *telemetry.Recorder
+	tr  *telemetry.Tracer
 
 	// procMu guards procs: extra runtimes from NewProcess, tracked so
 	// AuditTelemetry can sum library stats across all of them.
@@ -180,6 +199,18 @@ func NewSystem(cfg Config) *System {
 		kernel.SetTelemetry(s.rec)
 		lib.SetTelemetry(s.rec)
 	}
+	if cfg.Trace {
+		s.tr = telemetry.NewTracer(telemetry.TraceConfig{
+			SampleEvery: cfg.TraceSampleEvery,
+			PerInode:    cfg.TracePerInode,
+			Seed:        cfg.TraceSeed,
+			KeepPerOp:   cfg.TraceKeepPerOp,
+		})
+		// Only the library needs the handle: it opens the root span per
+		// top-level operation; lower layers read the active span off the
+		// timeline.
+		lib.SetTracer(s.tr)
+	}
 	return s
 }
 
@@ -221,6 +252,7 @@ func (s *System) NewProcess() *crosslib.Runtime {
 		opts = *s.cfg.LibOptions
 	}
 	rt := crosslib.New(s.kernel, opts)
+	rt.SetTracer(s.tr)
 	if s.rec != nil {
 		rt.SetTelemetry(s.rec)
 		s.procMu.Lock()
@@ -233,6 +265,9 @@ func (s *System) NewProcess() *crosslib.Runtime {
 // Telemetry exposes the shared recorder, or nil when Config.Telemetry is
 // off.
 func (s *System) Telemetry() *telemetry.Recorder { return s.rec }
+
+// Tracer exposes the span tracer, or nil when Config.Trace is off.
+func (s *System) Tracer() *telemetry.Tracer { return s.tr }
 
 // ErrTelemetryDisabled is returned by AuditTelemetry on a system built
 // without Config.Telemetry.
@@ -258,7 +293,7 @@ func (s *System) AuditTelemetry() error {
 		droppedBrk += st.DroppedBreaker
 	}
 	s.procMu.Unlock()
-	return telemetry.Audit(s.rec.Snapshot(), telemetry.AuditInput{
+	return telemetry.Audit(s.snapshot(), telemetry.AuditInput{
 		BlockSize:          s.cfg.BlockSize,
 		CacheUsed:          s.cache.Used(),
 		LibSavedPrefetches: saved,
@@ -267,6 +302,16 @@ func (s *System) AuditTelemetry() error {
 		HasLibStats:        true,
 		StrictDevice:       true,
 	})
+}
+
+// snapshot captures the recorder and attaches the tracer's stats so the
+// audit (and any export) can reconcile spans against counters.
+func (s *System) snapshot() *telemetry.Snapshot {
+	snap := s.rec.Snapshot()
+	if snap != nil {
+		snap.Trace = s.tr.Stats()
+	}
+	return snap
 }
 
 // Open opens a file through the configured approach's I/O path.
@@ -309,8 +354,11 @@ type Metrics struct {
 	Writes     int64
 	MmapFaults int64
 	// Telemetry is the cross-layer recorder snapshot; nil unless
-	// Config.Telemetry is set.
+	// Config.Telemetry is set. When Config.Trace is also set its Trace
+	// field carries the tracer's sampling and page totals.
 	Telemetry *telemetry.Snapshot
+	// Trace is the span tracer's stats; nil unless Config.Trace is set.
+	Trace *telemetry.TraceStats
 }
 
 // Metrics snapshots all layers.
@@ -323,6 +371,7 @@ func (s *System) Metrics() Metrics {
 		Reads:      s.kernel.SyscallCount(vfs.SysRead),
 		Writes:     s.kernel.SyscallCount(vfs.SysWrite),
 		MmapFaults: s.kernel.SyscallCount(vfs.SysMmapFault),
-		Telemetry:  s.rec.Snapshot(),
+		Telemetry:  s.snapshot(),
+		Trace:      s.tr.Stats(),
 	}
 }

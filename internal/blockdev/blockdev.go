@@ -252,6 +252,9 @@ func (d *Device) account(op Op, bytes int64) {
 func (d *Device) Access(tl *simtime.Timeline, op Op, off, bytes int64) error {
 	f := d.inject(op, off, bytes)
 	if f.Err != nil {
+		fail := telemetry.Current(tl).Child("dev.fault", telemetry.CatStall,
+			tl.Now(), tl.Now().Add(f.Stall))
+		fail.Annotate("bytes", bytes)
 		if f.Stall > 0 {
 			tl.WaitUntil(tl.Now().Add(f.Stall), simtime.WaitIO)
 		}
@@ -260,14 +263,25 @@ func (d *Device) Access(tl *simtime.Timeline, op Op, off, bytes int64) error {
 	bw, lat := d.params(op)
 	hold := d.cfg.CmdOverhead + d.transfer(bytes, bw)
 	start := tl.Now()
-	_, end := d.bwSync.ReserveAt(start, hold)
+	admit, end := d.bwSync.ReserveAt(start, hold)
 	// Blocking traffic also occupies combined capacity, throttling the
 	// bandwidth the async lane can consume.
 	d.bwAll.ReserveAt(start, hold)
-	tl.WaitUntil(end.Add(lat).Add(f.Stall), simtime.WaitIO)
+	done := end.Add(lat).Add(f.Stall)
+	if s := telemetry.Current(tl); s != nil {
+		if admit > start {
+			s.Child("dev.queue", telemetry.CatQueue, start, admit)
+		}
+		s.Child("dev."+op.String(), telemetry.CatDevice, admit, end.Add(lat)).
+			Annotate("bytes", bytes)
+		if f.Stall > 0 {
+			s.Child("dev.stall", telemetry.CatStall, end.Add(lat), done)
+		}
+	}
+	tl.WaitUntil(done, simtime.WaitIO)
 	d.account(op, bytes)
 	if d.rec != nil {
-		d.record(op, bytes, start, end.Add(lat).Add(f.Stall))
+		d.record(op, bytes, start, done)
 	}
 	return nil
 }

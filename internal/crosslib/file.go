@@ -65,6 +65,7 @@ func (rt *Runtime) wrap(tl *simtime.Timeline, kf *vfs.File, name string) *File {
 	f.pred = predictor.New(predictor.DefaultConfig())
 	f.sf.touch(tl.Now())
 
+	root := rt.tr.Root(tl, telemetry.OpOpenPrefetch, kf.Inode().ID())
 	switch {
 	case rt.opt.FetchAll:
 		// Idealistic policy: prefetch the entire file on open (§5.2).
@@ -77,6 +78,7 @@ func (rt *Runtime) wrap(tl *simtime.Timeline, kf *vfs.File, name string) *File {
 			f.prefetchAsync(tl, 0, rt.opt.OpenPrefetchBytes/rt.v.BlockSize())
 		}
 	}
+	root.Finish(tl)
 	return f
 }
 
@@ -138,6 +140,10 @@ func (f *File) Predictor() *predictor.Predictor { return f.pred }
 // updated with the pages the read faulted in.
 func (f *File) ReadAt(tl *simtime.Timeline, dst []byte, off int64) (int, error) {
 	o := f.rt.opt
+	root := f.rt.tr.Root(tl, telemetry.OpRead, f.kf.Inode().ID())
+	defer root.Finish(tl)
+	root.Annotate("off", off)
+	root.Annotate("bytes", int64(len(dst)))
 	if !o.Enabled {
 		return f.kf.ReadAt(tl, dst, off)
 	}
@@ -199,6 +205,10 @@ func (f *File) SeekTo(off int64) {
 // user-level bitmap, since written pages are cached.
 func (f *File) WriteAt(tl *simtime.Timeline, data []byte, off int64) (int, error) {
 	o := f.rt.opt
+	root := f.rt.tr.Root(tl, telemetry.OpWrite, f.kf.Inode().ID())
+	defer root.Finish(tl)
+	root.Annotate("off", off)
+	root.Annotate("bytes", int64(len(data)))
 	if !o.Enabled {
 		return f.kf.WriteAt(tl, data, off)
 	}
@@ -225,7 +235,11 @@ func (f *File) Append(tl *simtime.Timeline, data []byte) (int, error) {
 }
 
 // Fsync flushes dirty pages.
-func (f *File) Fsync(tl *simtime.Timeline) error { return f.kf.Fsync(tl) }
+func (f *File) Fsync(tl *simtime.Timeline) error {
+	root := f.rt.tr.Root(tl, telemetry.OpFsync, f.kf.Inode().ID())
+	defer root.Finish(tl)
+	return f.kf.Fsync(tl)
+}
 
 // prefetchAsync clamps a prefetch intent [lo, lo+blocks) by the memory
 // budget, drops the already-cached/in-flight portion using the user-level
@@ -251,6 +265,7 @@ func (f *File) prefetchAsync(tl *simtime.Timeline, lo, blocks int64) {
 	// is left to demand reads until the breaker half-opens again.
 	if o.Visibility && o.BreakerThreshold > 0 && !f.sf.brk.allow(tl.Now()) {
 		rt.droppedBreaker.Add(1)
+		telemetry.Current(tl).Annotate("breaker_open", 1)
 		rt.rec.Event(tl.Now(), telemetry.OutcomeDroppedBreakerOpen,
 			f.sf.inoID, lo, lo+blocks)
 		return
@@ -317,9 +332,11 @@ func (f *File) prefetchAsync(tl *simtime.Timeline, lo, blocks int64) {
 	sf := f.sf
 	kf := f.kf
 	rt.workers.Run(now, func(wtl *simtime.Timeline) {
+		root := rt.tr.Root(wtl, telemetry.OpBgPrefetch, sf.inoID)
 		for _, r := range runs {
 			f.issuePrefetch(wtl, kf, sf, r.Lo, r.Hi)
 		}
+		root.Finish(wtl)
 	})
 }
 
@@ -377,7 +394,10 @@ func (f *File) issuePrefetch(wtl *simtime.Timeline, kf *vfs.File, sf *sharedFile
 				// timeline, then re-issue the still-missing remainder.
 				attempt++
 				delay := retryDelay(o, sf.inoID, pos, attempt)
-				wtl.WaitUntil(wtl.Now().Add(delay), simtime.WaitIO)
+				backoffStart := wtl.Now()
+				wtl.WaitUntil(backoffStart.Add(delay), simtime.WaitIO)
+				telemetry.Current(wtl).Child("lib.retry_backoff", telemetry.CatRetry,
+					backoffStart, wtl.Now()).Annotate("attempt", int64(attempt))
 				rt.prefetchRetries.Add(1)
 				rt.rec.Add(telemetry.CtrLibPrefetchRetries, 1)
 				rt.rec.Event(wtl.Now(), telemetry.OutcomeRetriedTransient,
@@ -496,6 +516,7 @@ func (f *File) FincorePollStep(tl *simtime.Timeline, windowBlocks int64) {
 	now := tl.Now()
 	rt.fincorePolls.Add(1)
 	rt.workers.Run(now, func(wtl *simtime.Timeline) {
+		root := rt.tr.Root(wtl, telemetry.OpBgPrefetch, kf.Inode().ID())
 		fileBlocks := kf.Inode().Blocks()
 		if windowBlocks > fileBlocks {
 			windowBlocks = fileBlocks
@@ -506,6 +527,7 @@ func (f *File) FincorePollStep(tl *simtime.Timeline, windowBlocks int64) {
 			kf.Readahead(wtl, run.Lo*rt.v.BlockSize(), run.Blocks()*rt.v.BlockSize())
 			rt.prefetchCalls.Add(1)
 		}
+		root.Finish(wtl)
 	})
 }
 

@@ -40,6 +40,10 @@ func (m *Mapping) Kernel() *vfs.Mapping { return m.km }
 // MmapScanOps loads, a background bitmap scan runs the prefetch
 // heuristic. A demand (fault-in) device error is returned.
 func (m *Mapping) Load(tl *simtime.Timeline, off, n int64, dst []byte) error {
+	root := m.f.rt.tr.Root(tl, telemetry.OpMmapLoad, m.f.kf.Inode().ID())
+	defer root.Finish(tl)
+	root.Annotate("off", off)
+	root.Annotate("bytes", n)
 	err := m.km.Load(tl, off, n, dst)
 	o := m.f.rt.opt
 	if !o.Enabled {
@@ -58,6 +62,8 @@ func (m *Mapping) scheduleScan(tl *simtime.Timeline) {
 	sf := m.f.sf
 	now := tl.Now()
 	rt.workers.Run(now, func(wtl *simtime.Timeline) {
+		root := rt.tr.Root(wtl, telemetry.OpMmapScan, kf.Inode().ID())
+		defer root.Finish(wtl)
 		fileBlocks := kf.Inode().Blocks()
 		if fileBlocks == 0 {
 			return

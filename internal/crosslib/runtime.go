@@ -29,6 +29,11 @@ type Runtime struct {
 	// library-side accounting counters (telemetry opt-in).
 	rec *telemetry.Recorder
 
+	// tr, when non-nil, opens request-scoped root spans on the library's
+	// top-level operations; the layers below pick the span context up from
+	// the timeline (tracing opt-in).
+	tr *telemetry.Tracer
+
 	// Stats.
 	prefetchCalls    atomic.Int64 // readahead_info calls issued
 	savedPrefetch    atomic.Int64 // prefetches skipped via cache awareness
@@ -141,6 +146,12 @@ func (rt *Runtime) VFS() *vfs.VFS { return rt.v }
 
 // SetTelemetry installs the telemetry recorder (nil disables).
 func (rt *Runtime) SetTelemetry(rec *telemetry.Recorder) { rt.rec = rec }
+
+// SetTracer installs the span tracer (nil disables tracing).
+func (rt *Runtime) SetTracer(tr *telemetry.Tracer) { rt.tr = tr }
+
+// Tracer reports the installed span tracer (nil when tracing is off).
+func (rt *Runtime) Tracer() *telemetry.Tracer { return rt.tr }
 
 // SharedFiles reports live per-inode state entries (leak detection).
 func (rt *Runtime) SharedFiles() int {

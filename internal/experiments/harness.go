@@ -133,6 +133,12 @@ func newSys(c sysConfig) *crossprefetch.System {
 		cfg.Device = c.device
 	}
 	cfg.Telemetry = telemetryEnabled()
+	if tc := traceConfig(); tc != nil {
+		cfg.Trace = true
+		cfg.TraceSampleEvery = tc.SampleEvery
+		cfg.TracePerInode = tc.PerInode
+		cfg.TraceSeed = tc.Seed
+	}
 	sys := crossprefetch.NewSystem(cfg)
 	if cfg.Telemetry {
 		registerTelemetry(sysLabel(c), sys)

@@ -13,9 +13,10 @@ import (
 // without touching each runner's signature. crossbench flips it with
 // -telemetry; the default keeps experiment systems recorder-free.
 var (
-	telMu      sync.Mutex
-	telOn      bool
-	telSystems []telemetrySystem
+	telMu       sync.Mutex
+	telOn       bool
+	telTraceCfg *TraceConfig
+	telSystems  []telemetrySystem
 )
 
 type telemetrySystem struct {
@@ -35,10 +36,36 @@ func EnableTelemetry(on bool) {
 	}
 }
 
+// TraceConfig configures span tracing for systems built by experiment
+// runs (crossbench -trace).
+type TraceConfig struct {
+	SampleEvery int64
+	PerInode    bool
+	Seed        int64
+}
+
+// EnableTracing turns span tracing on (nil disables) for systems built by
+// subsequent experiment runs. Tracing implies telemetry: the audit's
+// spans-vs-counters reconciliation needs both.
+func EnableTracing(cfg *TraceConfig) {
+	telMu.Lock()
+	defer telMu.Unlock()
+	telTraceCfg = cfg
+	if cfg != nil {
+		telOn = true
+	}
+}
+
 func telemetryEnabled() bool {
 	telMu.Lock()
 	defer telMu.Unlock()
 	return telOn
+}
+
+func traceConfig() *TraceConfig {
+	telMu.Lock()
+	defer telMu.Unlock()
+	return telTraceCfg
 }
 
 func registerTelemetry(label string, sys *crossprefetch.System) {
@@ -52,6 +79,7 @@ type TelemetryResult struct {
 	Label    string
 	Audit    error // nil when every cross-layer invariant reconciled
 	Snapshot *telemetry.Snapshot
+	Tracer   *telemetry.Tracer // nil unless tracing was enabled
 }
 
 // DrainTelemetry audits and snapshots every system registered since the
@@ -70,6 +98,7 @@ func DrainTelemetry() []TelemetryResult {
 			Label:    ts.label,
 			Audit:    ts.sys.AuditTelemetry(),
 			Snapshot: ts.sys.Metrics().Telemetry,
+			Tracer:   ts.sys.Tracer(),
 		})
 	}
 	return out

@@ -77,8 +77,11 @@ func (fc *FileCache) LookupRange(tl *simtime.Timeline, lo, hi int64) LookupResul
 	if n <= 0 {
 		return LookupResult{}
 	}
+	var walk *telemetry.Span
 	if tl != nil {
+		start := tl.Now()
 		fc.treeLedger.Read(tl, simtime.Duration(n)*fc.cache.cfg.Costs.TreeLookup)
+		walk = telemetry.Current(tl).Child("cache.tree_walk", telemetry.CatLock, start, tl.Now())
 	}
 
 	res := LookupResult{Present: make([]bool, n)}
@@ -106,6 +109,8 @@ func (fc *FileCache) LookupRange(tl *simtime.Timeline, lo, hi int64) LookupResul
 		touched = append(touched, p)
 	}
 	fc.mu.Unlock()
+	walk.Annotate("hit_pages", res.PresentCount)
+	walk.Annotate("miss_pages", n-res.PresentCount)
 	fc.cache.rec.Add(telemetry.CtrPrefetchHitPages, prefetchHits)
 
 	fc.hits.Add(res.PresentCount)
@@ -147,12 +152,15 @@ func (fc *FileCache) InsertRange(tl *simtime.Timeline, lo, hi int64, opt InsertO
 	}
 	costs := fc.cache.cfg.Costs
 	if tl != nil {
+		start := tl.Now()
 		// As in Linux, insertion batches acquire and drop the tree lock
 		// per pagevec, letting concurrent lookups interleave with a
 		// large (prefetch) insert instead of stalling for its entirety.
 		chargeBatched(n, func(batch int64) {
 			fc.treeLedger.Write(tl, simtime.Duration(batch)*costs.TreeInsert)
 		})
+		telemetry.Current(tl).Child("cache.tree_insert", telemetry.CatLock, start, tl.Now()).
+			Annotate("pages", n)
 		tl.Advance(simtime.Duration(n) * costs.PageAlloc)
 	}
 
@@ -187,7 +195,9 @@ func (fc *FileCache) InsertRange(tl *simtime.Timeline, lo, hi int64, opt InsertO
 	if inserted > 0 {
 		// One bitmap update after the whole walk, under the bitmap lock.
 		if tl != nil {
+			start := tl.Now()
 			fc.bmLedger.Write(tl, costs.BitmapOp*simtime.Duration(1+n/64))
+			telemetry.Current(tl).Child("cache.bitmap_update", telemetry.CatLock, start, tl.Now())
 		}
 		fc.bm.SetRange(lo, hi)
 		// SetRange may set bits for pages that were already present —
@@ -264,7 +274,9 @@ func (fc *FileCache) RemoveRange(tl *simtime.Timeline, lo, hi int64) int64 {
 // tree lock. This is the readahead_info lookup (§4.4).
 func (fc *FileCache) FastMissingRuns(tl *simtime.Timeline, lo, hi int64) []bitmap.Run {
 	if tl != nil {
+		start := tl.Now()
 		fc.bmLedger.Read(tl, fc.cache.cfg.Costs.BitmapOp*simtime.Duration(1+(hi-lo)/64))
+		telemetry.Current(tl).Child("cache.bitmap_lookup", telemetry.CatLock, start, tl.Now())
 	}
 	fc.mu.RLock()
 	defer fc.mu.RUnlock()
@@ -280,7 +292,9 @@ func (fc *FileCache) ExportBitmap(tl *simtime.Timeline, lo, hi int64, dst *bitma
 	}
 	words := simtime.Duration(1 + (hi-lo)/64)
 	if tl != nil {
+		start := tl.Now()
 		fc.bmLedger.Read(tl, fc.cache.cfg.Costs.BitmapOp*words)
+		telemetry.Current(tl).Child("cache.bitmap_export", telemetry.CatLock, start, tl.Now())
 		tl.Advance(fc.cache.cfg.Costs.BitmapCopy * words)
 	}
 	fc.mu.RLock()
@@ -293,7 +307,9 @@ func (fc *FileCache) ExportBitmap(tl *simtime.Timeline, lo, hi int64, dst *bitma
 // (§2.1): expensive, coarse, and obstructive.
 func (fc *FileCache) WalkResident(tl *simtime.Timeline, lo, hi int64, fn func(idx int64)) {
 	if tl != nil {
+		start := tl.Now()
 		fc.treeLedger.Write(tl, simtime.Duration(hi-lo)*fc.cache.cfg.Costs.FincoreWalk)
+		telemetry.Current(tl).Child("cache.fincore_walk", telemetry.CatLock, start, tl.Now())
 	}
 	fc.mu.RLock()
 	defer fc.mu.RUnlock()
@@ -324,7 +340,9 @@ func chargeBatched(n int64, charge func(batch int64)) {
 // responsible for issuing the writeback I/O.
 func (fc *FileCache) CollectDirtyRuns(tl *simtime.Timeline, lo, hi int64) []bitmap.Run {
 	if tl != nil {
+		start := tl.Now()
 		fc.treeLedger.Read(tl, simtime.Duration(hi-lo)*fc.cache.cfg.Costs.TreeLookup)
+		telemetry.Current(tl).Child("cache.dirty_scan", telemetry.CatLock, start, tl.Now())
 	}
 	var runs []bitmap.Run
 	fc.mu.Lock()

@@ -120,6 +120,8 @@ func (c *Cache) reclaim(tl *simtime.Timeline, target int64, direct bool) {
 	if len(victims) == 0 {
 		return
 	}
+	sp := telemetry.Begin(tl, "cache.reclaim", telemetry.CatLock)
+	sp.Annotate("victims", int64(len(victims)))
 	if tl != nil {
 		cost := simtime.Duration(len(victims)) * c.cfg.Costs.ReclaimPage
 		if !direct {
@@ -128,6 +130,7 @@ func (c *Cache) reclaim(tl *simtime.Timeline, target int64, direct bool) {
 		tl.Advance(cost)
 	}
 	c.evictFromFiles(tl, victims)
+	sp.End(tl)
 }
 
 // reclaimPerInode picks victims coldest-file-first: files are ranked by
@@ -183,6 +186,8 @@ func (c *Cache) reclaimPerInode(tl *simtime.Timeline, target int64, direct bool)
 	if len(victims) == 0 {
 		return
 	}
+	sp := telemetry.Begin(tl, "cache.reclaim", telemetry.CatLock)
+	sp.Annotate("victims", int64(len(victims)))
 	if tl != nil {
 		cost := simtime.Duration(len(victims)) * c.cfg.Costs.ReclaimPage
 		if !direct {
@@ -191,6 +196,7 @@ func (c *Cache) reclaimPerInode(tl *simtime.Timeline, target int64, direct bool)
 		tl.Advance(cost)
 	}
 	c.evictFromFiles(tl, victims)
+	sp.End(tl)
 }
 
 func sortFilesByTouch(files []*FileCache) {
@@ -226,9 +232,11 @@ func (c *Cache) evictFromFiles(tl *simtime.Timeline, victims []*page) {
 			continue
 		}
 		if tl != nil {
+			start := tl.Now()
 			chargeBatched(int64(len(confirmed)), func(batch int64) {
 				fc.treeLedger.Write(tl, simtime.Duration(batch)*c.cfg.Costs.TreeDelete)
 			})
+			telemetry.Current(tl).Child("cache.evict_charge", telemetry.CatLock, start, tl.Now())
 		}
 		c.finishEviction(tl, confirmed, false)
 	}

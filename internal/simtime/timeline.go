@@ -33,6 +33,24 @@ type Timeline struct {
 	now   Time
 	start Time
 	acct  [numWaitKinds]Duration
+
+	// trace is the thread's current tracing span, owned by the telemetry
+	// layer (simtime cannot import it). nil when tracing is disabled or
+	// the current operation is unsampled — the hot-path fast case.
+	trace any
+}
+
+// SetTrace installs the thread's current tracing context (nil clears it).
+// The value is opaque to simtime; telemetry.Begin/End manage it.
+func (tl *Timeline) SetTrace(v any) { tl.trace = v }
+
+// Trace reports the thread's current tracing context, nil when tracing is
+// off. Safe on a nil timeline.
+func (tl *Timeline) Trace() any {
+	if tl == nil {
+		return nil
+	}
+	return tl.trace
 }
 
 // NewTimeline returns a timeline starting at the given virtual time.

@@ -141,6 +141,30 @@ func Audit(s *Snapshot, in AuditInput) error {
 		}
 	}
 
+	// Spans <-> counters: page totals accumulated on sampled root spans
+	// describe a subset of the work the flat counters saw, so they can
+	// never exceed them; under full sampling (every root traced) they
+	// must match exactly — a mismatch means an instrumented path counted
+	// pages without a span (or vice versa).
+	if t := s.Trace; t != nil {
+		demand := s.Counter(CtrVFSDemandFetchPages)
+		prefetch := s.Counter(CtrVFSPrefetchDevicePages)
+		if t.DemandPages > demand {
+			fail("span demand pages %d > vfs demand fetch pages %d", t.DemandPages, demand)
+		}
+		if t.PrefetchPages > prefetch {
+			fail("span prefetch pages %d > vfs prefetch device pages %d", t.PrefetchPages, prefetch)
+		}
+		if t.SampleEvery <= 1 && !t.PerInode {
+			if t.DemandPages != demand {
+				fail("full-sampling span demand pages %d != vfs demand fetch pages %d", t.DemandPages, demand)
+			}
+			if t.PrefetchPages != prefetch {
+				fail("full-sampling span prefetch pages %d != vfs prefetch device pages %d", t.PrefetchPages, prefetch)
+			}
+		}
+	}
+
 	// Trace bookkeeping: per-outcome totals must cover everything the
 	// ring ever saw.
 	var traced int64

@@ -26,6 +26,9 @@ type Snapshot struct {
 	// those the ring overwrote.
 	EventsTotal   int64 `json:"events_total"`
 	EventsDropped int64 `json:"events_dropped"`
+	// Trace is the span tracer's accounting, attached by the system that
+	// owns both recorder and tracer (nil when tracing is disabled).
+	Trace *TraceStats `json:"trace,omitempty"`
 
 	// Typed views for Audit (the maps are for export only).
 	counters [numCounters]int64
@@ -146,7 +149,25 @@ func (s *Snapshot) WriteCSV(w io.Writer) error {
 	if err := row("trace", "events", "total", s.EventsTotal); err != nil {
 		return err
 	}
-	return row("trace", "events", "dropped", s.EventsDropped)
+	if err := row("trace", "events", "dropped", s.EventsDropped); err != nil {
+		return err
+	}
+	if t := s.Trace; t != nil {
+		for _, f := range []struct {
+			field string
+			value int64
+		}{
+			{"sampled_roots", t.SampledRoots}, {"skipped_roots", t.SkippedRoots},
+			{"kept_roots", t.KeptRoots}, {"dropped_roots", t.DroppedRoots},
+			{"dropped_spans", t.DroppedSpans}, {"sample_every", t.SampleEvery},
+			{"demand_pages", t.DemandPages}, {"prefetch_pages", t.PrefetchPages},
+		} {
+			if err := row("tracer", "spans", f.field, f.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func sortedKeys[V any](m map[string]V) []string {

@@ -17,10 +17,32 @@ type Histogram struct {
 	buckets [histBuckets]atomic.Int64
 	count   atomic.Int64
 	sum     atomic.Int64
-	// maxP1 and minP1 store value+1 so that 0 means "unset" and real
-	// zero samples are still representable.
+	// maxP1 and minP1 store encodeP1(value) so that 0 means "unset"
+	// while every real sample — including 0 and negatives — remains
+	// representable (see encodeP1).
 	maxP1 atomic.Int64
 	minP1 atomic.Int64
+}
+
+// encodeP1 maps a sample to the min/max sentinel encoding: non-negative
+// values shift up by one so a real 0 becomes 1, negative values map to
+// themselves. The map is strictly monotone (order-preserving) and never
+// produces 0, which stays reserved for "unset". Storing v+1
+// unconditionally would collide v = -1 with the sentinel and silently
+// corrupt min/max for non-positive samples.
+func encodeP1(v int64) int64 {
+	if v >= 0 {
+		return v + 1
+	}
+	return v
+}
+
+// decodeP1 inverts encodeP1 for a non-sentinel stored value.
+func decodeP1(e int64) int64 {
+	if e > 0 {
+		return e - 1
+	}
+	return e
 }
 
 // Observe records one sample.
@@ -32,21 +54,22 @@ func (h *Histogram) Observe(v int64) {
 	h.buckets[idx].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
+	e := encodeP1(v)
 	for {
 		cur := h.maxP1.Load()
-		if cur != 0 && v+1 <= cur {
+		if cur != 0 && e <= cur {
 			break
 		}
-		if h.maxP1.CompareAndSwap(cur, v+1) {
+		if h.maxP1.CompareAndSwap(cur, e) {
 			break
 		}
 	}
 	for {
 		cur := h.minP1.Load()
-		if cur != 0 && v+1 >= cur {
+		if cur != 0 && e >= cur {
 			break
 		}
-		if h.minP1.CompareAndSwap(cur, v+1) {
+		if h.minP1.CompareAndSwap(cur, e) {
 			break
 		}
 	}
@@ -87,10 +110,10 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	s.Mean = float64(s.Sum) / float64(s.Count)
 	if v := h.minP1.Load(); v != 0 {
-		s.Min = v - 1
+		s.Min = decodeP1(v)
 	}
 	if v := h.maxP1.Load(); v != 0 {
-		s.Max = v - 1
+		s.Max = decodeP1(v)
 	}
 	var seen int64
 	p50, p99 := s.Count/2+1, s.Count-s.Count/100

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+)
+
+// promName sanitizes s into a legal Prometheus metric-name fragment
+// (the snapshot keys are snake_case already; outcome names carry '-').
+func promName(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// WritePrometheus writes the snapshot in Prometheus text exposition
+// format (version 0.0.4), so bench runs can be diffed and graphed with
+// standard tooling. Metric families, in order:
+//
+//	crossprefetch_<counter>_total                      cross-layer counters
+//	crossprefetch_outcome_{events,pages}_total{outcome=...}
+//	crossprefetch_<hist>{_bucket{le=...},_sum,_count}  log2 histograms
+//	crossprefetch_syscall_<name>{_bucket,...}          per-syscall latency
+//	crossprefetch_events_{recorded,dropped}_total      decision-trace ring
+//	crossprefetch_tracer_*                             span tracer accounting
+//
+// Output is deterministic: every section iterates sorted keys.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		m := "crossprefetch_" + promName(name) + "_total"
+		p("# TYPE %s counter\n%s %d\n", m, m, s.Counters[name])
+	}
+	p("# TYPE crossprefetch_outcome_events_total counter\n")
+	for _, name := range sortedKeys(s.Outcomes) {
+		p("crossprefetch_outcome_events_total{outcome=%q} %d\n", name, s.Outcomes[name].Events)
+	}
+	p("# TYPE crossprefetch_outcome_pages_total counter\n")
+	for _, name := range sortedKeys(s.Outcomes) {
+		p("crossprefetch_outcome_pages_total{outcome=%q} %d\n", name, s.Outcomes[name].Pages)
+	}
+	writeHist := func(metric string, h HistogramSnapshot) {
+		p("# TYPE %s histogram\n", metric)
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			// Log2 bucket [Lo, Hi) of integer samples = le Hi-1 inclusive.
+			p("%s_bucket{le=\"%d\"} %d\n", metric, b.Hi-1, cum)
+		}
+		p("%s_bucket{le=\"+Inf\"} %d\n", metric, h.Count)
+		p("%s_sum %d\n%s_count %d\n", metric, h.Sum, metric, h.Count)
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		writeHist("crossprefetch_"+promName(name), s.Histograms[name])
+	}
+	for _, name := range sortedKeys(s.Syscalls) {
+		writeHist("crossprefetch_syscall_"+promName(name), s.Syscalls[name])
+	}
+	p("# TYPE crossprefetch_events_recorded_total counter\ncrossprefetch_events_recorded_total %d\n", s.EventsTotal)
+	p("# TYPE crossprefetch_events_dropped_total counter\ncrossprefetch_events_dropped_total %d\n", s.EventsDropped)
+	if t := s.Trace; t != nil {
+		for _, g := range []struct {
+			name string
+			v    int64
+		}{
+			{"tracer_sampled_roots_total", t.SampledRoots},
+			{"tracer_skipped_roots_total", t.SkippedRoots},
+			{"tracer_kept_roots", t.KeptRoots},
+			{"tracer_dropped_roots_total", t.DroppedRoots},
+			{"tracer_dropped_spans_total", t.DroppedSpans},
+			{"tracer_demand_pages_total", t.DemandPages},
+			{"tracer_prefetch_pages_total", t.PrefetchPages},
+			{"tracer_sample_every", t.SampleEvery},
+		} {
+			p("# TYPE crossprefetch_%s gauge\ncrossprefetch_%s %d\n", g.name, g.name, g.v)
+		}
+	}
+	return err
+}

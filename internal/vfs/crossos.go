@@ -64,6 +64,8 @@ type CacheInfo struct {
 func (f *File) ReadaheadInfo(tl *simtime.Timeline, req CacheInfoRequest, dst *bitmap.Bitmap) CacheInfo {
 	v := f.v
 	defer v.observeSyscall(tl, SysReadaheadInfo)()
+	sp := telemetry.Begin(tl, "vfs.readahead_info", telemetry.CatCPU)
+	defer sp.End(tl)
 	v.enter(tl, SysReadaheadInfo)
 	bs := v.BlockSize()
 	fileBlocks := f.ino.Blocks()
@@ -96,12 +98,15 @@ func (f *File) ReadaheadInfo(tl *simtime.Timeline, req CacheInfoRequest, dst *bi
 		v.rec.Add(telemetry.CtrKernelRequestedPages, preClamp)
 		v.rec.Add(telemetry.CtrKernelAdmittedPages, hi-lo)
 		v.rec.Add(telemetry.CtrKernelRejectedPages, preClamp-(hi-lo))
+		sp.Annotate("requested_pages", preClamp)
+		sp.Annotate("clamped_pages", preClamp-(hi-lo))
 
 		// Fast path: bitmap lookup only.
 		missing := f.fc.FastMissingRuns(tl, lo, hi)
 		switch {
 		case len(missing) == 0:
 			info.AlreadyCached = true
+			sp.Annotate("already_cached", 1)
 		case req.DisablePrefetch:
 			// Pure query; report what would be fetched.
 		default:
@@ -110,6 +115,7 @@ func (f *File) ReadaheadInfo(tl *simtime.Timeline, req CacheInfoRequest, dst *bi
 			info.PrefetchErr = err
 			info.ReadyAt = f.fc.ResidentReadyAt(lo, hi)
 			v.rec.Add(telemetry.CtrKernelPrefetchedPages, issued)
+			sp.Annotate("prefetched_pages", issued)
 		}
 	}
 

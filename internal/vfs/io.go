@@ -96,7 +96,10 @@ func (f *File) ReadAt(tl *simtime.Timeline, dst []byte, off int64) (int, error) 
 
 	// Copy to user space.
 	pages := hi - lo
+	copyStart := tl.Now()
 	tl.Advance(simtime.Duration(pages) * f.v.cfg.Costs.PageCopy)
+	telemetry.Current(tl).Child("vfs.copy_out", telemetry.CatCopy, copyStart, tl.Now()).
+		Annotate("pages", pages)
 	read := f.ino.ReadAt(dst[:n], off)
 	return read, nil
 }
@@ -111,7 +114,9 @@ func (f *File) waitInflight(tl *simtime.Timeline, readyAt simtime.Time, reqBytes
 	if readyAt > cap {
 		readyAt = cap
 	}
+	start := tl.Now()
 	tl.WaitUntil(readyAt, simtime.WaitIO)
+	telemetry.Current(tl).Child("vfs.wait_inflight", telemetry.CatInflight, start, tl.Now())
 }
 
 // Read reads from the file's current position, advancing it.
@@ -188,7 +193,9 @@ func (v *VFS) balanceDirty(tl *simtime.Timeline) {
 		return
 	}
 	if b := v.dev.Backlog(tl.Now()); b > v.cfg.CongestionLimit {
-		tl.WaitUntil(tl.Now().Add(b-v.cfg.CongestionLimit), simtime.WaitIO)
+		start := tl.Now()
+		tl.WaitUntil(start.Add(b-v.cfg.CongestionLimit), simtime.WaitIO)
+		telemetry.Current(tl).Child("vfs.dirty_throttle", telemetry.CatQueue, start, tl.Now())
 	}
 }
 

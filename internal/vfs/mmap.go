@@ -6,6 +6,7 @@ import (
 	"repro/internal/bitmap"
 	"repro/internal/readahead"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 )
 
 // Mapping is a memory mapping of a file (§4.6 "Support for Memory-Mapped
@@ -122,7 +123,10 @@ func (m *Mapping) Load(tl *simtime.Timeline, off, n int64, dst []byte) error {
 					v.enter(tl, SysMmapFault)
 					tl.Advance(v.cfg.Costs.FaultEntry)
 					m.faults.add(1)
-					if err := f.fetchRuns(tl, []bitmap.Run{{Lo: i, Hi: i + 1}}); err != nil {
+					sp := telemetry.Begin(tl, "vfs.mmap_fault", telemetry.CatCPU)
+					err := f.fetchRuns(tl, []bitmap.Run{{Lo: i, Hi: i + 1}})
+					sp.End(tl)
+					if err != nil {
 						return err
 					}
 				}
@@ -139,8 +143,12 @@ func (m *Mapping) Load(tl *simtime.Timeline, off, n int64, dst []byte) error {
 			if fhi > fileBlocks {
 				fhi = fileBlocks
 			}
+			sp := telemetry.Begin(tl, "vfs.mmap_fault", telemetry.CatCPU)
+			sp.Annotate("fault_around", fhi-r.Lo)
 			missing := f.fc.FastMissingRuns(tl, r.Lo, fhi)
-			if err := f.fetchRuns(tl, missing); err != nil {
+			err := f.fetchRuns(tl, missing)
+			sp.End(tl)
+			if err != nil {
 				return err
 			}
 		}

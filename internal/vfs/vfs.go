@@ -292,7 +292,10 @@ func (v *VFS) blockRange(off, n int64) (lo, hi int64) {
 func (v *VFS) syncAccess(tl *simtime.Timeline, op blockdev.Op, off, bytes int64) error {
 	err := v.dev.Access(tl, op, off, bytes)
 	for attempt := 1; err != nil && blockdev.IsTransient(err) && attempt <= v.cfg.DemandRetries; attempt++ {
-		tl.WaitUntil(tl.Now().Add(v.cfg.DemandRetryBase<<(attempt-1)), simtime.WaitIO)
+		start := tl.Now()
+		tl.WaitUntil(start.Add(v.cfg.DemandRetryBase<<(attempt-1)), simtime.WaitIO)
+		telemetry.Current(tl).Child("vfs.retry_backoff", telemetry.CatRetry, start, tl.Now()).
+			Annotate("attempt", int64(attempt))
 		v.rec.Add(telemetry.CtrVFSDemandRetries, 1)
 		err = v.dev.Access(tl, op, off, bytes)
 	}
@@ -307,6 +310,7 @@ func (v *VFS) syncAccess(tl *simtime.Timeline, op blockdev.Op, off, bytes int64)
 // insert without I/O. On error, chunks already fetched stay cached; the
 // rest of the range stays absent, and the error propagates.
 func (f *File) fetchRuns(tl *simtime.Timeline, runs []bitmap.Run) error {
+	sp := telemetry.Begin(tl, "vfs.demand_fetch", telemetry.CatCPU)
 	bs := f.v.BlockSize()
 	for _, r := range runs {
 		cursor := r.Lo
@@ -326,10 +330,13 @@ func (f *File) fetchRuns(tl *simtime.Timeline, runs []bitmap.Run) error {
 					f.v.rec.Add(telemetry.CtrVFSDemandIOErrors, 1)
 					f.v.rec.Event(tl.Now(), telemetry.OutcomeDeviceFault,
 						f.ino.ID(), lo, lo+(chunk+bs-1)/bs)
+					sp.Annotate("io_error", 1)
+					sp.End(tl)
 					return err
 				}
 				chunkBlocks := (chunk + bs - 1) / bs
 				f.v.rec.Add(telemetry.CtrVFSDemandFetchPages, chunkBlocks)
+				sp.CountPages(telemetry.PageDemand, chunkBlocks)
 				f.fc.InsertRange(tl, lo, lo+chunkBlocks, pagecache.InsertOptions{MarkerAt: -1})
 				lo += chunkBlocks
 				devOff += chunk
@@ -341,6 +348,7 @@ func (f *File) fetchRuns(tl *simtime.Timeline, runs []bitmap.Run) error {
 			f.fc.InsertRange(tl, cursor, r.Hi, pagecache.InsertOptions{MarkerAt: -1})
 		}
 	}
+	sp.End(tl)
 	return nil
 }
 
@@ -352,6 +360,7 @@ func (f *File) fetchRuns(tl *simtime.Timeline, runs []bitmap.Run) error {
 // a failed chunk inserts nothing (the poisoning guard) and aborts the
 // remainder of the request, leaving the pages to demand reads.
 func (f *File) prefetchRuns(tl *simtime.Timeline, at simtime.Time, runs []bitmap.Run, markerAt int64) (int64, error) {
+	sp := telemetry.Begin(tl, "vfs.prefetch", telemetry.CatCPU)
 	bs := f.v.BlockSize()
 	var issued int64
 	for _, r := range runs {
@@ -363,6 +372,8 @@ func (f *File) prefetchRuns(tl *simtime.Timeline, at simtime.Time, runs []bitmap
 				// Congestion control: postpone prefetch that would pile
 				// onto an already-backlogged device (§4.7).
 				if f.v.dev.Backlog(at) > f.v.cfg.CongestionLimit {
+					sp.Annotate("congested", 1)
+					sp.End(tl)
 					return issued, nil
 				}
 				chunk := remaining
@@ -374,9 +385,17 @@ func (f *File) prefetchRuns(tl *simtime.Timeline, at simtime.Time, runs []bitmap
 				if err != nil {
 					f.v.rec.Event(at, telemetry.OutcomeDeviceFault,
 						f.ino.ID(), lo, lo+chunkBlocks)
+					sp.Annotate("io_error", 1)
+					sp.End(tl)
 					return issued, err
 				}
+				// The async read runs on the device's own schedule; record
+				// its reserved interval as an explicit child (the critical
+				// path clamps it to whatever overlaps this request).
+				sp.Child("dev.async_read", telemetry.CatDevice, at, done).
+					Annotate("bytes", chunk)
 				f.v.rec.Add(telemetry.CtrVFSPrefetchDevicePages, chunkBlocks)
+				sp.CountPages(telemetry.PagePrefetch, chunkBlocks)
 				f.v.rec.Observe(telemetry.HistPrefetchLat, int64(done.Sub(at)))
 				n := f.fc.InsertRange(tl, lo, lo+chunkBlocks, pagecache.InsertOptions{
 					ReadyAt:    done,
@@ -391,6 +410,7 @@ func (f *File) prefetchRuns(tl *simtime.Timeline, at simtime.Time, runs []bitmap
 			}
 		}
 	}
+	sp.End(tl)
 	return issued, nil
 }
 

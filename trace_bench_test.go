@@ -1,0 +1,55 @@
+// Tracing overhead benchmarks: the same sequential read workload with
+// tracing off, fully sampled, and 1-in-64 sampled. The pages/s metric is
+// simulated pages delivered per wall-clock second — the number `make
+// bench-json` archives in BENCH_PR3.json.
+package crossprefetch_test
+
+import (
+	"testing"
+
+	crossprefetch "repro"
+)
+
+func benchTracedReads(b *testing.B, cfg crossprefetch.Config) {
+	b.Helper()
+	cfg.MemoryBytes = 256 << 20
+	cfg.Approach = crossprefetch.CrossPredictOpt
+	sys := crossprefetch.NewSystem(cfg)
+	tl := sys.Timeline()
+	const fileSize = 32 << 20
+	const chunk = 64 << 10
+	if err := sys.CreateSynthetic(tl, "bench", fileSize); err != nil {
+		b.Fatal(err)
+	}
+	f, err := sys.Open(tl, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, chunk)
+	var pages int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (int64(i) * chunk) % fileSize
+		if _, err := f.ReadAt(tl, buf, off); err != nil {
+			b.Fatal(err)
+		}
+		pages += chunk / 4096
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(pages)/sec, "pages/s")
+	}
+}
+
+func BenchmarkTraceOffReadAt(b *testing.B) {
+	benchTracedReads(b, crossprefetch.Config{})
+}
+
+func BenchmarkTraceFullReadAt(b *testing.B) {
+	benchTracedReads(b, crossprefetch.Config{Trace: true})
+}
+
+func BenchmarkTraceSampledReadAt(b *testing.B) {
+	benchTracedReads(b, crossprefetch.Config{Trace: true, TraceSampleEvery: 64})
+}
