@@ -1,5 +1,5 @@
 # Tier-1 gate (see ROADMAP.md): every PR must leave `make check` green.
-.PHONY: check build test vet race bench chaos errgate fmtgate trace bench-json
+.PHONY: check build test vet race bench chaos errgate fmtgate trace bench-json bench-parallel
 
 check: vet errgate fmtgate build race
 
@@ -44,3 +44,10 @@ trace:
 # cross-PR diffing.
 bench-json:
 	go run ./cmd/benchjson -out BENCH_PR3.json
+
+# Parallel-scalability sweep: the real-concurrency benchmarks across
+# GOMAXPROCS 1..8, appended to BENCH_PR4.json (which also holds the
+# pre-sharding `baseline-singlelock` records for comparison).
+bench-parallel:
+	go run ./cmd/benchjson -out BENCH_PR4.json -append -label sharded \
+		-bench 'BenchmarkParallel' -pkg . -cpu 1,2,4,8

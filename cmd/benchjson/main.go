@@ -5,10 +5,15 @@
 // Usage:
 //
 //	benchjson -out BENCH_PR3.json [-bench Trace] [-pkg .,./internal/pagecache]
+//	benchjson -out BENCH_PR4.json -bench Parallel -cpu 1,2,4,8 \
+//	          -label sharded -append
 //
-// Each record carries the benchmark name, iteration count, ns/op,
-// B/op, allocs/op, and any custom metrics the benchmark reported
-// (pages/s for the tracing benchmarks).
+// Each record carries the benchmark name, the GOMAXPROCS it ran at, an
+// optional variant label, iteration count, ns/op, B/op, allocs/op, and any
+// custom metrics the benchmark reported (pages/s for the tracing and
+// parallel benchmarks). -append merges into an existing archive instead of
+// overwriting it, so a pre-change baseline and a post-change run can live
+// in the same file.
 package main
 
 import (
@@ -28,6 +33,8 @@ import (
 type result struct {
 	Op         string             `json:"op"`
 	Package    string             `json:"package"`
+	Variant    string             `json:"variant,omitempty"` // -label (e.g. baseline vs sharded)
+	Procs      int                `json:"procs,omitempty"`   // GOMAXPROCS the line ran at
 	Iterations int64              `json:"iterations"`
 	NsPerOp    float64            `json:"ns_per_op"`
 	BytesPerOp float64            `json:"bytes_per_op"`
@@ -41,10 +48,21 @@ func main() {
 		bench = flag.String("bench", "Trace", "benchmark regexp passed to go test")
 		pkgs  = flag.String("pkg", ".", "comma-separated package list")
 		btime = flag.String("benchtime", "", "optional -benchtime value (e.g. 100x)")
+		cpu   = flag.String("cpu", "", "optional -cpu value (e.g. 1,2,4,8) for a GOMAXPROCS sweep")
+		label = flag.String("label", "", "variant label stored with each record")
+		appnd = flag.Bool("append", false, "merge into an existing -out file instead of overwriting")
 	)
 	flag.Parse()
 
 	var results []result
+	if *appnd {
+		if data, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(data, &results); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: parsing existing %s: %v\n", *out, err)
+				os.Exit(1)
+			}
+		}
+	}
 	for _, pkg := range strings.Split(*pkgs, ",") {
 		pkg = strings.TrimSpace(pkg)
 		if pkg == "" {
@@ -54,6 +72,9 @@ func main() {
 		if *btime != "" {
 			args = append(args, "-benchtime", *btime)
 		}
+		if *cpu != "" {
+			args = append(args, "-cpu", *cpu)
+		}
 		cmd := exec.Command("go", args...)
 		var buf bytes.Buffer
 		cmd.Stdout = &buf
@@ -62,14 +83,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: go %s: %v\n", strings.Join(args, " "), err)
 			os.Exit(1)
 		}
-		results = append(results, parse(pkg, &buf)...)
+		results = append(results, parse(pkg, *label, &buf)...)
 	}
 
-	sort.Slice(results, func(i, j int) bool {
+	sort.SliceStable(results, func(i, j int) bool {
 		if results[i].Package != results[j].Package {
 			return results[i].Package < results[j].Package
 		}
-		return results[i].Op < results[j].Op
+		if results[i].Op != results[j].Op {
+			return results[i].Op < results[j].Op
+		}
+		if results[i].Variant != results[j].Variant {
+			return results[i].Variant < results[j].Variant
+		}
+		return results[i].Procs < results[j].Procs
 	})
 	data, err := json.MarshalIndent(results, "", "  ")
 	if err == nil {
@@ -86,8 +113,9 @@ func main() {
 //
 //	BenchmarkName-8   123   456.7 ns/op   89 B/op   2 allocs/op   1234 pages/s
 //
-// from go test output. Unit tokens follow their values.
-func parse(pkg string, buf *bytes.Buffer) []result {
+// from go test output. Unit tokens follow their values. The GOMAXPROCS
+// suffix is recorded in Procs and stripped from the name.
+func parse(pkg, label string, buf *bytes.Buffer) []result {
 	var out []result
 	sc := bufio.NewScanner(buf)
 	for sc.Scan() {
@@ -99,11 +127,12 @@ func parse(pkg string, buf *bytes.Buffer) []result {
 		if err != nil {
 			continue
 		}
-		r := result{Op: fields[0], Package: pkg, Iterations: iters}
-		// Strip the GOMAXPROCS suffix ("BenchmarkFoo-8" -> "BenchmarkFoo").
+		r := result{Op: fields[0], Package: pkg, Variant: label, Iterations: iters}
+		// Split off the GOMAXPROCS suffix ("BenchmarkFoo-8" -> name + procs).
 		if i := strings.LastIndex(fields[0], "-"); i > 0 {
-			if _, err := strconv.Atoi(fields[0][i+1:]); err == nil {
+			if procs, err := strconv.Atoi(fields[0][i+1:]); err == nil {
 				r.Op = fields[0][:i]
+				r.Procs = procs
 			}
 		}
 		for i := 2; i+1 < len(fields); i += 2 {

@@ -12,11 +12,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
 )
+
+// writeProfile dumps a named runtime profile ("mutex", "block") to path.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err == nil {
+		err = pprof.Lookup(name).WriteTo(f, 0)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s profile: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s profile: wrote %s (inspect with `go tool pprof %s`)\n", name, path, path)
+}
 
 // telemetryRecord is one audited system in the -telemetry-json output.
 type telemetryRecord struct {
@@ -42,8 +60,23 @@ func main() {
 		traceInode  = flag.Bool("trace-per-inode", false, "sample whole inodes instead of 1-in-N operations")
 		traceReport = flag.Bool("trace-report", false, "print the critical-path report for retained slow spans (implies -trace sampling)")
 		prom        = flag.String("prom", "", "write the last audited system's telemetry as Prometheus text exposition to this file (implies -telemetry)")
+
+		mutexProf = flag.String("mutexprofile", "", "write a host mutex-contention profile (pprof) to this file")
+		blockProf = flag.String("blockprofile", "", "write a host blocking profile (pprof) to this file")
 	)
 	flag.Parse()
+
+	// Host-lock profiling: the virtual RWLedgers model the paper's lock
+	// costs, but these profiles expose where the *simulator's* own mutexes
+	// contend — the hot-path sharding work is validated against them.
+	if *mutexProf != "" {
+		runtime.SetMutexProfileFraction(5)
+		defer writeProfile("mutex", *mutexProf)
+	}
+	if *blockProf != "" {
+		runtime.SetBlockProfileRate(1000)
+		defer writeProfile("block", *blockProf)
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")

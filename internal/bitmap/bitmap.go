@@ -29,9 +29,20 @@ func New(n int64) *Bitmap {
 	return &Bitmap{words: make([]uint64, (n+wordBits-1)/wordBits)}
 }
 
-// FromWords builds a bitmap from raw words (shared, not copied) — used
-// when importing a kernel-exported window into CROSS-LIB.
+// FromWords builds a bitmap from a copy of the raw words — used when
+// importing a kernel-exported window into CROSS-LIB. It used to alias the
+// caller's slice, which silently decoupled the two sides on the next grow
+// (and corrupted counts if the caller kept writing); use FromWordsShared
+// when aliasing is genuinely wanted.
 func FromWords(words []uint64) *Bitmap {
+	return FromWordsShared(append([]uint64(nil), words...))
+}
+
+// FromWordsShared builds a bitmap that aliases the caller's slice without
+// copying. The caller must not mutate words afterwards, and must not rely
+// on mutations through the bitmap staying visible: the first grow on
+// either side decouples the storage.
+func FromWordsShared(words []uint64) *Bitmap {
 	b := &Bitmap{words: words}
 	for _, w := range words {
 		b.set += int64(bits.OnesCount64(w))
@@ -196,64 +207,45 @@ func (r Run) String() string { return fmt.Sprintf("[%d,%d)", r.Lo, r.Hi) }
 // MissingRuns returns the maximal runs of clear bits within [lo, hi).
 // This is the core query behind readahead_info: "which blocks of the
 // requested window still need fetching?"
-func (b *Bitmap) MissingRuns(lo, hi int64) []Run {
-	if lo < 0 {
-		lo = 0
-	}
-	if hi <= lo {
-		return nil
-	}
-	var runs []Run
-	runStart := int64(-1)
-	for i := lo; i < hi; i++ {
-		if !b.Test(i) {
-			if runStart < 0 {
-				runStart = i
-			}
-		} else if runStart >= 0 {
-			runs = append(runs, Run{runStart, i})
-			runStart = -1
-		}
-	}
-	if runStart >= 0 {
-		runs = append(runs, Run{runStart, hi})
-	}
-	return runs
+func (b *Bitmap) MissingRuns(lo, hi int64) []Run { return b.AppendMissingRuns(nil, lo, hi) }
+
+// AppendMissingRuns appends the maximal runs of clear bits within [lo, hi)
+// to dst and returns the extended slice (allocation-free when dst has
+// capacity).
+func (b *Bitmap) AppendMissingRuns(dst []Run, lo, hi int64) []Run {
+	return appendRuns(dst, b.MissingIter(lo, hi))
+}
+
+// MissingIter returns an allocation-free iterator over the maximal runs of
+// clear bits within [lo, hi).
+func (b *Bitmap) MissingIter(lo, hi int64) RunIter {
+	return newRunIter(wordsView{words: b.words}, lo, hi, false)
 }
 
 // PresentRuns returns the maximal runs of set bits within [lo, hi).
-func (b *Bitmap) PresentRuns(lo, hi int64) []Run {
-	if lo < 0 {
-		lo = 0
-	}
-	if hi <= lo {
-		return nil
-	}
-	var runs []Run
-	runStart := int64(-1)
-	for i := lo; i < hi; i++ {
-		if b.Test(i) {
-			if runStart < 0 {
-				runStart = i
-			}
-		} else if runStart >= 0 {
-			runs = append(runs, Run{runStart, i})
-			runStart = -1
-		}
-	}
-	if runStart >= 0 {
-		runs = append(runs, Run{runStart, hi})
-	}
-	return runs
+func (b *Bitmap) PresentRuns(lo, hi int64) []Run { return b.AppendPresentRuns(nil, lo, hi) }
+
+// AppendPresentRuns appends the maximal runs of set bits within [lo, hi)
+// to dst and returns the extended slice.
+func (b *Bitmap) AppendPresentRuns(dst []Run, lo, hi int64) []Run {
+	return appendRuns(dst, b.PresentIter(lo, hi))
+}
+
+// PresentIter returns an allocation-free iterator over the maximal runs of
+// set bits within [lo, hi).
+func (b *Bitmap) PresentIter(lo, hi int64) RunIter {
+	return newRunIter(wordsView{words: b.words}, lo, hi, true)
 }
 
 // NextClear returns the first clear bit at or after i, or hi if none
 // before hi.
 func (b *Bitmap) NextClear(i, hi int64) int64 {
-	for ; i < hi; i++ {
-		if !b.Test(i) {
-			return i
-		}
+	if i < 0 {
+		i = 0
+	}
+	it := RunIter{v: wordsView{words: b.words}, hi: hi}
+	if c := it.seek(i, false); c < hi {
+		return c
 	}
 	return hi
 }

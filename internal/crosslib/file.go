@@ -107,13 +107,14 @@ func (f *File) Close(tl *simtime.Timeline) error {
 		return nil
 	}
 	rt := f.rt
-	rt.mu.Lock()
+	fs := rt.fileShard(sf.inoID)
+	fs.mu.Lock()
 	sf.refs--
 	last := sf.refs == 0
 	if last {
-		delete(rt.files, sf.inoID)
+		delete(fs.m, sf.inoID)
 	}
-	rt.mu.Unlock()
+	fs.mu.Unlock()
 	// sf.kf is the descriptor background work borrows; it is closed only
 	// by the last closer, which may not be the descriptor that donated it.
 	if f.kf != sf.kf {

@@ -18,8 +18,9 @@ type Runtime struct {
 
 	workers *simtime.WorkerPool
 
-	mu    sync.Mutex
-	files map[int64]*sharedFile
+	// The per-inode shared-state table is striped so concurrent open and
+	// close traffic on different files doesn't serialize on one lock.
+	fileShards [sfShardCount]sfShard
 
 	ops atomic.Int64 // intercepted operations, for eviction throttling
 
@@ -48,6 +49,22 @@ type Runtime struct {
 	droppedBreaker   atomic.Int64
 }
 
+// sfShardCount stripes the inode table (power of two; selection is a mask).
+const sfShardCount = 8
+
+// sfShard is one stripe of the inode → sharedFile table.
+type sfShard struct {
+	mu sync.Mutex
+	m  map[int64]*sharedFile
+}
+
+// fileShard maps an inode to its table stripe.
+func (rt *Runtime) fileShard(inoID int64) *sfShard {
+	h := uint64(inoID) * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	return &rt.fileShards[h&(sfShardCount-1)]
+}
+
 // sharedFile is the per-inode state shared by all descriptors of a file:
 // the user-level range tree (the imported cache bitmap) and activity
 // tracking for the inactive-file LRU.
@@ -56,7 +73,7 @@ type sharedFile struct {
 	name  string
 	kf    *vfs.File // any descriptor, used for background prefetch/evict
 	tree  *rangetree.Tree
-	refs  int // live descriptors, guarded by Runtime.mu
+	refs  int // live descriptors, guarded by the owning shard's mu
 
 	lastAccess atomic.Int64 // virtual time of last access
 	fetchAll   atomic.Bool  // whole-file prefetch kicked off
@@ -128,12 +145,15 @@ func (sf *sharedFile) touch(at simtime.Time) {
 // New returns a runtime over the given kernel with the given options.
 func New(v *vfs.VFS, opt Options) *Runtime {
 	opt = opt.withDefaults()
-	return &Runtime{
+	rt := &Runtime{
 		v:       v,
 		opt:     opt,
 		workers: simtime.NewWorkerPool(opt.Workers, 0),
-		files:   make(map[int64]*sharedFile),
 	}
+	for i := range rt.fileShards {
+		rt.fileShards[i].m = make(map[int64]*sharedFile)
+	}
+	return rt
 }
 
 // NewForApproach returns a runtime configured for a paper approach.
@@ -155,9 +175,28 @@ func (rt *Runtime) Tracer() *telemetry.Tracer { return rt.tr }
 
 // SharedFiles reports live per-inode state entries (leak detection).
 func (rt *Runtime) SharedFiles() int {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	return len(rt.files)
+	n := 0
+	for i := range rt.fileShards {
+		fs := &rt.fileShards[i]
+		fs.mu.Lock()
+		n += len(fs.m)
+		fs.mu.Unlock()
+	}
+	return n
+}
+
+// snapshotFiles collects every live sharedFile across the table stripes.
+func (rt *Runtime) snapshotFiles() []*sharedFile {
+	var files []*sharedFile
+	for i := range rt.fileShards {
+		fs := &rt.fileShards[i]
+		fs.mu.Lock()
+		for _, sf := range fs.m {
+			files = append(files, sf)
+		}
+		fs.mu.Unlock()
+	}
+	return files
 }
 
 // Options reports the active configuration.
@@ -203,10 +242,11 @@ func (rt *Runtime) Stats() Stats {
 
 // shared returns (creating on demand) the shared per-inode state.
 func (rt *Runtime) shared(kf *vfs.File, name string) *sharedFile {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	ino := kf.Inode().ID()
-	sf, ok := rt.files[ino]
+	fs := rt.fileShard(ino)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	sf, ok := fs.m[ino]
 	if !ok {
 		sf = &sharedFile{
 			inoID: ino,
@@ -214,7 +254,7 @@ func (rt *Runtime) shared(kf *vfs.File, name string) *sharedFile {
 			kf:    kf,
 			tree:  rangetree.New(rt.opt.RangeTreeSpan, rt.v.Config().Costs),
 		}
-		rt.files[ino] = sf
+		fs.m[ino] = sf
 	}
 	sf.refs++
 	return sf
@@ -223,13 +263,7 @@ func (rt *Runtime) shared(kf *vfs.File, name string) *sharedFile {
 // DropCaches resets the runtime's user-level cache belief (paired with a
 // kernel-level drop between experiment phases).
 func (rt *Runtime) DropCaches(tl *simtime.Timeline) {
-	rt.mu.Lock()
-	files := make([]*sharedFile, 0, len(rt.files))
-	for _, sf := range rt.files {
-		files = append(files, sf)
-	}
-	rt.mu.Unlock()
-	for _, sf := range files {
+	for _, sf := range rt.snapshotFiles() {
 		sf.tree.ClearCached(tl, 0, sf.kf.Inode().Blocks())
 		sf.fetchAll.Store(false)
 	}
@@ -295,12 +329,7 @@ func (rt *Runtime) evictPass(wtl *simtime.Timeline, now simtime.Time) {
 	}
 
 	// Snapshot files ordered by last access (coldest first).
-	rt.mu.Lock()
-	candidates := make([]*sharedFile, 0, len(rt.files))
-	for _, sf := range rt.files {
-		candidates = append(candidates, sf)
-	}
-	rt.mu.Unlock()
+	candidates := rt.snapshotFiles()
 	sort.Slice(candidates, func(i, j int) bool {
 		return candidates[i].lastAccess.Load() < candidates[j].lastAccess.Load()
 	})

@@ -19,6 +19,7 @@
 package fs
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"sync"
@@ -467,11 +468,27 @@ func (f *FS) readBlockData(phys, off int64, dst []byte) {
 // unmaterialized block.
 func fillSynthetic(dst []byte, phys int64) { fillSyntheticAt(dst, phys, 0) }
 
+// fillSyntheticAt generates byte pos as byte((x >> (8*(pos%8))) ^ pos).
+// It runs on every copy-out of never-written file content, so the bulk is
+// done a word at a time: for pos aligned to 8, the eight pattern bytes are
+// byte(x>>8j) ^ (byte(pos)+j) with no per-lane carry, i.e. one 64-bit
+// xor/add against precomputable lane constants.
 func fillSyntheticAt(dst []byte, phys, off int64) {
 	x := uint64(phys)*0x9e3779b97f4a7c15 + 1
-	for i := range dst {
-		pos := uint64(off) + uint64(i)
+	pos := uint64(off)
+	i := 0
+	for ; i < len(dst) && pos%8 != 0; i++ {
 		dst[i] = byte((x >> (8 * (pos % 8))) ^ pos)
+		pos++
+	}
+	const lanes = 0x0101010101010101
+	const laneIdx = 0x0706050403020100
+	for ; i+8 <= len(dst); i, pos = i+8, pos+8 {
+		binary.LittleEndian.PutUint64(dst[i:], x^(laneIdx+lanes*uint64(byte(pos))))
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = byte((x >> (8 * (pos % 8))) ^ pos)
+		pos++
 	}
 }
 

@@ -11,20 +11,30 @@ import (
 
 // FileCache is the per-inode cache state: the page index (Xarray model),
 // its tree lock, and the CROSS-OS cache bitmap with its own lock.
+//
+// Real locking mirrors the paper's delineation argument (§4.4): the page
+// index is guarded by mu (lookups shared, structural changes exclusive),
+// while the bitmap is a bitmap.Shared whose readers never take any lock —
+// bitmap writers are serialized by mu, which they already hold for the
+// paired index update. Cache-state queries (Span, CachedPages,
+// FastMissingRuns, ExportBitmap) therefore never block behind a demand
+// insert. The virtual cost model is separate: treeLedger/bmLedger charge
+// the paper's lock costs in virtual time, unchanged by the host locking.
 type FileCache struct {
 	cache *Cache
 	inoID int64
 
-	mu         sync.RWMutex      // real guard for pages + bitmap + flags
+	mu         sync.RWMutex      // real guard for pages map + page dirty flags
 	treeLedger *simtime.RWLedger // virtual page-cache tree lock
 	bmLedger   *simtime.RWLedger // virtual bitmap lock (fast path)
 	pages      map[int64]*page
-	bm         *bitmap.Bitmap
+	bm         bitmap.Shared // lock-free readers; writers serialized under mu
 
 	hits   atomic.Int64
 	misses atomic.Int64
 
-	// Per-inode LRU state (Config.PerInodeLRU), guarded by Cache.lruMu.
+	// Per-inode LRU state (Config.PerInodeLRU), guarded by the owning
+	// LRU shard's lock.
 	ownActive   pageList
 	ownInactive pageList
 	lastTouch   atomic.Int64 // virtual time of last lookup
@@ -33,19 +43,11 @@ type FileCache struct {
 // InoID reports the inode this state belongs to.
 func (fc *FileCache) InoID() int64 { return fc.inoID }
 
-// Span reports the extent of the file's bitmap in blocks.
-func (fc *FileCache) Span() int64 {
-	fc.mu.RLock()
-	defer fc.mu.RUnlock()
-	return fc.bm.Len()
-}
+// Span reports the extent of the file's bitmap in blocks. Lock-free.
+func (fc *FileCache) Span() int64 { return fc.bm.Len() }
 
-// CachedPages reports how many of the file's pages are resident.
-func (fc *FileCache) CachedPages() int64 {
-	fc.mu.RLock()
-	defer fc.mu.RUnlock()
-	return fc.bm.Count()
-}
+// CachedPages reports how many of the file's pages are resident. Lock-free.
+func (fc *FileCache) CachedPages() int64 { return fc.bm.Count() }
 
 // Hits and Misses report the per-file lookup counters.
 func (fc *FileCache) Hits() int64   { return fc.hits.Load() }
@@ -54,7 +56,10 @@ func (fc *FileCache) Misses() int64 { return fc.misses.Load() }
 // TreeLockStats exposes the virtual tree-lock contention counters.
 func (fc *FileCache) TreeLockStats() simtime.RWLedgerStats { return fc.treeLedger.Stats() }
 
-// LookupResult describes the cache state of a requested page range.
+// LookupResult describes the cache state of a requested page range. A
+// result can be reused across lookups via LookupRangeInto, which recycles
+// Present and the internal touched-page scratch so steady-state lookups
+// allocate nothing.
 type LookupResult struct {
 	// Present marks which pages of [lo,hi) were resident (index 0 = lo).
 	Present []bool
@@ -66,6 +71,8 @@ type LookupResult struct {
 	// MarkerHit reports that a resident page carried the PG_readahead
 	// marker; the lookup cleared it.
 	MarkerHit bool
+
+	touched []*page // scratch: pages to feed to LRU aging
 }
 
 // LookupRange walks the page index for pages [lo, hi) on the regular I/O
@@ -73,9 +80,23 @@ type LookupResult struct {
 // and misses, touches LRU state, and clears any readahead marker it
 // crosses. tl may be nil for timeless inspection.
 func (fc *FileCache) LookupRange(tl *simtime.Timeline, lo, hi int64) LookupResult {
+	var res LookupResult
+	fc.LookupRangeInto(tl, lo, hi, &res)
+	return res
+}
+
+// LookupRangeInto is LookupRange writing into a caller-provided (and
+// typically reused) result. The real page-index lock is held shared: the
+// walk mutates only the pages' atomic marker/prefetched flags, so
+// concurrent lookups of a shared file proceed in parallel (§4.5) and only
+// structural changes (insert, remove) serialize.
+func (fc *FileCache) LookupRangeInto(tl *simtime.Timeline, lo, hi int64, res *LookupResult) {
 	n := hi - lo
+	res.Present = res.Present[:0]
+	res.PresentCount, res.ReadyAt, res.MarkerHit = 0, 0, false
+	res.touched = res.touched[:0]
 	if n <= 0 {
-		return LookupResult{}
+		return
 	}
 	var walk *telemetry.Span
 	if tl != nil {
@@ -84,10 +105,16 @@ func (fc *FileCache) LookupRange(tl *simtime.Timeline, lo, hi int64) LookupResul
 		walk = telemetry.Current(tl).Child("cache.tree_walk", telemetry.CatLock, start, tl.Now())
 	}
 
-	res := LookupResult{Present: make([]bool, n)}
-	var touched []*page
+	if cap(res.Present) < int(n) {
+		res.Present = make([]bool, n)
+	} else {
+		res.Present = res.Present[:n]
+		for i := range res.Present {
+			res.Present[i] = false
+		}
+	}
 	var prefetchHits int64
-	fc.mu.Lock()
+	fc.mu.RLock()
 	for i := lo; i < hi; i++ {
 		p, ok := fc.pages[i]
 		if !ok {
@@ -98,20 +125,20 @@ func (fc *FileCache) LookupRange(tl *simtime.Timeline, lo, hi int64) LookupResul
 		if p.readyAt > res.ReadyAt {
 			res.ReadyAt = p.readyAt
 		}
-		if p.marker {
-			p.marker = false
+		if p.marker.Load() && p.marker.CompareAndSwap(true, false) {
 			res.MarkerHit = true
 		}
-		if p.prefetched {
-			p.prefetched = false
+		if p.prefetched.Load() && p.prefetched.CompareAndSwap(true, false) {
 			prefetchHits++
 		}
-		touched = append(touched, p)
+		res.touched = append(res.touched, p)
 	}
-	fc.mu.Unlock()
+	fc.mu.RUnlock()
 	walk.Annotate("hit_pages", res.PresentCount)
 	walk.Annotate("miss_pages", n-res.PresentCount)
-	fc.cache.rec.Add(telemetry.CtrPrefetchHitPages, prefetchHits)
+	if prefetchHits > 0 {
+		fc.cache.rec.Add(telemetry.CtrPrefetchHitPages, prefetchHits)
+	}
 
 	fc.hits.Add(res.PresentCount)
 	fc.misses.Add(n - res.PresentCount)
@@ -121,10 +148,9 @@ func (fc *FileCache) LookupRange(tl *simtime.Timeline, lo, hi int64) LookupResul
 		fc.lastTouch.Store(int64(tl.Now()))
 	}
 
-	if len(touched) > 0 {
-		fc.cache.touch(tl, touched)
+	if len(res.touched) > 0 {
+		fc.cache.touch(tl, res.touched)
 	}
-	return res
 }
 
 // InsertOptions modify InsertRange behaviour.
@@ -176,17 +202,17 @@ func (fc *FileCache) InsertRange(tl *simtime.Timeline, lo, hi int64, opt InsertO
 			// An already-present page keeps its earlier ready time: a
 			// redundant re-fetch doesn't delay existing readers.
 			if i == opt.MarkerAt {
-				p.marker = true
+				p.marker.Store(true)
 			}
 			continue
 		}
-		p := &page{fc: fc, idx: i, readyAt: opt.ReadyAt, dirty: opt.Dirty,
-			prefetched: opt.Prefetched}
+		p := &page{fc: fc, idx: i, readyAt: opt.ReadyAt, dirty: opt.Dirty}
+		p.prefetched.Store(opt.Prefetched)
 		if opt.Dirty {
 			fc.cache.dirty.Add(1)
 		}
 		if i == opt.MarkerAt {
-			p.marker = true
+			p.marker.Store(true)
 		}
 		fc.pages[i] = p
 		fresh = append(fresh, p)
@@ -271,16 +297,22 @@ func (fc *FileCache) RemoveRange(tl *simtime.Timeline, lo, hi int64) int64 {
 
 // FastMissingRuns answers "which of [lo, hi) needs fetching?" via the
 // bitmap fast path: it charges only the bitmap lock shared, never the
-// tree lock. This is the readahead_info lookup (§4.4).
+// tree lock. This is the readahead_info lookup (§4.4). The real read is
+// lock-free (atomic word loads), so it proceeds even while a demand
+// insert holds the page-index lock exclusively.
 func (fc *FileCache) FastMissingRuns(tl *simtime.Timeline, lo, hi int64) []bitmap.Run {
+	return fc.AppendFastMissingRuns(tl, nil, lo, hi)
+}
+
+// AppendFastMissingRuns is FastMissingRuns appending into a caller-scratch
+// slice (allocation-free when dst has capacity).
+func (fc *FileCache) AppendFastMissingRuns(tl *simtime.Timeline, dst []bitmap.Run, lo, hi int64) []bitmap.Run {
 	if tl != nil {
 		start := tl.Now()
 		fc.bmLedger.Read(tl, fc.cache.cfg.Costs.BitmapOp*simtime.Duration(1+(hi-lo)/64))
 		telemetry.Current(tl).Child("cache.bitmap_lookup", telemetry.CatLock, start, tl.Now())
 	}
-	fc.mu.RLock()
-	defer fc.mu.RUnlock()
-	return fc.bm.MissingRuns(lo, hi)
+	return fc.bm.AppendMissingRuns(dst, lo, hi)
 }
 
 // ExportBitmap copies the bitmap window [lo, hi) into dst, charging the
@@ -297,9 +329,7 @@ func (fc *FileCache) ExportBitmap(tl *simtime.Timeline, lo, hi int64, dst *bitma
 		telemetry.Current(tl).Child("cache.bitmap_export", telemetry.CatLock, start, tl.Now())
 		tl.Advance(fc.cache.cfg.Costs.BitmapCopy * words)
 	}
-	fc.mu.RLock()
 	fc.bm.CopyRange(dst, lo, hi)
-	fc.mu.RUnlock()
 }
 
 // WalkResident calls fn for every resident page index in [lo, hi) while

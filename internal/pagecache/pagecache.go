@@ -25,7 +25,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/bitmap"
 	"repro/internal/simtime"
 	"repro/internal/telemetry"
 )
@@ -64,14 +63,19 @@ type Cache struct {
 
 	used atomic.Int64
 
-	lruMu    sync.Mutex
-	active   pageList
-	inactive pageList
+	// LRU state is striped across power-of-two shards so concurrent
+	// insert/touch traffic on different files (or different regions of one
+	// file) never serializes on a single list lock. Global eviction order
+	// is preserved exactly by stamping every list push with lruSeq and
+	// having reclaim pop the globally-oldest stamp (see popOldest).
+	lru       [lruShardCount]lruShard
+	lruSeq    atomic.Uint64
+	nInactive atomic.Int64 // global-mode inactive population (rotation guard)
+	reclaimMu sync.Mutex   // serializes victim selection across shards
 
 	kswapd *simtime.WorkerPool
 
-	filesMu sync.Mutex
-	files   map[int64]*FileCache
+	fileShards [fileShardCount]fileShard
 
 	hits          atomic.Int64
 	misses        atomic.Int64
@@ -94,12 +98,75 @@ func New(cfg Config, flush FlushFn) *Cache {
 	if cfg.KswapdWorkers <= 0 {
 		cfg.KswapdWorkers = 1
 	}
-	return &Cache{
+	c := &Cache{
 		cfg:    cfg,
 		flush:  flush,
 		kswapd: simtime.NewWorkerPool(cfg.KswapdWorkers, 0),
-		files:  make(map[int64]*FileCache),
 	}
+	for i := range c.fileShards {
+		c.fileShards[i].m = make(map[int64]*FileCache)
+	}
+	return c
+}
+
+// lruShardCount and fileShardCount stripe the LRU lists and the inode
+// table. Power of two so shard selection is a mask.
+const (
+	lruShardCount  = 8
+	fileShardCount = 8
+)
+
+// lruShard is one stripe of the active/inactive LRU lists. Its mu also
+// guards the per-inode own lists of every file hashed to it (PerInodeLRU).
+type lruShard struct {
+	mu       sync.Mutex
+	active   pageList
+	inactive pageList
+}
+
+// fileShard is one stripe of the inode → FileCache table.
+type fileShard struct {
+	mu sync.Mutex
+	m  map[int64]*FileCache
+}
+
+// shardIndex mixes two keys into a shard slot.
+func shardIndex(a, b uint64, n int) int {
+	h := a*0x9e3779b97f4a7c15 ^ b*0xc2b2ae3d27d4eb4f
+	h ^= h >> 29
+	return int(h & uint64(n-1))
+}
+
+// lruShardFor maps a page to its (stable) LRU shard. Global mode spreads a
+// file's pages across shards in 64-page chunks; PerInodeLRU keeps a file's
+// own lists whole inside one shard so per-file draining stays one lock.
+func (c *Cache) lruShardFor(p *page) *lruShard {
+	if c.cfg.PerInodeLRU {
+		return c.lruShardForFile(p.fc)
+	}
+	return &c.lru[shardIndex(uint64(p.fc.inoID), uint64(p.idx>>6), lruShardCount)]
+}
+
+func (c *Cache) lruShardForFile(fc *FileCache) *lruShard {
+	return &c.lru[shardIndex(uint64(fc.inoID), 0, lruShardCount)]
+}
+
+func (c *Cache) fileShard(inoID int64) *fileShard {
+	return &c.fileShards[shardIndex(uint64(inoID), 0, fileShardCount)]
+}
+
+// snapshotFiles collects every live FileCache across the inode shards.
+func (c *Cache) snapshotFiles() []*FileCache {
+	var files []*FileCache
+	for i := range c.fileShards {
+		fs := &c.fileShards[i]
+		fs.mu.Lock()
+		for _, fc := range fs.m {
+			files = append(files, fc)
+		}
+		fs.mu.Unlock()
+	}
+	return files
 }
 
 // SetFlushFn installs the dirty-page writeback hook.
@@ -131,9 +198,10 @@ func (c *Cache) lowWater() int64  { return c.cfg.CapacityPages * 7 / 8 }
 
 // File returns (creating if needed) the per-inode cache state.
 func (c *Cache) File(inoID int64) *FileCache {
-	c.filesMu.Lock()
-	defer c.filesMu.Unlock()
-	fc, ok := c.files[inoID]
+	fs := c.fileShard(inoID)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fc, ok := fs.m[inoID]
 	if !ok {
 		fc = &FileCache{
 			cache:      c,
@@ -141,19 +209,19 @@ func (c *Cache) File(inoID int64) *FileCache {
 			treeLedger: simtime.NewRWLedger("tree"),
 			bmLedger:   simtime.NewRWLedger("bitmap"),
 			pages:      make(map[int64]*page),
-			bm:         bitmap.New(0),
 		}
-		c.files[inoID] = fc
+		fs.m[inoID] = fc
 	}
 	return fc
 }
 
 // DropFile discards all cached pages of an inode (file deletion).
 func (c *Cache) DropFile(tl *simtime.Timeline, inoID int64) {
-	c.filesMu.Lock()
-	fc := c.files[inoID]
-	delete(c.files, inoID)
-	c.filesMu.Unlock()
+	fs := c.fileShard(inoID)
+	fs.mu.Lock()
+	fc := fs.m[inoID]
+	delete(fs.m, inoID)
+	fs.mu.Unlock()
 	if fc != nil {
 		fc.RemoveRange(tl, 0, fc.bm.Len())
 	}
@@ -162,13 +230,7 @@ func (c *Cache) DropFile(tl *simtime.Timeline, inoID int64) {
 // DropAll evicts every resident page (echo 3 > /proc/sys/vm/drop_caches),
 // preserving the per-file state objects so open handles stay valid.
 func (c *Cache) DropAll(tl *simtime.Timeline) {
-	c.filesMu.Lock()
-	fcs := make([]*FileCache, 0, len(c.files))
-	for _, fc := range c.files {
-		fcs = append(fcs, fc)
-	}
-	c.filesMu.Unlock()
-	for _, fc := range fcs {
+	for _, fc := range c.snapshotFiles() {
 		fc.RemoveRange(tl, 0, fc.Span())
 	}
 }
@@ -210,26 +272,45 @@ func (c *Cache) Stats() Stats {
 	}
 }
 
-// page is one resident page frame.
+// page is one resident page frame. readyAt is immutable after the page is
+// published in its file's map; dirty and wbFails are guarded by the
+// file's exclusive mu; marker and prefetched are atomic so the shared
+// (RLock) lookup walk can consume them without exclusive ownership.
 type page struct {
 	fc      *FileCache
 	idx     int64
 	readyAt simtime.Time
 	dirty   bool
-	marker  bool // PG_readahead
+	marker  atomic.Bool // PG_readahead
 	// prefetched marks a page inserted by a prefetch and not yet read —
 	// the state the Leap-style effectiveness accounting tracks. A lookup
 	// clears it (hit); eviction of a still-set page is wasted prefetch.
-	prefetched bool
+	prefetched atomic.Bool
 	// wbFails counts failed writeback attempts; at maxWritebackAttempts
 	// the page is dropped and the loss surfaced via telemetry.
 	wbFails int8
 
-	// LRU linkage, guarded by Cache.lruMu.
+	// LRU linkage, guarded by the owning shard's mu (Cache.lruShardFor,
+	// which is a pure function of fc/idx and therefore stable for the
+	// page's lifetime). seq is the global age stamp assigned on every list
+	// push; reclaim evicts ascending seq, which reproduces the exact
+	// single-list LRU order across shards.
 	prev, next *page
 	list       *pageList
-	accessed   bool
+	seq        uint64
+	// accessed and state are atomic so the lookup path can age hot pages
+	// without touching the shard lock: the first access flips accessed,
+	// and only the promoting second access of an inactive page locks.
+	accessed atomic.Bool
+	state    atomic.Int32 // pageUnlinked / pageInactive / pageActive
 }
+
+// page.state values.
+const (
+	pageUnlinked int32 = iota
+	pageInactive
+	pageActive
+)
 
 // pageList is an intrusive doubly linked LRU list. Head is most recent.
 type pageList struct {

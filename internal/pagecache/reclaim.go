@@ -7,47 +7,129 @@ import (
 
 // link puts freshly inserted pages on the inactive list (Linux admits new
 // file pages to inactive; promotion to active happens on re-access). With
-// PerInodeLRU, each page goes onto its own file's lists instead.
+// PerInodeLRU, each page goes onto its own file's lists instead. The
+// shard lock is held across consecutive same-shard pages, so a contiguous
+// insert batch takes each shard lock once per 64-page chunk.
 func (c *Cache) link(fresh []*page) {
-	c.lruMu.Lock()
+	var sh *lruShard
 	for _, p := range fresh {
+		if nsh := c.lruShardFor(p); nsh != sh {
+			if sh != nil {
+				sh.mu.Unlock()
+			}
+			sh = nsh
+			sh.mu.Lock()
+		}
+		p.seq = c.lruSeq.Add(1)
 		if c.cfg.PerInodeLRU {
 			p.fc.ownInactive.pushHead(p)
 		} else {
-			c.inactive.pushHead(p)
+			sh.inactive.pushHead(p)
+			c.nInactive.Add(1)
 		}
+		p.state.Store(pageInactive)
 	}
-	c.lruMu.Unlock()
+	if sh != nil {
+		sh.mu.Unlock()
+	}
 }
 
 // touch records accesses for LRU aging: a second access promotes an
-// inactive page to the active list.
+// inactive page to the active list. The common cases — first access, and
+// re-access of an already-active page — are lock-free; only the promoting
+// access takes the page's shard lock.
 func (c *Cache) touch(tl *simtime.Timeline, pages []*page) {
-	c.lruMu.Lock()
 	moved := 0
 	for _, p := range pages {
-		if p.list == nil {
-			continue // being evicted concurrently
-		}
-		if !p.accessed {
-			p.accessed = true
+		if !p.accessed.Load() {
+			p.accessed.Store(true)
 			continue
 		}
+		if p.state.Load() != pageInactive {
+			continue // already active, or mid-eviction: nothing to promote
+		}
+		sh := c.lruShardFor(p)
+		sh.mu.Lock()
 		switch p.list {
-		case &c.inactive:
-			c.inactive.remove(p)
-			c.active.pushHead(p)
+		case &sh.inactive:
+			sh.inactive.remove(p)
+			c.nInactive.Add(-1)
+			p.seq = c.lruSeq.Add(1)
+			sh.active.pushHead(p)
+			p.state.Store(pageActive)
 			moved++
 		case &p.fc.ownInactive:
 			p.fc.ownInactive.remove(p)
+			p.seq = c.lruSeq.Add(1)
 			p.fc.ownActive.pushHead(p)
+			p.state.Store(pageActive)
 			moved++
 		}
+		sh.mu.Unlock()
 	}
-	c.lruMu.Unlock()
 	if tl != nil && moved > 0 {
 		tl.Advance(simtime.Duration(moved) * c.cfg.Costs.LRUOp)
 	}
+}
+
+// popOldest removes and returns the globally least-recent page from the
+// sharded inactive (or active) lists — the page with the minimum seq
+// stamp among all shard tails. Caller holds reclaimMu. Returns nil when
+// every shard's list is empty.
+func (c *Cache) popOldest(inactive bool) *page {
+	for attempt := 0; ; attempt++ {
+		var best *page
+		var bestSeq uint64
+		var bestShard *lruShard
+		for i := range c.lru {
+			sh := &c.lru[i]
+			sh.mu.Lock()
+			t := sh.active.tail
+			if inactive {
+				t = sh.inactive.tail
+			}
+			if t != nil && (best == nil || t.seq < bestSeq) {
+				best, bestSeq, bestShard = t, t.seq, sh
+			}
+			sh.mu.Unlock()
+		}
+		if best == nil {
+			return nil
+		}
+		bestShard.mu.Lock()
+		l := &bestShard.active
+		if inactive {
+			l = &bestShard.inactive
+		}
+		// Revalidate: a concurrent touch/link may have moved the tail
+		// between the scan and the relock. After a few retries settle for
+		// this shard's current tail — still LRU-ordered within the shard,
+		// and selection is exact whenever reclaim runs unraced.
+		t := l.tail
+		if t != nil && (t == best || attempt >= 4) {
+			l.remove(t)
+			if inactive {
+				c.nInactive.Add(-1)
+			}
+			t.state.Store(pageUnlinked)
+			bestShard.mu.Unlock()
+			return t
+		}
+		bestShard.mu.Unlock()
+	}
+}
+
+// pushInactive re-queues a page at the inactive head (demotion from
+// active, or second-chance rotation) with a fresh age stamp.
+func (c *Cache) pushInactive(p *page) {
+	sh := c.lruShardFor(p)
+	sh.mu.Lock()
+	p.accessed.Store(false)
+	p.seq = c.lruSeq.Add(1)
+	sh.inactive.pushHead(p)
+	c.nInactive.Add(1)
+	p.state.Store(pageInactive)
+	sh.mu.Unlock()
 }
 
 // reclaimIfNeeded enforces the memory budget after an allocation.
@@ -83,20 +165,24 @@ func (c *Cache) reclaim(tl *simtime.Timeline, target int64, direct bool) {
 		c.reclaimPerInode(tl, target, direct)
 		return
 	}
+	c.reclaimMu.Lock()
 	var victims []*page
-	c.lruMu.Lock()
-	for int64(len(victims)) < target {
-		p := c.inactive.popTail()
+	// Bound the scan so concurrent touches re-heating rotated pages can
+	// never spin the selection loop; single-threaded passes examine each
+	// page at most a handful of times and stay far below the bound.
+	steps := 4*c.used.Load() + target + 64
+	for int64(len(victims)) < target && steps > 0 {
+		steps--
+		p := c.popOldest(true)
 		if p == nil {
-			// Age: demote a batch from the active tail.
+			// Age: demote a batch of the oldest active pages.
 			aged := false
 			for i := 0; i < 32; i++ {
-				ap := c.active.popTail()
+				ap := c.popOldest(false)
 				if ap == nil {
 					break
 				}
-				ap.accessed = false
-				c.inactive.pushHead(ap)
+				c.pushInactive(ap)
 				aged = true
 			}
 			if !aged {
@@ -105,18 +191,17 @@ func (c *Cache) reclaim(tl *simtime.Timeline, target int64, direct bool) {
 			continue
 		}
 		// Second-chance: a recently re-accessed page rotates once.
-		if p.accessed {
-			p.accessed = false
-			c.inactive.pushHead(p)
+		if p.accessed.Load() {
+			c.pushInactive(p)
 			// Avoid infinite rotation on a fully hot list.
-			if c.inactive.tail == p {
+			if c.nInactive.Load() == 1 {
 				break
 			}
 			continue
 		}
 		victims = append(victims, p)
 	}
-	c.lruMu.Unlock()
+	c.reclaimMu.Unlock()
 	if len(victims) == 0 {
 		return
 	}
@@ -138,17 +223,17 @@ func (c *Cache) reclaim(tl *simtime.Timeline, target int64, direct bool) {
 // active) list is drained before moving to the next — sparing hot files
 // entirely, which the global LRU cannot guarantee.
 func (c *Cache) reclaimPerInode(tl *simtime.Timeline, target int64, direct bool) {
-	c.filesMu.Lock()
-	files := make([]*FileCache, 0, len(c.files))
-	for _, fc := range c.files {
-		files = append(files, fc)
-	}
-	c.filesMu.Unlock()
+	c.reclaimMu.Lock()
+	files := c.snapshotFiles()
 	sortFilesByTouch(files)
 
 	var victims []*page
-	c.lruMu.Lock()
 	for _, fc := range files {
+		// A file's own lists live whole inside one shard, so draining a
+		// victim file holds exactly that shard's lock; readers of other
+		// shards proceed.
+		sh := c.lruShardForFile(fc)
+		sh.mu.Lock()
 		for int64(len(victims)) < target {
 			p := fc.ownInactive.popTail()
 			if p == nil {
@@ -159,8 +244,9 @@ func (c *Cache) reclaimPerInode(tl *simtime.Timeline, target int64, direct bool)
 					if ap == nil {
 						break
 					}
-					ap.accessed = false
+					ap.accessed.Store(false)
 					fc.ownInactive.pushHead(ap)
+					ap.state.Store(pageInactive)
 					aged = true
 				}
 				if !aged {
@@ -168,21 +254,23 @@ func (c *Cache) reclaimPerInode(tl *simtime.Timeline, target int64, direct bool)
 				}
 				continue
 			}
-			if p.accessed {
-				p.accessed = false
+			if p.accessed.Load() {
+				p.accessed.Store(false)
 				fc.ownInactive.pushHead(p)
 				if fc.ownInactive.tail == p {
 					break
 				}
 				continue
 			}
+			p.state.Store(pageUnlinked)
 			victims = append(victims, p)
 		}
+		sh.mu.Unlock()
 		if int64(len(victims)) >= target {
 			break
 		}
 	}
-	c.lruMu.Unlock()
+	c.reclaimMu.Unlock()
 	if len(victims) == 0 {
 		return
 	}
@@ -247,13 +335,26 @@ func (c *Cache) evictFromFiles(tl *simtime.Timeline, victims []*page) {
 // pages from their file maps.
 func (c *Cache) finishEviction(tl *simtime.Timeline, victims []*page, unlink bool) {
 	if unlink {
-		c.lruMu.Lock()
+		var sh *lruShard
 		for _, p := range victims {
+			if nsh := c.lruShardFor(p); nsh != sh {
+				if sh != nil {
+					sh.mu.Unlock()
+				}
+				sh = nsh
+				sh.mu.Lock()
+			}
 			if p.list != nil {
+				if p.list == &sh.inactive {
+					c.nInactive.Add(-1)
+				}
 				p.list.remove(p)
+				p.state.Store(pageUnlinked)
 			}
 		}
-		c.lruMu.Unlock()
+		if sh != nil {
+			sh.mu.Unlock()
+		}
 	}
 	c.used.Add(-int64(len(victims)))
 	c.evictions.Add(int64(len(victims)))
@@ -264,8 +365,7 @@ func (c *Cache) finishEviction(tl *simtime.Timeline, victims []*page, unlink boo
 		var wasted, minIdx int64
 		minIdx = -1
 		for _, p := range victims {
-			if p.prefetched {
-				p.prefetched = false
+			if p.prefetched.Load() && p.prefetched.CompareAndSwap(true, false) {
 				wasted++
 				if minIdx < 0 || p.idx < minIdx {
 					minIdx = p.idx

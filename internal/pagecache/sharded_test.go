@@ -1,0 +1,130 @@
+package pagecache
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bitmap"
+	"repro/internal/simtime"
+)
+
+// TestQueriesProceedDuringExclusiveIndexLock pins the §4.4 delineation
+// claim in real concurrency: cache-state queries (Span, CachedPages, the
+// bitmap fast path) must complete while a demand insert holds the
+// page-index lock exclusively.
+func TestQueriesProceedDuringExclusiveIndexLock(t *testing.T) {
+	c := New(Config{BlockSize: 4096, CapacityPages: 1 << 16}, nil)
+	fc := c.File(1)
+	fc.InsertRange(nil, 0, 128, InsertOptions{MarkerAt: -1})
+
+	// Simulate a writer stalled mid-insert with the index lock exclusive.
+	fc.mu.Lock()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if got := fc.Span(); got != 128 {
+			t.Errorf("Span = %d, want 128", got)
+		}
+		if got := fc.CachedPages(); got != 128 {
+			t.Errorf("CachedPages = %d, want 128", got)
+		}
+		runs := fc.FastMissingRuns(nil, 0, 256)
+		if len(runs) != 1 || runs[0] != (bitmap.Run{Lo: 128, Hi: 256}) {
+			t.Errorf("FastMissingRuns = %v, want [{128 256}]", runs)
+		}
+		var dst bitmap.Bitmap
+		fc.ExportBitmap(nil, 0, 128, &dst)
+		if dst.Count() != 128 {
+			t.Errorf("ExportBitmap count = %d, want 128", dst.Count())
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cache-state queries blocked behind the exclusive page-index lock")
+	}
+	fc.mu.Unlock()
+}
+
+// TestShardedEvictionOrderMatchesInsertion pins the seq-stamp design: even
+// though pages are spread over independent LRU shards, single-threaded
+// reclaim must evict in exact global insertion order, as the old
+// single-list LRU did. Interleaves three files so consecutive insertions
+// land in different shards.
+func TestShardedEvictionOrderMatchesInsertion(t *testing.T) {
+	const (
+		capacity = 128
+		total    = 3 * capacity
+	)
+	c := New(Config{BlockSize: 4096, CapacityPages: capacity}, nil)
+	tl := simtime.NewTimeline(0)
+	fcs := []*FileCache{c.File(10), c.File(20), c.File(30)}
+
+	type ins struct {
+		fc  *FileCache
+		idx int64
+	}
+	order := make([]ins, 0, total)
+	for i := 0; i < total; i++ {
+		fc := fcs[i%len(fcs)]
+		idx := int64(i / len(fcs))
+		fc.InsertRange(tl, idx, idx+1, InsertOptions{MarkerAt: -1})
+		order = append(order, ins{fc, idx})
+	}
+
+	// Residency must be a suffix of the insertion order: once one page is
+	// resident, every later-inserted page is too.
+	resident := 0
+	seenResident := false
+	for k, in := range order {
+		ok := in.fc.bm.Test(in.idx)
+		if ok {
+			resident++
+			seenResident = true
+		} else if seenResident {
+			t.Fatalf("insertion #%d evicted after an older insertion survived: eviction left insertion order", k)
+		}
+	}
+	if int64(resident) != c.Used() {
+		t.Fatalf("resident suffix %d pages != cache used %d", resident, c.Used())
+	}
+	if resident == 0 || resident == total {
+		t.Fatalf("reclaim did not run meaningfully: %d/%d resident", resident, total)
+	}
+}
+
+// TestLookupFastPathZeroAlloc pins the allocation-free steady state of the
+// hot lookup paths: a reused LookupResult, the bitmap fast path with
+// caller scratch, and the lock-free state queries.
+func TestLookupFastPathZeroAlloc(t *testing.T) {
+	c := New(Config{BlockSize: 4096, CapacityPages: 1 << 16}, nil)
+	fc := c.File(1)
+	fc.InsertRange(nil, 0, 256, InsertOptions{MarkerAt: -1})
+
+	var res LookupResult
+	if n := testing.AllocsPerRun(100, func() {
+		fc.LookupRangeInto(nil, 32, 96, &res)
+		if res.PresentCount != 64 {
+			t.Fatalf("PresentCount = %d, want 64", res.PresentCount)
+		}
+	}); n != 0 {
+		t.Errorf("LookupRangeInto with reused result: %v allocs/run, want 0", n)
+	}
+
+	runs := make([]bitmap.Run, 0, 8)
+	if n := testing.AllocsPerRun(100, func() {
+		runs = fc.AppendFastMissingRuns(nil, runs[:0], 0, 512)
+		if len(runs) != 1 {
+			t.Fatalf("missing runs = %v", runs)
+		}
+	}); n != 0 {
+		t.Errorf("AppendFastMissingRuns with scratch: %v allocs/run, want 0", n)
+	}
+
+	if n := testing.AllocsPerRun(100, func() {
+		_ = fc.Span()
+		_ = fc.CachedPages()
+	}); n != 0 {
+		t.Errorf("Span/CachedPages: %v allocs/run, want 0", n)
+	}
+}

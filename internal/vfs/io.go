@@ -1,6 +1,8 @@
 package vfs
 
 import (
+	"sync"
+
 	"repro/internal/bitmap"
 	"repro/internal/blockdev"
 	"repro/internal/pagecache"
@@ -8,6 +10,17 @@ import (
 	"repro/internal/simtime"
 	"repro/internal/telemetry"
 )
+
+// readScratch carries the reusable buffers of the ReadAt hot path — the
+// lookup result (with its Present and touched-page scratch) and a run
+// slice for misses and readahead queries. Pooled so steady-state
+// cache-hit reads allocate nothing, from any number of goroutines.
+type readScratch struct {
+	res  pagecache.LookupResult
+	runs []bitmap.Run
+}
+
+var readScratchPool = sync.Pool{New: func() any { return new(readScratch) }}
 
 // observeSyscall records the virtual duration of the syscall body that runs
 // between this call and the returned func (deferred by the caller). The
@@ -46,12 +59,15 @@ func (f *File) ReadAt(tl *simtime.Timeline, dst []byte, off int64) (int, error) 
 	lo, hi := f.v.blockRange(off, n)
 	fileBlocks := f.ino.Blocks()
 
-	res := f.fc.LookupRange(tl, lo, hi)
+	sc := readScratchPool.Get().(*readScratch)
+	defer readScratchPool.Put(sc)
+	f.fc.LookupRangeInto(tl, lo, hi, &sc.res)
+	res := &sc.res
 
 	// Demand-fetch the missing pages synchronously.
 	missed := res.PresentCount < hi-lo
 	if missed {
-		var runs []bitmap.Run
+		runs := sc.runs[:0]
 		runStart := int64(-1)
 		for i := lo; i < hi; i++ {
 			if !res.Present[i-lo] {
@@ -66,6 +82,7 @@ func (f *File) ReadAt(tl *simtime.Timeline, dst []byte, off int64) (int, error) 
 		if runStart >= 0 {
 			runs = append(runs, bitmap.Run{Lo: runStart, Hi: hi})
 		}
+		sc.runs = runs
 		if err := f.fetchRuns(tl, runs); err != nil {
 			// The demand data never arrived; nothing was copied out.
 			return 0, err
@@ -83,8 +100,9 @@ func (f *File) ReadAt(tl *simtime.Timeline, dst []byte, off int64) (int, error) 
 		// pages; later readers touching the window wait on readyAt.
 		// Readahead is best-effort: a device fault here inserts nothing
 		// (recorded in the decision trace) and the pages fall back to
-		// demand reads.
-		missing := f.fc.FastMissingRuns(tl, action.Lo, action.Hi)
+		// demand reads. fetchRuns has consumed sc.runs; reuse it.
+		missing := f.fc.AppendFastMissingRuns(tl, sc.runs[:0], action.Lo, action.Hi)
+		sc.runs = missing
 		_, _ = f.prefetchRuns(tl, tl.Now(), missing, action.MarkerAt)
 	}
 
