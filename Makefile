@@ -1,7 +1,7 @@
 # Tier-1 gate (see ROADMAP.md): every PR must leave `make check` green.
-.PHONY: check build test vet race bench chaos errgate fmtgate trace bench-json bench-parallel
+.PHONY: check build test vet race bench chaos errgate fmtgate plugate trace bench-json bench-parallel bench-batch
 
-check: vet errgate fmtgate build race
+check: vet errgate fmtgate plugate build race
 
 # Formatting gate: the tree must be gofmt-clean.
 fmtgate:
@@ -16,6 +16,15 @@ vet:
 errgate:
 	@! grep -rn '_ = .*dev\.Access' --include='*.go' . \
 		|| (echo 'errgate: swallowed device error (handle or propagate it)'; exit 1)
+
+# Plug-API gate: the kernel's read paths must submit device I/O through
+# the plug layer (blockdev.Plug), never against the device directly —
+# that is what keeps plugged and passthrough modes byte-identical in
+# accounting. Writes are exempt by design (see internal/vfs/writeback.go).
+plugate:
+	@! grep -n 'dev\.Access[A-Za-z]*(' \
+		internal/vfs/vfs.go internal/vfs/io.go internal/vfs/crossos.go internal/vfs/mmap.go \
+		|| (echo 'plugate: read-path device access outside the plug API'; exit 1)
 
 build:
 	go build ./...
@@ -51,3 +60,12 @@ bench-json:
 bench-parallel:
 	go run ./cmd/benchjson -out BENCH_PR4.json -append -label sharded \
 		-bench 'BenchmarkParallel' -pkg . -cpu 1,2,4,8
+
+# Block-scheduler sweep: plug off vs queue depths 1/8/32 on sequential,
+# strided, and shared-file multi-stream workloads (device command counts
+# as custom metrics), plus the warm-read path's allocs/op guard.
+bench-batch:
+	go run ./cmd/benchjson -out BENCH_PR5.json -label plug-sweep \
+		-bench 'BenchmarkBatch' -pkg . -benchtime 3x
+	go run ./cmd/benchjson -out BENCH_PR5.json -append -label warm-read \
+		-bench 'BenchmarkTraceOffReadAt' -pkg .

@@ -63,6 +63,10 @@ func main() {
 
 		mutexProf = flag.String("mutexprofile", "", "write a host mutex-contention profile (pprof) to this file")
 		blockProf = flag.String("blockprofile", "", "write a host blocking profile (pprof) to this file")
+
+		plug        = flag.Bool("plug", false, "enable the block-layer submission scheduler (plugging/merging) for every system")
+		qd          = flag.Int("qd", 0, "device queue depth under -plug (0 = default 32)")
+		mergeWindow = flag.Int64("merge-window", 0, "max merged command bytes under -plug (0 = default 8MB)")
 	)
 	flag.Parse()
 
@@ -111,6 +115,13 @@ func main() {
 	tracing := *trace != "" || *traceReport
 	if tracing {
 		*tel = true
+	}
+	if *plug || *qd > 0 || *mergeWindow > 0 {
+		experiments.EnableBlockSched(&experiments.SchedConfig{
+			Plug:             *plug,
+			QueueDepth:       *qd,
+			MergeWindowBytes: *mergeWindow,
+		})
 	}
 	experiments.EnableTelemetry(*tel)
 	if tracing {

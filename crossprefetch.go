@@ -85,6 +85,21 @@ type Config struct {
 	// transient device fault on blocking paths — demand reads, fsync,
 	// mmap faults (default 3; see internal/vfs).
 	DemandRetries int
+	// Plug enables the block-layer submission scheduler on the kernel's
+	// read paths: requests accumulate in a per-timeline plug, adjacent
+	// same-op requests merge (bounded by MergeWindowBytes), and dispatch
+	// is gated by the device queue depth — Linux block plugging over the
+	// simulated NVMe (see internal/blockdev). Off (the default) every
+	// request dispatches individually, exactly as before.
+	Plug bool
+	// QueueDepth bounds in-flight commands per plug flush (default 32).
+	QueueDepth int
+	// MergeWindowBytes caps one merged command (default 8MB).
+	MergeWindowBytes int64
+	// CongestionLimit overrides the kernel's prefetch congestion cutoff:
+	// asynchronous prefetch I/O is postponed once the device backlog
+	// exceeds this much virtual time (default 5ms; see internal/vfs).
+	CongestionLimit simtime.Duration
 	// LibOptions, when non-nil, overrides Approach's CROSS-LIB options.
 	LibOptions *crosslib.Options
 	// PerInodeLRU enables the per-inode LRU reclaim extension (the
@@ -182,6 +197,12 @@ func NewSystem(cfg Config) *System {
 		AllowLimitOverride: cfg.Approach.UsesLib(),
 		MaxPrefetchBytes:   64 << 20,
 		DemandRetries:      cfg.DemandRetries,
+		CongestionLimit:    cfg.CongestionLimit,
+		Sched: blockdev.PlugConfig{
+			Plugged:          cfg.Plug,
+			QueueDepth:       cfg.QueueDepth,
+			MergeWindowBytes: cfg.MergeWindowBytes,
+		},
 	}
 	kernel := vfs.New(kcfg, fsys, dev, cache)
 

@@ -151,6 +151,12 @@ type Device struct {
 	readBytes  atomic.Int64
 	writeBytes atomic.Int64
 
+	// Plug-scheduler accounting: submitted segments, dispatched merged
+	// commands, and segments absorbed by merging (see plug.go).
+	plugSegs   atomic.Int64
+	plugCmds   atomic.Int64
+	plugMerged atomic.Int64
+
 	// rec, when non-nil, receives latency/size histograms and byte
 	// counters for every request (telemetry opt-in).
 	rec *telemetry.Recorder
@@ -230,6 +236,21 @@ func (d *Device) params(op Op) (bw int64, lat simtime.Duration) {
 
 func (d *Device) transfer(bytes, bw int64) simtime.Duration {
 	return simtime.Duration(float64(bytes) / float64(bw) * float64(simtime.Second))
+}
+
+// countPlug accounts segs submitted segments dispatched as cmds device
+// commands carrying bytes total. Merging is byte-preserving by
+// construction, so one byte total feeds both the segment-side and the
+// command-side counters (the audit identity).
+func (d *Device) countPlug(segs, cmds, bytes int64) {
+	d.plugSegs.Add(segs)
+	d.plugCmds.Add(cmds)
+	d.plugMerged.Add(segs - cmds)
+	d.rec.Add(telemetry.CtrDevicePlugSegments, segs)
+	d.rec.Add(telemetry.CtrDevicePlugCommands, cmds)
+	d.rec.Add(telemetry.CtrDevicePlugMergedSegments, segs-cmds)
+	d.rec.Add(telemetry.CtrDevicePlugSegmentBytes, bytes)
+	d.rec.Add(telemetry.CtrDevicePlugCommandBytes, bytes)
 }
 
 func (d *Device) account(op Op, bytes int64) {
@@ -350,6 +371,12 @@ type Stats struct {
 	// time added by injected latency spikes.
 	InjectedFaults int64
 	InjectedStall  simtime.Duration
+	// PlugSegments/PlugCommands/MergedSegments describe the plug
+	// scheduler's merge effectiveness: requests submitted through plugs,
+	// device commands dispatched after merging, and the difference.
+	PlugSegments   int64
+	PlugCommands   int64
+	MergedSegments int64
 }
 
 // String formats device stats for harness output.
@@ -370,5 +397,8 @@ func (d *Device) Stats() Stats {
 		Busy:           d.bwAll.Stats().Hold,
 		InjectedFaults: d.injFaults.Load(),
 		InjectedStall:  simtime.Duration(d.injStallNs.Load()),
+		PlugSegments:   d.plugSegs.Load(),
+		PlugCommands:   d.plugCmds.Load(),
+		MergedSegments: d.plugMerged.Load(),
 	}
 }

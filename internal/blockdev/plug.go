@@ -1,0 +1,382 @@
+package blockdev
+
+import (
+	"repro/internal/simtime"
+	"repro/internal/telemetry"
+)
+
+// Default plug scheduler parameters: a typical NVMe submission-queue
+// depth, and a merge window matching large-enough commands that further
+// merging stops paying (CmdOverhead amortized below noise).
+const (
+	DefaultQueueDepth       = 32
+	DefaultMergeWindowBytes = 8 << 20
+)
+
+// PlugConfig configures the block-layer submission scheduler.
+//
+// With Plugged false (the default) the plug is a passthrough: every
+// request dispatches immediately with exactly the Device.Access /
+// Device.AccessAsync semantics, byte-for-byte identical to submitting
+// against the device directly. With Plugged true, requests accumulate in
+// the plug (mirroring Linux block plugging), adjacent same-op requests
+// merge front/back into single commands bounded by MergeWindowBytes, and
+// dispatch on unplug models QueueDepth in-flight commands: command i may
+// not be submitted before command i-QueueDepth completed.
+type PlugConfig struct {
+	Plugged          bool
+	QueueDepth       int   // 0 selects DefaultQueueDepth
+	MergeWindowBytes int64 // 0 selects DefaultMergeWindowBytes
+}
+
+// WithDefaults fills zero fields with the default scheduler parameters.
+func (c PlugConfig) WithDefaults() PlugConfig {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.MergeWindowBytes <= 0 {
+		c.MergeWindowBytes = DefaultMergeWindowBytes
+	}
+	return c
+}
+
+// RetryPolicy bounds transient-fault retry during dispatch: up to Max
+// retries, backing off Base << (attempt-1) clamped to Cap. The clamp is
+// what keeps a large configured retry budget from shifting the backoff
+// into overflow (Base << 63 is negative) or into absurd virtual waits.
+type RetryPolicy struct {
+	Max  int
+	Base simtime.Duration
+	Cap  simtime.Duration
+}
+
+// Backoff returns the clamped wait before retry number attempt (1-based).
+func (rp RetryPolicy) Backoff(attempt int) simtime.Duration {
+	d := rp.Base
+	for i := 1; i < attempt; i++ {
+		d <<= 1
+		if rp.Cap > 0 && (d >= rp.Cap || d <= 0) {
+			return rp.Cap
+		}
+	}
+	if rp.Cap > 0 && d > rp.Cap {
+		return rp.Cap
+	}
+	return d
+}
+
+// Segment is one request submitted through a plug — the unit the caller
+// thinks in (a VFS chunk). UserLo is an opaque caller cookie (the VFS
+// stores the chunk's first logical block) carried through merging so
+// results can be mapped back without extra bookkeeping.
+type Segment struct {
+	Op     Op
+	Off    int64
+	Bytes  int64
+	UserLo int64
+	// Cmd indexes the merged command this segment became part of.
+	Cmd int
+
+	// Dispatch results.
+	//
+	// Issued: the segment's command was dispatched and succeeded; Done is
+	// its completion time. Err: the command failed (after any injected
+	// stall, at Done). Congested: the command was postponed by congestion
+	// control and never dispatched. A segment with none of the three set
+	// was skipped because an earlier command failed.
+	Issued    bool
+	Congested bool
+	Err       error
+	Done      simtime.Time
+}
+
+// command is one merged device command: one CmdOverhead, one transfer
+// reservation, nsegs source segments.
+type command struct {
+	op    Op
+	off   int64
+	bytes int64
+	nsegs int
+
+	issued    bool
+	congested bool
+	err       error
+	done      simtime.Time
+	end       simtime.Time // reservation end (before latency); the congestion horizon
+}
+
+// Plug is a per-timeline submission queue over one device. It is not
+// safe for concurrent use; each simulated thread plugs, submits, and
+// unplugs on its own timeline (as in Linux, where the plug lives on the
+// task struct).
+type Plug struct {
+	dev *Device
+	cfg PlugConfig
+
+	segs []Segment
+	cmds []command
+
+	retries int
+}
+
+// NewPlug returns a plug over the device with cfg's scheduling policy.
+func (d *Device) NewPlug(cfg PlugConfig) *Plug {
+	return &Plug{dev: d, cfg: cfg.WithDefaults()}
+}
+
+// Plugged reports whether this plug accumulates (true) or passes through.
+func (p *Plug) Plugged() bool { return p.cfg.Plugged }
+
+// Reset clears accumulated state, keeping capacity (plugs are pooled).
+func (p *Plug) Reset() {
+	p.segs = p.segs[:0]
+	p.cmds = p.cmds[:0]
+	p.retries = 0
+}
+
+// Segments exposes the submitted segments with their dispatch results.
+func (p *Plug) Segments() []Segment { return p.segs }
+
+// Retries reports transient-fault retries performed during FlushSync.
+func (p *Plug) Retries() int { return p.retries }
+
+// SyncAccess dispatches one blocking request immediately — the
+// passthrough path, with exactly Device.Access semantics.
+func (p *Plug) SyncAccess(tl *simtime.Timeline, op Op, off, bytes int64) error {
+	err := p.dev.Access(tl, op, off, bytes)
+	if err == nil {
+		p.dev.countPlug(1, 1, bytes)
+	}
+	return err
+}
+
+// AsyncAccess dispatches one asynchronous request immediately — the
+// passthrough path, with exactly Device.AccessAsync semantics — and
+// additionally returns the bandwidth reservation's end (before latency)
+// and its hold, the two inputs of the caller's advancing congestion
+// horizon (see FlushAsync).
+func (p *Plug) AsyncAccess(at simtime.Time, op Op, off, bytes int64) (done, end simtime.Time, hold simtime.Duration, err error) {
+	d := p.dev
+	f := d.inject(op, off, bytes)
+	if f.Err != nil {
+		return at.Add(f.Stall), at, 0, f.Err
+	}
+	bw, lat := d.params(op)
+	hold = d.cfg.CmdOverhead + d.transfer(bytes, bw)
+	_, end = d.bwAll.ReserveAt(at, hold)
+	done = end.Add(lat).Add(f.Stall)
+	d.account(op, bytes)
+	if d.rec != nil {
+		d.record(op, bytes, at, done)
+	}
+	d.countPlug(1, 1, bytes)
+	return done, end, hold, nil
+}
+
+// Add queues one segment in the plug, merging it into an existing
+// accumulated command when it is device-adjacent (front or back), same
+// op, and the merged command stays within the merge window. Results are
+// populated by FlushSync/FlushAsync.
+func (p *Plug) Add(op Op, off, bytes, userLo int64) {
+	seg := Segment{Op: op, Off: off, Bytes: bytes, UserLo: userLo, Cmd: -1}
+	for i := range p.cmds {
+		c := &p.cmds[i]
+		if c.op != op || c.bytes+bytes > p.cfg.MergeWindowBytes {
+			continue
+		}
+		switch {
+		case c.off+c.bytes == off: // back merge
+			c.bytes += bytes
+		case off+bytes == c.off: // front merge
+			c.off = off
+			c.bytes += bytes
+		default:
+			continue
+		}
+		c.nsegs++
+		seg.Cmd = i
+		break
+	}
+	if seg.Cmd < 0 {
+		p.cmds = append(p.cmds, command{op: op, off: off, bytes: bytes, nsegs: 1})
+		seg.Cmd = len(p.cmds) - 1
+	}
+	p.segs = append(p.segs, seg)
+}
+
+// FlushSync unplugs: it dispatches the accumulated commands as blocking
+// requests on the priority lane, gated by queue depth, retrying
+// transient faults per rp, and blocks tl until the last command
+// completes. It returns the first command error (all commands were
+// already in flight, so later ones still complete; their segments carry
+// individual results).
+func (p *Plug) FlushSync(tl *simtime.Timeline, rp RetryPolicy) error {
+	if len(p.cmds) == 0 {
+		return nil
+	}
+	start := tl.Now()
+	sp := telemetry.Current(tl)
+	var maxDone simtime.Time
+	var firstErr error
+	for i := range p.cmds {
+		c := &p.cmds[i]
+		submit := start
+		if i >= p.cfg.QueueDepth {
+			if prev := p.cmds[i-p.cfg.QueueDepth].done; prev > submit {
+				submit = prev
+			}
+		}
+		p.dispatchSync(sp, c, submit, rp)
+		if c.err != nil && firstErr == nil {
+			firstErr = c.err
+		}
+		if c.done > maxDone {
+			maxDone = c.done
+		}
+	}
+	p.finish()
+	if maxDone > start {
+		tl.WaitUntil(maxDone, simtime.WaitIO)
+	}
+	return firstErr
+}
+
+// dispatchSync issues one command at submit on the priority lane, with
+// bounded transient retry (clamped backoff pushes the re-submission out
+// in virtual time).
+func (p *Plug) dispatchSync(sp *telemetry.Span, c *command, submit simtime.Time, rp RetryPolicy) {
+	d := p.dev
+	for attempt := 0; ; {
+		f := d.inject(c.op, c.off, c.bytes)
+		if f.Err != nil {
+			failDone := submit.Add(f.Stall)
+			sp.Child("dev.fault", telemetry.CatStall, submit, failDone).
+				Annotate("bytes", c.bytes)
+			if IsTransient(f.Err) && attempt < rp.Max {
+				attempt++
+				backoffEnd := failDone.Add(rp.Backoff(attempt))
+				sp.Child("dev.retry_backoff", telemetry.CatRetry, failDone, backoffEnd).
+					Annotate("attempt", int64(attempt))
+				p.retries++
+				submit = backoffEnd
+				continue
+			}
+			c.err = f.Err
+			c.done = failDone
+			return
+		}
+		bw, lat := d.params(c.op)
+		hold := d.cfg.CmdOverhead + d.transfer(c.bytes, bw)
+		admit, end := d.bwSync.ReserveAt(submit, hold)
+		// Blocking traffic also occupies combined capacity, throttling the
+		// bandwidth the async lane can consume.
+		d.bwAll.ReserveAt(submit, hold)
+		done := end.Add(lat).Add(f.Stall)
+		if sp != nil {
+			if admit > submit {
+				sp.Child("dev.queue", telemetry.CatQueue, submit, admit)
+			}
+			cs := sp.Child("dev."+c.op.String(), telemetry.CatDevice, admit, end.Add(lat))
+			cs.Annotate("bytes", c.bytes)
+			if c.nsegs > 1 {
+				cs.Annotate("merged_segments", int64(c.nsegs))
+			}
+			if f.Stall > 0 {
+				sp.Child("dev.stall", telemetry.CatStall, end.Add(lat), done)
+			}
+		}
+		d.account(c.op, c.bytes)
+		if d.rec != nil {
+			d.record(c.op, c.bytes, submit, done)
+		}
+		c.issued = true
+		c.done = done
+		c.end = end
+		return
+	}
+}
+
+// FlushAsync unplugs asynchronously: commands reserve combined-lane
+// device time from at without blocking any timeline, gated by queue
+// depth. Congestion control is evaluated per command against the larger
+// of the device's combined backlog and this flush's own advancing
+// reservation horizon — once past congestionLimit (>0), the remaining
+// commands are postponed (their segments marked Congested). A failed
+// command aborts dispatch of the rest, as the unplugged path does.
+//
+// The horizon advances by at least each command's hold: the device is
+// serial, so this flush alone needs that much device time past at. The
+// floor matters because the ledger's bounded span ring forgets old
+// reservations once a flush books more spans than the ring holds —
+// reservation ends (and Backlog) then stop advancing, and without the
+// floor an arbitrarily large flush would never look congested.
+func (p *Plug) FlushAsync(at simtime.Time, congestionLimit simtime.Duration) {
+	d := p.dev
+	var horizon simtime.Time
+	for i := range p.cmds {
+		c := &p.cmds[i]
+		if congestionLimit > 0 {
+			b := d.Backlog(at)
+			if h := horizon.Sub(at); h > b {
+				b = h
+			}
+			if b > congestionLimit {
+				for j := i; j < len(p.cmds); j++ {
+					p.cmds[j].congested = true
+				}
+				break
+			}
+		}
+		submit := at
+		if i >= p.cfg.QueueDepth {
+			if prev := p.cmds[i-p.cfg.QueueDepth].done; prev > submit {
+				submit = prev
+			}
+		}
+		f := d.inject(c.op, c.off, c.bytes)
+		if f.Err != nil {
+			c.err = f.Err
+			c.done = submit.Add(f.Stall)
+			break
+		}
+		bw, lat := d.params(c.op)
+		hold := d.cfg.CmdOverhead + d.transfer(c.bytes, bw)
+		_, end := d.bwAll.ReserveAt(submit, hold)
+		c.issued = true
+		c.done = end.Add(lat).Add(f.Stall)
+		c.end = end
+		if nh := horizon.Add(hold); end > nh {
+			horizon = end
+		} else {
+			horizon = nh
+		}
+		d.account(c.op, c.bytes)
+		if d.rec != nil {
+			d.record(c.op, c.bytes, submit, c.done)
+		}
+	}
+	p.finish()
+}
+
+// finish maps command results back onto segments and accounts the plug
+// merge counters for successfully dispatched commands.
+func (p *Plug) finish() {
+	var segs, cmds, bytes int64
+	for i := range p.cmds {
+		if p.cmds[i].issued {
+			segs += int64(p.cmds[i].nsegs)
+			cmds++
+			bytes += p.cmds[i].bytes
+		}
+	}
+	if cmds > 0 {
+		p.dev.countPlug(segs, cmds, bytes)
+	}
+	for i := range p.segs {
+		c := &p.cmds[p.segs[i].Cmd]
+		p.segs[i].Issued = c.issued
+		p.segs[i].Congested = c.congested
+		p.segs[i].Err = c.err
+		p.segs[i].Done = c.done
+	}
+}

@@ -1,0 +1,297 @@
+package blockdev
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// plugged returns a plug that accumulates (Plugged true) over a fresh
+// test device, with optional queue-depth/merge-window overrides.
+func pluggedPlug(qd int, window int64) (*Device, *Plug) {
+	d := New(testConfig())
+	return d, d.NewPlug(PlugConfig{Plugged: true, QueueDepth: qd, MergeWindowBytes: window})
+}
+
+func TestPlugBackMergeAdjacent(t *testing.T) {
+	d, p := pluggedPlug(0, 0)
+	tl := simtime.NewTimeline(0)
+	// Three device-adjacent chunks plus one disjoint: 4 segments, 2 commands.
+	p.Add(OpRead, 0, 4096, 0)
+	p.Add(OpRead, 4096, 4096, 1)
+	p.Add(OpRead, 8192, 4096, 2)
+	p.Add(OpRead, 1<<30, 4096, 100)
+	if err := p.FlushSync(tl, RetryPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.ReadOps != 2 {
+		t.Fatalf("ReadOps = %d, want 2 merged commands", st.ReadOps)
+	}
+	if st.ReadBytes != 4*4096 {
+		t.Fatalf("ReadBytes = %d, want %d (merging preserves bytes)", st.ReadBytes, 4*4096)
+	}
+	if st.PlugSegments != 4 || st.PlugCommands != 2 || st.MergedSegments != 2 {
+		t.Fatalf("plug counters = %d/%d/%d, want 4/2/2",
+			st.PlugSegments, st.PlugCommands, st.MergedSegments)
+	}
+	segs := p.Segments()
+	if segs[0].Cmd != segs[1].Cmd || segs[1].Cmd != segs[2].Cmd {
+		t.Fatalf("adjacent segments not merged: cmds %d/%d/%d",
+			segs[0].Cmd, segs[1].Cmd, segs[2].Cmd)
+	}
+	if segs[3].Cmd == segs[0].Cmd {
+		t.Fatal("disjoint segment merged")
+	}
+	for i, s := range segs {
+		if !s.Issued || s.Err != nil {
+			t.Fatalf("segment %d not issued cleanly: %+v", i, s)
+		}
+	}
+	// Merged segments complete together, as one command.
+	if segs[0].Done != segs[2].Done {
+		t.Fatalf("merged segments complete apart: %v vs %v", segs[0].Done, segs[2].Done)
+	}
+}
+
+func TestPlugFrontMerge(t *testing.T) {
+	d, p := pluggedPlug(0, 0)
+	tl := simtime.NewTimeline(0)
+	// Second request ends where the first begins: front merge.
+	p.Add(OpRead, 4096, 4096, 1)
+	p.Add(OpRead, 0, 4096, 0)
+	if err := p.FlushSync(tl, RetryPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.ReadOps != 1 || st.MergedSegments != 1 {
+		t.Fatalf("front merge: ReadOps=%d MergedSegments=%d, want 1/1",
+			st.ReadOps, st.MergedSegments)
+	}
+}
+
+func TestPlugMergeWindowBound(t *testing.T) {
+	d, p := pluggedPlug(0, 8192)
+	tl := simtime.NewTimeline(0)
+	// Three adjacent 4KB chunks under an 8KB window: only two may merge.
+	p.Add(OpRead, 0, 4096, 0)
+	p.Add(OpRead, 4096, 4096, 1)
+	p.Add(OpRead, 8192, 4096, 2)
+	if err := p.FlushSync(tl, RetryPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.ReadOps != 2 || st.MergedSegments != 1 {
+		t.Fatalf("window bound: ReadOps=%d MergedSegments=%d, want 2/1",
+			st.ReadOps, st.MergedSegments)
+	}
+}
+
+func TestPlugOpsDoNotMergeAcrossKind(t *testing.T) {
+	d, p := pluggedPlug(0, 0)
+	tl := simtime.NewTimeline(0)
+	p.Add(OpRead, 0, 4096, 0)
+	p.Add(OpWrite, 4096, 4096, 1)
+	if err := p.FlushSync(tl, RetryPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.ReadOps != 1 || st.WriteOps != 1 || st.MergedSegments != 0 {
+		t.Fatalf("cross-op merge: %+v", d.Stats())
+	}
+}
+
+// TestPlugMergeChargesOneCmdOverhead pins the perf claim: a merged
+// command costs one CmdOverhead for the combined transfer, so the plug
+// finishes earlier than the same chunks dispatched separately.
+func TestPlugMergeChargesOneCmdOverhead(t *testing.T) {
+	cfg := testConfig()
+
+	d, p := pluggedPlug(0, 0)
+	tl := simtime.NewTimeline(0)
+	p.Add(OpRead, 0, 1<<20, 0)
+	p.Add(OpRead, 1<<20, 1<<20, 256)
+	if err := p.FlushSync(tl, RetryPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.CmdOverhead + d.transfer(2<<20, cfg.ReadBandwidth) + cfg.ReadLatency
+	if got := tl.Elapsed(); got != want {
+		t.Fatalf("merged elapsed = %v, want %v (one CmdOverhead)", got, want)
+	}
+
+	d2 := New(cfg)
+	tl2 := simtime.NewTimeline(0)
+	p2 := d2.NewPlug(PlugConfig{})
+	if err := p2.SyncAccess(tl2, OpRead, 0, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.SyncAccess(tl2, OpRead, 1<<20, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if tl2.Elapsed() <= tl.Elapsed() {
+		t.Fatalf("separate dispatch (%v) should be slower than merged (%v)",
+			tl2.Elapsed(), tl.Elapsed())
+	}
+}
+
+// TestPlugQueueDepthGatesDispatch: with QD=1 command i+1 may not be
+// submitted before command i completed (latency included), so the same
+// command train takes longer than at a deeper queue.
+func TestPlugQueueDepthGatesDispatch(t *testing.T) {
+	elapsed := func(qd int) simtime.Duration {
+		_, p := pluggedPlug(qd, 0)
+		tl := simtime.NewTimeline(0)
+		for i := 0; i < 8; i++ {
+			p.Add(OpRead, int64(i)<<30, 1<<20, int64(i)) // disjoint: no merging
+		}
+		if err := p.FlushSync(tl, RetryPolicy{}); err != nil {
+			t.Fatal(err)
+		}
+		return tl.Elapsed()
+	}
+	shallow, deep := elapsed(1), elapsed(32)
+	if shallow <= deep {
+		t.Fatalf("QD=1 elapsed %v not slower than QD=32 elapsed %v", shallow, deep)
+	}
+	// At QD=1 each command waits out the previous one's latency too:
+	// 8×(hold+latency) vs hold×8+latency when fully pipelined.
+	cfg := testConfig()
+	hold := cfg.CmdOverhead + New(cfg).transfer(1<<20, cfg.ReadBandwidth)
+	if want := 8 * (hold + cfg.ReadLatency); shallow != want {
+		t.Fatalf("QD=1 elapsed = %v, want %v", shallow, want)
+	}
+	if want := 8*hold + cfg.ReadLatency; deep != want {
+		t.Fatalf("QD=32 elapsed = %v, want %v", deep, want)
+	}
+}
+
+// TestPlugAsyncPassthroughParity: the plug's passthrough async lane must
+// be byte- and time-identical to Device.AccessAsync.
+func TestPlugAsyncPassthroughParity(t *testing.T) {
+	d1 := New(testConfig())
+	p := d1.NewPlug(PlugConfig{})
+	done1, _, hold, err := p.AsyncAccess(simtime.Time(0), OpRead, 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := New(testConfig())
+	done2, err := d2.AccessAsync(simtime.Time(0), OpRead, 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done1 != done2 {
+		t.Fatalf("passthrough async done %v != device done %v", done1, done2)
+	}
+	cfg := testConfig()
+	if want := cfg.CmdOverhead + d1.transfer(1<<20, cfg.ReadBandwidth); hold != want {
+		t.Fatalf("hold = %v, want %v", hold, want)
+	}
+	if d1.Stats().ReadOps != d2.Stats().ReadOps || d1.Stats().ReadBytes != d2.Stats().ReadBytes {
+		t.Fatalf("stats diverge: %+v vs %+v", d1.Stats(), d2.Stats())
+	}
+}
+
+// TestFlushAsyncCongestionPostponesTail: once the flush's own reservation
+// horizon exceeds the congestion limit, the remaining commands are marked
+// Congested and never touch the device — even when the command count far
+// exceeds the ledger's span ring, where the raw backlog reading plateaus.
+func TestFlushAsyncCongestionPostponesTail(t *testing.T) {
+	d, p := pluggedPlug(0, 0)
+	const n = 2048
+	for i := 0; i < n; i++ {
+		p.Add(OpRead, int64(i)<<30, 4096, int64(i)) // disjoint: no merging
+	}
+	p.FlushAsync(simtime.Time(0), 5*simtime.Millisecond)
+	var issued, congested int64
+	for _, s := range p.Segments() {
+		switch {
+		case s.Issued:
+			issued++
+		case s.Congested:
+			congested++
+		default:
+			t.Fatalf("segment neither issued nor congested: %+v", s)
+		}
+	}
+	if issued == 0 || congested == 0 {
+		t.Fatalf("issued=%d congested=%d, want both nonzero", issued, congested)
+	}
+	st := d.Stats()
+	if st.ReadOps != issued || st.ReadBytes != issued*4096 {
+		t.Fatalf("device saw %d ops/%d bytes, want only the %d issued commands",
+			st.ReadOps, st.ReadBytes, issued)
+	}
+	// The per-command hold bounds how many commands fit under the limit;
+	// the plateaued ring alone would have let all 2048 through.
+	cfg := testConfig()
+	hold := cfg.CmdOverhead + d.transfer(4096, cfg.ReadBandwidth)
+	if max := int64(5*simtime.Millisecond/hold) + 2; issued > max {
+		t.Fatalf("issued %d commands, congestion should trip by ~%d", issued, max)
+	}
+}
+
+// TestFlushAsyncFaultAbortsRest mirrors the unplugged path: a failed
+// command stops dispatch of the remaining commands.
+func TestFlushAsyncFaultAbortsRest(t *testing.T) {
+	d, p := pluggedPlug(0, 0)
+	d.SetFaultInjector(&stubInjector{fail: map[int64]bool{1 << 30: true}})
+	p.Add(OpRead, 0, 4096, 0)
+	p.Add(OpRead, 1<<30, 4096, 1)
+	p.Add(OpRead, 2<<30, 4096, 2)
+	p.FlushAsync(simtime.Time(0), 0)
+	segs := p.Segments()
+	if !segs[0].Issued {
+		t.Fatal("first command should dispatch")
+	}
+	if segs[1].Err == nil {
+		t.Fatal("faulted command should carry its error")
+	}
+	if segs[2].Issued || segs[2].Err != nil || segs[2].Congested {
+		t.Fatalf("command after fault should be skipped, got %+v", segs[2])
+	}
+}
+
+func TestRetryPolicyBackoffClamp(t *testing.T) {
+	rp := RetryPolicy{Max: 100, Base: 50 * simtime.Microsecond, Cap: 10 * simtime.Millisecond}
+	cases := []struct {
+		attempt int
+		want    simtime.Duration
+	}{
+		{1, 50 * simtime.Microsecond},
+		{2, 100 * simtime.Microsecond},
+		{8, 6400 * simtime.Microsecond},
+		{9, 10 * simtime.Millisecond},  // clamped
+		{64, 10 * simtime.Millisecond}, // unclamped shift would be zero
+		{80, 10 * simtime.Millisecond}, // unclamped shift overflows sign
+	}
+	for _, c := range cases {
+		if got := rp.Backoff(c.attempt); got != c.want {
+			t.Errorf("Backoff(%d) = %v, want %v", c.attempt, got, c.want)
+		}
+	}
+	// A base already near the top of the range must clamp, not go negative.
+	huge := RetryPolicy{Max: 5, Base: simtime.Duration(1) << 61, Cap: 10 * simtime.Millisecond}
+	for attempt := 1; attempt <= 5; attempt++ {
+		if got := huge.Backoff(attempt); got < 0 || got > simtime.Duration(1)<<61 {
+			t.Fatalf("Backoff(%d) with huge base = %v (overflow escaped the clamp)", attempt, got)
+		}
+	}
+}
+
+// TestPlugResetReusable: pooled plugs must not leak results between uses.
+func TestPlugResetReusable(t *testing.T) {
+	d, p := pluggedPlug(0, 0)
+	tl := simtime.NewTimeline(0)
+	p.Add(OpRead, 0, 4096, 0)
+	if err := p.FlushSync(tl, RetryPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	p.Reset()
+	if len(p.Segments()) != 0 || p.Retries() != 0 {
+		t.Fatal("reset plug retains state")
+	}
+	p.Add(OpRead, 4096, 4096, 1)
+	if err := p.FlushSync(tl, RetryPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.ReadOps != 2 {
+		t.Fatalf("ReadOps = %d after reuse, want 2", st.ReadOps)
+	}
+}

@@ -1,0 +1,138 @@
+package crosslib
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// batchRuntime builds a BatchIntents-enabled runtime over a fresh kernel
+// with one 64MB synthetic file open, returning the post-open stats as the
+// baseline (open issues its own optimistic prefetch of the file head —
+// tests park ranges beyond it and assert deltas).
+func batchRuntime(t *testing.T, flushPages int64) (*Runtime, *File, *simtime.Timeline, Stats) {
+	t.Helper()
+	v := newKernel(1_000_000)
+	opts := CrossPredictOpt.Options()
+	opts.BatchIntents = true
+	opts.BatchFlushPages = flushPages
+	rt := New(v, opts)
+	tl := simtime.NewTimeline(0)
+	v.FS().CreateSynthetic(tl, "big", 64<<20)
+	f, err := rt.Open(tl, "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, f, tl, rt.Stats()
+}
+
+// park runs [lo, hi) through the shared tree (marking them requested,
+// exactly as the hysteresis path does) and defers them into the
+// aggregator.
+func park(t *testing.T, f *File, tl *simtime.Timeline, lo, hi int64) {
+	t.Helper()
+	runs := f.sf.tree.NeedsPrefetch(tl, lo, hi)
+	if len(runs) == 0 {
+		t.Fatalf("park [%d,%d): nothing missing", lo, hi)
+	}
+	f.deferIntent(tl, runs)
+}
+
+func TestBatchIntentsParkThenVectoredFlush(t *testing.T) {
+	rt, f, tl, base := batchRuntime(t, 256)
+	cachedBase := f.Kernel().FileCache().CachedPages()
+	park(t, f, tl, 1010, 1012)
+	park(t, f, tl, 1020, 1022)
+	park(t, f, tl, 1030, 1034)
+
+	st := rt.Stats()
+	if got := st.BatchedIntents - base.BatchedIntents; got != 3 {
+		t.Fatalf("BatchedIntents = %d, want 3", got)
+	}
+	if st.PrefetchCalls != base.PrefetchCalls || st.VectoredFlushes != base.VectoredFlushes {
+		t.Fatalf("parked intents crossed early: calls=%d flushes=%d",
+			st.PrefetchCalls-base.PrefetchCalls, st.VectoredFlushes-base.VectoredFlushes)
+	}
+	// Parked runs keep their requested bits: a second query dedupes free.
+	if runs := f.sf.tree.NeedsPrefetch(tl, 1010, 1012); len(runs) != 0 {
+		t.Fatalf("parked run lost its requested bits: %v", runs)
+	}
+
+	f.FlushIntents(tl)
+	st = rt.Stats()
+	if got := st.VectoredFlushes - base.VectoredFlushes; got != 1 {
+		t.Fatalf("VectoredFlushes = %d, want 1", got)
+	}
+	if got := st.PrefetchCalls - base.PrefetchCalls; got != 1 {
+		t.Fatalf("PrefetchCalls = %d, want 1 vectored crossing for 3 intents", got)
+	}
+	if got := st.PrefetchedPages - base.PrefetchedPages; got != 8 {
+		t.Fatalf("PrefetchedPages = %d, want 8", got)
+	}
+	// The kernel fetched exactly the parked pages, and the bitmap knows.
+	if got := f.Kernel().FileCache().CachedPages() - cachedBase; got != 8 {
+		t.Fatalf("kernel cached %d new pages, want 8", got)
+	}
+	for _, r := range [][2]int64{{1010, 1012}, {1020, 1022}, {1030, 1034}} {
+		if runs := f.sf.tree.NeedsPrefetch(tl, r[0], r[1]); len(runs) != 0 {
+			t.Fatalf("flushed range [%d,%d) still reads missing", r[0], r[1])
+		}
+	}
+	// Nothing left parked: a second flush is a no-op.
+	f.FlushIntents(tl)
+	if st := rt.Stats(); st.VectoredFlushes-base.VectoredFlushes != 1 {
+		t.Fatalf("empty flush crossed anyway: %d", st.VectoredFlushes-base.VectoredFlushes)
+	}
+}
+
+func TestBatchIntentsSizeBoundAutoFlush(t *testing.T) {
+	rt, f, tl, base := batchRuntime(t, 4)
+	park(t, f, tl, 1100, 1102)
+	if st := rt.Stats(); st.VectoredFlushes != base.VectoredFlushes {
+		t.Fatal("flushed below the size bound")
+	}
+	park(t, f, tl, 1200, 1202) // reaches BatchFlushPages=4
+	st := rt.Stats()
+	if st.VectoredFlushes-base.VectoredFlushes != 1 || st.PrefetchCalls-base.PrefetchCalls != 1 {
+		t.Fatalf("size bound should auto-flush: flushes=%d calls=%d",
+			st.VectoredFlushes-base.VectoredFlushes, st.PrefetchCalls-base.PrefetchCalls)
+	}
+	if got := st.PrefetchedPages - base.PrefetchedPages; got != 4 {
+		t.Fatalf("PrefetchedPages = %d, want 4", got)
+	}
+}
+
+func TestBatchIntentsFlushOnOverlappingRead(t *testing.T) {
+	rt, f, tl, base := batchRuntime(t, 256)
+	park(t, f, tl, 1500, 1502)
+	buf := make([]byte, 4096)
+	if _, err := f.ReadAt(tl, buf, 1500*4096); err != nil {
+		t.Fatal(err)
+	}
+	if st := rt.Stats(); st.VectoredFlushes-base.VectoredFlushes != 1 {
+		t.Fatalf("read overlapping a parked run should flush it: %d",
+			st.VectoredFlushes-base.VectoredFlushes)
+	}
+	// A read far from any parked run leaves the batch alone.
+	park(t, f, tl, 8000, 8002)
+	if _, err := f.ReadAt(tl, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := rt.Stats(); st.VectoredFlushes-base.VectoredFlushes != 1 {
+		t.Fatalf("non-overlapping read flushed the batch: %d",
+			st.VectoredFlushes-base.VectoredFlushes)
+	}
+}
+
+func TestBatchIntentsCloseFlushes(t *testing.T) {
+	rt, f, tl, base := batchRuntime(t, 256)
+	park(t, f, tl, 1700, 1703)
+	if err := f.Close(tl); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.VectoredFlushes-base.VectoredFlushes != 1 || st.PrefetchedPages-base.PrefetchedPages != 3 {
+		t.Fatalf("close should flush parked intents: flushes=%d pages=%d",
+			st.VectoredFlushes-base.VectoredFlushes, st.PrefetchedPages-base.PrefetchedPages)
+	}
+}

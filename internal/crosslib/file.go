@@ -107,6 +107,11 @@ func (f *File) Close(tl *simtime.Timeline) error {
 		return nil
 	}
 	rt := f.rt
+	if rt.opt.BatchIntents {
+		// Closing is a library-level unplug: parked intents flush rather
+		// than vanish with their requested bits still set in the tree.
+		f.flushIntents(tl)
+	}
 	fs := rt.fileShard(sf.inoID)
 	fs.mu.Lock()
 	sf.refs--
@@ -152,6 +157,14 @@ func (f *File) ReadAt(tl *simtime.Timeline, dst []byte, off int64) (int, error) 
 	bs := f.rt.v.BlockSize()
 	lo := off / bs
 	hi := (off + int64(len(dst)) + bs - 1) / bs
+
+	if o.BatchIntents {
+		// Flush-on-read: intents parked before this access flush now if
+		// the read wants any of their pages — checked before the
+		// predictor runs, so an intent this access parks keeps
+		// accumulating instead of flushing back out immediately.
+		f.maybeFlushIntents(tl, lo, hi)
+	}
 
 	op := f.rt.tick()
 	if o.Predict && f.pred != nil {
@@ -309,6 +322,14 @@ func (f *File) prefetchAsync(tl *simtime.Timeline, lo, blocks int64) {
 		missing += r.Blocks()
 	}
 	if threshold := min64(16, blocks/4); missing < threshold {
+		if o.BatchIntents && o.Visibility {
+			// Park the small intent instead of dropping it: the runs keep
+			// their requested bits (later windows dedupe against them for
+			// free) and wait in the per-file aggregator for one vectored
+			// readahead_info crossing.
+			f.deferIntent(tl, runs)
+			return
+		}
 		for _, r := range runs {
 			f.sf.tree.ClearRequested(tl, r.Lo, r.Hi)
 		}
@@ -344,6 +365,212 @@ func (f *File) prefetchAsync(tl *simtime.Timeline, lo, blocks int64) {
 // workerQueueBound is how far ahead of the submitting thread the helper
 // pool may be booked before new prefetch intents are dropped.
 const workerQueueBound = 2 * simtime.Millisecond
+
+// deferIntent parks small prefetch runs in the per-file aggregator
+// (Options.BatchIntents): the runs keep their requested bits — the
+// shared tree dedupes follow-up intents against them — and accumulate
+// until a flush sends the whole set to the kernel as one vectored
+// readahead_info crossing. The aggregate flushes itself at the size
+// bound; reads that overlap a parked run and explicit FlushIntents
+// calls flush it sooner.
+func (f *File) deferIntent(tl *simtime.Timeline, runs []bitmap.Run) {
+	rt := f.rt
+	sf := f.sf
+	sf.aggMu.Lock()
+	for _, r := range runs {
+		sf.agg = mergeRun(sf.agg, r)
+	}
+	sf.aggPages = 0
+	for _, r := range sf.agg {
+		sf.aggPages += r.Blocks()
+	}
+	full := sf.aggPages >= rt.opt.BatchFlushPages
+	sf.aggMu.Unlock()
+	rt.batchedIntents.Add(1)
+	rt.rec.Event(tl.Now(), telemetry.OutcomeBatchedIntent,
+		sf.inoID, runs[0].Lo, runs[len(runs)-1].Hi)
+	if full {
+		f.flushIntents(tl)
+	}
+}
+
+// maybeFlushIntents flushes the aggregator when the demand read
+// [lo, hi) overlaps a parked run: those pages are wanted now, so the
+// batch rides this read instead of waiting for the size bound.
+func (f *File) maybeFlushIntents(tl *simtime.Timeline, lo, hi int64) {
+	sf := f.sf
+	sf.aggMu.Lock()
+	overlap := false
+	for _, r := range sf.agg {
+		if r.Lo < hi && lo < r.Hi {
+			overlap = true
+			break
+		}
+	}
+	sf.aggMu.Unlock()
+	if overlap {
+		f.flushIntents(tl)
+	}
+}
+
+// FlushIntents drains the per-file intent aggregator immediately — the
+// library-level unplug, for callers that know a batch should go now
+// (end of a request, a barrier between workload phases). No-op when
+// batching is off or nothing is parked.
+func (f *File) FlushIntents(tl *simtime.Timeline) {
+	if f.sf == nil || !f.rt.opt.BatchIntents {
+		return
+	}
+	f.flushIntents(tl)
+}
+
+// flushIntents drains the aggregator and issues the parked runs as one
+// vectored readahead_info crossing on a background helper. The tail
+// mirrors prefetchAsync: a saturated helper pool drops the batch (and
+// gives the requested bits back) rather than queueing device work that
+// would complete too late to matter.
+func (f *File) flushIntents(tl *simtime.Timeline) {
+	rt := f.rt
+	sf := f.sf
+	sf.aggMu.Lock()
+	runs := sf.agg
+	sf.agg = nil
+	sf.aggPages = 0
+	sf.aggMu.Unlock()
+	if len(runs) == 0 {
+		return
+	}
+	now := tl.Now()
+	lo, hi := runs[0].Lo, runs[len(runs)-1].Hi
+	if rt.workers.EarliestFree() > now.Add(workerQueueBound) {
+		for _, r := range runs {
+			sf.tree.ClearRequested(tl, r.Lo, r.Hi)
+		}
+		rt.droppedPrefetch.Add(1)
+		rt.rec.Event(now, telemetry.OutcomeDroppedQueueFull, sf.inoID, lo, hi)
+		return
+	}
+	kf := f.kf
+	rt.workers.Run(now, func(wtl *simtime.Timeline) {
+		root := rt.tr.Root(wtl, telemetry.OpBgPrefetch, sf.inoID)
+		f.issueVectored(wtl, kf, sf, runs)
+		root.Finish(wtl)
+	})
+}
+
+// issueVectored performs one vectored readahead_info crossing for the
+// aggregated runs and reconciles the user-level tree per range. One
+// crossing, one kernel-side submission plug across every range — the
+// amortization the aggregator exists for. Transient device faults
+// retry the whole vector (ranges already granted are absorbed by the
+// kernel's bitmap on re-issue); a definitive failure gives every range
+// back and feeds the breaker.
+func (f *File) issueVectored(wtl *simtime.Timeline, kf *vfs.File, sf *sharedFile, runs []bitmap.Run) {
+	rt := f.rt
+	o := rt.opt
+	bs := rt.v.BlockSize()
+
+	hullLo, hullHi := runs[0].Lo, runs[len(runs)-1].Hi
+	rt.vectoredFlushes.Add(1)
+	rt.rec.Event(wtl.Now(), telemetry.OutcomeIssued, sf.inoID, hullLo, hullHi)
+
+	ranges := make([]vfs.Range, len(runs))
+	var total, maxRun int64
+	for i, r := range runs {
+		ranges[i] = vfs.Range{Offset: r.Lo * bs, Bytes: r.Blocks() * bs}
+		total += r.Blocks()
+		if r.Blocks() > maxRun {
+			maxRun = r.Blocks()
+		}
+	}
+	req := vfs.CacheInfoRequest{
+		Ranges:   ranges,
+		BitmapLo: hullLo,
+		BitmapHi: hullHi,
+	}
+	if o.OptLimits {
+		// The per-call limit applies per range; the largest run is the
+		// only one that needs the override.
+		req.LimitOverride = maxRun
+	}
+
+	for attempt := 0; ; {
+		rt.rec.Add(telemetry.CtrLibIssuedPages, total)
+		snap := bitmap.New(0)
+		info := kf.ReadaheadInfo(wtl, req, snap)
+		rt.prefetchCalls.Add(1)
+		rt.prefetchedPgs.Add(info.PrefetchedPages)
+
+		// Reconcile each range against the kernel's reply: the exported
+		// bitmap is truth for the granted prefix; a clamped remainder
+		// gives its requested bits back (one window per intent, exactly
+		// as the scalar path behaves without opt).
+		for i, r := range runs {
+			g := int64(0)
+			if i < len(info.Granted) {
+				g = info.Granted[i]
+			}
+			if g > 0 {
+				sf.tree.ImportBitmap(wtl, snap, r.Lo, min64(r.Lo+g, r.Hi))
+			}
+			if r.Lo+g < r.Hi {
+				sf.tree.ClearRequested(wtl, r.Lo+g, r.Hi)
+			}
+		}
+
+		if err := info.PrefetchErr; err != nil {
+			if blockdev.IsTransient(err) && attempt < o.RetryMax {
+				attempt++
+				delay := retryDelay(o, sf.inoID, hullLo, attempt)
+				backoffStart := wtl.Now()
+				wtl.WaitUntil(backoffStart.Add(delay), simtime.WaitIO)
+				telemetry.Current(wtl).Child("lib.retry_backoff", telemetry.CatRetry,
+					backoffStart, wtl.Now()).Annotate("attempt", int64(attempt))
+				rt.prefetchRetries.Add(1)
+				rt.rec.Add(telemetry.CtrLibPrefetchRetries, 1)
+				rt.rec.Event(wtl.Now(), telemetry.OutcomeRetriedTransient,
+					sf.inoID, hullLo, hullHi)
+				continue
+			}
+			f.noteFault(wtl, sf, true)
+			for _, r := range runs {
+				sf.tree.ClearRequested(wtl, r.Lo, r.Hi)
+			}
+			return
+		}
+		if info.PrefetchedPages > 0 {
+			f.noteFault(wtl, sf, false)
+		}
+		return
+	}
+}
+
+// mergeRun inserts r into a sorted, disjoint run list, coalescing
+// overlapping or adjacent runs.
+func mergeRun(runs []bitmap.Run, r bitmap.Run) []bitmap.Run {
+	i := 0
+	for i < len(runs) && runs[i].Hi < r.Lo {
+		i++
+	}
+	j := i
+	for j < len(runs) && runs[j].Lo <= r.Hi {
+		if runs[j].Lo < r.Lo {
+			r.Lo = runs[j].Lo
+		}
+		if runs[j].Hi > r.Hi {
+			r.Hi = runs[j].Hi
+		}
+		j++
+	}
+	if i == j {
+		runs = append(runs, bitmap.Run{})
+		copy(runs[i+1:], runs[i:])
+		runs[i] = r
+		return runs
+	}
+	runs[i] = r
+	return append(runs[:i+1], runs[j:]...)
+}
 
 // issuePrefetch performs one kernel prefetch for [lo, hi) on the worker
 // timeline and reconciles the user-level bitmap with the kernel's reply.
@@ -435,11 +662,29 @@ func (f *File) issuePrefetch(wtl *simtime.Timeline, kf *vfs.File, sf *sharedFile
 	}
 }
 
+// libRetryDelayCap bounds a single transient-retry backoff: the
+// doubling saturates here instead of overflowing (or stalling a worker
+// for unbounded virtual time) when a caller configures a deep retry
+// budget. A RetryBase above the cap is honored as configured.
+const libRetryDelayCap = 10 * simtime.Millisecond
+
 // retryDelay is the deterministic backoff before transient-fault retry
-// n (1-based): RetryBase<<(n-1), stretched by seeded jitter so retries
-// across files decorrelate without wall-clock randomness.
+// n (1-based): RetryBase<<(n-1) saturating at libRetryDelayCap,
+// stretched by seeded jitter so retries across files decorrelate
+// without wall-clock randomness.
 func retryDelay(o Options, ino, lo int64, attempt int) simtime.Duration {
-	d := o.RetryBase << (attempt - 1)
+	capD := libRetryDelayCap
+	if o.RetryBase > capD {
+		capD = o.RetryBase
+	}
+	d := o.RetryBase
+	for i := 1; i < attempt; i++ {
+		d <<= 1
+		if d <= 0 || d >= capD {
+			d = capD
+			break
+		}
+	}
 	if o.RetryJitterFrac > 0 {
 		h := faultinject.Hash(uint64(o.FaultSeed), uint64(ino), uint64(lo), uint64(attempt))
 		frac := float64(h>>11) / float64(1<<53) // [0, 1)

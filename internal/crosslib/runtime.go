@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/bitmap"
 	"repro/internal/rangetree"
 	"repro/internal/simtime"
 	"repro/internal/telemetry"
@@ -47,6 +48,8 @@ type Runtime struct {
 	breakerTrips     atomic.Int64
 	breakerRecovered atomic.Int64
 	droppedBreaker   atomic.Int64
+	batchedIntents   atomic.Int64
+	vectoredFlushes  atomic.Int64
 }
 
 // sfShardCount stripes the inode table (power of two; selection is a mask).
@@ -79,6 +82,14 @@ type sharedFile struct {
 	fetchAll   atomic.Bool  // whole-file prefetch kicked off
 
 	brk breaker // background-prefetch circuit breaker
+
+	// Intent aggregator (Options.BatchIntents): small prefetch intents
+	// parked for one vectored readahead_info crossing. Runs are sorted
+	// and disjoint; their requested bits stay set in the tree while
+	// parked, so follow-up windows dedupe against them for free.
+	aggMu    sync.Mutex
+	agg      []bitmap.Run
+	aggPages int64
 }
 
 // breaker is the per-file circuit breaker over background prefetch
@@ -219,6 +230,10 @@ type Stats struct {
 	BreakerTrips      int64
 	BreakerRecoveries int64
 	DroppedBreaker    int64
+	// Intent-aggregator counters: small intents parked instead of
+	// dropped, and vectored readahead_info crossings issued by flushes.
+	BatchedIntents  int64
+	VectoredFlushes int64
 }
 
 // Stats snapshots the runtime counters.
@@ -237,6 +252,8 @@ func (rt *Runtime) Stats() Stats {
 		BreakerTrips:      rt.breakerTrips.Load(),
 		BreakerRecoveries: rt.breakerRecovered.Load(),
 		DroppedBreaker:    rt.droppedBreaker.Load(),
+		BatchedIntents:    rt.batchedIntents.Load(),
+		VectoredFlushes:   rt.vectoredFlushes.Load(),
 	}
 }
 

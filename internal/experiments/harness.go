@@ -13,6 +13,7 @@ import (
 
 	crossprefetch "repro"
 	"repro/internal/blockdev"
+	"repro/internal/simtime"
 )
 
 // Options controls experiment sizing.
@@ -120,6 +121,12 @@ type sysConfig struct {
 	layout   crossprefetch.Layout
 	device   blockdev.Config
 	raMax    int64 // kernel prefetch limit bytes (0 = 128KB default)
+	// Block-layer submission scheduler (per-cell; the EnableBlockSched
+	// process switch overrides these for sweeps driven by crossbench).
+	plug        bool
+	queueDepth  int
+	mergeWindow int64
+	congestion  simtime.Duration
 }
 
 func newSys(c sysConfig) *crossprefetch.System {
@@ -128,9 +135,22 @@ func newSys(c sysConfig) *crossprefetch.System {
 		MemoryBytes:      c.memory,
 		Layout:           c.layout,
 		KernelRAMaxBytes: c.raMax,
+		Plug:             c.plug,
+		QueueDepth:       c.queueDepth,
+		MergeWindowBytes: c.mergeWindow,
+		CongestionLimit:  c.congestion,
 	}
 	if c.device.Name != "" {
 		cfg.Device = c.device
+	}
+	if sc := blockSched(); sc != nil {
+		cfg.Plug = sc.Plug
+		if sc.QueueDepth > 0 {
+			cfg.QueueDepth = sc.QueueDepth
+		}
+		if sc.MergeWindowBytes > 0 {
+			cfg.MergeWindowBytes = sc.MergeWindowBytes
+		}
 	}
 	cfg.Telemetry = telemetryEnabled()
 	if tc := traceConfig(); tc != nil {

@@ -109,5 +109,8 @@ func sysLabel(c sysConfig) string {
 	if c.device.Name != "" {
 		l += "/" + c.device.Name
 	}
+	if c.plug {
+		l += "/plug"
+	}
 	return l
 }

@@ -130,6 +130,24 @@ func Audit(s *Snapshot, in AuditInput) error {
 		fail("device-fault trace events %d > injected device faults %d", ev.Events, s.Counter(CtrDeviceInjectedFaults))
 	}
 
+	// Plug <-> device: merging request segments into commands must be
+	// byte-preserving (a merged command accounts for exactly the bytes of
+	// its parts), a command never comes from thin air (commands <=
+	// segments), and every segment not dispatched as its own command was
+	// absorbed by a merge (merged == segments - commands).
+	plugSegs := s.Counter(CtrDevicePlugSegments)
+	plugCmds := s.Counter(CtrDevicePlugCommands)
+	plugMerged := s.Counter(CtrDevicePlugMergedSegments)
+	if segB, cmdB := s.Counter(CtrDevicePlugSegmentBytes), s.Counter(CtrDevicePlugCommandBytes); segB != cmdB {
+		fail("plug segment bytes %d != plug command bytes %d (merge not byte-preserving)", segB, cmdB)
+	}
+	if plugCmds > plugSegs {
+		fail("plug commands %d > plug segments %d", plugCmds, plugSegs)
+	}
+	if plugMerged != plugSegs-plugCmds {
+		fail("plug merged segments %d != segments %d - commands %d", plugMerged, plugSegs, plugCmds)
+	}
+
 	// Device <-> VFS: for a kernel that is the device's only client,
 	// every read the device served was a demand fetch or a prefetch.
 	if in.StrictDevice && in.BlockSize > 0 {

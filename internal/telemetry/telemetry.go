@@ -96,6 +96,24 @@ const (
 	// circuit-breaker transitions (closed→open, open→closed).
 	CtrLibBreakerTrips
 	CtrLibBreakerRecoveries
+	// CtrDevicePlugSegments counts requests submitted through the block
+	// plug API (each VFS chunk is one segment), and
+	// CtrDevicePlugCommands the device commands actually dispatched after
+	// merging. Passthrough submission dispatches one command per segment,
+	// so segments == commands there; plugged submission merges adjacent
+	// same-op segments, so commands <= segments.
+	CtrDevicePlugSegments
+	CtrDevicePlugCommands
+	// CtrDevicePlugMergedSegments counts segments absorbed into another
+	// command by a front/back merge — exactly segments - commands.
+	CtrDevicePlugMergedSegments
+	// CtrDevicePlugSegmentBytes and CtrDevicePlugCommandBytes are the byte
+	// totals seen segment-wise and command-wise. Merging must preserve
+	// them exactly equal (a merged command carries the same bytes as its
+	// parts) — the audit identity that keeps virtual-time accounting
+	// reconcilable with plugging enabled.
+	CtrDevicePlugSegmentBytes
+	CtrDevicePlugCommandBytes
 
 	numCounters
 )
@@ -128,6 +146,11 @@ func (c Counter) String() string {
 		"lib_prefetch_retries",
 		"lib_breaker_trips",
 		"lib_breaker_recoveries",
+		"device_plug_segments",
+		"device_plug_commands",
+		"device_plug_merged_segments",
+		"device_plug_segment_bytes",
+		"device_plug_command_bytes",
 	}[c]
 }
 
@@ -170,6 +193,10 @@ const (
 	// OutcomeBreakerRecovered: a half-open probe succeeded and the breaker
 	// closed again.
 	OutcomeBreakerRecovered
+	// OutcomeBatchedIntent: a small prefetch intent was parked in the
+	// per-file aggregator (dedupe/merge against the shared bitmap) to be
+	// flushed later as part of one vectored readahead_info crossing.
+	OutcomeBatchedIntent
 
 	numOutcomes
 )
@@ -189,6 +216,7 @@ func (o Outcome) String() string {
 		"dropped-breaker-open",
 		"breaker-tripped",
 		"breaker-recovered",
+		"batched-intent",
 	}[o]
 }
 

@@ -6,6 +6,11 @@ import (
 	"repro/internal/telemetry"
 )
 
+// Range is one byte range of a vectored readahead_info request.
+type Range struct {
+	Offset, Bytes int64
+}
+
 // CacheInfoRequest is the control-plane half of the readahead_info `info`
 // structure (§4.4): what to prefetch, which bitmap window to export, and
 // optional limit relaxation.
@@ -13,9 +18,16 @@ type CacheInfoRequest struct {
 	// Offset and Bytes describe the byte range to prefetch. Bytes == 0
 	// makes the call export-only (no prefetch).
 	Offset, Bytes int64
+	// Ranges, when non-empty, makes the call vectored: each range is an
+	// independent prefetch window (the per-call limit applies per range),
+	// all served in this one kernel crossing with one submission plug —
+	// the batching amortization the aggregator in CROSS-LIB relies on.
+	// Offset/Bytes are ignored. Ranges should be disjoint; overlapping
+	// ranges may double-issue I/O exactly as two separate calls would.
+	Ranges []Range
 	// BitmapLo and BitmapHi select the block window of the per-inode
 	// cache bitmap to copy out. BitmapHi == 0 defaults to the prefetch
-	// range (rounded to words).
+	// range (vectored: the hull of the ranges, rounded to words).
 	BitmapLo, BitmapHi int64
 	// LimitOverride, in pages, raises the per-call prefetch cap beyond
 	// the kernel's static window when the kernel allows it (§4.7).
@@ -31,6 +43,9 @@ type CacheInfo struct {
 	// the visibility whose absence causes Figure 1's pathologies.
 	RequestedPages  int64
 	PrefetchedPages int64
+	// Granted, for vectored requests only, reports per-range pages
+	// admitted after the file and limit clamps, in request order.
+	Granted []int64
 	// AlreadyCached reports that every requested page was resident (the
 	// call issued no I/O).
 	AlreadyCached bool
@@ -52,11 +67,12 @@ type CacheInfo struct {
 // ReadaheadInfo is the new multi-purpose system call (§4.4). In one kernel
 // crossing it:
 //
-//  1. checks the requested range against the per-inode cache bitmap via
+//  1. checks the requested range(s) against the per-inode cache bitmap via
 //     the delineated fast path (bitmap rw-lock, never the cache-tree
 //     lock);
 //  2. issues asynchronous prefetch I/O for only the missing runs, clamped
-//     by the effective prefetch limit;
+//     per range by the effective prefetch limit, through one submission
+//     plug (vectored requests share the crossing AND the dispatch batch);
 //  3. copies the requested bitmap window into dst (selective export); and
 //  4. fills the telemetry fields of CacheInfo.
 //
@@ -70,39 +86,73 @@ func (f *File) ReadaheadInfo(tl *simtime.Timeline, req CacheInfoRequest, dst *bi
 	bs := v.BlockSize()
 	fileBlocks := f.ino.Blocks()
 
+	ranges := req.Ranges
+	vectored := len(ranges) > 0
+	var one [1]Range
+	if !vectored {
+		one[0] = Range{Offset: req.Offset, Bytes: req.Bytes}
+		ranges = one[:]
+	}
+
 	var info CacheInfo
 	info.CapacityPages = v.cache.Capacity()
 	info.FreePages = v.cache.Free()
 
-	lo, hi := v.blockRange(req.Offset, req.Bytes)
-	if hi > fileBlocks {
-		hi = fileBlocks
+	// Effective per-range limit: static kernel cap, or the caller's
+	// override when the kernel is configured to allow it. Each range is
+	// an independent readahead window, so the limit applies per range.
+	limit := v.cfg.RA.MaxPages
+	if v.cfg.AllowLimitOverride && req.LimitOverride > limit {
+		limit = req.LimitOverride
+		if maxPages := v.cfg.MaxPrefetchBytes / bs; limit > maxPages {
+			limit = maxPages
+		}
 	}
-	if req.Bytes > 0 && hi > lo {
-		info.RequestedPages = hi - lo
-		preClamp := hi - lo
 
-		// Effective per-call limit: static kernel cap, or the caller's
-		// override when the kernel is configured to allow it.
-		limit := v.cfg.RA.MaxPages
-		if v.cfg.AllowLimitOverride && req.LimitOverride > limit {
-			limit = req.LimitOverride
-			if maxPages := v.cfg.MaxPrefetchBytes / bs; limit > maxPages {
-				limit = maxPages
+	var missing []bitmap.Run
+	var reqTotal, clampTotal int64
+	hullLo, hullHi := int64(-1), int64(-1)
+	requested := false
+	for _, rg := range ranges {
+		lo, hi := v.blockRange(rg.Offset, rg.Bytes)
+		if hi > fileBlocks {
+			hi = fileBlocks
+		}
+		if rg.Bytes > 0 && hi > lo {
+			requested = true
+			preClamp := hi - lo
+			if hi-lo > limit {
+				hi = lo + limit
 			}
+			granted := hi - lo
+			v.rec.Add(telemetry.CtrKernelRequestedPages, preClamp)
+			v.rec.Add(telemetry.CtrKernelAdmittedPages, granted)
+			v.rec.Add(telemetry.CtrKernelRejectedPages, preClamp-granted)
+			reqTotal += preClamp
+			clampTotal += preClamp - granted
+			info.RequestedPages += granted
+			if vectored {
+				info.Granted = append(info.Granted, granted)
+			}
+			// Fast path: bitmap lookup only; runs from every range feed
+			// one prefetch submission below.
+			missing = f.fc.AppendFastMissingRuns(tl, missing, lo, hi)
+		} else if vectored {
+			info.Granted = append(info.Granted, 0)
 		}
-		if hi-lo > limit {
-			hi = lo + limit
-			info.RequestedPages = hi - lo
+		if hullLo < 0 || lo < hullLo {
+			hullLo = lo
 		}
-		v.rec.Add(telemetry.CtrKernelRequestedPages, preClamp)
-		v.rec.Add(telemetry.CtrKernelAdmittedPages, hi-lo)
-		v.rec.Add(telemetry.CtrKernelRejectedPages, preClamp-(hi-lo))
-		sp.Annotate("requested_pages", preClamp)
-		sp.Annotate("clamped_pages", preClamp-(hi-lo))
-
-		// Fast path: bitmap lookup only.
-		missing := f.fc.FastMissingRuns(tl, lo, hi)
+		if hi > hullHi {
+			hullHi = hi
+		}
+	}
+	if requested {
+		sp.Annotate("requested_pages", reqTotal)
+		sp.Annotate("clamped_pages", clampTotal)
+		if vectored {
+			sp.Annotate("ranges", int64(len(ranges)))
+		}
 		switch {
 		case len(missing) == 0:
 			info.AlreadyCached = true
@@ -113,7 +163,7 @@ func (f *File) ReadaheadInfo(tl *simtime.Timeline, req CacheInfoRequest, dst *bi
 			issued, err := f.prefetchRuns(tl, tl.Now(), missing, -1)
 			info.PrefetchedPages = issued
 			info.PrefetchErr = err
-			info.ReadyAt = f.fc.ResidentReadyAt(lo, hi)
+			info.ReadyAt = f.fc.ResidentReadyAt(hullLo, hullHi)
 			v.rec.Add(telemetry.CtrKernelPrefetchedPages, issued)
 			sp.Annotate("prefetched_pages", issued)
 		}
@@ -123,7 +173,7 @@ func (f *File) ReadaheadInfo(tl *simtime.Timeline, req CacheInfoRequest, dst *bi
 	if dst != nil {
 		blo, bhi := req.BitmapLo, req.BitmapHi
 		if bhi <= blo {
-			blo, bhi = lo, hi
+			blo, bhi = hullLo, hullHi
 		}
 		if bhi > fileBlocks {
 			bhi = fileBlocks

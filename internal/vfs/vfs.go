@@ -58,6 +58,16 @@ type Config struct {
 	// select 3 retries and 50µs.
 	DemandRetries   int
 	DemandRetryBase simtime.Duration
+	// DemandRetryMax caps a single retry backoff: the exponential
+	// DemandRetryBase << (attempt-1) clamps here instead of overflowing
+	// (or exploding the virtual wait) for large configured retry
+	// budgets. Zero selects 10ms.
+	DemandRetryMax simtime.Duration
+	// Sched configures the block-layer submission scheduler (plugging,
+	// merging, queue depth). The zero value is passthrough: every read
+	// path still routes through the plug API, but each request
+	// dispatches immediately with unchanged device semantics.
+	Sched blockdev.PlugConfig
 }
 
 // DefaultConfig returns Linux-like defaults on the paper's testbed.
@@ -115,6 +125,10 @@ type VFS struct {
 	// rec, when non-nil, receives syscall latency histograms and the
 	// cross-layer prefetch accounting counters (telemetry opt-in).
 	rec *telemetry.Recorder
+
+	// plugs pools per-request block plugs (see getPlug) so the miss
+	// paths stay allocation-free in steady state.
+	plugs sync.Pool
 }
 
 // New assembles a kernel over the given file system, device, and cache.
@@ -135,6 +149,10 @@ func New(cfg Config, fsys *fs.FS, dev *blockdev.Device, cache *pagecache.Cache) 
 	if cfg.DemandRetryBase <= 0 {
 		cfg.DemandRetryBase = 50 * simtime.Microsecond
 	}
+	if cfg.DemandRetryMax <= 0 {
+		cfg.DemandRetryMax = 10 * simtime.Millisecond
+	}
+	cfg.Sched = cfg.Sched.WithDefaults()
 	v := &VFS{
 		cfg:      cfg,
 		fsys:     fsys,
@@ -142,9 +160,29 @@ func New(cfg Config, fsys *fs.FS, dev *blockdev.Device, cache *pagecache.Cache) 
 		cache:    cache,
 		mmapLock: simtime.NewLedger("mmap_lock"),
 	}
+	v.plugs.New = func() any { return dev.NewPlug(v.cfg.Sched) }
 	cache.SetFlushFn(v.flushRun)
 	return v
 }
+
+// retryPolicy bundles the demand-path retry tunables for the plug layer.
+func (v *VFS) retryPolicy() blockdev.RetryPolicy {
+	return blockdev.RetryPolicy{
+		Max:  v.cfg.DemandRetries,
+		Base: v.cfg.DemandRetryBase,
+		Cap:  v.cfg.DemandRetryMax,
+	}
+}
+
+// getPlug returns a reset per-request plug from the pool; read paths
+// submit all device I/O through it (never dev.Access* directly).
+func (v *VFS) getPlug() *blockdev.Plug {
+	p := v.plugs.Get().(*blockdev.Plug)
+	p.Reset()
+	return p
+}
+
+func (v *VFS) putPlug(p *blockdev.Plug) { v.plugs.Put(p) }
 
 // SetTelemetry installs the telemetry recorder (nil disables) and
 // registers the syscall names for the latency table.
@@ -285,21 +323,48 @@ func (v *VFS) blockRange(off, n int64) (lo, hi int64) {
 	return off / bs, (off + n + bs - 1) / bs
 }
 
-// syncAccess is Device.Access plus bounded transient-fault retry with
-// exponential virtual-time backoff — the demand path's resilience:
-// transient device glitches are absorbed here (charged as wait time),
-// while persistent faults and exhausted budgets surface to the caller.
-func (v *VFS) syncAccess(tl *simtime.Timeline, op blockdev.Op, off, bytes int64) error {
-	err := v.dev.Access(tl, op, off, bytes)
-	for attempt := 1; err != nil && blockdev.IsTransient(err) && attempt <= v.cfg.DemandRetries; attempt++ {
+// syncRead submits one blocking demand-read chunk through the plug's
+// passthrough lane, with bounded transient-fault retry and clamped
+// exponential virtual-time backoff: transient device glitches are
+// absorbed here (charged as wait time), while persistent faults and
+// exhausted budgets surface to the caller.
+func (v *VFS) syncRead(tl *simtime.Timeline, plug *blockdev.Plug, off, bytes int64) error {
+	rp := v.retryPolicy()
+	err := plug.SyncAccess(tl, blockdev.OpRead, off, bytes)
+	for attempt := 1; err != nil && blockdev.IsTransient(err) && attempt <= rp.Max; attempt++ {
 		start := tl.Now()
-		tl.WaitUntil(start.Add(v.cfg.DemandRetryBase<<(attempt-1)), simtime.WaitIO)
+		tl.WaitUntil(start.Add(rp.Backoff(attempt)), simtime.WaitIO)
 		telemetry.Current(tl).Child("vfs.retry_backoff", telemetry.CatRetry, start, tl.Now()).
 			Annotate("attempt", int64(attempt))
 		v.rec.Add(telemetry.CtrVFSDemandRetries, 1)
-		err = v.dev.Access(tl, op, off, bytes)
+		err = plug.SyncAccess(tl, blockdev.OpRead, off, bytes)
 	}
 	return err
+}
+
+// segBlocks converts a plug segment's byte length to pages.
+func segBlocks(s blockdev.Segment, bs int64) int64 { return (s.Bytes + bs - 1) / bs }
+
+// faultEvents records one device-fault trace event per failed plug
+// command (not per segment: the audit bounds fault events by injected
+// faults, and a command fails at most once per injection).
+func (f *File) faultEvents(at simtime.Time, segs []blockdev.Segment, bs int64) {
+	for i, s := range segs {
+		if s.Err == nil {
+			continue
+		}
+		dup := false
+		for j := 0; j < i; j++ {
+			if segs[j].Cmd == s.Cmd {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			f.v.rec.Event(at, telemetry.OutcomeDeviceFault,
+				f.ino.ID(), s.UserLo, s.UserLo+segBlocks(s, bs))
+		}
+	}
 }
 
 // fetchRuns synchronously reads the given missing logical-block runs from
@@ -312,6 +377,9 @@ func (v *VFS) syncAccess(tl *simtime.Timeline, op blockdev.Op, off, bytes int64)
 func (f *File) fetchRuns(tl *simtime.Timeline, runs []bitmap.Run) error {
 	sp := telemetry.Begin(tl, "vfs.demand_fetch", telemetry.CatCPU)
 	bs := f.v.BlockSize()
+	plug := f.v.getPlug()
+	defer f.v.putPlug(plug)
+	plugged := plug.Plugged()
 	for _, r := range runs {
 		cursor := r.Lo
 		for _, pr := range f.ino.MapRange(r.Lo, r.Hi) {
@@ -326,18 +394,24 @@ func (f *File) fetchRuns(tl *simtime.Timeline, runs []bitmap.Run) error {
 				if chunk > maxVFSRequest {
 					chunk = maxVFSRequest
 				}
-				if err := f.v.syncAccess(tl, blockdev.OpRead, devOff, chunk); err != nil {
-					f.v.rec.Add(telemetry.CtrVFSDemandIOErrors, 1)
-					f.v.rec.Event(tl.Now(), telemetry.OutcomeDeviceFault,
-						f.ino.ID(), lo, lo+(chunk+bs-1)/bs)
-					sp.Annotate("io_error", 1)
-					sp.End(tl)
-					return err
-				}
 				chunkBlocks := (chunk + bs - 1) / bs
-				f.v.rec.Add(telemetry.CtrVFSDemandFetchPages, chunkBlocks)
-				sp.CountPages(telemetry.PageDemand, chunkBlocks)
-				f.fc.InsertRange(tl, lo, lo+chunkBlocks, pagecache.InsertOptions{MarkerAt: -1})
+				if plugged {
+					// Accumulate; the unplug below dispatches merged
+					// commands and inserts the fetched extents.
+					plug.Add(blockdev.OpRead, devOff, chunk, lo)
+				} else {
+					if err := f.v.syncRead(tl, plug, devOff, chunk); err != nil {
+						f.v.rec.Add(telemetry.CtrVFSDemandIOErrors, 1)
+						f.v.rec.Event(tl.Now(), telemetry.OutcomeDeviceFault,
+							f.ino.ID(), lo, lo+chunkBlocks)
+						sp.Annotate("io_error", 1)
+						sp.End(tl)
+						return err
+					}
+					f.v.rec.Add(telemetry.CtrVFSDemandFetchPages, chunkBlocks)
+					sp.CountPages(telemetry.PageDemand, chunkBlocks)
+					f.fc.InsertRange(tl, lo, lo+chunkBlocks, pagecache.InsertOptions{MarkerAt: -1})
+				}
 				lo += chunkBlocks
 				devOff += chunk
 				remaining -= chunk
@@ -348,8 +422,40 @@ func (f *File) fetchRuns(tl *simtime.Timeline, runs []bitmap.Run) error {
 			f.fc.InsertRange(tl, cursor, r.Hi, pagecache.InsertOptions{MarkerAt: -1})
 		}
 	}
+	if !plugged {
+		sp.End(tl)
+		return nil
+	}
+
+	// Unplug: dispatch the merged commands on the priority lane, then
+	// insert each successful command's logically-contiguous extents (a
+	// failed command inserts nothing — the poisoning guard — and leaves
+	// its pages absent for a later retry by the caller).
+	err := plug.FlushSync(tl, f.v.retryPolicy())
+	f.v.rec.Add(telemetry.CtrVFSDemandRetries, int64(plug.Retries()))
+	segs := plug.Segments()
+	for gi := 0; gi < len(segs); {
+		gLo := segs[gi].UserLo
+		blocks := segBlocks(segs[gi], bs)
+		gj := gi + 1
+		for gj < len(segs) && segs[gj].Cmd == segs[gi].Cmd && segs[gj].UserLo == gLo+blocks {
+			blocks += segBlocks(segs[gj], bs)
+			gj++
+		}
+		if segs[gi].Issued {
+			f.v.rec.Add(telemetry.CtrVFSDemandFetchPages, blocks)
+			sp.CountPages(telemetry.PageDemand, blocks)
+			f.fc.InsertRange(tl, gLo, gLo+blocks, pagecache.InsertOptions{MarkerAt: -1})
+		}
+		gi = gj
+	}
+	if err != nil {
+		f.v.rec.Add(telemetry.CtrVFSDemandIOErrors, 1)
+		f.faultEvents(tl.Now(), segs, bs)
+		sp.Annotate("io_error", 1)
+	}
 	sp.End(tl)
-	return nil
+	return err
 }
 
 // prefetchRuns asynchronously reads missing runs: device time is reserved
@@ -361,96 +467,147 @@ func (f *File) fetchRuns(tl *simtime.Timeline, runs []bitmap.Run) error {
 // remainder of the request, leaving the pages to demand reads.
 func (f *File) prefetchRuns(tl *simtime.Timeline, at simtime.Time, runs []bitmap.Run, markerAt int64) (int64, error) {
 	sp := telemetry.Begin(tl, "vfs.prefetch", telemetry.CatCPU)
+	if len(runs) == 0 {
+		sp.End(tl)
+		return 0, nil
+	}
 	bs := f.v.BlockSize()
+	plug := f.v.getPlug()
+	defer f.v.putPlug(plug)
 	var issued int64
+	if !plug.Plugged() {
+		// horizon is the furthest combined-lane reservation THIS request
+		// has made, floored so it advances by at least each chunk's hold:
+		// the device is serial, so this request alone needs that much
+		// device time past at. Congestion is re-evaluated against the
+		// larger of the device backlog and the horizon: the ledger's
+		// bounded span ring can forget old reservations under heavy
+		// fragmentation, letting both Backlog(at) and raw reservation ends
+		// plateau while a single large prefetch keeps piling chunks — the
+		// hold floor always advances, so the limit still trips.
+		var horizon simtime.Time
+		for _, r := range runs {
+			for _, pr := range f.ino.MapRange(r.Lo, r.Hi) {
+				lo := pr.Logical
+				devOff := pr.Phys * bs
+				remaining := pr.Count * bs
+				for remaining > 0 {
+					// Congestion control: postpone prefetch that would pile
+					// onto an already-backlogged device (§4.7).
+					backlog := f.v.dev.Backlog(at)
+					if h := horizon.Sub(at); h > backlog {
+						backlog = h
+					}
+					if backlog > f.v.cfg.CongestionLimit {
+						sp.Annotate("congested", 1)
+						sp.End(tl)
+						return issued, nil
+					}
+					chunk := remaining
+					if chunk > maxVFSRequest {
+						chunk = maxVFSRequest
+					}
+					chunkBlocks := (chunk + bs - 1) / bs
+					done, end, hold, err := plug.AsyncAccess(at, blockdev.OpRead, devOff, chunk)
+					if err != nil {
+						f.v.rec.Event(at, telemetry.OutcomeDeviceFault,
+							f.ino.ID(), lo, lo+chunkBlocks)
+						sp.Annotate("io_error", 1)
+						sp.End(tl)
+						return issued, err
+					}
+					if nh := horizon.Add(hold); end > nh {
+						horizon = end
+					} else {
+						horizon = nh
+					}
+					// The async read runs on the device's own schedule; record
+					// its reserved interval as an explicit child (the critical
+					// path clamps it to whatever overlaps this request).
+					sp.Child("dev.async_read", telemetry.CatDevice, at, done).
+						Annotate("bytes", chunk)
+					f.v.rec.Add(telemetry.CtrVFSPrefetchDevicePages, chunkBlocks)
+					sp.CountPages(telemetry.PagePrefetch, chunkBlocks)
+					f.v.rec.Observe(telemetry.HistPrefetchLat, int64(done.Sub(at)))
+					n := f.fc.InsertRange(tl, lo, lo+chunkBlocks, pagecache.InsertOptions{
+						ReadyAt:    done,
+						MarkerAt:   markerAt,
+						Prefetched: true,
+					})
+					f.v.rec.Add(telemetry.CtrVFSPrefetchInsertedPages, n)
+					issued += n
+					lo += chunkBlocks
+					devOff += chunk
+					remaining -= chunk
+				}
+			}
+		}
+		sp.End(tl)
+		return issued, nil
+	}
+
+	// Plugged: accumulate every chunk, then one congestion-aware unplug
+	// dispatches the merged commands on the async lane.
 	for _, r := range runs {
 		for _, pr := range f.ino.MapRange(r.Lo, r.Hi) {
 			lo := pr.Logical
 			devOff := pr.Phys * bs
 			remaining := pr.Count * bs
 			for remaining > 0 {
-				// Congestion control: postpone prefetch that would pile
-				// onto an already-backlogged device (§4.7).
-				if f.v.dev.Backlog(at) > f.v.cfg.CongestionLimit {
-					sp.Annotate("congested", 1)
-					sp.End(tl)
-					return issued, nil
-				}
 				chunk := remaining
 				if chunk > maxVFSRequest {
 					chunk = maxVFSRequest
 				}
-				chunkBlocks := (chunk + bs - 1) / bs
-				done, err := f.v.dev.AccessAsync(at, blockdev.OpRead, devOff, chunk)
-				if err != nil {
-					f.v.rec.Event(at, telemetry.OutcomeDeviceFault,
-						f.ino.ID(), lo, lo+chunkBlocks)
-					sp.Annotate("io_error", 1)
-					sp.End(tl)
-					return issued, err
-				}
-				// The async read runs on the device's own schedule; record
-				// its reserved interval as an explicit child (the critical
-				// path clamps it to whatever overlaps this request).
-				sp.Child("dev.async_read", telemetry.CatDevice, at, done).
-					Annotate("bytes", chunk)
-				f.v.rec.Add(telemetry.CtrVFSPrefetchDevicePages, chunkBlocks)
-				sp.CountPages(telemetry.PagePrefetch, chunkBlocks)
-				f.v.rec.Observe(telemetry.HistPrefetchLat, int64(done.Sub(at)))
-				n := f.fc.InsertRange(tl, lo, lo+chunkBlocks, pagecache.InsertOptions{
-					ReadyAt:    done,
-					MarkerAt:   markerAt,
-					Prefetched: true,
-				})
-				f.v.rec.Add(telemetry.CtrVFSPrefetchInsertedPages, n)
-				issued += n
-				lo += chunkBlocks
+				plug.Add(blockdev.OpRead, devOff, chunk, lo)
+				lo += (chunk + bs - 1) / bs
 				devOff += chunk
 				remaining -= chunk
 			}
 		}
 	}
+	plug.FlushAsync(at, f.v.cfg.CongestionLimit)
+	segs := plug.Segments()
+	var firstErr error
+	congested := false
+	for gi := 0; gi < len(segs); {
+		gLo := segs[gi].UserLo
+		blocks := segBlocks(segs[gi], bs)
+		gj := gi + 1
+		for gj < len(segs) && segs[gj].Cmd == segs[gi].Cmd && segs[gj].UserLo == gLo+blocks {
+			blocks += segBlocks(segs[gj], bs)
+			gj++
+		}
+		s := segs[gi]
+		switch {
+		case s.Congested:
+			congested = true
+		case s.Err != nil:
+			if firstErr == nil {
+				firstErr = s.Err
+			}
+		case s.Issued:
+			sp.Child("dev.async_read", telemetry.CatDevice, at, s.Done).
+				Annotate("bytes", blocks*bs)
+			f.v.rec.Add(telemetry.CtrVFSPrefetchDevicePages, blocks)
+			sp.CountPages(telemetry.PagePrefetch, blocks)
+			f.v.rec.Observe(telemetry.HistPrefetchLat, int64(s.Done.Sub(at)))
+			n := f.fc.InsertRange(tl, gLo, gLo+blocks, pagecache.InsertOptions{
+				ReadyAt:    s.Done,
+				MarkerAt:   markerAt,
+				Prefetched: true,
+			})
+			f.v.rec.Add(telemetry.CtrVFSPrefetchInsertedPages, n)
+			issued += n
+		}
+		gi = gj
+	}
+	if congested {
+		sp.Annotate("congested", 1)
+	}
+	if firstErr != nil {
+		f.faultEvents(at, segs, bs)
+		sp.Annotate("io_error", 1)
+	}
 	sp.End(tl)
-	return issued, nil
-}
-
-// flushRun is the page cache's dirty writeback hook: async device writes
-// for the physical segments backing logical blocks [lo, hi) of inoID,
-// with bounded virtual-time retry of transient faults. On error the
-// cache re-inserts the run's pages dirty (see pagecache.FlushFn).
-func (v *VFS) flushRun(at simtime.Time, inoID, lo, hi int64) (simtime.Time, error) {
-	bs := v.BlockSize()
-	last := at
-	write := func(devOff, bytes int64) error {
-		submit := at
-		for attempt := 0; ; attempt++ {
-			done, err := v.dev.AccessAsync(submit, blockdev.OpWrite, devOff, bytes)
-			if err == nil {
-				if done > last {
-					last = done
-				}
-				return nil
-			}
-			if !blockdev.IsTransient(err) || attempt >= v.cfg.DemandRetries {
-				return err
-			}
-			v.rec.Add(telemetry.CtrVFSWritebackRetries, 1)
-			submit = done.Add(v.cfg.DemandRetryBase << attempt)
-		}
-	}
-	ino := v.fsys.InodeByID(inoID)
-	if ino == nil {
-		// Deleted file: write addressed by logical position (the data is
-		// going away anyway; this keeps the device time honest).
-		if err := write(lo*bs, (hi-lo)*bs); err != nil {
-			return last, err
-		}
-		return last, nil
-	}
-	for _, pr := range ino.MapRange(lo, hi) {
-		if err := write(pr.Phys*bs, pr.Count*bs); err != nil {
-			return last, err
-		}
-	}
-	return last, nil
+	return issued, firstErr
 }
