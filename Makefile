@@ -1,7 +1,7 @@
 # Tier-1 gate (see ROADMAP.md): every PR must leave `make check` green.
-.PHONY: check build test vet race bench chaos errgate fmtgate plugate trace bench-json bench-parallel bench-batch
+.PHONY: check build test vet race bench chaos errgate fmtgate plugate ringgate trace bench-json bench-parallel bench-batch bench-serve
 
-check: vet errgate fmtgate plugate build race
+check: vet errgate fmtgate plugate ringgate build race
 
 # Formatting gate: the tree must be gofmt-clean.
 fmtgate:
@@ -24,7 +24,17 @@ errgate:
 plugate:
 	@! grep -n 'dev\.Access[A-Za-z]*(' \
 		internal/vfs/vfs.go internal/vfs/io.go internal/vfs/crossos.go internal/vfs/mmap.go \
+		internal/vfs/ring.go \
 		|| (echo 'plugate: read-path device access outside the plug API'; exit 1)
+
+# Ring-API gate: the serve frontend must dispatch through the
+# submission/completion rings (Prep*/Submit/Reap), never by calling the
+# synchronous read/write shims directly. The sync baseline lives in
+# serve_baseline.go, which IS the deliberate exemption.
+ringgate:
+	@! grep -n '\.ReadAt(\|\.WriteAt(' \
+		internal/experiments/serve.go cmd/crosserve/main.go \
+		|| (echo 'ringgate: direct read/write call on the ring frontend (use the Ring API)'; exit 1)
 
 build:
 	go build ./...
@@ -69,3 +79,10 @@ bench-batch:
 		-bench 'BenchmarkBatch' -pkg . -benchtime 3x
 	go run ./cmd/benchjson -out BENCH_PR5.json -append -label warm-read \
 		-bench 'BenchmarkTraceOffReadAt' -pkg .
+
+# Serve-frontend sweep: the sync and ring dispatch paths across 1/8/64
+# tenants at identical replay schedules — achieved dispatch depth,
+# kernel crossings per op, and tail latency per cell, with the
+# cross-layer telemetry audit enforced on every system.
+bench-serve:
+	go run ./cmd/crosserve -sweep -json BENCH_PR6.json

@@ -1,0 +1,182 @@
+// Command crosserve replays concurrent client sessions against one
+// simulated CrossPrefetch system — the serving-tier frontend for the
+// submission/completion rings. Each tenant gets its own file, its own
+// ring descriptor (ring mode), and a fair share of the device via the
+// kernel's per-tenant dispatch lanes; admission control is the ring's
+// depth bound.
+//
+// Usage:
+//
+//	crosserve -mode rings -tenants 8 -sessions 4 -ops 200
+//	crosserve -mode sync  -tenants 8
+//	crosserve -sweep -json BENCH_PR6.json
+//
+// -sweep runs the sync and ring frontends across 1/8/64 tenants at
+// identical replay schedules and writes one JSON record per cell —
+// achieved dispatch depth, kernel crossings per op, and tail latency are
+// the headline columns.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	crossprefetch "repro"
+	"repro/internal/experiments"
+	"repro/internal/simtime"
+)
+
+// record is one replay cell in the JSON output.
+type record struct {
+	Mode           string  `json:"mode"`
+	Tenants        int     `json:"tenants"`
+	Sessions       int     `json:"sessions_per_tenant"`
+	Ops            int64   `json:"ops"`
+	ClientMB       float64 `json:"client_mb"`
+	Crossings      int64   `json:"crossings"`
+	CrossingsPerOp float64 `json:"crossings_per_op"`
+	MeanDepth      float64 `json:"mean_dispatch_depth"`
+	MaxBatch       int64   `json:"max_dispatch_depth"`
+	Backpressure   int64   `json:"ring_backpressure"`
+	P50Us          float64 `json:"p50_us"`
+	P99Us          float64 `json:"p99_us"`
+	MakespanMs     float64 `json:"makespan_ms"`
+	MBs            float64 `json:"mb_per_s"`
+	MinTenantMB    float64 `json:"fair_min_tenant_mb"`
+	MaxTenantMB    float64 `json:"fair_max_tenant_mb"`
+	DeviceReadMB   float64 `json:"device_read_mb"`
+	Audit          string  `json:"audit"`
+}
+
+func run(c experiments.ServeConfig, memMB int64, mode string) (record, error) {
+	c.Sys = crossprefetch.NewSystem(crossprefetch.Config{
+		MemoryBytes:     memMB << 20,
+		Approach:        crossprefetch.CrossPredictOpt,
+		Plug:            true,
+		Telemetry:       true,
+		Trace:           true,
+		CongestionLimit: simtime.Second,
+	})
+	c.Rings = mode == "rings"
+	res, err := experiments.RunServe(c)
+	if err != nil {
+		return record{}, err
+	}
+	audit := "ok"
+	if err := c.Sys.AuditTelemetry(); err != nil {
+		audit = err.Error()
+	}
+	us := func(d simtime.Duration) float64 {
+		return float64(d) / float64(simtime.Microsecond)
+	}
+	return record{
+		Mode:           mode,
+		Tenants:        c.Tenants,
+		Sessions:       c.Sessions,
+		Ops:            res.Ops,
+		ClientMB:       float64(res.Bytes) / (1 << 20),
+		Crossings:      res.Crossings,
+		CrossingsPerOp: res.CrossingsPerOp(),
+		MeanDepth:      res.MeanDepth,
+		MaxBatch:       res.MaxBatch,
+		Backpressure:   res.Backpressure,
+		P50Us:          us(res.P50),
+		P99Us:          us(res.P99),
+		MakespanMs:     float64(res.Makespan) / float64(simtime.Millisecond),
+		MBs:            res.MBs(),
+		MinTenantMB:    float64(res.MinTenantBytes) / (1 << 20),
+		MaxTenantMB:    float64(res.MaxTenantBytes) / (1 << 20),
+		DeviceReadMB:   res.DeviceReadMB,
+		Audit:          audit,
+	}, nil
+}
+
+func main() {
+	var (
+		mode     = flag.String("mode", "rings", "dispatch path: sync or rings")
+		tenants  = flag.Int("tenants", 8, "concurrent tenants (one file and one ring each)")
+		sessions = flag.Int("sessions", 4, "client sessions per tenant")
+		ops      = flag.Int("ops", 200, "reads per session")
+		batch    = flag.Int("batch", 8, "SQEs staged per ring submit")
+		iosize   = flag.Int64("iosize", 64<<10, "bytes per read")
+		depth    = flag.Int("depth", 0, "ring admission bound (0 = 4*batch)")
+		fileMB   = flag.Int64("file-mb", 16, "per-tenant file size")
+		memMB    = flag.Int64("mem-mb", 0, "page-cache memory (0 = half the aggregate dataset)")
+		seed     = flag.Int64("seed", 1, "replay schedule seed")
+		sweep    = flag.Bool("sweep", false, "run sync and rings across 1/8/64 tenants")
+		jsonOut  = flag.String("json", "", "write records as JSON to this file")
+	)
+	flag.Parse()
+	if *mode != "sync" && *mode != "rings" {
+		fmt.Fprintf(os.Stderr, "crosserve: unknown -mode %q (want sync or rings)\n", *mode)
+		os.Exit(2)
+	}
+
+	base := experiments.ServeConfig{
+		Sessions: *sessions, Ops: *ops, Batch: *batch,
+		IOSize: *iosize, Depth: *depth, FileMB: *fileMB, Seed: *seed,
+	}
+	mem := func(tenants int) int64 {
+		if *memMB > 0 {
+			return *memMB
+		}
+		return int64(tenants) * *fileMB / 2
+	}
+
+	var cells []struct {
+		mode    string
+		tenants int
+	}
+	if *sweep {
+		for _, n := range []int{1, 8, 64} {
+			for _, m := range []string{"sync", "rings"} {
+				cells = append(cells, struct {
+					mode    string
+					tenants int
+				}{m, n})
+			}
+		}
+	} else {
+		cells = append(cells, struct {
+			mode    string
+			tenants int
+		}{*mode, *tenants})
+	}
+
+	var records []record
+	for _, cell := range cells {
+		c := base
+		c.Tenants = cell.tenants
+		rec, err := run(c, mem(cell.tenants), cell.mode)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crosserve: %s-t%d: %v\n", cell.mode, cell.tenants, err)
+			os.Exit(1)
+		}
+		records = append(records, rec)
+		fmt.Printf("%-5s t=%-3d ops=%-6d cross/op=%.3f depth=%.1f (max %d) "+
+			"p50=%.0fus p99=%.0fus makespan=%.1fms %.1fMB/s audit=%s\n",
+			rec.Mode, rec.Tenants, rec.Ops, rec.CrossingsPerOp, rec.MeanDepth,
+			rec.MaxBatch, rec.P50Us, rec.P99Us, rec.MakespanMs, rec.MBs, rec.Audit)
+		if rec.Audit != "ok" {
+			fmt.Fprintf(os.Stderr, "crosserve: telemetry audit failed for %s-t%d\n",
+				rec.Mode, rec.Tenants)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crosserve:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "crosserve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d records to %s\n", len(records), *jsonOut)
+	}
+}

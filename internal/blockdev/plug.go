@@ -137,6 +137,18 @@ func (p *Plug) Reset() {
 // Segments exposes the submitted segments with their dispatch results.
 func (p *Plug) Segments() []Segment { return p.segs }
 
+// DispatchedCommands reports how many accumulated commands the last flush
+// issued to the device (0 before any flush).
+func (p *Plug) DispatchedCommands() int {
+	n := 0
+	for i := range p.cmds {
+		if p.cmds[i].issued {
+			n++
+		}
+	}
+	return n
+}
+
 // Retries reports transient-fault retries performed during FlushSync.
 func (p *Plug) Retries() int { return p.retries }
 
@@ -175,8 +187,11 @@ func (p *Plug) AsyncAccess(at simtime.Time, op Op, off, bytes int64) (done, end 
 
 // Add queues one segment in the plug, merging it into an existing
 // accumulated command when it is device-adjacent (front or back), same
-// op, and the merged command stays within the merge window. Results are
-// populated by FlushSync/FlushAsync.
+// op, and the merged command stays within the merge window. A segment
+// that bridges two commands triggers a second-level merge: the pair it
+// made adjacent coalesces into one command (still window-bounded), as in
+// the Linux block layer's attempt_back/front_merge. Results are populated
+// by FlushSync/FlushAsync.
 func (p *Plug) Add(op Op, off, bytes, userLo int64) {
 	seg := Segment{Op: op, Off: off, Bytes: bytes, UserLo: userLo, Cmd: -1}
 	for i := range p.cmds {
@@ -197,11 +212,68 @@ func (p *Plug) Add(op Op, off, bytes, userLo int64) {
 		seg.Cmd = i
 		break
 	}
+	grew := seg.Cmd >= 0
 	if seg.Cmd < 0 {
 		p.cmds = append(p.cmds, command{op: op, off: off, bytes: bytes, nsegs: 1})
 		seg.Cmd = len(p.cmds) - 1
 	}
 	p.segs = append(p.segs, seg)
+	if grew {
+		// Only a grown command can have become adjacent to another: a
+		// fresh command adjacent to an existing one within the window
+		// would have merged above.
+		p.coalesce(p.segs[len(p.segs)-1].Cmd)
+	}
+}
+
+// coalesce merges command grown (just extended by Add) with any command it
+// became adjacent to, window permitting, compacting the command slice and
+// re-pointing segment indices. Growth repeats on the survivor: absorbing a
+// neighbor can expose another window-blocked neighbor on the far side.
+func (p *Plug) coalesce(grown int) {
+	for {
+		merged := false
+		a := &p.cmds[grown]
+		for j := range p.cmds {
+			if j == grown {
+				continue
+			}
+			b := &p.cmds[j]
+			if a.op != b.op || a.bytes+b.bytes > p.cfg.MergeWindowBytes {
+				continue
+			}
+			if a.off+a.bytes != b.off && b.off+b.bytes != a.off {
+				continue
+			}
+			// Merge the higher index into the lower to keep submission
+			// order stable for queue-depth gating.
+			lo, hi := grown, j
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			keep, gone := &p.cmds[lo], &p.cmds[hi]
+			if gone.off < keep.off {
+				keep.off = gone.off
+			}
+			keep.bytes += gone.bytes
+			keep.nsegs += gone.nsegs
+			p.cmds = append(p.cmds[:hi], p.cmds[hi+1:]...)
+			for k := range p.segs {
+				switch {
+				case p.segs[k].Cmd == hi:
+					p.segs[k].Cmd = lo
+				case p.segs[k].Cmd > hi:
+					p.segs[k].Cmd--
+				}
+			}
+			grown = lo
+			merged = true
+			break
+		}
+		if !merged {
+			return
+		}
+	}
 }
 
 // FlushSync unplugs: it dispatches the accumulated commands as blocking

@@ -69,6 +69,68 @@ func TestPlugFrontMerge(t *testing.T) {
 	}
 }
 
+// TestPlugBridgeMergeCoalescesCommands: a segment that bridges two
+// accumulated commands must leave ONE command, not a back-merged pair of
+// adjacent dispatches — the Linux block layer's second-level (command to
+// command) merge.
+func TestPlugBridgeMergeCoalescesCommands(t *testing.T) {
+	d, p := pluggedPlug(0, 0)
+	tl := simtime.NewTimeline(0)
+	p.Add(OpWrite, 0, 4096, 0)
+	p.Add(OpWrite, 8192, 4096, 2)
+	p.Add(OpWrite, 4096, 4096, 1) // bridges the two commands above
+	if err := p.FlushSync(tl, RetryPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.WriteOps != 1 {
+		t.Fatalf("WriteOps = %d, want 1 (bridged commands must coalesce)", st.WriteOps)
+	}
+	if st.WriteBytes != 3*4096 {
+		t.Fatalf("WriteBytes = %d, want %d", st.WriteBytes, 3*4096)
+	}
+	if st.PlugSegments != 3 || st.PlugCommands != 1 || st.MergedSegments != 2 {
+		t.Fatalf("plug counters = %d/%d/%d, want 3/1/2",
+			st.PlugSegments, st.PlugCommands, st.MergedSegments)
+	}
+	segs := p.Segments()
+	for i, s := range segs {
+		if s.Cmd != segs[0].Cmd {
+			t.Fatalf("segment %d on command %d, want all on %d", i, s.Cmd, segs[0].Cmd)
+		}
+		if !s.Issued || s.Err != nil {
+			t.Fatalf("segment %d not issued cleanly: %+v", i, s)
+		}
+		if s.Done != segs[0].Done {
+			t.Fatalf("bridged segments complete apart: %v vs %v", s.Done, segs[0].Done)
+		}
+	}
+}
+
+// TestPlugBridgeMergeRespectsWindow: the second-level merge is still
+// bounded by the merge window — a bridge whose combined command would
+// exceed it keeps the pair separate.
+func TestPlugBridgeMergeRespectsWindow(t *testing.T) {
+	d, p := pluggedPlug(0, 8192)
+	tl := simtime.NewTimeline(0)
+	p.Add(OpWrite, 0, 4096, 0)
+	p.Add(OpWrite, 8192, 4096, 2)
+	p.Add(OpWrite, 4096, 4096, 1) // merges into one side; 12KB > window stops the pair merge
+	if err := p.FlushSync(tl, RetryPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.WriteOps != 2 || st.MergedSegments != 1 {
+		t.Fatalf("window-bounded bridge: WriteOps=%d MergedSegments=%d, want 2/1",
+			st.WriteOps, st.MergedSegments)
+	}
+	// Every segment still maps to a live command with a sane result.
+	for i, s := range p.Segments() {
+		if !s.Issued || s.Err != nil {
+			t.Fatalf("segment %d not issued cleanly: %+v", i, s)
+		}
+	}
+}
+
 func TestPlugMergeWindowBound(t *testing.T) {
 	d, p := pluggedPlug(0, 8192)
 	tl := simtime.NewTimeline(0)

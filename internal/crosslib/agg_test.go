@@ -3,6 +3,7 @@ package crosslib
 import (
 	"testing"
 
+	"repro/internal/bitmap"
 	"repro/internal/simtime"
 )
 
@@ -133,6 +134,58 @@ func TestBatchIntentsCloseFlushes(t *testing.T) {
 	st := rt.Stats()
 	if st.VectoredFlushes-base.VectoredFlushes != 1 || st.PrefetchedPages-base.PrefetchedPages != 3 {
 		t.Fatalf("close should flush parked intents: flushes=%d pages=%d",
+			st.VectoredFlushes-base.VectoredFlushes, st.PrefetchedPages-base.PrefetchedPages)
+	}
+}
+
+// TestWriteInvalidatesParkedIntents is the regression test for the
+// write-path aggregator leak: WriteAt marked the written pages cached in
+// the shared tree but left any overlapping parked intent in the per-file
+// aggregator, so the next vectored flush burned a kernel crossing
+// re-requesting pages the write had just made resident.
+func TestWriteInvalidatesParkedIntents(t *testing.T) {
+	rt, f, tl, _ := batchRuntime(t, 256)
+	bs := rt.VFS().BlockSize()
+
+	// Fully covered: the write satisfies everything parked, so the flush
+	// must not cross into the kernel at all.
+	park(t, f, tl, 2010, 2014)
+	base := rt.Stats()
+	if _, err := f.WriteAt(tl, make([]byte, 4*bs), 2010*bs); err != nil {
+		t.Fatal(err)
+	}
+	f.FlushIntents(tl)
+	st := rt.Stats()
+	if d := st.VectoredFlushes - base.VectoredFlushes; d != 0 {
+		t.Fatalf("flush after covering write crossed %d times, want 0 (wasted crossing)", d)
+	}
+	if d := st.PrefetchCalls - base.PrefetchCalls; d != 0 {
+		t.Fatalf("PrefetchCalls delta = %d, want 0", d)
+	}
+
+	// Partial overlap: the written middle drops out, the edges stay
+	// parked as split runs with the page count reconciled.
+	park(t, f, tl, 3050, 3058)
+	if _, err := f.WriteAt(tl, make([]byte, 2*bs), 3052*bs); err != nil {
+		t.Fatal(err)
+	}
+	f.sf.aggMu.Lock()
+	agg := append([]bitmap.Run(nil), f.sf.agg...)
+	pages := f.sf.aggPages
+	f.sf.aggMu.Unlock()
+	want := []bitmap.Run{{Lo: 3050, Hi: 3052}, {Lo: 3054, Hi: 3058}}
+	if len(agg) != 2 || agg[0] != want[0] || agg[1] != want[1] {
+		t.Fatalf("aggregator after partial overwrite = %v, want %v", agg, want)
+	}
+	if pages != 6 {
+		t.Fatalf("aggPages = %d, want 6", pages)
+	}
+	// The surviving edges still flush as one vectored crossing.
+	base = rt.Stats()
+	f.FlushIntents(tl)
+	st = rt.Stats()
+	if st.VectoredFlushes-base.VectoredFlushes != 1 || st.PrefetchedPages-base.PrefetchedPages != 6 {
+		t.Fatalf("split-run flush: flushes=%d pages=%d, want 1/6",
 			st.VectoredFlushes-base.VectoredFlushes, st.PrefetchedPages-base.PrefetchedPages)
 	}
 }

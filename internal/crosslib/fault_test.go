@@ -176,3 +176,110 @@ func TestRetryScheduleDeterministic(t *testing.T) {
 		t.Fatalf("degenerate run (retries=%d faults=%d): plan injected nothing", a.retries, a.faults)
 	}
 }
+
+// persistentReads fails every device read definitively.
+func persistentReads() *faultinject.Injector {
+	return faultinject.New(faultinject.Plan{
+		Seed:   7,
+		Ranges: []faultinject.RangeFault{{Lo: 0, Hi: 1 << 40, Class: faultinject.Persistent, Reads: true}},
+	})
+}
+
+// brkState snapshots a file's breaker under its lock.
+func brkState(f *File) (fails int, open bool) {
+	f.sf.brk.mu.Lock()
+	defer f.sf.brk.mu.Unlock()
+	return f.sf.brk.fails, f.sf.brk.open
+}
+
+// TestMultiRunPrefetchFeedsBreakerOnce is the regression test for the
+// per-range breaker feed: a single background job whose intent splits
+// into several runs used to issue every run against a definitively
+// failing device, feeding the breaker once per run — one bad multi-run
+// job tripped a threshold-3 breaker alone — and burning a kernel
+// crossing per run after the first had already proven the device dead.
+// The job must stop at the first definitive failure, feed the breaker
+// exactly once, and give the unissued runs' requested bits back.
+func TestMultiRunPrefetchFeedsBreakerOnce(t *testing.T) {
+	v := newKernel(1_000_000)
+	opt := CrossPredictOpt.Options()
+	opt.BreakerThreshold = 3
+	rt := New(v, opt)
+	tl := simtime.NewTimeline(0)
+	v.FS().CreateSynthetic(tl, "big", 64<<20)
+	f, err := rt.Open(tl, "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split [1000, 1120) into three missing runs by pre-marking two gaps
+	// cached, then fail every read definitively.
+	f.sf.tree.MarkCached(tl, 1040, 1044)
+	f.sf.tree.MarkCached(tl, 1080, 1084)
+	v.Device().SetFaultInjector(persistentReads())
+	base := rt.Stats()
+
+	f.prefetchAsync(tl, 1000, 120) // job runs inline on the worker pool
+
+	fails, open := brkState(f)
+	if fails != 1 {
+		t.Fatalf("one failing job fed the breaker %d times, want exactly 1", fails)
+	}
+	if open {
+		t.Fatal("threshold-3 breaker tripped by a single job")
+	}
+	st := rt.Stats()
+	if st.BreakerTrips != base.BreakerTrips {
+		t.Fatalf("breaker tripped %d times", st.BreakerTrips-base.BreakerTrips)
+	}
+	if d := st.PrefetchCalls - base.PrefetchCalls; d != 1 {
+		t.Fatalf("failing job crossed %d times, want 1 (stop at first definitive failure)", d)
+	}
+	// Requested-bit reconciliation: every run — issued and unissued — is
+	// missing again, so nothing is stranded as requested-forever.
+	runs := f.sf.tree.NeedsPrefetch(tl, 1000, 1120)
+	want := [][2]int64{{1000, 1040}, {1044, 1080}, {1084, 1120}}
+	if len(runs) != len(want) {
+		t.Fatalf("post-failure missing runs = %v, want %v", runs, want)
+	}
+	for i, r := range runs {
+		if r.Lo != want[i][0] || r.Hi != want[i][1] {
+			t.Fatalf("post-failure missing runs = %v, want %v", runs, want)
+		}
+	}
+}
+
+// TestVectoredFlushFailureFeedsBreakerOnce pins the vectored path's
+// failure contract: a definitive device failure under one vectored
+// readahead_info flush of several parked runs feeds the breaker exactly
+// once — not once per range — and gives every parked run's requested
+// bits back so later intents can retry them.
+func TestVectoredFlushFailureFeedsBreakerOnce(t *testing.T) {
+	rt, f, tl, base := batchRuntime(t, 256)
+	park(t, f, tl, 2010, 2014)
+	park(t, f, tl, 2020, 2024)
+	park(t, f, tl, 2030, 2034)
+	rt.VFS().Device().SetFaultInjector(persistentReads())
+	failsBefore, _ := brkState(f)
+
+	f.FlushIntents(tl)
+
+	fails, open := brkState(f)
+	if fails-failsBefore != 1 {
+		t.Fatalf("one failed vectored flush fed the breaker %d times, want exactly 1", fails-failsBefore)
+	}
+	if open {
+		t.Fatal("breaker tripped by a single vectored failure")
+	}
+	st := rt.Stats()
+	if d := st.PrefetchCalls - base.PrefetchCalls; d != 1 {
+		t.Fatalf("failed vectored flush crossed %d times, want 1", d)
+	}
+	rt.VFS().Device().SetFaultInjector(nil)
+	for _, w := range [][2]int64{{2010, 2014}, {2020, 2024}, {2030, 2034}} {
+		runs := f.sf.tree.NeedsPrefetch(tl, w[0], w[1])
+		if len(runs) != 1 || runs[0].Lo != w[0] || runs[0].Hi != w[1] {
+			t.Fatalf("parked run [%d,%d) not given back after failure: %v", w[0], w[1], runs)
+		}
+		f.sf.tree.ClearRequested(tl, w[0], w[1])
+	}
+}

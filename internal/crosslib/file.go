@@ -158,6 +158,21 @@ func (f *File) ReadAt(tl *simtime.Timeline, dst []byte, off int64) (int, error) 
 	lo := off / bs
 	hi := (off + int64(len(dst)) + bs - 1) / bs
 
+	op := f.observeAccess(tl, lo, hi)
+
+	n, err := f.kf.ReadAt(tl, dst, off)
+	f.sf.tree.MarkCached(tl, lo, hi)
+	f.sf.touch(tl.Now())
+	f.rt.maybeEvict(tl, op)
+	return n, err
+}
+
+// observeAccess runs the library-side read pre-work shared by ReadAt and
+// the ring submission path (Ring.Submit): flush-on-read of overlapping
+// parked intents, predictor-driven prefetch, and the FetchAll policy.
+// Returns the op tick for the caller's maybeEvict.
+func (f *File) observeAccess(tl *simtime.Timeline, lo, hi int64) int64 {
+	o := f.rt.opt
 	if o.BatchIntents {
 		// Flush-on-read: intents parked before this access flush now if
 		// the read wants any of their pages — checked before the
@@ -187,12 +202,7 @@ func (f *File) ReadAt(tl *simtime.Timeline, dst []byte, off int64) (int, error) 
 	if o.FetchAll {
 		f.ensureFetchAll(tl, op)
 	}
-
-	n, err := f.kf.ReadAt(tl, dst, off)
-	f.sf.tree.MarkCached(tl, lo, hi)
-	f.sf.touch(tl.Now())
-	f.rt.maybeEvict(tl, op)
-	return n, err
+	return op
 }
 
 // Read reads at the descriptor's position, advancing it.
@@ -238,6 +248,13 @@ func (f *File) WriteAt(tl *simtime.Timeline, data []byte, off int64) (int, error
 	op := f.rt.tick()
 	n, err := f.kf.WriteAt(tl, data, off)
 	f.sf.tree.MarkCached(tl, lo, hi)
+	if o.BatchIntents {
+		// The write just cached [lo, hi): any parked intent overlapping
+		// it is (partially) satisfied and must not ride the next vectored
+		// flush — re-requesting written pages wastes the crossing the
+		// aggregator exists to save.
+		f.sf.invalidateIntents(lo, hi)
+	}
 	f.sf.touch(tl.Now())
 	f.rt.maybeEvict(tl, op)
 	return n, err
@@ -355,8 +372,19 @@ func (f *File) prefetchAsync(tl *simtime.Timeline, lo, blocks int64) {
 	kf := f.kf
 	rt.workers.Run(now, func(wtl *simtime.Timeline) {
 		root := rt.tr.Root(wtl, telemetry.OpBgPrefetch, sf.inoID)
-		for _, r := range runs {
-			f.issuePrefetch(wtl, kf, sf, r.Lo, r.Hi)
+		for i, r := range runs {
+			if !f.issuePrefetch(wtl, kf, sf, r.Lo, r.Hi) {
+				// Definitive device failure: the failing call fed the
+				// breaker once for this job. Issuing the remaining runs
+				// would feed it once per range — a single bad multi-run
+				// job could trip it alone — and burn crossings against a
+				// device that just failed definitively. Give the unissued
+				// runs their requested bits back instead.
+				for _, rest := range runs[i+1:] {
+					sf.tree.ClearRequested(wtl, rest.Lo, rest.Hi)
+				}
+				break
+			}
 		}
 		root.Finish(wtl)
 	})
@@ -391,6 +419,40 @@ func (f *File) deferIntent(tl *simtime.Timeline, runs []bitmap.Run) {
 		sf.inoID, runs[0].Lo, runs[len(runs)-1].Hi)
 	if full {
 		f.flushIntents(tl)
+	}
+}
+
+// invalidateIntents removes [lo, hi) from the parked intent aggregator.
+// The tree's requested bits for the overlap are already gone (the caller
+// marked the pages cached), so only the aggregator's run list needs
+// reconciling; runs straddling the boundary are split and the remainder
+// stays parked.
+func (sf *sharedFile) invalidateIntents(lo, hi int64) {
+	sf.aggMu.Lock()
+	defer sf.aggMu.Unlock()
+	if len(sf.agg) == 0 {
+		return
+	}
+	out := make([]bitmap.Run, 0, len(sf.agg)+1)
+	for _, r := range sf.agg {
+		if r.Hi <= lo || hi <= r.Lo {
+			out = append(out, r)
+			continue
+		}
+		if r.Lo < lo {
+			out = append(out, bitmap.Run{Lo: r.Lo, Hi: lo})
+		}
+		if hi < r.Hi {
+			out = append(out, bitmap.Run{Lo: hi, Hi: r.Hi})
+		}
+	}
+	if len(out) == 0 {
+		out = nil
+	}
+	sf.agg = out
+	sf.aggPages = 0
+	for _, r := range sf.agg {
+		sf.aggPages += r.Blocks()
 	}
 }
 
@@ -574,7 +636,10 @@ func mergeRun(runs []bitmap.Run, r bitmap.Run) []bitmap.Run {
 
 // issuePrefetch performs one kernel prefetch for [lo, hi) on the worker
 // timeline and reconciles the user-level bitmap with the kernel's reply.
-func (f *File) issuePrefetch(wtl *simtime.Timeline, kf *vfs.File, sf *sharedFile, lo, hi int64) {
+// Reports false on a definitive device failure (the breaker has been fed
+// exactly once and [pos, hi)'s requested bits given back) so a caller
+// issuing several runs stops instead of re-proving the failure per run.
+func (f *File) issuePrefetch(wtl *simtime.Timeline, kf *vfs.File, sf *sharedFile, lo, hi int64) bool {
 	rt := f.rt
 	o := rt.opt
 	bs := rt.v.BlockSize()
@@ -587,7 +652,7 @@ func (f *File) issuePrefetch(wtl *simtime.Timeline, kf *vfs.File, sf *sharedFile
 		kf.Readahead(wtl, lo*bs, (hi-lo)*bs)
 		rt.prefetchCalls.Add(1)
 		sf.tree.MarkCached(wtl, lo, min64(hi, lo+rt.v.Config().RA.MaxPages))
-		return
+		return true
 	}
 
 	attempt := 0
@@ -636,7 +701,7 @@ func (f *File) issuePrefetch(wtl *simtime.Timeline, kf *vfs.File, sf *sharedFile
 			// breaker. Demand reads still cover the data.
 			f.noteFault(wtl, sf, true)
 			sf.tree.ClearRequested(wtl, pos, hi)
-			return
+			return false
 		}
 		if info.PrefetchedPages > 0 {
 			// Only device-backed successes feed the breaker: a call
@@ -660,6 +725,7 @@ func (f *File) issuePrefetch(wtl *simtime.Timeline, kf *vfs.File, sf *sharedFile
 			break
 		}
 	}
+	return true
 }
 
 // libRetryDelayCap bounds a single transient-retry backoff: the

@@ -1,0 +1,311 @@
+package crosslib
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/simtime"
+	"repro/internal/telemetry"
+	"repro/internal/vfs"
+)
+
+// ErrRingFull is returned by Prep* when the ring already holds depth
+// outstanding operations (staged or completed-but-unreaped). The caller
+// should Reap before submitting more — the ring's admission control.
+var ErrRingFull = errors.New("crosslib: ring full")
+
+// RingCQE is a completion delivered by Reap. N is op-dependent: bytes
+// for reads/writes, admitted pages for prefetch intents. Done is the
+// virtual time the operation's effect is available; Reap advances the
+// reaping timeline to the latest Done it delivers.
+type RingCQE struct {
+	User uint64
+	N    int64
+	Err  error
+	Done simtime.Time
+}
+
+// ringOp is one staged submission-queue entry plus the library-side
+// reconciliation metadata Submit computes for it.
+type ringOp struct {
+	kind vfs.RingOpKind
+	f    *File
+	off  int64
+	buf  []byte
+	len  int64
+	user uint64
+
+	lo, hi int64 // block range, filled in by Submit
+}
+
+// Ring is the user-level half of the submission/completion pair: a
+// per-tenant descriptor that stages operations (PrepRead/PrepWrite/
+// PrepPrefetch), submits them as one kernel crossing (Submit), and
+// delivers completions (Reap). It is safe for concurrent use — multiple
+// submitter threads may Prep and Submit against one ring while a reaper
+// thread drains it; the kernel side feeds every submitter's staged work
+// through the shared per-tenant lane so the device sees their combined
+// depth.
+//
+// The library shim still runs on the ring path: read submissions feed
+// the descriptor's predictor (which may issue background prefetch),
+// flush overlapping parked intents, and update the shared range tree;
+// prefetch submissions are elided entirely when the user-level bitmap
+// proves the range resident — the same crossing savings as the
+// synchronous path, amortized further by batching.
+type Ring struct {
+	rt     *Runtime
+	tenant int
+	depth  int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	staged   []ringOp
+	cq       []RingCQE
+	inflight int
+	closed   bool
+
+	backpressure int64
+	submits      int64
+	sqes         int64
+}
+
+// NewRing creates a ring for one tenant. depth bounds outstanding
+// operations (staged plus unreaped); depth <= 0 selects 64.
+func (rt *Runtime) NewRing(tenant, depth int) *Ring {
+	if depth <= 0 {
+		depth = 64
+	}
+	r := &Ring{rt: rt, tenant: tenant, depth: depth}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// RingStats is the ring's flat accounting.
+type RingStats struct {
+	Submits      int64 // Submit calls that crossed into the kernel
+	SQEs         int64 // operations staged successfully
+	Backpressure int64 // Prep* rejections due to a full ring
+}
+
+// Stats snapshots the ring.
+func (r *Ring) Stats() RingStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RingStats{Submits: r.submits, SQEs: r.sqes, Backpressure: r.backpressure}
+}
+
+// Close wakes reapers; further Prep* calls fail. Outstanding staged ops
+// are discarded (submit before closing to drain).
+func (r *Ring) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+func (r *Ring) prep(op ringOp) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrRingFull
+	}
+	if r.inflight >= r.depth {
+		r.backpressure++
+		r.rt.rec.Add(telemetry.CtrRingBackpressure, 1)
+		return ErrRingFull
+	}
+	r.staged = append(r.staged, op)
+	r.inflight++
+	r.sqes++
+	return nil
+}
+
+// PrepRead stages a read of len(buf) bytes at off.
+func (r *Ring) PrepRead(f *File, buf []byte, off int64, user uint64) error {
+	return r.prep(ringOp{kind: vfs.RingRead, f: f, off: off, buf: buf, user: user})
+}
+
+// PrepWrite stages a buffered write of data at off.
+func (r *Ring) PrepWrite(f *File, data []byte, off int64, user uint64) error {
+	return r.prep(ringOp{kind: vfs.RingWrite, f: f, off: off, buf: data, user: user})
+}
+
+// PrepPrefetch stages a prefetch intent for bytes at off.
+func (r *Ring) PrepPrefetch(f *File, off, bytes int64, user uint64) error {
+	return r.prep(ringOp{kind: vfs.RingPrefetch, f: f, off: off, len: bytes, user: user})
+}
+
+// Submit takes everything staged so far through one kernel crossing and
+// appends the completions to the ring's CQ, waking reapers. Runs the
+// library pre-work (predictor, intent flush, bitmap elision) on the
+// submitting timeline, SQPOLL-style. Returns the number of operations
+// consumed. Concurrent Submits are safe; each takes its own staged
+// snapshot.
+func (r *Ring) Submit(tl *simtime.Timeline) int {
+	r.mu.Lock()
+	batch := r.staged
+	r.staged = nil
+	r.mu.Unlock()
+	if len(batch) == 0 {
+		return 0
+	}
+
+	rt := r.rt
+	o := rt.opt
+	bs := rt.v.BlockSize()
+
+	root := rt.tr.Root(tl, telemetry.OpRingEnter, batch[0].f.kf.Inode().ID())
+	defer root.Finish(tl)
+	root.Annotate("sqes", int64(len(batch)))
+	if o.Enabled {
+		tl.Advance(rt.v.Config().Costs.LibOverhead)
+	}
+
+	// Library pre-work: decide per op whether it crosses, and with what.
+	kbatch := make([]vfs.RingSQE, 0, len(batch))
+	kmeta := make([]*ringOp, 0, len(batch))
+	var local []RingCQE
+	var op int64
+	for i := range batch {
+		q := &batch[i]
+		f := q.f
+		shimmed := o.Enabled && f.sf != nil
+		switch q.kind {
+		case vfs.RingRead:
+			q.lo = q.off / bs
+			q.hi = (q.off + int64(len(q.buf)) + bs - 1) / bs
+			if shimmed {
+				op = f.observeAccess(tl, q.lo, q.hi)
+			}
+		case vfs.RingWrite:
+			q.lo = q.off / bs
+			q.hi = (q.off + int64(len(q.buf)) + bs - 1) / bs
+			if shimmed && o.Predict && f.pred != nil {
+				f.predMu.Lock()
+				f.pred.Observe(q.lo, q.hi-q.lo)
+				f.predMu.Unlock()
+				op = rt.tick()
+			}
+		case vfs.RingPrefetch:
+			// Mirror the kernel's clamp exactly so the lib-issued pages
+			// ledger matches kernel admitted+rejected page for page.
+			q.lo = q.off / bs
+			q.hi = (q.off + q.len + bs - 1) / bs
+			if fb := f.kf.Inode().Blocks(); q.hi > fb {
+				q.hi = fb
+			}
+			if q.len <= 0 || q.hi <= q.lo {
+				local = append(local, RingCQE{User: q.user, Done: tl.Now()})
+				continue
+			}
+			if shimmed {
+				if o.Visibility && o.BreakerThreshold > 0 && !f.sf.brk.allow(tl.Now()) {
+					rt.droppedBreaker.Add(1)
+					rt.rec.Event(tl.Now(), telemetry.OutcomeDroppedBreakerOpen,
+						f.sf.inoID, q.lo, q.hi)
+					local = append(local, RingCQE{User: q.user, Done: tl.Now()})
+					continue
+				}
+				if runs := f.sf.tree.NeedsPrefetch(tl, q.lo, q.hi); len(runs) == 0 {
+					// The bitmap proves the range resident or in flight:
+					// the intent is satisfied without crossing. N reports
+					// the full intent as covered.
+					rt.savedPrefetch.Add(1)
+					rt.rec.Event(tl.Now(), telemetry.OutcomeSavedByBitmap,
+						f.sf.inoID, q.lo, q.hi)
+					local = append(local, RingCQE{User: q.user, N: q.hi - q.lo, Done: tl.Now()})
+					continue
+				}
+			}
+			rt.rec.Add(telemetry.CtrLibIssuedPages, q.hi-q.lo)
+		}
+		kbatch = append(kbatch, vfs.RingSQE{
+			F: f.kf, Op: q.kind, Off: q.off, Buf: q.buf, Len: q.len, User: q.user,
+		})
+		kmeta = append(kmeta, q)
+	}
+
+	var out []RingCQE
+	if len(kbatch) > 0 {
+		r.mu.Lock()
+		r.submits++
+		r.mu.Unlock()
+		cqes := rt.v.RingEnter(tl, r.tenant, kbatch)
+		out = make([]RingCQE, 0, len(cqes)+len(local))
+		for i := range cqes {
+			cq := &cqes[i]
+			q := kmeta[i]
+			f := q.f
+			if o.Enabled && f.sf != nil {
+				// Reconcile the shared tree with the kernel's answer. The
+				// inserted pages are already in the cache (in flight until
+				// their Done), so marking them cached now is truthful.
+				switch q.kind {
+				case vfs.RingRead, vfs.RingWrite:
+					if cq.Err == nil {
+						f.sf.tree.MarkCached(tl, q.lo, q.hi)
+					}
+				case vfs.RingPrefetch:
+					if cq.Err != nil {
+						// Definitive failure: one breaker feed for the
+						// whole intent, and the range given back.
+						f.noteFault(tl, f.sf, true)
+						f.sf.tree.ClearRequested(tl, q.lo, q.hi)
+					} else {
+						if cq.N > 0 {
+							f.sf.tree.MarkCached(tl, q.lo, q.lo+cq.N)
+							f.noteFault(tl, f.sf, false)
+						}
+						if q.lo+cq.N < q.hi {
+							// Clamped or congestion-dropped remainder:
+							// requested bits go back so a later intent can
+							// retry it.
+							f.sf.tree.ClearRequested(tl, q.lo+cq.N, q.hi)
+						}
+					}
+				}
+				f.sf.touch(tl.Now())
+			}
+			out = append(out, RingCQE{User: cq.User, N: cq.N, Err: cq.Err, Done: cq.Done})
+		}
+		if o.Enabled {
+			rt.maybeEvict(tl, op)
+		}
+	}
+	out = append(out, local...)
+
+	r.mu.Lock()
+	r.cq = append(r.cq, out...)
+	r.mu.Unlock()
+	r.cond.Broadcast()
+	return len(batch)
+}
+
+// Reap blocks until at least min completions are available (or the ring
+// is closed), delivers everything queued, and advances tl to the latest
+// completion time delivered — the reaper "waits for" the I/O it
+// consumes. min <= 0 returns whatever is queued without blocking.
+func (r *Ring) Reap(tl *simtime.Timeline, min int) []RingCQE {
+	r.mu.Lock()
+	for min > 0 && len(r.cq) < min && !r.closed {
+		r.cond.Wait()
+	}
+	out := r.cq
+	r.cq = nil
+	r.inflight -= len(out)
+	r.mu.Unlock()
+	if len(out) == 0 {
+		return nil
+	}
+	var maxDone simtime.Time
+	for i := range out {
+		if out[i].Done > maxDone {
+			maxDone = out[i].Done
+		}
+	}
+	if maxDone > tl.Now() {
+		tl.WaitUntil(maxDone, simtime.WaitIO)
+	}
+	return out
+}

@@ -236,3 +236,27 @@ func TestTelemetryDisabledRegistersNothing(t *testing.T) {
 		t.Fatalf("systems registered while telemetry disabled: %d", len(got))
 	}
 }
+
+// TestServeQuick runs the serve frontend comparison and asserts the
+// rings' reason to exist: at multi-tenant scale the ring cells must
+// cross the kernel boundary less often per op and sustain deeper
+// dispatch batches than the sync baseline, at identical client bytes.
+func TestServeQuick(t *testing.T) {
+	tbl := runQuick(t, "serve")
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("serve produced %d rows, want 4", len(tbl.Rows))
+	}
+	syncMB := cell(t, tbl, "client-MB", "sync-t4")
+	ringMB := cell(t, tbl, "client-MB", "rings-t4")
+	if syncMB != ringMB {
+		t.Errorf("client byte totals differ: sync %.1fMB vs rings %.1fMB", syncMB, ringMB)
+	}
+	syncCross := cell(t, tbl, "cross/op", "sync-t4")
+	ringCross := cell(t, tbl, "cross/op", "rings-t4")
+	if ringCross >= syncCross {
+		t.Errorf("rings cross/op %.3f should be < sync %.3f", ringCross, syncCross)
+	}
+	if depth := cell(t, tbl, "depth-mean", "rings-t4"); depth <= 1 {
+		t.Errorf("rings mean dispatch depth %.1f should exceed 1", depth)
+	}
+}

@@ -30,6 +30,7 @@ var registry = []registryEntry{
 	{"ablate", "Ablation of CROSS-LIB tunables (artifact §A.6 knobs)", Ablation},
 	{"batch", "Block-layer plugging: command reduction and makespan vs plug off", Batch},
 	{"chaos", "Fault-injection sweep: byte-correctness, retries, breaker degradation", Chaos},
+	{"serve", "Serve frontend: sync vs submission rings across tenant counts", Serve},
 }
 
 // IDs lists the experiment identifiers in a stable order.

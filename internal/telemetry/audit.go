@@ -148,6 +148,27 @@ func Audit(s *Snapshot, in AuditInput) error {
 		fail("plug merged segments %d != segments %d - commands %d", plugMerged, plugSegs, plugCmds)
 	}
 
+	// Ring <-> ring: at audit time (quiescence) every SQE accepted onto a
+	// ring must have produced exactly one CQE, every dispatch batch issued
+	// at least one device command, and lane dispatches go through the plug,
+	// so ring commands can never exceed the plug's command total.
+	sqes := s.Counter(CtrRingSQESubmitted)
+	cqes := s.Counter(CtrRingCQECompleted)
+	if sqes != cqes {
+		fail("ring SQEs submitted %d != CQEs completed %d", sqes, cqes)
+	}
+	ringBatches := s.Counter(CtrRingDispatchBatches)
+	ringCmds := s.Counter(CtrRingDispatchCommands)
+	if ringCmds < ringBatches {
+		fail("ring dispatch commands %d < dispatch batches %d", ringCmds, ringBatches)
+	}
+	if ringCmds > plugCmds {
+		fail("ring dispatch commands %d > plug commands %d", ringCmds, plugCmds)
+	}
+	if ringBatches > 0 && s.Counter(CtrRingEnterCalls) == 0 {
+		fail("ring dispatched %d batches with zero ring_enter crossings", ringBatches)
+	}
+
 	// Device <-> VFS: for a kernel that is the device's only client,
 	// every read the device served was a demand fetch or a prefetch.
 	if in.StrictDevice && in.BlockSize > 0 {

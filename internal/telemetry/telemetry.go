@@ -114,6 +114,23 @@ const (
 	// reconcilable with plugging enabled.
 	CtrDevicePlugSegmentBytes
 	CtrDevicePlugCommandBytes
+	// CtrRingSQESubmitted and CtrRingCQECompleted count submission-queue
+	// entries accepted onto rings and completions delivered to reapers. At
+	// quiescence (every ring drained) the two are exactly equal — the ring
+	// audit identity: no submission is lost, no completion invented.
+	CtrRingSQESubmitted
+	CtrRingCQECompleted
+	// CtrRingEnterCalls counts ring_enter crossings — one per submitted
+	// batch, however many SQEs it carried. SQEs/enter is the crossing
+	// amortization the rings exist to buy.
+	CtrRingEnterCalls
+	// CtrRingDispatchBatches counts fair-share lane dispatches that issued
+	// at least one device command, and CtrRingDispatchCommands the merged
+	// commands those dispatches issued (commands >= batches).
+	CtrRingDispatchBatches
+	CtrRingDispatchCommands
+	// CtrRingBackpressure counts SQEs refused at admission (ring full).
+	CtrRingBackpressure
 
 	numCounters
 )
@@ -151,6 +168,12 @@ func (c Counter) String() string {
 		"device_plug_merged_segments",
 		"device_plug_segment_bytes",
 		"device_plug_command_bytes",
+		"ring_sqes_submitted",
+		"ring_cqes_completed",
+		"ring_enter_calls",
+		"ring_dispatch_batches",
+		"ring_dispatch_commands",
+		"ring_backpressure",
 	}[c]
 }
 
@@ -234,6 +257,12 @@ const (
 	HistDevWriteBytes
 	// HistPrefetchLat: prefetch issue-to-complete time per device chunk.
 	HistPrefetchLat
+	// HistRingBatchCmds: device commands issued per fair-share lane
+	// dispatch — the achieved queue depth distribution.
+	HistRingBatchCmds
+	// HistRingQueueWait: virtual time an SQE's device work sat staged in a
+	// tenant lane before its dispatch was submitted.
+	HistRingQueueWait
 
 	numHists
 )
@@ -246,6 +275,8 @@ func (h Hist) String() string {
 		"dev_read_bytes",
 		"dev_write_bytes",
 		"prefetch_lat_ns",
+		"ring_batch_commands",
+		"ring_queue_wait_ns",
 	}[h]
 }
 

@@ -37,6 +37,7 @@ const (
 	OpBgPrefetch
 	OpMmapLoad
 	OpMmapScan
+	OpRingEnter
 
 	numOps
 )
@@ -51,6 +52,7 @@ func (o Op) String() string {
 		"bg_prefetch",
 		"mmap_load",
 		"mmap_scan",
+		"ring_enter",
 	}[o]
 }
 
@@ -196,6 +198,16 @@ func (s *Span) CountPages(k PageKind, n int64) {
 	}
 	s.root.pages[k] += n
 	s.root.tr.pages[k].Add(n)
+}
+
+// CountPages adds n pages of kind k to the timeline's active root, if
+// any. Call sites must use this (or an explicitly Current span) rather
+// than a Begin-returned child: Begin returns nil once the root hits
+// MaxSpansPerRoot, and page totals are reconciliation aggregates (the
+// audit checks them against the flat counters under full sampling) —
+// they must survive span-tree truncation. Nil-safe.
+func CountPages(tl *simtime.Timeline, k PageKind, n int64) {
+	Current(tl).CountPages(k, n)
 }
 
 // newChild allocates a child span under s, honoring the per-root cap.

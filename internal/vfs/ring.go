@@ -1,0 +1,394 @@
+package vfs
+
+import (
+	"sync"
+
+	"repro/internal/bitmap"
+	"repro/internal/blockdev"
+	"repro/internal/pagecache"
+	"repro/internal/simtime"
+	"repro/internal/telemetry"
+)
+
+// Ring servicing: the kernel half of the io_uring-style submission path.
+//
+// RingEnter is one syscall crossing that services a whole batch of SQEs.
+// Cache hits complete inline; each miss is cut into VFS-sized chunks and
+// staged on the caller's tenant lane (blockdev.LaneSet). The enter then
+// dispatches EVERYTHING currently staged — its own chunks and any a
+// concurrent submitter raced in — through the shared plug, so the device
+// sees the combined queue depth of all active tenants, with fair-share
+// (deficit-round-robin) ordering deciding whose work reserves device time
+// first. This is the SQPOLL idiom folded into the entering thread: the
+// dispatch work runs on whichever tenant crosses next, and its virtual
+// time is charged to that thread.
+//
+// Two deliberate divergences from the synchronous path:
+//
+//   - RingEnter never blocks on device completions. A CQE carries the
+//     virtual completion time (Done); the reaper waits on it. Present
+//     pages' in-flight ready times flow into Done uncapped (the sync
+//     path's waitInflight cap models a blocking reader's option to
+//     demand-read instead, which a queued SQE does not have).
+//   - The kernel readahead state machine is not consulted: on the ring
+//     path prefetch policy lives with the caller (CROSS-LIB's predictor
+//     submits explicit prefetch SQEs).
+type RingOpKind int
+
+// Ring operation kinds.
+const (
+	// RingNop completes immediately (liveness probes, barriers).
+	RingNop RingOpKind = iota
+	// RingRead is pread(2): Buf is filled from Off; N is bytes read.
+	RingRead
+	// RingWrite is buffered pwrite(2): Buf is written at Off; N is bytes.
+	RingWrite
+	// RingPrefetch asks for Len bytes at Off to be brought into the cache
+	// asynchronously (readahead_info's prefetch half); N is pages
+	// admitted after the limit clamp.
+	RingPrefetch
+)
+
+// RingSQE is one submission-queue entry.
+type RingSQE struct {
+	F    *File
+	Op   RingOpKind
+	Off  int64
+	Buf  []byte // RingRead destination / RingWrite source
+	Len  int64  // RingPrefetch byte length
+	User uint64 // opaque completion cookie
+}
+
+// RingCQE is one completion-queue entry. Done is the virtual time the
+// operation's effect is available (data readable, prefetch resident);
+// the reaper advances its timeline to the CQEs it consumes.
+type RingCQE struct {
+	User uint64
+	N    int64
+	Err  error
+	Done simtime.Time
+}
+
+// ringPending accumulates one SQE's outcome across its staged chunks,
+// which may be resolved by this enter's dispatch or by a concurrent
+// tenant's (whichever drained the lane first).
+type ringPending struct {
+	mu   sync.Mutex
+	done simtime.Time
+	err  error
+}
+
+func (p *ringPending) advance(t simtime.Time) {
+	p.mu.Lock()
+	if t > p.done {
+		p.done = t
+	}
+	p.mu.Unlock()
+}
+
+func (p *ringPending) fail(err error, t simtime.Time) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	if t > p.done {
+		p.done = t
+	}
+	p.mu.Unlock()
+}
+
+// ringChunk is the lane tag of one staged device chunk: enough to insert
+// the fetched pages and settle its SQE on completion.
+type ringChunk struct {
+	pend     *ringPending
+	wg       *sync.WaitGroup
+	f        *File
+	lo       int64 // first logical block
+	blocks   int64
+	prefetch bool
+}
+
+// RingEnter submits a batch of SQEs for tenant in one kernel crossing and
+// returns their CQEs in submission order. It is safe for concurrent use
+// from any number of tenants (each on its own timeline). On return every
+// CQE is final; Done times may lie in the caller's future — the reaper
+// side waits on them.
+func (v *VFS) RingEnter(tl *simtime.Timeline, tenant int, sqes []RingSQE) []RingCQE {
+	defer v.observeSyscall(tl, SysRingEnter)()
+	v.enter(tl, SysRingEnter)
+	v.rec.Add(telemetry.CtrRingEnterCalls, 1)
+	v.rec.Add(telemetry.CtrRingSQESubmitted, int64(len(sqes)))
+	sp := telemetry.Begin(tl, "vfs.ring_enter", telemetry.CatCPU)
+	sp.Annotate("sqes", int64(len(sqes)))
+	defer sp.End(tl)
+
+	cqes := make([]RingCQE, len(sqes))
+	pends := make([]ringPending, len(sqes))
+	var wg sync.WaitGroup
+	sc := readScratchPool.Get().(*readScratch)
+	defer readScratchPool.Put(sc)
+
+	for i := range sqes {
+		sq := &sqes[i]
+		pend := &pends[i]
+		cqes[i].User = sq.User
+		switch sq.Op {
+		case RingRead:
+			cqes[i].N = v.ringRead(tl, tenant, sq, pend, &wg, sc)
+		case RingWrite:
+			cqes[i].N = v.ringWrite(tl, sq, pend)
+		case RingPrefetch:
+			cqes[i].N = v.ringPrefetch(tl, tenant, sq, pend, &wg, sc)
+		}
+		pend.advance(tl.Now())
+	}
+
+	// Grab-all dispatch: drain the lanes (ours and any concurrent
+	// submitter's staging) through the shared plug. If a racing enter's
+	// dispatch grabbed our chunks, it resolves them on its side; the
+	// WaitGroup covers the window where that dispatch is still running.
+	v.ringDispatch(tl)
+	wg.Wait()
+
+	for i := range sqes {
+		p := &pends[i]
+		cqes[i].Err = p.err
+		cqes[i].Done = p.done
+		if p.err != nil && sqes[i].Op == RingRead {
+			// The demand data never arrived; nothing counted as read.
+			cqes[i].N = 0
+		}
+	}
+	v.rec.Add(telemetry.CtrRingCQECompleted, int64(len(cqes)))
+	return cqes
+}
+
+// RingStats exposes the lane scheduler's dispatch accounting (achieved
+// batch depth, per-tenant fairness).
+func (v *VFS) RingStats() blockdev.LaneSetStats { return v.lanes.Stats() }
+
+// ringDispatch drains every staged lane chunk through the shared plug and
+// applies the completions (page insertion, counters, SQE settlement) on
+// this thread. Insert costs are charged to the dispatching timeline even
+// for chunks other tenants staged — the SQPOLL thread happens to run on
+// this tenant's clock.
+func (v *VFS) ringDispatch(tl *simtime.Timeline) {
+	for _, r := range v.lanes.Dispatch(tl.Now()) {
+		v.completeRingChunk(tl, r.Req.Tag.(*ringChunk), r)
+	}
+}
+
+// completeRingChunk settles one dispatched chunk: inserts its pages (with
+// the device completion as ready time), feeds the cross-layer counters,
+// and records the queue-wait vs service attribution on the dispatcher's
+// span.
+func (v *VFS) completeRingChunk(tl *simtime.Timeline, c *ringChunk, r blockdev.LaneResult) {
+	defer c.wg.Done()
+	if r.Err != nil {
+		v.rec.Event(r.Done, telemetry.OutcomeDeviceFault, c.f.ino.ID(), c.lo, c.lo+c.blocks)
+		if !c.prefetch {
+			v.rec.Add(telemetry.CtrVFSDemandIOErrors, 1)
+		}
+		c.pend.fail(r.Err, r.Done)
+		return
+	}
+	if sp := telemetry.Current(tl); sp != nil {
+		if r.Wait > 0 {
+			sp.Child("ring.queue_wait", telemetry.CatQueue, r.Submitted.Add(-r.Wait), r.Submitted)
+		}
+		sp.Child("dev.async_read", telemetry.CatDevice, r.Submitted, r.Done).
+			Annotate("bytes", c.blocks*v.BlockSize())
+	}
+	if c.prefetch {
+		v.rec.Add(telemetry.CtrVFSPrefetchDevicePages, c.blocks)
+		telemetry.CountPages(tl, telemetry.PagePrefetch, c.blocks)
+		v.rec.Observe(telemetry.HistPrefetchLat, int64(r.Done.Sub(r.Submitted)))
+		n := c.f.fc.InsertRange(tl, c.lo, c.lo+c.blocks, pagecache.InsertOptions{
+			ReadyAt:    r.Done,
+			MarkerAt:   -1,
+			Prefetched: true,
+		})
+		v.rec.Add(telemetry.CtrVFSPrefetchInsertedPages, n)
+		v.rec.Add(telemetry.CtrKernelPrefetchedPages, n)
+	} else {
+		v.rec.Add(telemetry.CtrVFSDemandFetchPages, c.blocks)
+		telemetry.CountPages(tl, telemetry.PageDemand, c.blocks)
+		c.f.fc.InsertRange(tl, c.lo, c.lo+c.blocks, pagecache.InsertOptions{
+			ReadyAt:  r.Done,
+			MarkerAt: -1,
+		})
+	}
+	c.pend.advance(r.Done)
+}
+
+// stageRuns cuts missing logical-block runs into VFS-sized chunks over
+// the file's physical extents and stages them on the tenant's lane. Hole
+// blocks are zero-fill: inserted immediately, no device work.
+func (v *VFS) stageRuns(tl *simtime.Timeline, tenant int, f *File, runs []bitmap.Run,
+	pend *ringPending, wg *sync.WaitGroup, prefetch bool) {
+	bs := v.BlockSize()
+	for _, r := range runs {
+		cursor := r.Lo
+		for _, pr := range f.ino.MapRange(r.Lo, r.Hi) {
+			if pr.Logical > cursor && !prefetch {
+				f.fc.InsertRange(tl, cursor, pr.Logical, pagecache.InsertOptions{MarkerAt: -1})
+			}
+			lo := pr.Logical
+			devOff := pr.Phys * bs
+			remaining := pr.Count * bs
+			for remaining > 0 {
+				chunk := remaining
+				if chunk > maxVFSRequest {
+					chunk = maxVFSRequest
+				}
+				chunkBlocks := (chunk + bs - 1) / bs
+				wg.Add(1)
+				v.lanes.Stage(blockdev.LaneRequest{
+					Tenant: tenant,
+					Op:     blockdev.OpRead,
+					Off:    devOff,
+					Bytes:  chunk,
+					Tag: &ringChunk{
+						pend: pend, wg: wg, f: f,
+						lo: lo, blocks: chunkBlocks, prefetch: prefetch,
+					},
+				}, tl.Now())
+				lo += chunkBlocks
+				devOff += chunk
+				remaining -= chunk
+			}
+			cursor = pr.Logical + pr.Count
+		}
+		if cursor < r.Hi && !prefetch {
+			f.fc.InsertRange(tl, cursor, r.Hi, pagecache.InsertOptions{MarkerAt: -1})
+		}
+	}
+}
+
+// ringRead services one read SQE: inline cache lookup, staging for the
+// missing chunks, and the user-space copy (the data is byte-available
+// now; virtually it is readable at the CQE's Done time).
+func (v *VFS) ringRead(tl *simtime.Timeline, tenant int, sq *RingSQE,
+	pend *ringPending, wg *sync.WaitGroup, sc *readScratch) int64 {
+	f := sq.F
+	size := f.ino.Size()
+	if sq.Off < 0 || len(sq.Buf) == 0 || sq.Off >= size {
+		return 0
+	}
+	n := int64(len(sq.Buf))
+	if sq.Off+n > size {
+		n = size - sq.Off
+	}
+	lo, hi := v.blockRange(sq.Off, n)
+	f.fc.LookupRangeInto(tl, lo, hi, &sc.res)
+	res := &sc.res
+	pend.advance(res.ReadyAt)
+
+	if res.PresentCount < hi-lo {
+		runs := sc.runs[:0]
+		runStart := int64(-1)
+		for i := lo; i < hi; i++ {
+			if !res.Present[i-lo] {
+				if runStart < 0 {
+					runStart = i
+				}
+			} else if runStart >= 0 {
+				runs = append(runs, bitmap.Run{Lo: runStart, Hi: i})
+				runStart = -1
+			}
+		}
+		if runStart >= 0 {
+			runs = append(runs, bitmap.Run{Lo: runStart, Hi: hi})
+		}
+		sc.runs = runs
+		v.stageRuns(tl, tenant, f, runs, pend, wg, false)
+	}
+
+	pages := hi - lo
+	copyStart := tl.Now()
+	tl.Advance(simtime.Duration(pages) * v.cfg.Costs.PageCopy)
+	telemetry.Current(tl).Child("vfs.copy_out", telemetry.CatCopy, copyStart, tl.Now()).
+		Annotate("pages", pages)
+	return int64(f.ino.ReadAt(sq.Buf[:n], sq.Off))
+}
+
+// ringWrite services one buffered write SQE, mirroring WriteAt: RMW edge
+// fetches (blocking — merging into an unreadable block would corrupt it),
+// dirty insertion, and the dirty-balance throttle, which doubles as the
+// write-side admission control of the ring path.
+func (v *VFS) ringWrite(tl *simtime.Timeline, sq *RingSQE, pend *ringPending) int64 {
+	f := sq.F
+	if len(sq.Buf) == 0 || sq.Off < 0 {
+		return 0
+	}
+	bs := v.BlockSize()
+	n := int64(len(sq.Buf))
+	lo, hi := v.blockRange(sq.Off, n)
+	oldSize := f.ino.Size()
+
+	var rmw []bitmap.Run
+	if sq.Off%bs != 0 && sq.Off < oldSize {
+		if res := f.fc.LookupRange(tl, lo, lo+1); res.PresentCount == 0 {
+			rmw = append(rmw, bitmap.Run{Lo: lo, Hi: lo + 1})
+		}
+	}
+	if (sq.Off+n)%bs != 0 && sq.Off+n < oldSize && hi-1 != lo {
+		if res := f.fc.LookupRange(tl, hi-1, hi); res.PresentCount == 0 {
+			rmw = append(rmw, bitmap.Run{Lo: hi - 1, Hi: hi})
+		}
+	}
+	if len(rmw) > 0 {
+		if err := f.fetchRuns(tl, rmw); err != nil {
+			pend.fail(err, tl.Now())
+			return 0
+		}
+	}
+
+	f.ino.WriteAt(sq.Buf, sq.Off)
+	tl.Advance(simtime.Duration(hi-lo) * v.cfg.Costs.PageCopy)
+	f.fc.InsertRange(tl, lo, hi, pagecache.InsertOptions{Dirty: true, MarkerAt: -1})
+	f.fc.SetDirtyRange(tl, lo, hi)
+	v.balanceDirty(tl)
+	return n
+}
+
+// ringPrefetch services one prefetch-intent SQE: the limit clamp and
+// bitmap fast path of readahead_info, with the device work staged on the
+// tenant lane instead of flushed inline. Congestion control is applied at
+// admission: a backlogged device drops the intent (N reports 0 admitted),
+// exactly as the synchronous prefetch path postpones.
+func (v *VFS) ringPrefetch(tl *simtime.Timeline, tenant int, sq *RingSQE,
+	pend *ringPending, wg *sync.WaitGroup, sc *readScratch) int64 {
+	f := sq.F
+	bs := v.BlockSize()
+	lo, hi := v.blockRange(sq.Off, sq.Len)
+	if fb := f.ino.Blocks(); hi > fb {
+		hi = fb
+	}
+	if sq.Len <= 0 || hi <= lo {
+		return 0
+	}
+	limit := v.cfg.RA.MaxPages
+	if v.cfg.AllowLimitOverride && hi-lo > limit {
+		limit = hi - lo
+		if maxPages := v.cfg.MaxPrefetchBytes / bs; limit > maxPages {
+			limit = maxPages
+		}
+	}
+	preClamp := hi - lo
+	if hi-lo > limit {
+		hi = lo + limit
+	}
+	granted := hi - lo
+	v.rec.Add(telemetry.CtrKernelRequestedPages, preClamp)
+	v.rec.Add(telemetry.CtrKernelAdmittedPages, granted)
+	v.rec.Add(telemetry.CtrKernelRejectedPages, preClamp-granted)
+
+	if v.dev.Backlog(tl.Now()) > v.cfg.CongestionLimit {
+		return 0
+	}
+	missing := f.fc.AppendFastMissingRuns(tl, sc.runs[:0], lo, hi)
+	sc.runs = missing
+	v.stageRuns(tl, tenant, f, missing, pend, wg, true)
+	return granted
+}

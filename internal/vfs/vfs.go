@@ -95,13 +95,17 @@ const (
 	SysReadaheadInfo
 	SysMmapFault
 	SysClose
+	// SysRingEnter is the one crossing a whole ring submission batch
+	// costs, however many SQEs it carries (the io_uring_enter analogue).
+	SysRingEnter
 	numSyscalls
 )
 
 // String names the syscall.
 func (s Syscall) String() string {
 	return [...]string{"open", "read", "write", "fsync", "readahead",
-		"fadvise", "fincore", "readahead_info", "mmap_fault", "close"}[s]
+		"fadvise", "fincore", "readahead_info", "mmap_fault", "close",
+		"ring_enter"}[s]
 }
 
 // VFS is one simulated kernel instance: a file system on a device plus the
@@ -129,6 +133,11 @@ type VFS struct {
 	// plugs pools per-request block plugs (see getPlug) so the miss
 	// paths stay allocation-free in steady state.
 	plugs sync.Pool
+
+	// lanes is the multi-tenant ring dispatch stage (see ring.go):
+	// RingEnter stages device work on per-tenant lanes and drains them
+	// fair-share through one shared plug.
+	lanes *blockdev.LaneSet
 }
 
 // New assembles a kernel over the given file system, device, and cache.
@@ -161,6 +170,10 @@ func New(cfg Config, fsys *fs.FS, dev *blockdev.Device, cache *pagecache.Cache) 
 		mmapLock: simtime.NewLedger("mmap_lock"),
 	}
 	v.plugs.New = func() any { return dev.NewPlug(v.cfg.Sched) }
+	v.lanes = dev.NewLaneSet(blockdev.LaneConfig{
+		Plug:  v.cfg.Sched,
+		Retry: v.retryPolicy(),
+	}, nil)
 	cache.SetFlushFn(v.flushRun)
 	return v
 }
@@ -188,6 +201,7 @@ func (v *VFS) putPlug(p *blockdev.Plug) { v.plugs.Put(p) }
 // registers the syscall names for the latency table.
 func (v *VFS) SetTelemetry(rec *telemetry.Recorder) {
 	v.rec = rec
+	v.lanes.SetTelemetry(rec)
 	for s := Syscall(0); s < numSyscalls; s++ {
 		rec.RegisterSyscall(int(s), s.String())
 	}
@@ -409,7 +423,7 @@ func (f *File) fetchRuns(tl *simtime.Timeline, runs []bitmap.Run) error {
 						return err
 					}
 					f.v.rec.Add(telemetry.CtrVFSDemandFetchPages, chunkBlocks)
-					sp.CountPages(telemetry.PageDemand, chunkBlocks)
+					telemetry.CountPages(tl, telemetry.PageDemand, chunkBlocks)
 					f.fc.InsertRange(tl, lo, lo+chunkBlocks, pagecache.InsertOptions{MarkerAt: -1})
 				}
 				lo += chunkBlocks
@@ -444,7 +458,7 @@ func (f *File) fetchRuns(tl *simtime.Timeline, runs []bitmap.Run) error {
 		}
 		if segs[gi].Issued {
 			f.v.rec.Add(telemetry.CtrVFSDemandFetchPages, blocks)
-			sp.CountPages(telemetry.PageDemand, blocks)
+			telemetry.CountPages(tl, telemetry.PageDemand, blocks)
 			f.fc.InsertRange(tl, gLo, gLo+blocks, pagecache.InsertOptions{MarkerAt: -1})
 		}
 		gi = gj
@@ -527,7 +541,7 @@ func (f *File) prefetchRuns(tl *simtime.Timeline, at simtime.Time, runs []bitmap
 					sp.Child("dev.async_read", telemetry.CatDevice, at, done).
 						Annotate("bytes", chunk)
 					f.v.rec.Add(telemetry.CtrVFSPrefetchDevicePages, chunkBlocks)
-					sp.CountPages(telemetry.PagePrefetch, chunkBlocks)
+					telemetry.CountPages(tl, telemetry.PagePrefetch, chunkBlocks)
 					f.v.rec.Observe(telemetry.HistPrefetchLat, int64(done.Sub(at)))
 					n := f.fc.InsertRange(tl, lo, lo+chunkBlocks, pagecache.InsertOptions{
 						ReadyAt:    done,
@@ -589,7 +603,7 @@ func (f *File) prefetchRuns(tl *simtime.Timeline, at simtime.Time, runs []bitmap
 			sp.Child("dev.async_read", telemetry.CatDevice, at, s.Done).
 				Annotate("bytes", blocks*bs)
 			f.v.rec.Add(telemetry.CtrVFSPrefetchDevicePages, blocks)
-			sp.CountPages(telemetry.PagePrefetch, blocks)
+			telemetry.CountPages(tl, telemetry.PagePrefetch, blocks)
 			f.v.rec.Observe(telemetry.HistPrefetchLat, int64(s.Done.Sub(at)))
 			n := f.fc.InsertRange(tl, gLo, gLo+blocks, pagecache.InsertOptions{
 				ReadyAt:    s.Done,
