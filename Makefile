@@ -1,7 +1,7 @@
 # Tier-1 gate (see ROADMAP.md): every PR must leave `make check` green.
-.PHONY: check build test vet race bench chaos errgate fmtgate plugate ringgate trace bench-json bench-parallel bench-batch bench-serve
+.PHONY: check build test vet race bench chaos errgate fmtgate plugate ringgate shedgate trace bench-json bench-parallel bench-batch bench-serve bench-overload
 
-check: vet errgate fmtgate plugate ringgate build race
+check: vet errgate fmtgate plugate ringgate shedgate build race
 
 # Formatting gate: the tree must be gofmt-clean.
 fmtgate:
@@ -35,6 +35,16 @@ ringgate:
 	@! grep -n '\.ReadAt(\|\.WriteAt(' \
 		internal/experiments/serve.go cmd/crosserve/main.go \
 		|| (echo 'ringgate: direct read/write call on the ring frontend (use the Ring API)'; exit 1)
+
+# Shed-sentinel gate: every shed/deadline refusal on the ring path must
+# be one of the exported sentinels (vfs.ErrShed, vfs.ErrDeadlineExceeded)
+# so callers can errors.Is-dispatch on them — no ad-hoc errors.New in the
+# overload path. The `var Err` declarations ARE the sentinels.
+shedgate:
+	@! grep -n 'errors\.New' \
+		internal/vfs/ring.go internal/vfs/pressure.go internal/crosslib/ring.go \
+		| grep -v 'var Err' \
+		|| (echo 'shedgate: ad-hoc errors.New on the ring shed/deadline path (use the exported sentinels)'; exit 1)
 
 build:
 	go build ./...
@@ -86,3 +96,13 @@ bench-batch:
 # cross-layer telemetry audit enforced on every system.
 bench-serve:
 	go run ./cmd/crosserve -sweep -json BENCH_PR6.json
+
+# Overload-resilience sweep: zipfian victims vs a full-file-scan
+# antagonist across the five policy cells (isolated / no-budget / budget
+# / budget+brownout / budget+deadline). Every cell byte-verifies, passes
+# the telemetry audit including the exact per-tenant residency partition,
+# is re-run and digest-compared for determinism, and the budgeted cells
+# must hold victim p99 within 2x the isolated baseline.
+bench-overload:
+	go run ./cmd/crosserve -mode overload -tenants 4 -ops 200 -file-mb 16 \
+		-sweep -json BENCH_PR7.json

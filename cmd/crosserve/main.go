@@ -10,11 +10,21 @@
 //	crosserve -mode rings -tenants 8 -sessions 4 -ops 200
 //	crosserve -mode sync  -tenants 8
 //	crosserve -sweep -json BENCH_PR6.json
+//	crosserve -mode overload -antagonist -budget-mb 8 -deadline 50us
+//	crosserve -mode overload -sweep -json BENCH_PR7.json
 //
 // -sweep runs the sync and ring frontends across 1/8/64 tenants at
 // identical replay schedules and writes one JSON record per cell —
 // achieved dispatch depth, kernel crossings per op, and tail latency are
 // the headline columns.
+//
+// -mode overload replays zipfian victim tenants against an optional
+// full-file-scan antagonist (-antagonist) under per-tenant memory
+// budgets (-budget-mb, hard; soft = half) and optional prefetch
+// deadlines (-deadline). With -sweep it runs the canonical five cells —
+// isolated, no-budget, budget, budget+brownout, budget+deadline — and
+// enforces the telemetry audit (exact tenant residency partition) plus
+// the 2x-of-isolated victim p99 bound in every budgeted cell.
 package main
 
 import (
@@ -22,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	crossprefetch "repro"
 	"repro/internal/experiments"
@@ -93,9 +104,167 @@ func run(c experiments.ServeConfig, memMB int64, mode string) (record, error) {
 	}, nil
 }
 
+// overloadRecord is one overload cell in the JSON output.
+type overloadRecord struct {
+	Cell           string  `json:"cell"`
+	Victims        int     `json:"victims"`
+	VictimOps      int64   `json:"victim_ops"`
+	VictimMB       float64 `json:"victim_mb"`
+	P50Us          float64 `json:"p50_us"`
+	P99Us          float64 `json:"p99_us"`
+	P99VsIsolated  float64 `json:"p99_vs_isolated"`
+	ScanMB         float64 `json:"scan_mb"`
+	BudgetPages    int64   `json:"budget_pages"`
+	ShedSQEs       int64   `json:"shed_sqes"`
+	DeadlineMisses int64   `json:"deadline_misses"`
+	Brownouts      int64   `json:"brownout_transitions"`
+	TenantReclaims int64   `json:"tenant_reclaims"`
+	Digest         string  `json:"determinism_digest"`
+	Audit          string  `json:"audit"`
+}
+
+// overloadCell describes one policy point of the overload sweep.
+type overloadCell struct {
+	name       string
+	antagonist bool
+	budget     int64 // hard pages; 0 = unlimited
+	brownout   bool
+	deadline   simtime.Duration
+}
+
+func runOverloadCell(cl overloadCell, victims int, ops int, iosize, fileMB, memMB int64, seed int64) (overloadRecord, error) {
+	sys := crossprefetch.NewSystem(crossprefetch.Config{
+		MemoryBytes: memMB << 20,
+		Approach:    crossprefetch.CrossPredictOpt,
+		Plug:        true,
+		Telemetry:   true,
+		Brownout:    cl.brownout,
+	})
+	res, err := experiments.RunOverload(experiments.OverloadConfig{
+		Sys: sys, Victims: victims, Ops: ops, IOSize: iosize,
+		VictimMB: fileMB, ScanMB: 8 * fileMB,
+		Antagonist:  cl.antagonist,
+		BudgetPages: cl.budget,
+		Deadline:    cl.deadline,
+		Seed:        seed,
+	})
+	if err != nil {
+		return overloadRecord{}, err
+	}
+	// RunOverload already enforced the audit; surface it in the record
+	// for the JSON archive.
+	audit := "ok"
+	if err := sys.AuditTelemetry(); err != nil {
+		audit = err.Error()
+	}
+	us := func(d simtime.Duration) float64 {
+		return float64(d) / float64(simtime.Microsecond)
+	}
+	return overloadRecord{
+		Cell:           cl.name,
+		Victims:        victims,
+		VictimOps:      res.VictimOps,
+		VictimMB:       float64(res.VictimBytes) / (1 << 20),
+		P50Us:          us(res.VictimP50),
+		P99Us:          us(res.VictimP99),
+		ScanMB:         float64(res.ScanBytes) / (1 << 20),
+		BudgetPages:    cl.budget,
+		ShedSQEs:       res.ShedSQEs,
+		DeadlineMisses: res.DeadlineMisses,
+		Brownouts:      res.Brownouts,
+		TenantReclaims: res.TenantReclaims,
+		Digest:         fmt.Sprintf("%016x", res.Digest),
+		Audit:          audit,
+	}, nil
+}
+
+func runOverload(victims, ops int, iosize, fileMB, memMB, budgetMB int64,
+	deadline time.Duration, antagonist, sweep bool, seed int64, jsonOut string) {
+	if memMB <= 0 {
+		memMB = int64(victims+1) * fileMB / 2
+	}
+	bs := int64(4096)
+	budget := budgetMB << 20 / bs
+	if budget <= 0 {
+		// Default hard cap: two equal shares of the cache per tenant
+		// (soft = one share) — victims keep headroom, the scan does not.
+		budget = 2 * (memMB << 20 / bs) / int64(victims+1)
+	}
+	dl := simtime.Duration(deadline)
+
+	var cells []overloadCell
+	if sweep {
+		cells = []overloadCell{
+			{name: "isolated"},
+			{name: "no-budget", antagonist: true},
+			{name: "budget", antagonist: true, budget: budget},
+			{name: "budget+brownout", antagonist: true, budget: budget, brownout: true},
+			{name: "budget+deadline", antagonist: true, budget: budget, brownout: true,
+				deadline: 50 * simtime.Microsecond},
+		}
+	} else {
+		cl := overloadCell{name: "custom", antagonist: antagonist, deadline: dl}
+		if budgetMB > 0 {
+			cl.budget = budget
+			cl.brownout = true
+		}
+		cells = append(cells, cl)
+	}
+
+	var records []overloadRecord
+	var isolatedP99 float64
+	for _, cl := range cells {
+		rec, err := runOverloadCell(cl, victims, ops, iosize, fileMB, memMB, seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crosserve: overload %s: %v\n", cl.name, err)
+			os.Exit(1)
+		}
+		if cl.name == "isolated" {
+			isolatedP99 = rec.P99Us
+		}
+		if isolatedP99 > 0 {
+			rec.P99VsIsolated = rec.P99Us / isolatedP99
+		}
+		records = append(records, rec)
+		// Single-cell runs have no isolated baseline; skip the ratio.
+		vs := "n/a"
+		if rec.P99VsIsolated > 0 {
+			vs = fmt.Sprintf("%.2fx", rec.P99VsIsolated)
+		}
+		fmt.Printf("%-16s victims=%d ops=%-5d p50=%.1fus p99=%.1fus (%s) "+
+			"shed=%d dl-miss=%d brownouts=%d t-reclaims=%d audit=%s\n",
+			rec.Cell, rec.Victims, rec.VictimOps, rec.P50Us, rec.P99Us,
+			vs, rec.ShedSQEs, rec.DeadlineMisses,
+			rec.Brownouts, rec.TenantReclaims, rec.Audit)
+		if rec.Audit != "ok" {
+			fmt.Fprintf(os.Stderr, "crosserve: telemetry audit failed for overload %s\n", cl.name)
+			os.Exit(1)
+		}
+		if cl.budget > 0 && isolatedP99 > 0 && rec.P99Us > 2*isolatedP99 {
+			fmt.Fprintf(os.Stderr, "crosserve: overload %s: victim p99 %.1fus > 2x isolated %.1fus\n",
+				cl.name, rec.P99Us, isolatedP99)
+			os.Exit(1)
+		}
+	}
+
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crosserve:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "crosserve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d records to %s\n", len(records), jsonOut)
+	}
+}
+
 func main() {
 	var (
-		mode     = flag.String("mode", "rings", "dispatch path: sync or rings")
+		mode     = flag.String("mode", "rings", "dispatch path: sync, rings, or overload")
 		tenants  = flag.Int("tenants", 8, "concurrent tenants (one file and one ring each)")
 		sessions = flag.Int("sessions", 4, "client sessions per tenant")
 		ops      = flag.Int("ops", 200, "reads per session")
@@ -105,12 +274,23 @@ func main() {
 		fileMB   = flag.Int64("file-mb", 16, "per-tenant file size")
 		memMB    = flag.Int64("mem-mb", 0, "page-cache memory (0 = half the aggregate dataset)")
 		seed     = flag.Int64("seed", 1, "replay schedule seed")
-		sweep    = flag.Bool("sweep", false, "run sync and rings across 1/8/64 tenants")
+		sweep    = flag.Bool("sweep", false, "run sync and rings across 1/8/64 tenants (overload: the five policy cells)")
 		jsonOut  = flag.String("json", "", "write records as JSON to this file")
+
+		// Overload-mode flags.
+		budgetMB   = flag.Int64("budget-mb", 0, "overload: per-tenant hard page-cache budget in MB (soft = half; 0 = equal share of memory)")
+		deadline   = flag.Duration("deadline", 0, "overload: virtual deadline attached to coverage prefetches (e.g. 50us; 0 = none)")
+		antagonist = flag.Bool("antagonist", false, "overload: run the full-file-scan antagonist tenant")
 	)
 	flag.Parse()
-	if *mode != "sync" && *mode != "rings" {
-		fmt.Fprintf(os.Stderr, "crosserve: unknown -mode %q (want sync or rings)\n", *mode)
+	switch *mode {
+	case "sync", "rings":
+	case "overload":
+		runOverload(*tenants, *ops, *iosize, *fileMB, *memMB, *budgetMB,
+			*deadline, *antagonist, *sweep, *seed, *jsonOut)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "crosserve: unknown -mode %q (want sync, rings, or overload)\n", *mode)
 		os.Exit(2)
 	}
 

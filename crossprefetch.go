@@ -132,6 +132,14 @@ type Config struct {
 	// TraceKeepPerOp bounds the flight recorder: the slowest N root
 	// spans per operation class are retained (default 8).
 	TraceKeepPerOp int
+	// Brownout enables the kernel's overload controller: under memory or
+	// device-backlog pressure the kernel first sheds ring prefetch SQEs
+	// (vfs.ErrShed), then clamps the readahead window (see internal/vfs).
+	// Off (the default) overload degrades exactly as before.
+	Brownout bool
+	// BrownoutClampPages is the readahead window under level-2 brownout
+	// (default 8 pages).
+	BrownoutClampPages int64
 }
 
 func (c Config) withDefaults() Config {
@@ -198,6 +206,8 @@ func NewSystem(cfg Config) *System {
 		MaxPrefetchBytes:   64 << 20,
 		DemandRetries:      cfg.DemandRetries,
 		CongestionLimit:    cfg.CongestionLimit,
+		Brownout:           cfg.Brownout,
+		BrownoutClampPages: cfg.BrownoutClampPages,
 		Sched: blockdev.PlugConfig{
 			Plugged:          cfg.Plug,
 			QueueDepth:       cfg.QueueDepth,
@@ -283,6 +293,22 @@ func (s *System) NewProcess() *crosslib.Runtime {
 	return rt
 }
 
+// SetTenantBudget caps one tenant's page-cache footprint (pages; 0 =
+// unlimited). The soft budget biases global reclaim toward the tenant's
+// pages while it is over; the hard budget triggers targeted direct
+// reclaim of the tenant's own oldest pages on its allocations. Tenant
+// IDs match the ring/lane tenant (crosslib.Runtime.NewRing's first
+// argument); untagged I/O is tenant 0.
+func (s *System) SetTenantBudget(tenant int, softPages, hardPages int64) {
+	s.cache.SetTenantBudget(tenant, softPages, hardPages)
+}
+
+// TenantStats snapshots the per-tenant page-cache ledgers, ordered by
+// tenant ID. The residencies always partition Cache().Used() exactly.
+func (s *System) TenantStats() []pagecache.TenantStats {
+	return s.cache.TenantStats()
+}
+
 // Telemetry exposes the shared recorder, or nil when Config.Telemetry is
 // off.
 func (s *System) Telemetry() *telemetry.Recorder { return s.rec }
@@ -314,6 +340,15 @@ func (s *System) AuditTelemetry() error {
 		droppedBrk += st.DroppedBreaker
 	}
 	s.procMu.Unlock()
+	var tenants []telemetry.TenantLedger
+	for _, ts := range s.cache.TenantStats() {
+		tenants = append(tenants, telemetry.TenantLedger{
+			ID:       ts.ID,
+			Resident: ts.Resident,
+			Inserted: ts.Inserted,
+			Evicted:  ts.Evicted,
+		})
+	}
 	return telemetry.Audit(s.snapshot(), telemetry.AuditInput{
 		BlockSize:          s.cfg.BlockSize,
 		CacheUsed:          s.cache.Used(),
@@ -322,6 +357,8 @@ func (s *System) AuditTelemetry() error {
 		LibDroppedBreaker:  droppedBrk,
 		HasLibStats:        true,
 		StrictDevice:       true,
+		Tenants:            tenants,
+		HasTenants:         true,
 	})
 }
 

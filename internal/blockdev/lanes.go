@@ -159,6 +159,15 @@ func (ls *LaneSet) drain() []laneEntry {
 			ln.q = ln.q[1:]
 			ls.staged--
 		}
+		// Anti-banking applies here too, not just when the rotation
+		// visits an already-idle lane: a lane drained empty this visit
+		// forfeits its leftover deficit. Otherwise a tenant emptied
+		// mid-round (often the last one standing, whose lane absorbs a
+		// quantum per loop iteration) banks credit across idle periods
+		// and jumps the queue when it refills.
+		if len(ln.q) == 0 {
+			ln.deficit = 0
+		}
 	}
 	return out
 }

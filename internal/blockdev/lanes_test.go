@@ -234,3 +234,49 @@ func (c *countingInjector) Inject(op Op, off, bytes int64) Fault {
 	}
 	return Fault{}
 }
+
+// TestLaneDRRNoBankingAcrossIdle: a lane emptied mid-round forfeits its
+// leftover deficit (the anti-banking rule). Before the fix, drain only
+// zeroed the deficit when the rotation visited an already-empty lane, so
+// the lane drained empty last each round kept up to a quantum of credit
+// across idle periods and jumped the queue when it refilled.
+func TestLaneDRRNoBankingAcrossIdle(t *testing.T) {
+	_, ls := testLanes(0, nil)
+	const kb = 1 << 10
+
+	// Round 1: both tenants exist; each drains an exact quantum so no
+	// deficit is left over regardless of the rule.
+	ls.Stage(LaneRequest{Tenant: 0, Op: OpRead, Off: 0, Bytes: 256 * kb}, 0)
+	ls.Stage(LaneRequest{Tenant: 1, Op: OpRead, Off: 1 << 20, Bytes: 256 * kb}, 0)
+	ls.drain()
+
+	// Round 2: tenant 0 alone drains one tiny request; its lane empties
+	// mid-round with ~252KB of quantum unspent.
+	ls.Stage(LaneRequest{Tenant: 0, Op: OpRead, Off: 2 << 20, Bytes: 4 * kb}, 0)
+	ls.drain()
+	ls.mu.Lock()
+	banked := ls.lanes[0].deficit
+	ls.mu.Unlock()
+	if banked != 0 {
+		t.Fatalf("lane 0 banked %d bytes of deficit across an idle period, want 0", banked)
+	}
+
+	// Round 3: both tenants stage four 128KB requests. Fair DRR serves
+	// alternating pairs (one 256KB quantum = two requests); banked
+	// deficit would let tenant 0 release three in its first turn.
+	for i := int64(0); i < 4; i++ {
+		ls.Stage(LaneRequest{Tenant: 0, Op: OpRead, Off: (4 + i) << 20, Bytes: 128 * kb}, 0)
+		ls.Stage(LaneRequest{Tenant: 1, Op: OpRead, Off: (16 + i) << 20, Bytes: 128 * kb}, 0)
+	}
+	run, prev := 0, -1
+	for _, e := range ls.drain() {
+		if e.req.Tenant == prev {
+			run++
+		} else {
+			run, prev = 1, e.req.Tenant
+		}
+		if run > 2 {
+			t.Fatalf("tenant %d released %d consecutive requests; one quantum covers 2", prev, run)
+		}
+	}
+}

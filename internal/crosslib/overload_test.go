@@ -1,0 +1,311 @@
+package crosslib
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/blockdev"
+	"repro/internal/fs"
+	"repro/internal/pagecache"
+	"repro/internal/simtime"
+	"repro/internal/vfs"
+)
+
+// newOverloadKernel builds a kernel with the brownout controller on and
+// a congestion limit small enough that any outstanding device work
+// raises the pressure level.
+func newOverloadKernel(capacity int64) *vfs.VFS {
+	costs := simtime.DefaultCosts()
+	dev := blockdev.New(blockdev.NVMeConfig())
+	fsys := fs.New(fs.LayoutExtent, 4096, costs)
+	cache := pagecache.New(pagecache.Config{BlockSize: 4096, CapacityPages: capacity, Costs: costs}, nil)
+	cfg := vfs.DefaultConfig()
+	cfg.AllowLimitOverride = true
+	cfg.Brownout = true
+	cfg.CongestionLimit = simtime.Microsecond
+	return vfs.New(cfg, fsys, dev, cache)
+}
+
+// TestRingCloseReapRace: a Close racing an in-flight Submit must not
+// strand parked CQEs or deadlock a reaper. Before the fix, Close's
+// broadcast woke a blocked reaper immediately; if a Submit had already
+// taken its staged batch but not yet appended the completions, the
+// reaper returned empty and the CQEs were appended to a queue nobody
+// would ever drain. Now every successfully prepped op is either reaped
+// or counted discarded, exactly once.
+func TestRingCloseReapRace(t *testing.T) {
+	v := newKernel(1 << 20)
+	rt := NewForApproach(v, CrossPredictOpt)
+	tl := simtime.NewTimeline(0)
+	v.FS().CreateSynthetic(tl, "race", 16<<20)
+	f, err := rt.Open(tl, "race")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const iters = 100
+	for it := 0; it < iters; it++ {
+		ring := rt.NewRing(0, 64)
+		prepped := int64(0)
+		bufs := make([][]byte, 16)
+		for i := range bufs {
+			bufs[i] = make([]byte, 128<<10)
+			if ring.PrepRead(f, bufs[i], int64(i)*(128<<10), uint64(i)) == nil {
+				prepped++
+			}
+		}
+
+		var reaped atomic.Int64
+		started := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			rtl := simtime.NewTimeline(0)
+			for {
+				cqs := ring.Reap(rtl, 1)
+				if len(cqs) == 0 {
+					return
+				}
+				reaped.Add(int64(len(cqs)))
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			stl := simtime.NewTimeline(0)
+			close(started)
+			ring.Submit(stl)
+		}()
+		// Close as the Submit crossing is (most likely) mid-flight: the
+		// staged batch is taken but its completions not yet parked.
+		<-started
+		ring.Close()
+		wg.Wait()
+
+		// No rescue drain: the reap-until-empty consumer above is the
+		// whole contract. Anything it did not see must be in Discarded.
+		st := ring.Stats()
+		if got := reaped.Load() + st.Discarded; got != prepped {
+			t.Fatalf("iter %d: reaped %d + discarded %d = %d, want %d prepped (leaked CQEs)",
+				it, reaped.Load(), st.Discarded, got, prepped)
+		}
+	}
+}
+
+// TestBreakerProbeSurvivesShed: a half-open breaker's probe prefetch
+// that the kernel SHEDS (brownout level >= 1) must not consume the
+// probe slot — the breaker state stays exactly as it was, so the probe
+// re-arms as soon as pressure clears. Before the fix, Submit fed every
+// non-nil CQE error to noteFault, so a shed re-armed the cooloff as if
+// the probe had failed, keeping prefetch off long after the overload.
+func TestBreakerProbeSurvivesShed(t *testing.T) {
+	v := newOverloadKernel(1 << 20)
+	rt := NewForApproach(v, CrossPredictOpt)
+	tl := simtime.NewTimeline(0)
+	v.FS().CreateSynthetic(tl, "shed", 64<<20)
+	f, err := rt.Open(tl, "shed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := rt.NewRing(0, 64)
+
+	// Pile up device backlog without waiting on it: a large uncached
+	// ring read whose CQE we deliberately do not reap yet. From this
+	// timeline's now, the device is busy far past 4x the congestion
+	// limit, so the next crossing computes BrownoutClamped.
+	big := make([]byte, 4<<20)
+	if err := ring.PrepRead(f, big, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	ring.Submit(tl)
+	if got := v.Device().Backlog(tl.Now()); got <= 4*simtime.Microsecond {
+		t.Fatalf("backlog %v too small to trigger brownout", got)
+	}
+
+	// Force the breaker half-open: open, with the cooloff already
+	// elapsed, so allow() grants exactly one probe.
+	now := tl.Now()
+	f.sf.brk.mu.Lock()
+	f.sf.brk.open = true
+	f.sf.brk.fails = rt.opt.BreakerThreshold
+	f.sf.brk.reopenAt = now
+	f.sf.brk.mu.Unlock()
+
+	// The probe: a prefetch intent for an uncached range. The kernel
+	// sheds it (brownout >= prefetch-off) with ErrShed.
+	if err := ring.PrepPrefetch(f, 32<<20, 1<<20, 2); err != nil {
+		t.Fatal(err)
+	}
+	ring.Submit(tl)
+	var shedCQE bool
+	for _, cq := range ring.Reap(tl, 0) {
+		if cq.User != 2 {
+			continue
+		}
+		if !errors.Is(cq.Err, vfs.ErrShed) {
+			t.Fatalf("probe CQE error = %v, want vfs.ErrShed", cq.Err)
+		}
+		shedCQE = true
+	}
+	if !shedCQE {
+		t.Fatal("probe prefetch CQE not delivered")
+	}
+
+	f.sf.brk.mu.Lock()
+	open, fails, reopenAt := f.sf.brk.open, f.sf.brk.fails, f.sf.brk.reopenAt
+	f.sf.brk.mu.Unlock()
+	if !open || fails != rt.opt.BreakerThreshold || reopenAt != now {
+		t.Fatalf("shed consumed the probe slot: open=%v fails=%d reopenAt=%v (want open=true fails=%d reopenAt=%v)",
+			open, fails, reopenAt, rt.opt.BreakerThreshold, now)
+	}
+	if got := rt.Stats().BreakerTrips; got != 0 {
+		t.Fatalf("shed counted as breaker trip: %d", got)
+	}
+}
+
+// TestTenantStressReconciliation: eight concurrent submitters — one
+// over-budget antagonist scanning a file larger than the cache, seven
+// budgeted tenants rereading their own files — must leave the tenant
+// ledgers exactly consistent at quiescence, at several GOMAXPROCS
+// settings: per tenant inserted − evicted == resident, and the tenant
+// residencies partition the global page count with no remainder.
+func TestTenantStressReconciliation(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range []int{2, 4, 16} {
+		t.Run(fmt.Sprintf("gomaxprocs=%d", procs), func(t *testing.T) {
+			runtime.GOMAXPROCS(procs)
+			const (
+				capacity = 2048 // pages (8MB)
+				nTenants = 8
+				soft     = int64(128)
+				hard     = int64(256)
+				chunk    = 64 << 10
+			)
+			v := newKernel(capacity)
+			rt := NewForApproach(v, CrossPredictOpt)
+			setup := simtime.NewTimeline(0)
+			// Tenant 0 is the antagonist: a 16MB file (2x the cache),
+			// scanned twice, no budget. Tenants 1..7 each reread a 4MB
+			// file three times under a 256-page hard cap.
+			v.FS().CreateSynthetic(setup, "antagonist", 16<<20)
+			for i := 1; i < nTenants; i++ {
+				v.FS().CreateSynthetic(setup, fmt.Sprintf("victim%d", i), 4<<20)
+				v.Cache().SetTenantBudget(i, soft, hard)
+			}
+
+			var wg sync.WaitGroup
+			errs := make(chan error, nTenants)
+			run := func(tenant int, name string, size int64, passes int) {
+				defer wg.Done()
+				tl := simtime.NewTimeline(0)
+				f, err := rt.Open(tl, name)
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer f.Close(tl)
+				ring := rt.NewRing(tenant, 64)
+				defer ring.Close()
+				buf := make([]byte, chunk)
+				for pass := 0; pass < passes; pass++ {
+					for off := int64(0); off < size; off += chunk {
+						if err := ring.PrepRead(f, buf, off, uint64(off)); err != nil {
+							errs <- err
+							return
+						}
+						if ring.Submit(tl) != 1 {
+							errs <- fmt.Errorf("tenant %d: submit consumed != 1", tenant)
+							return
+						}
+						for _, cq := range ring.Reap(tl, 1) {
+							if cq.Err != nil {
+								errs <- fmt.Errorf("tenant %d off %d: %w", tenant, cq.User, cq.Err)
+								return
+							}
+						}
+					}
+				}
+			}
+			wg.Add(nTenants)
+			go run(0, "antagonist", 16<<20, 2)
+			for i := 1; i < nTenants; i++ {
+				go run(i, fmt.Sprintf("victim%d", i), 4<<20, 3)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+
+			// Exact reconciliation at quiescence.
+			var sum int64
+			for _, ts := range v.Cache().TenantStats() {
+				if ts.Inserted-ts.Evicted != ts.Resident {
+					t.Errorf("tenant %d: inserted %d - evicted %d != resident %d",
+						ts.ID, ts.Inserted, ts.Evicted, ts.Resident)
+				}
+				if ts.Resident < 0 {
+					t.Errorf("tenant %d: negative residency %d", ts.ID, ts.Resident)
+				}
+				if ts.ID != 0 && ts.HardBudget > 0 && ts.Resident > ts.HardBudget {
+					// Hard reclaim runs on the inserting thread, so at
+					// quiescence a budgeted tenant sits at or under its cap.
+					t.Errorf("tenant %d: resident %d over hard budget %d",
+						ts.ID, ts.Resident, ts.HardBudget)
+				}
+				sum += ts.Resident
+			}
+			if used := v.Cache().Used(); sum != used {
+				t.Errorf("tenant residencies sum to %d, cache used %d", sum, used)
+			}
+			st := v.Cache().Stats()
+			if st.TenantReclaims == 0 {
+				t.Error("no tenant-targeted reclaims despite over-budget rereads")
+			}
+			if st.Evictions == 0 {
+				t.Error("antagonist scan caused no global evictions")
+			}
+		})
+	}
+}
+
+// TestDeadlineShedAndMiss: the library sheds an unmeetable prefetch
+// deadline locally with ErrShed, and an expired read completes with
+// ErrDeadlineExceeded — the two refusal modes stay distinct.
+func TestDeadlineShedAndMiss(t *testing.T) {
+	v := newKernel(1 << 20)
+	rt := NewForApproach(v, CrossPredictOpt)
+	tl := simtime.NewTimeline(0)
+	v.FS().CreateSynthetic(tl, "dl", 16<<20)
+	f, err := rt.Open(tl, "dl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := rt.NewRing(0, 64)
+	tl.Advance(simtime.Millisecond)
+
+	past := tl.Now().Add(-simtime.Microsecond)
+	if err := ring.PrepPrefetchDeadline(f, 0, 1<<20, 1, past); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	if err := ring.PrepReadDeadline(f, buf, 0, 2, past); err != nil {
+		t.Fatal(err)
+	}
+	ring.Submit(tl)
+	got := map[uint64]error{}
+	for _, cq := range ring.Reap(tl, 0) {
+		got[cq.User] = cq.Err
+	}
+	if !errors.Is(got[1], vfs.ErrShed) {
+		t.Fatalf("expired prefetch error = %v, want vfs.ErrShed", got[1])
+	}
+	if !errors.Is(got[2], vfs.ErrDeadlineExceeded) {
+		t.Fatalf("expired read error = %v, want vfs.ErrDeadlineExceeded", got[2])
+	}
+}

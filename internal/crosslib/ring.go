@@ -28,12 +28,13 @@ type RingCQE struct {
 // ringOp is one staged submission-queue entry plus the library-side
 // reconciliation metadata Submit computes for it.
 type ringOp struct {
-	kind vfs.RingOpKind
-	f    *File
-	off  int64
-	buf  []byte
-	len  int64
-	user uint64
+	kind     vfs.RingOpKind
+	f        *File
+	off      int64
+	buf      []byte
+	len      int64
+	user     uint64
+	deadline simtime.Time // 0 = none
 
 	lo, hi int64 // block range, filled in by Submit
 }
@@ -64,10 +65,16 @@ type Ring struct {
 	cq       []RingCQE
 	inflight int
 	closed   bool
+	// submitting counts Submit calls that have taken a staged batch and
+	// not yet appended its CQEs. Reap's close wakeup waits for it to
+	// drain so a Close racing an in-flight Submit never strands parked
+	// completions (see Close).
+	submitting int
 
 	backpressure int64
 	submits      int64
 	sqes         int64
+	discarded    int64
 }
 
 // NewRing creates a ring for one tenant. depth bounds outstanding
@@ -86,20 +93,35 @@ type RingStats struct {
 	Submits      int64 // Submit calls that crossed into the kernel
 	SQEs         int64 // operations staged successfully
 	Backpressure int64 // Prep* rejections due to a full ring
+	Discarded    int64 // staged-but-unsubmitted ops dropped by Close
 }
 
 // Stats snapshots the ring.
 func (r *Ring) Stats() RingStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return RingStats{Submits: r.submits, SQEs: r.sqes, Backpressure: r.backpressure}
+	return RingStats{Submits: r.submits, SQEs: r.sqes,
+		Backpressure: r.backpressure, Discarded: r.discarded}
 }
 
-// Close wakes reapers; further Prep* calls fail. Outstanding staged ops
-// are discarded (submit before closing to drain).
+// Close shuts the ring down: further Prep* calls fail, and staged ops
+// that no Submit has picked up are discarded (counted in
+// RingStats.Discarded — submit before closing to drain them).
+//
+// Close-wakes-all semantics: every blocked Reap is woken, but a reaper
+// only returns once the in-flight Submits that raced the close have
+// appended their completions — Close never strands a parked CQE, and at
+// quiescence every successfully prepped op is either reaped or counted
+// discarded. Close does not wait for those Submits itself; it is safe
+// to call from any goroutine, concurrently with Prep/Submit/Reap.
 func (r *Ring) Close() {
 	r.mu.Lock()
 	r.closed = true
+	// Staged ops no Submit will ever take would otherwise pin inflight
+	// forever; drop and count them so accounting stays closed.
+	r.discarded += int64(len(r.staged))
+	r.inflight -= len(r.staged)
+	r.staged = nil
 	r.mu.Unlock()
 	r.cond.Broadcast()
 }
@@ -126,6 +148,16 @@ func (r *Ring) PrepRead(f *File, buf []byte, off int64, user uint64) error {
 	return r.prep(ringOp{kind: vfs.RingRead, f: f, off: off, buf: buf, user: user})
 }
 
+// PrepReadDeadline is PrepRead with a virtual deadline: if the read
+// expires before service its CQE carries vfs.ErrDeadlineExceeded and no
+// bytes; if its data lands late the CQE keeps the byte count but still
+// reports vfs.ErrDeadlineExceeded.
+func (r *Ring) PrepReadDeadline(f *File, buf []byte, off int64, user uint64,
+	deadline simtime.Time) error {
+	return r.prep(ringOp{kind: vfs.RingRead, f: f, off: off, buf: buf,
+		user: user, deadline: deadline})
+}
+
 // PrepWrite stages a buffered write of data at off.
 func (r *Ring) PrepWrite(f *File, data []byte, off int64, user uint64) error {
 	return r.prep(ringOp{kind: vfs.RingWrite, f: f, off: off, buf: data, user: user})
@@ -134,6 +166,16 @@ func (r *Ring) PrepWrite(f *File, data []byte, off int64, user uint64) error {
 // PrepPrefetch stages a prefetch intent for bytes at off.
 func (r *Ring) PrepPrefetch(f *File, off, bytes int64, user uint64) error {
 	return r.prep(ringOp{kind: vfs.RingPrefetch, f: f, off: off, len: bytes, user: user})
+}
+
+// PrepPrefetchDeadline is PrepPrefetch with a virtual deadline: a
+// prefetch Submit estimates it cannot finish by the deadline (or that
+// has already expired) is shed with vfs.ErrShed before crossing —
+// prefetch is the first work to go under pressure, never reads.
+func (r *Ring) PrepPrefetchDeadline(f *File, off, bytes int64, user uint64,
+	deadline simtime.Time) error {
+	return r.prep(ringOp{kind: vfs.RingPrefetch, f: f, off: off, len: bytes,
+		user: user, deadline: deadline})
 }
 
 // Submit takes everything staged so far through one kernel crossing and
@@ -146,6 +188,12 @@ func (r *Ring) Submit(tl *simtime.Timeline) int {
 	r.mu.Lock()
 	batch := r.staged
 	r.staged = nil
+	if len(batch) > 0 {
+		// Taken in the same critical section as the batch: a Close from
+		// here on sees submitting > 0 and keeps reapers waiting until
+		// this Submit parks its completions.
+		r.submitting++
+	}
 	r.mu.Unlock()
 	if len(batch) == 0 {
 		return 0
@@ -175,6 +223,13 @@ func (r *Ring) Submit(tl *simtime.Timeline) int {
 		case vfs.RingRead:
 			q.lo = q.off / bs
 			q.hi = (q.off + int64(len(q.buf)) + bs - 1) / bs
+			if q.deadline > 0 && tl.Now() > q.deadline {
+				// Already expired: complete locally without a crossing.
+				rt.rec.Add(telemetry.CtrRingDeadlineMisses, 1)
+				local = append(local, RingCQE{User: q.user,
+					Err: vfs.ErrDeadlineExceeded, Done: tl.Now()})
+				continue
+			}
 			if shimmed {
 				op = f.observeAccess(tl, q.lo, q.hi)
 			}
@@ -199,6 +254,19 @@ func (r *Ring) Submit(tl *simtime.Timeline) int {
 				local = append(local, RingCQE{User: q.user, Done: tl.Now()})
 				continue
 			}
+			if q.deadline > 0 &&
+				tl.Now().Add(rt.v.Device().Backlog(tl.Now())) > q.deadline {
+				// The device backlog alone already pushes completion past
+				// the deadline: shed here, before the breaker or bitmap
+				// see the intent — prefetch is the first work to go.
+				rt.rec.Add(telemetry.CtrRingShedSQEs, 1)
+				rt.rec.Add(telemetry.CtrRingShedPrefetchPages, q.hi-q.lo)
+				rt.rec.Event(tl.Now(), telemetry.OutcomeShedPrefetch,
+					f.kf.Inode().ID(), q.lo, q.hi)
+				local = append(local, RingCQE{User: q.user,
+					Err: vfs.ErrShed, Done: tl.Now()})
+				continue
+			}
 			if shimmed {
 				if o.Visibility && o.BreakerThreshold > 0 && !f.sf.brk.allow(tl.Now()) {
 					rt.droppedBreaker.Add(1)
@@ -221,7 +289,8 @@ func (r *Ring) Submit(tl *simtime.Timeline) int {
 			rt.rec.Add(telemetry.CtrLibIssuedPages, q.hi-q.lo)
 		}
 		kbatch = append(kbatch, vfs.RingSQE{
-			F: f.kf, Op: q.kind, Off: q.off, Buf: q.buf, Len: q.len, User: q.user,
+			F: f.kf, Op: q.kind, Off: q.off, Buf: q.buf, Len: q.len,
+			User: q.user, Deadline: q.deadline,
 		})
 		kmeta = append(kmeta, q)
 	}
@@ -248,10 +317,20 @@ func (r *Ring) Submit(tl *simtime.Timeline) int {
 					}
 				case vfs.RingPrefetch:
 					if cq.Err != nil {
-						// Definitive failure: one breaker feed for the
-						// whole intent, and the range given back.
-						f.noteFault(tl, f.sf, true)
-						f.sf.tree.ClearRequested(tl, q.lo, q.hi)
+						if errors.Is(cq.Err, vfs.ErrShed) ||
+							errors.Is(cq.Err, vfs.ErrDeadlineExceeded) {
+							// Shed, not failed: the kernel refused the work
+							// without touching the device. The breaker —
+							// including a half-open probe slot — is left
+							// untouched; only the range goes back so a
+							// later intent can retry it.
+							f.sf.tree.ClearRequested(tl, q.lo, q.hi)
+						} else {
+							// Definitive failure: one breaker feed for the
+							// whole intent, and the range given back.
+							f.noteFault(tl, f.sf, true)
+							f.sf.tree.ClearRequested(tl, q.lo, q.hi)
+						}
 					} else {
 						if cq.N > 0 {
 							f.sf.tree.MarkCached(tl, q.lo, q.lo+cq.N)
@@ -277,6 +356,7 @@ func (r *Ring) Submit(tl *simtime.Timeline) int {
 
 	r.mu.Lock()
 	r.cq = append(r.cq, out...)
+	r.submitting--
 	r.mu.Unlock()
 	r.cond.Broadcast()
 	return len(batch)
@@ -286,9 +366,13 @@ func (r *Ring) Submit(tl *simtime.Timeline) int {
 // is closed), delivers everything queued, and advances tl to the latest
 // completion time delivered — the reaper "waits for" the I/O it
 // consumes. min <= 0 returns whatever is queued without blocking.
+//
+// A Close wakes every blocked reaper, but a woken reaper drains the
+// completions of Submits that were already in flight at close time
+// before returning — Reap never leaks a parked CQE to a racing Close.
 func (r *Ring) Reap(tl *simtime.Timeline, min int) []RingCQE {
 	r.mu.Lock()
-	for min > 0 && len(r.cq) < min && !r.closed {
+	for min > 0 && len(r.cq) < min && !(r.closed && r.submitting == 0) {
 		r.cond.Wait()
 	}
 	out := r.cq

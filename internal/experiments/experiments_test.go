@@ -260,3 +260,37 @@ func TestServeQuick(t *testing.T) {
 		t.Errorf("rings mean dispatch depth %.1f should exceed 1", depth)
 	}
 }
+
+// TestOverloadQuick runs the tenant-isolation sweep; the runner itself
+// asserts byte-correctness, the per-cell telemetry audit (including the
+// exact tenant partition of residency), the 2x-of-isolated victim p99
+// bound in every budgeted cell, identical victim client bytes in every
+// cell, and run-to-run determinism via digest comparison. Here we pin
+// the overload machinery's visible signals to their cells.
+func TestOverloadQuick(t *testing.T) {
+	tbl := runQuick(t, "overload")
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("overload produced %d rows, want 5", len(tbl.Rows))
+	}
+	base := cell(t, tbl, "victim-MB", "isolated")
+	for _, c := range []string{"no-budget", "budget", "budget+brownout", "budget+deadline"} {
+		if got := cell(t, tbl, "victim-MB", c); got != base {
+			t.Errorf("%s victim bytes %.1fMB differ from isolated %.1fMB", c, got, base)
+		}
+	}
+	if got := cell(t, tbl, "t-reclaims", "budget"); got < 1 {
+		t.Errorf("budget cell tenant reclaims = %v, want >= 1", got)
+	}
+	if got := cell(t, tbl, "brownouts", "budget+brownout"); got < 1 {
+		t.Errorf("budget+brownout transitions = %v, want >= 1", got)
+	}
+	if got := cell(t, tbl, "brownouts", "no-budget"); got != 0 {
+		t.Errorf("no-budget cell saw %v brownout transitions, want 0", got)
+	}
+	if got := cell(t, tbl, "shed-sqes", "budget+deadline"); got < 1 {
+		t.Errorf("budget+deadline shed SQEs = %v, want >= 1", got)
+	}
+	if got := cell(t, tbl, "dl-miss", "budget+deadline"); got < 1 {
+		t.Errorf("budget+deadline deadline misses = %v, want >= 1", got)
+	}
+}

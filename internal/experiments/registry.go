@@ -31,6 +31,7 @@ var registry = []registryEntry{
 	{"batch", "Block-layer plugging: command reduction and makespan vs plug off", Batch},
 	{"chaos", "Fault-injection sweep: byte-correctness, retries, breaker degradation", Chaos},
 	{"serve", "Serve frontend: sync vs submission rings across tenant counts", Serve},
+	{"overload", "Tenant isolation under an antagonist scan: budgets, deadlines, brownout", Overload},
 }
 
 // IDs lists the experiment identifiers in a stable order.

@@ -185,8 +185,16 @@ func (db *DB) write(tl *simtime.Timeline, key string, value []byte, del bool) er
 // Get returns the newest value of key, or ok=false.
 func (db *DB) Get(tl *simtime.Timeline, key string) ([]byte, bool, error) {
 	db.mu.RLock()
-	mem, imm := db.mem, db.imm
 	snap := db.seq
+	// Probe the memtables while still holding the lock: the active
+	// skiplist is mutated by writers under the write lock, so an
+	// unlocked traversal races with put's pointer splicing. Node
+	// values are copied on insert and never mutated, so the returned
+	// slice may safely outlive the lock.
+	v, del, ok := db.mem.get(key, snap)
+	if !ok && db.imm != nil {
+		v, del, ok = db.imm.get(key, snap)
+	}
 	// Snapshot the table list (tables are immutable).
 	var l0 []*sstable
 	l0 = append(l0, db.levels[0]...)
@@ -201,13 +209,8 @@ func (db *DB) Get(tl *simtime.Timeline, key string) ([]byte, bool, error) {
 	db.bumpGets()
 	tl.Advance(200 * simtime.Nanosecond)
 
-	if v, del, ok := mem.get(key, snap); ok {
+	if ok {
 		return db.hit(v, del)
-	}
-	if imm != nil {
-		if v, del, ok := imm.get(key, snap); ok {
-			return db.hit(v, del)
-		}
 	}
 	for _, t := range l0 {
 		v, del, ok, err := db.tableGet(tl, t, key, snap)

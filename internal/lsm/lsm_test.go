@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
 	crossprefetch "repro"
+	"repro/internal/simtime"
 )
 
 func testSys(a crossprefetch.Approach) *crossprefetch.System {
@@ -488,4 +490,40 @@ func TestIteratorSeekBack(t *testing.T) {
 	if it2.SeekBack("kex") {
 		t.Fatalf("seekback before start should be invalid, got %q", it2.Key())
 	}
+}
+
+// TestConcurrentGetPutRace pins the Get/memtable race the YCSB mixed
+// workloads tripped over: Get used to snapshot the active memtable
+// pointer under RLock, drop the lock, and then traverse the live
+// skiplist while concurrent writers spliced nodes into it under the
+// write lock. Pre-fix this fails under -race within a handful of
+// iterations; post-fix the memtable probes happen inside the RLock.
+func TestConcurrentGetPutRace(t *testing.T) {
+	db := testDB(t, crossprefetch.OSOnly)
+	const keys = 64
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tl := simtime.NewTimeline(0)
+			for i := 0; i < 2000; i++ {
+				k := fmt.Sprintf("key-%03d", i%keys)
+				if w == 0 {
+					if err := db.Put(tl, k, []byte(k)); err != nil {
+						t.Error(err)
+						return
+					}
+				} else if v, ok, err := db.Get(tl, k); err != nil {
+					t.Error(err)
+					return
+				} else if ok && string(v) != k {
+					t.Errorf("Get %s = %q", k, v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

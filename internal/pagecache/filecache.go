@@ -164,6 +164,9 @@ type InsertOptions struct {
 	// Prefetched marks the pages as prefetch-inserted for the telemetry
 	// effectiveness accounting (set by the VFS prefetch path).
 	Prefetched bool
+	// Tenant charges the inserted pages to this tenant's memory account
+	// (budgets, targeted reclaim). Zero is the shared default account.
+	Tenant int
 }
 
 // InsertRange installs pages [lo, hi), charging the tree lock exclusive,
@@ -190,6 +193,7 @@ func (fc *FileCache) InsertRange(tl *simtime.Timeline, lo, hi int64, opt InsertO
 		tl.Advance(simtime.Duration(n) * costs.PageAlloc)
 	}
 
+	acct := fc.cache.tenantAccountFor(opt.Tenant)
 	var fresh []*page
 	var inserted int64
 	fc.mu.Lock()
@@ -206,7 +210,7 @@ func (fc *FileCache) InsertRange(tl *simtime.Timeline, lo, hi int64, opt InsertO
 			}
 			continue
 		}
-		p := &page{fc: fc, idx: i, readyAt: opt.ReadyAt, dirty: opt.Dirty}
+		p := &page{fc: fc, tacct: acct, idx: i, readyAt: opt.ReadyAt, dirty: opt.Dirty}
 		p.prefetched.Store(opt.Prefetched)
 		if opt.Dirty {
 			fc.cache.dirty.Add(1)
@@ -243,8 +247,10 @@ func (fc *FileCache) InsertRange(tl *simtime.Timeline, lo, hi int64, opt InsertO
 			fc.cache.rec.Add(telemetry.CtrCachePrefetchInsertedPages, inserted)
 		}
 		fc.cache.used.Add(inserted)
+		fc.cache.chargeTenant(acct, inserted)
 		fc.cache.link(fresh)
 		fc.cache.reclaimIfNeeded(tl)
+		fc.cache.tenantReclaimIfNeeded(tl, acct)
 	}
 	return inserted
 }

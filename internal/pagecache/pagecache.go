@@ -77,13 +77,21 @@ type Cache struct {
 
 	fileShards [fileShardCount]fileShard
 
-	hits          atomic.Int64
-	misses        atomic.Int64
-	dirty         atomic.Int64
-	evictions     atomic.Int64
-	directReclaim atomic.Int64
-	kswapdRuns    atomic.Int64
-	writebacks    atomic.Int64
+	// Tenant page accounting (see tenant.go): every page is charged to
+	// one account; nOverSoft counts accounts over their soft budget and
+	// gates the reclaim victim bias.
+	tenantMu  sync.RWMutex
+	tenants   map[int]*tenantAccount
+	nOverSoft atomic.Int64
+
+	hits           atomic.Int64
+	misses         atomic.Int64
+	dirty          atomic.Int64
+	evictions      atomic.Int64
+	directReclaim  atomic.Int64
+	kswapdRuns     atomic.Int64
+	writebacks     atomic.Int64
+	tenantReclaims atomic.Int64
 }
 
 // New returns a cache with the given configuration. flush may be nil if no
@@ -99,9 +107,10 @@ func New(cfg Config, flush FlushFn) *Cache {
 		cfg.KswapdWorkers = 1
 	}
 	c := &Cache{
-		cfg:    cfg,
-		flush:  flush,
-		kswapd: simtime.NewWorkerPool(cfg.KswapdWorkers, 0),
+		cfg:     cfg,
+		flush:   flush,
+		kswapd:  simtime.NewWorkerPool(cfg.KswapdWorkers, 0),
+		tenants: make(map[int]*tenantAccount),
 	}
 	for i := range c.fileShards {
 		c.fileShards[i].m = make(map[int64]*FileCache)
@@ -196,6 +205,11 @@ func (c *Cache) Free() int64 {
 func (c *Cache) highWater() int64 { return c.cfg.CapacityPages * 15 / 16 }
 func (c *Cache) lowWater() int64  { return c.cfg.CapacityPages * 7 / 8 }
 
+// HighWater and LowWater export the reclaim watermarks (in pages) for
+// external pressure signals (the brownout controller reads them).
+func (c *Cache) HighWater() int64 { return c.highWater() }
+func (c *Cache) LowWater() int64  { return c.lowWater() }
+
 // File returns (creating if needed) the per-inode cache state.
 func (c *Cache) File(inoID int64) *FileCache {
 	fs := c.fileShard(inoID)
@@ -237,15 +251,16 @@ func (c *Cache) DropAll(tl *simtime.Timeline) {
 
 // Stats is a snapshot of global cache counters.
 type Stats struct {
-	Capacity      int64
-	Used          int64
-	Dirty         int64
-	Hits          int64
-	Misses        int64
-	Evictions     int64
-	DirectReclaim int64
-	KswapdRuns    int64
-	Writebacks    int64
+	Capacity       int64
+	Used           int64
+	Dirty          int64
+	Hits           int64
+	Misses         int64
+	Evictions      int64
+	DirectReclaim  int64
+	KswapdRuns     int64
+	Writebacks     int64
+	TenantReclaims int64
 }
 
 // MissPercent reports cache misses as a percentage of lookups.
@@ -260,15 +275,16 @@ func (s Stats) MissPercent() float64 {
 // Stats snapshots the global counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Capacity:      c.cfg.CapacityPages,
-		Used:          c.used.Load(),
-		Dirty:         c.dirty.Load(),
-		Hits:          c.hits.Load(),
-		Misses:        c.misses.Load(),
-		Evictions:     c.evictions.Load(),
-		DirectReclaim: c.directReclaim.Load(),
-		KswapdRuns:    c.kswapdRuns.Load(),
-		Writebacks:    c.writebacks.Load(),
+		Capacity:       c.cfg.CapacityPages,
+		Used:           c.used.Load(),
+		Dirty:          c.dirty.Load(),
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Evictions:      c.evictions.Load(),
+		DirectReclaim:  c.directReclaim.Load(),
+		KswapdRuns:     c.kswapdRuns.Load(),
+		Writebacks:     c.writebacks.Load(),
+		TenantReclaims: c.tenantReclaims.Load(),
 	}
 }
 
@@ -277,7 +293,11 @@ func (c *Cache) Stats() Stats {
 // file's exclusive mu; marker and prefetched are atomic so the shared
 // (RLock) lookup walk can consume them without exclusive ownership.
 type page struct {
-	fc      *FileCache
+	fc *FileCache
+	// tacct is the tenant account this page frame is charged to, set
+	// once at insertion; eviction credits the same account, so the
+	// per-tenant ledgers partition global residency exactly.
+	tacct   *tenantAccount
 	idx     int64
 	readyAt simtime.Time
 	dirty   bool

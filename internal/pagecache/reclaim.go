@@ -1,9 +1,25 @@
 package pagecache
 
 import (
+	"sort"
+
 	"repro/internal/simtime"
 	"repro/internal/telemetry"
 )
+
+// sortedFiles returns a map-of-files' keys ordered by inode ID. Eviction
+// and writeback walk files in this order, never raw map order: each
+// visit books virtual time on the file's tree ledger (and possibly the
+// device), so map-order iteration would make identical runs diverge by
+// microseconds — breaking the replay determinism the experiments assert.
+func sortedFiles[V any](m map[*FileCache]V) []*FileCache {
+	files := make([]*FileCache, 0, len(m))
+	for fc := range m {
+		files = append(files, fc)
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].inoID < files[j].inoID })
+	return files
+}
 
 // link puts freshly inserted pages on the inactive list (Linux admits new
 // file pages to inactive; promotion to active happens on re-access). With
@@ -171,6 +187,12 @@ func (c *Cache) reclaim(tl *simtime.Timeline, target int64, direct bool) {
 	// never spin the selection loop; single-threaded passes examine each
 	// page at most a handful of times and stay far below the bound.
 	steps := 4*c.used.Load() + target + 64
+	// Soft-budget bias: while any tenant is over its soft budget, pages
+	// of tenants within budget rotate back instead of being evicted, so
+	// reclaim pressure lands on the offenders first. The bias budget
+	// bounds the rotations so reclaim still finishes when only
+	// within-budget pages remain.
+	biasBudget := 4*target + 256
 	for int64(len(victims)) < target && steps > 0 {
 		steps--
 		p := c.popOldest(true)
@@ -186,6 +208,15 @@ func (c *Cache) reclaim(tl *simtime.Timeline, target int64, direct bool) {
 				aged = true
 			}
 			if !aged {
+				break
+			}
+			continue
+		}
+		if biasBudget > 0 && c.nOverSoft.Load() > 0 &&
+			p.tacct != nil && !p.tacct.overSoftNow() {
+			biasBudget--
+			c.pushInactive(p)
+			if c.nInactive.Load() == 1 {
 				break
 			}
 			continue
@@ -305,7 +336,8 @@ func (c *Cache) evictFromFiles(tl *simtime.Timeline, victims []*page) {
 	for _, p := range victims {
 		byFile[p.fc] = append(byFile[p.fc], p)
 	}
-	for fc, pages := range byFile {
+	for _, fc := range sortedFiles(byFile) {
+		pages := byFile[fc]
 		var confirmed []*page
 		fc.mu.Lock()
 		for _, p := range pages {
@@ -358,6 +390,19 @@ func (c *Cache) finishEviction(tl *simtime.Timeline, victims []*page, unlink boo
 	}
 	c.used.Add(-int64(len(victims)))
 	c.evictions.Add(int64(len(victims)))
+	// Credit each victim back to its tenant account; batches are small
+	// so the per-account grouping is a linear pass.
+	for i := 0; i < len(victims); {
+		a := victims[i].tacct
+		j := i + 1
+		for j < len(victims) && victims[j].tacct == a {
+			j++
+		}
+		if a != nil {
+			c.creditTenant(a, int64(j-i))
+		}
+		i = j
+	}
 
 	if c.rec != nil {
 		c.rec.Add(telemetry.CtrCacheRemovedPages, int64(len(victims)))
@@ -403,7 +448,8 @@ func (c *Cache) finishEviction(tl *simtime.Timeline, victims []*page, unlink boo
 	if tl != nil {
 		at = tl.Now()
 	}
-	for fc, pages := range dirtyByFile {
+	for _, fc := range sortedFiles(dirtyByFile) {
+		pages := dirtyByFile[fc]
 		sortPagesByIdx(pages)
 		runStart := 0
 		for i := 1; i <= len(pages); i++ {
@@ -466,7 +512,13 @@ func (c *Cache) requeueDirty(tl *simtime.Timeline, fc *FileCache, run []*page) {
 	c.used.Add(n)
 	// The re-insertion is a fresh (dirty) insertion for the audit's
 	// books: inserted − removed = resident stays exact, and the dirty
-	// count keeps these pages out of the clean (read-backed) total.
+	// count keeps these pages out of the clean (read-backed) total. The
+	// tenant ledger mirrors that: each page recharges its own account.
+	for _, p := range requeued {
+		if p.tacct != nil {
+			c.chargeTenant(p.tacct, 1)
+		}
+	}
 	c.rec.Add(telemetry.CtrCacheInsertedPages, n)
 	c.rec.Add(telemetry.CtrCacheDirtyInsertedPages, n)
 	c.link(requeued)

@@ -1,0 +1,221 @@
+package pagecache
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/simtime"
+	"repro/internal/telemetry"
+)
+
+// Tenant accounting: every resident page is charged to exactly one
+// tenant account at insertion and credited back at eviction, so the
+// per-tenant resident counters partition the global residency exactly —
+// the identity the telemetry audit asserts. Budgets hang off the same
+// accounts:
+//
+//   - a soft budget biases global reclaim: while any tenant is over its
+//     soft budget, the victim loop rotates other tenants' pages back and
+//     keeps eating the offenders' (bounded, so reclaim always finishes);
+//   - a hard budget triggers tenant-targeted direct reclaim on the
+//     allocating thread: the over-budget tenant's own oldest pages are
+//     evicted until it fits, without touching anyone else's.
+//
+// Budget zero means unlimited. Tenant 0 is the default account for
+// untagged insertions, so the audit identity holds with budgets unused.
+
+// tenantAccount is one tenant's page ledger. resident/inserted/evicted
+// are exact (every page charge and credit goes through them); overSoft
+// is a cached flag that keeps Cache.nOverSoft equal to the number of
+// accounts currently over their soft budget.
+type tenantAccount struct {
+	id       int
+	resident atomic.Int64
+	inserted atomic.Int64
+	evicted  atomic.Int64
+	soft     atomic.Int64 // soft budget in pages; 0 = unlimited
+	hard     atomic.Int64 // hard budget in pages; 0 = unlimited
+	overSoft atomic.Bool
+}
+
+// overSoftNow reports whether the account exceeds its soft budget right
+// now (live values, not the cached flag).
+func (a *tenantAccount) overSoftNow() bool {
+	s := a.soft.Load()
+	return s > 0 && a.resident.Load() > s
+}
+
+// TenantStats is one tenant's ledger snapshot (see Cache.TenantStats).
+type TenantStats struct {
+	ID         int
+	Resident   int64
+	Inserted   int64
+	Evicted    int64
+	SoftBudget int64
+	HardBudget int64
+}
+
+// tenantAccountFor returns (creating if needed) the tenant's account.
+func (c *Cache) tenantAccountFor(id int) *tenantAccount {
+	c.tenantMu.RLock()
+	a := c.tenants[id]
+	c.tenantMu.RUnlock()
+	if a != nil {
+		return a
+	}
+	c.tenantMu.Lock()
+	defer c.tenantMu.Unlock()
+	if a = c.tenants[id]; a == nil {
+		a = &tenantAccount{id: id}
+		c.tenants[id] = a
+	}
+	return a
+}
+
+// SetTenantBudget configures a tenant's budgets in pages (0 = unlimited).
+// The soft budget biases global reclaim toward the tenant's pages; the
+// hard budget caps its residency via targeted direct reclaim on its own
+// allocations. Budgets are normally set before traffic; changing them
+// mid-flight is safe but the soft-pressure bias may lag one reclaim pass.
+func (c *Cache) SetTenantBudget(id int, softPages, hardPages int64) {
+	a := c.tenantAccountFor(id)
+	a.soft.Store(softPages)
+	a.hard.Store(hardPages)
+	c.refreshOverSoft(a)
+}
+
+// TenantStats snapshots every tenant ledger, ordered by tenant ID.
+func (c *Cache) TenantStats() []TenantStats {
+	c.tenantMu.RLock()
+	accounts := make([]*tenantAccount, 0, len(c.tenants))
+	for _, a := range c.tenants {
+		accounts = append(accounts, a)
+	}
+	c.tenantMu.RUnlock()
+	sort.Slice(accounts, func(i, j int) bool { return accounts[i].id < accounts[j].id })
+	out := make([]TenantStats, len(accounts))
+	for i, a := range accounts {
+		out[i] = TenantStats{
+			ID:         a.id,
+			Resident:   a.resident.Load(),
+			Inserted:   a.inserted.Load(),
+			Evicted:    a.evicted.Load(),
+			SoftBudget: a.soft.Load(),
+			HardBudget: a.hard.Load(),
+		}
+	}
+	return out
+}
+
+// refreshOverSoft reconciles the account's cached over-soft flag with
+// its live state, keeping nOverSoft equal to the number of set flags.
+func (c *Cache) refreshOverSoft(a *tenantAccount) {
+	over := a.overSoftNow()
+	if a.overSoft.Load() != over && a.overSoft.CompareAndSwap(!over, over) {
+		if over {
+			c.nOverSoft.Add(1)
+		} else {
+			c.nOverSoft.Add(-1)
+		}
+	}
+}
+
+// chargeTenant accounts n freshly inserted (or requeued) pages.
+func (c *Cache) chargeTenant(a *tenantAccount, n int64) {
+	a.resident.Add(n)
+	a.inserted.Add(n)
+	c.refreshOverSoft(a)
+}
+
+// creditTenant accounts n evicted pages.
+func (c *Cache) creditTenant(a *tenantAccount, n int64) {
+	a.resident.Add(-n)
+	a.evicted.Add(n)
+	c.refreshOverSoft(a)
+}
+
+// tenantReclaimIfNeeded enforces a hard budget after an allocation: when
+// the inserting tenant exceeds it, the tenant's own oldest pages (and
+// only those) are direct-reclaimed down to the budget, charged to the
+// allocating thread like any direct reclaim.
+func (c *Cache) tenantReclaimIfNeeded(tl *simtime.Timeline, a *tenantAccount) {
+	hard := a.hard.Load()
+	if hard <= 0 {
+		return
+	}
+	target := a.resident.Load() - hard
+	if target <= 0 {
+		return
+	}
+	c.tenantReclaims.Add(1)
+	c.rec.Add(telemetry.CtrCacheTenantReclaims, 1)
+	victims := c.collectTenantVictims(a, target)
+	if len(victims) == 0 {
+		return
+	}
+	sp := telemetry.Begin(tl, "cache.tenant_reclaim", telemetry.CatLock)
+	sp.Annotate("victims", int64(len(victims)))
+	if tl != nil {
+		tl.Advance(simtime.Duration(len(victims)) * c.cfg.Costs.ReclaimPage)
+	}
+	c.evictFromFiles(tl, victims)
+	sp.End(tl)
+}
+
+// collectTenantVictims unlinks up to target of the tenant's pages from
+// the LRU lists, oldest lists first (inactive before active), under
+// reclaimMu like any victim selection.
+func (c *Cache) collectTenantVictims(a *tenantAccount, target int64) []*page {
+	c.reclaimMu.Lock()
+	defer c.reclaimMu.Unlock()
+	var victims []*page
+	need := target
+	// takeFrom walks one list tail→head (oldest first within the shard)
+	// and claims the tenant's pages. Caller holds the shard lock.
+	takeFrom := func(l *pageList, globalInactive bool) {
+		for p := l.tail; p != nil && need > 0; {
+			prev := p.prev
+			if p.tacct == a {
+				l.remove(p)
+				if globalInactive {
+					c.nInactive.Add(-1)
+				}
+				p.state.Store(pageUnlinked)
+				victims = append(victims, p)
+				need--
+			}
+			p = prev
+		}
+	}
+	if c.cfg.PerInodeLRU {
+		files := c.snapshotFiles()
+		sortFilesByTouch(files)
+		for _, fc := range files {
+			if need <= 0 {
+				break
+			}
+			sh := c.lruShardForFile(fc)
+			sh.mu.Lock()
+			takeFrom(&fc.ownInactive, false)
+			takeFrom(&fc.ownActive, false)
+			sh.mu.Unlock()
+		}
+		return victims
+	}
+	for pass := 0; pass < 2 && need > 0; pass++ {
+		for i := range c.lru {
+			if need <= 0 {
+				break
+			}
+			sh := &c.lru[i]
+			sh.mu.Lock()
+			if pass == 0 {
+				takeFrom(&sh.inactive, true)
+			} else {
+				takeFrom(&sh.active, false)
+			}
+			sh.mu.Unlock()
+		}
+	}
+	return victims
+}

@@ -23,6 +23,22 @@ type AuditInput struct {
 	// accounted to a VFS demand fetch or prefetch — true whenever the
 	// kernel under audit is the device's only client.
 	StrictDevice bool
+	// Tenants, when HasTenants is set, is the cache's per-tenant ledger
+	// snapshot. Audit requires the tenant accounts to reconcile exactly:
+	// each tenant's inserted - evicted == resident, and the residency
+	// summed over all tenants == CacheUsed (no page is unowned or
+	// double-owned).
+	Tenants    []TenantLedger
+	HasTenants bool
+}
+
+// TenantLedger is one tenant's page-accounting snapshot as the cache
+// reports it (see pagecache TenantStats).
+type TenantLedger struct {
+	ID       int
+	Resident int64
+	Inserted int64
+	Evicted  int64
 }
 
 // Audit cross-checks the layers' accounts of the same work and returns
@@ -202,6 +218,37 @@ func Audit(s *Snapshot, in AuditInput) error {
 				fail("full-sampling span prefetch pages %d != vfs prefetch device pages %d", t.PrefetchPages, prefetch)
 			}
 		}
+	}
+
+	// Tenant <-> cache: tenant accounting partitions global residency
+	// exactly — every tenant's own insert/evict ledger balances, and the
+	// tenants' resident pages sum to the cache's resident count.
+	if in.HasTenants {
+		var sum int64
+		for _, t := range in.Tenants {
+			if t.Inserted-t.Evicted != t.Resident {
+				fail("tenant %d inserted %d - evicted %d = %d != resident %d",
+					t.ID, t.Inserted, t.Evicted, t.Inserted-t.Evicted, t.Resident)
+			}
+			sum += t.Resident
+		}
+		if sum != in.CacheUsed {
+			fail("tenant residency sum %d != cache resident %d", sum, in.CacheUsed)
+		}
+	}
+
+	// Brownout <-> trace: every controller level change was traced as a
+	// raised or lowered event, and every shed prefetch intent's pages are
+	// carried by exactly one shed-prefetch event.
+	raised := s.Outcome(OutcomeBrownoutRaised)
+	lowered := s.Outcome(OutcomeBrownoutLowered)
+	if trans := s.Counter(CtrBrownoutTransitions); raised.Events+lowered.Events != trans {
+		fail("brownout raised %d + lowered %d trace events != transitions %d",
+			raised.Events, lowered.Events, trans)
+	}
+	if ev := s.Outcome(OutcomeShedPrefetch); ev.Pages != s.Counter(CtrRingShedPrefetchPages) {
+		fail("shed-prefetch trace pages %d != ring shed prefetch pages %d",
+			ev.Pages, s.Counter(CtrRingShedPrefetchPages))
 	}
 
 	// Trace bookkeeping: per-outcome totals must cover everything the

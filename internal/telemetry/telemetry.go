@@ -131,6 +131,23 @@ const (
 	CtrRingDispatchCommands
 	// CtrRingBackpressure counts SQEs refused at admission (ring full).
 	CtrRingBackpressure
+	// CtrRingShedSQEs counts SQEs completed with ErrShed — work the ring
+	// path refused under overload (brownout or a deadline it could not
+	// meet) without touching the device.
+	CtrRingShedSQEs
+	// CtrRingShedPrefetchPages is the pages those shed prefetch intents
+	// carried (the work brownout saved).
+	CtrRingShedPrefetchPages
+	// CtrRingDeadlineMisses counts CQEs delivered with
+	// ErrDeadlineExceeded — submissions that expired before or during
+	// service.
+	CtrRingDeadlineMisses
+	// CtrBrownoutTransitions counts pressure-level changes of the
+	// brownout controller (normal -> prefetch-off -> clamped and back).
+	CtrBrownoutTransitions
+	// CtrCacheTenantReclaims counts tenant-targeted direct reclaim passes
+	// (a hard-budget breach evicting only the offender's own pages).
+	CtrCacheTenantReclaims
 
 	numCounters
 )
@@ -174,6 +191,11 @@ func (c Counter) String() string {
 		"ring_dispatch_batches",
 		"ring_dispatch_commands",
 		"ring_backpressure",
+		"ring_shed_sqes",
+		"ring_shed_prefetch_pages",
+		"ring_deadline_misses",
+		"brownout_transitions",
+		"cache_tenant_reclaims",
 	}[c]
 }
 
@@ -220,6 +242,15 @@ const (
 	// per-file aggregator (dedupe/merge against the shared bitmap) to be
 	// flushed later as part of one vectored readahead_info crossing.
 	OutcomeBatchedIntent
+	// OutcomeShedPrefetch: the ring path shed a prefetch intent under
+	// overload (brownout level >= 1 or an unmeetable deadline); the pages
+	// were never issued and the CQE carries ErrShed.
+	OutcomeShedPrefetch
+	// OutcomeBrownoutRaised / OutcomeBrownoutLowered: the pressure
+	// controller changed level; Lo/Hi encode the old and new level so the
+	// trace shows the whole trajectory.
+	OutcomeBrownoutRaised
+	OutcomeBrownoutLowered
 
 	numOutcomes
 )
@@ -240,6 +271,9 @@ func (o Outcome) String() string {
 		"breaker-tripped",
 		"breaker-recovered",
 		"batched-intent",
+		"shed-prefetch",
+		"brownout-raised",
+		"brownout-lowered",
 	}[o]
 }
 

@@ -108,6 +108,13 @@ func (f *File) ReadaheadInfo(tl *simtime.Timeline, req CacheInfoRequest, dst *bi
 			limit = maxPages
 		}
 	}
+	// Level-2 brownout clamps the window below even the static cap: the
+	// excess is counted rejected, so the clamp identities still hold.
+	if v.pressureCheck(tl) >= BrownoutClamped {
+		if clamp := v.brownoutClampPages(); limit > clamp {
+			limit = clamp
+		}
+	}
 
 	var missing []bitmap.Run
 	var reqTotal, clampTotal int64

@@ -57,6 +57,12 @@ type RingSQE struct {
 	Buf  []byte // RingRead destination / RingWrite source
 	Len  int64  // RingPrefetch byte length
 	User uint64 // opaque completion cookie
+	// Deadline is an optional virtual deadline (0 = none). A prefetch
+	// whose deadline has passed at enter is shed (ErrShed); a read that
+	// expired before service fails with ErrDeadlineExceeded and N = 0; a
+	// read whose data completes after the deadline keeps its byte count
+	// but carries ErrDeadlineExceeded (the data is cached, merely late).
+	Deadline simtime.Time
 }
 
 // RingCQE is one completion-queue entry. Done is the virtual time the
@@ -105,6 +111,7 @@ type ringChunk struct {
 	f        *File
 	lo       int64 // first logical block
 	blocks   int64
+	tenant   int
 	prefetch bool
 }
 
@@ -128,15 +135,23 @@ func (v *VFS) RingEnter(tl *simtime.Timeline, tenant int, sqes []RingSQE) []Ring
 	sc := readScratchPool.Get().(*readScratch)
 	defer readScratchPool.Put(sc)
 
+	v.pressureCheck(tl)
 	for i := range sqes {
 		sq := &sqes[i]
 		pend := &pends[i]
 		cqes[i].User = sq.User
 		switch sq.Op {
 		case RingRead:
+			if sq.Deadline > 0 && tl.Now() > sq.Deadline {
+				// Expired before service: fail without staging any
+				// device work. Reads are never shed while viable.
+				v.rec.Add(telemetry.CtrRingDeadlineMisses, 1)
+				pend.fail(ErrDeadlineExceeded, tl.Now())
+				break
+			}
 			cqes[i].N = v.ringRead(tl, tenant, sq, pend, &wg, sc)
 		case RingWrite:
-			cqes[i].N = v.ringWrite(tl, sq, pend)
+			cqes[i].N = v.ringWrite(tl, tenant, sq, pend)
 		case RingPrefetch:
 			cqes[i].N = v.ringPrefetch(tl, tenant, sq, pend, &wg, sc)
 		}
@@ -157,6 +172,12 @@ func (v *VFS) RingEnter(tl *simtime.Timeline, tenant int, sqes []RingSQE) []Ring
 		if p.err != nil && sqes[i].Op == RingRead {
 			// The demand data never arrived; nothing counted as read.
 			cqes[i].N = 0
+		}
+		if d := sqes[i].Deadline; d > 0 && p.err == nil && p.done > d {
+			// Late completion: the work was done (pages cached, N kept)
+			// but after the deadline — reported distinctly from a shed.
+			cqes[i].Err = ErrDeadlineExceeded
+			v.rec.Add(telemetry.CtrRingDeadlineMisses, 1)
 		}
 	}
 	v.rec.Add(telemetry.CtrRingCQECompleted, int64(len(cqes)))
@@ -207,6 +228,7 @@ func (v *VFS) completeRingChunk(tl *simtime.Timeline, c *ringChunk, r blockdev.L
 			ReadyAt:    r.Done,
 			MarkerAt:   -1,
 			Prefetched: true,
+			Tenant:     c.tenant,
 		})
 		v.rec.Add(telemetry.CtrVFSPrefetchInsertedPages, n)
 		v.rec.Add(telemetry.CtrKernelPrefetchedPages, n)
@@ -216,6 +238,7 @@ func (v *VFS) completeRingChunk(tl *simtime.Timeline, c *ringChunk, r blockdev.L
 		c.f.fc.InsertRange(tl, c.lo, c.lo+c.blocks, pagecache.InsertOptions{
 			ReadyAt:  r.Done,
 			MarkerAt: -1,
+			Tenant:   c.tenant,
 		})
 	}
 	c.pend.advance(r.Done)
@@ -231,7 +254,8 @@ func (v *VFS) stageRuns(tl *simtime.Timeline, tenant int, f *File, runs []bitmap
 		cursor := r.Lo
 		for _, pr := range f.ino.MapRange(r.Lo, r.Hi) {
 			if pr.Logical > cursor && !prefetch {
-				f.fc.InsertRange(tl, cursor, pr.Logical, pagecache.InsertOptions{MarkerAt: -1})
+				f.fc.InsertRange(tl, cursor, pr.Logical,
+					pagecache.InsertOptions{MarkerAt: -1, Tenant: tenant})
 			}
 			lo := pr.Logical
 			devOff := pr.Phys * bs
@@ -250,7 +274,7 @@ func (v *VFS) stageRuns(tl *simtime.Timeline, tenant int, f *File, runs []bitmap
 					Bytes:  chunk,
 					Tag: &ringChunk{
 						pend: pend, wg: wg, f: f,
-						lo: lo, blocks: chunkBlocks, prefetch: prefetch,
+						lo: lo, blocks: chunkBlocks, tenant: tenant, prefetch: prefetch,
 					},
 				}, tl.Now())
 				lo += chunkBlocks
@@ -260,7 +284,8 @@ func (v *VFS) stageRuns(tl *simtime.Timeline, tenant int, f *File, runs []bitmap
 			cursor = pr.Logical + pr.Count
 		}
 		if cursor < r.Hi && !prefetch {
-			f.fc.InsertRange(tl, cursor, r.Hi, pagecache.InsertOptions{MarkerAt: -1})
+			f.fc.InsertRange(tl, cursor, r.Hi,
+				pagecache.InsertOptions{MarkerAt: -1, Tenant: tenant})
 		}
 	}
 }
@@ -316,7 +341,7 @@ func (v *VFS) ringRead(tl *simtime.Timeline, tenant int, sq *RingSQE,
 // fetches (blocking — merging into an unreadable block would corrupt it),
 // dirty insertion, and the dirty-balance throttle, which doubles as the
 // write-side admission control of the ring path.
-func (v *VFS) ringWrite(tl *simtime.Timeline, sq *RingSQE, pend *ringPending) int64 {
+func (v *VFS) ringWrite(tl *simtime.Timeline, tenant int, sq *RingSQE, pend *ringPending) int64 {
 	f := sq.F
 	if len(sq.Buf) == 0 || sq.Off < 0 {
 		return 0
@@ -346,7 +371,8 @@ func (v *VFS) ringWrite(tl *simtime.Timeline, sq *RingSQE, pend *ringPending) in
 
 	f.ino.WriteAt(sq.Buf, sq.Off)
 	tl.Advance(simtime.Duration(hi-lo) * v.cfg.Costs.PageCopy)
-	f.fc.InsertRange(tl, lo, hi, pagecache.InsertOptions{Dirty: true, MarkerAt: -1})
+	f.fc.InsertRange(tl, lo, hi,
+		pagecache.InsertOptions{Dirty: true, MarkerAt: -1, Tenant: tenant})
 	f.fc.SetDirtyRange(tl, lo, hi)
 	v.balanceDirty(tl)
 	return n
@@ -366,6 +392,23 @@ func (v *VFS) ringPrefetch(tl *simtime.Timeline, tenant int, sq *RingSQE,
 		hi = fb
 	}
 	if sq.Len <= 0 || hi <= lo {
+		return 0
+	}
+	// Shed before any clamping or staging: under brownout (level >= 1)
+	// or an already-expired deadline, the intent never touches the
+	// device. The full file-clamped request is counted rejected so the
+	// requested == admitted + rejected and lib == kernel identities hold
+	// page for page, and the CQE carries ErrShed so the library can tell
+	// refusal from failure (the breaker ignores sheds).
+	if v.BrownoutLevel() >= BrownoutPrefetchOff ||
+		(sq.Deadline > 0 && tl.Now() > sq.Deadline) {
+		preClamp := hi - lo
+		v.rec.Add(telemetry.CtrKernelRequestedPages, preClamp)
+		v.rec.Add(telemetry.CtrKernelRejectedPages, preClamp)
+		v.rec.Add(telemetry.CtrRingShedSQEs, 1)
+		v.rec.Add(telemetry.CtrRingShedPrefetchPages, preClamp)
+		v.rec.Event(tl.Now(), telemetry.OutcomeShedPrefetch, f.ino.ID(), lo, hi)
+		pend.fail(ErrShed, tl.Now())
 		return 0
 	}
 	limit := v.cfg.RA.MaxPages

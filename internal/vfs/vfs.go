@@ -68,6 +68,15 @@ type Config struct {
 	// path still routes through the plug API, but each request
 	// dispatches immediately with unchanged device semantics.
 	Sched blockdev.PlugConfig
+	// Brownout enables the overload controller (see pressure.go): the
+	// ring and readahead_info crossings re-evaluate a pressure level
+	// from the reclaim watermark distance and device backlog, shedding
+	// prefetch and clamping readahead windows as it rises. Off by
+	// default — prefetch policy is unchanged unless opted in.
+	Brownout bool
+	// BrownoutClampPages caps readahead_info windows while the
+	// controller is at BrownoutClamped (0 selects 8 pages).
+	BrownoutClampPages int64
 }
 
 // DefaultConfig returns Linux-like defaults on the paper's testbed.
@@ -138,6 +147,10 @@ type VFS struct {
 	// RingEnter stages device work on per-tenant lanes and drains them
 	// fair-share through one shared plug.
 	lanes *blockdev.LaneSet
+
+	// brownout is the overload controller's current level (see
+	// pressure.go); stays BrownoutNormal unless cfg.Brownout is set.
+	brownout atomic.Int32
 }
 
 // New assembles a kernel over the given file system, device, and cache.
