@@ -1,7 +1,7 @@
 # Tier-1 gate (see ROADMAP.md): every PR must leave `make check` green.
-.PHONY: check build test vet race bench chaos errgate fmtgate plugate ringgate shedgate trace bench-json bench-parallel bench-batch bench-serve bench-overload
+.PHONY: check build test vet race bench chaos errgate fmtgate plugate ringgate shedgate ctrgate trace bench-json bench-parallel bench-batch bench-serve bench-overload bench-score
 
-check: vet errgate fmtgate plugate ringgate shedgate build race
+check: vet errgate fmtgate plugate ringgate shedgate ctrgate build race
 
 # Formatting gate: the tree must be gofmt-clean.
 fmtgate:
@@ -45,6 +45,21 @@ shedgate:
 		internal/vfs/ring.go internal/vfs/pressure.go internal/crosslib/ring.go \
 		| grep -v 'var Err' \
 		|| (echo 'shedgate: ad-hoc errors.New on the ring shed/deadline path (use the exported sentinels)'; exit 1)
+
+# Counter-export gate: every Ctr*/Outcome*/Hist* constant declared in
+# telemetry.go must appear both in the identifier-indexed export name
+# table (telemetry.go, `CtrFoo: "foo"`) and in the Prometheus writer's
+# help tables (prometheus.go) — a counter nobody can scrape is a counter
+# that silently rots.
+ctrgate:
+	@missing=0; \
+	for c in $$(grep -oE '^	(Ctr|Outcome|Hist)[A-Za-z0-9]+' internal/telemetry/telemetry.go | tr -d '\t' | sort -u); do \
+		grep -qE "\b$$c:" internal/telemetry/telemetry.go \
+			|| { echo "ctrgate: $$c missing from the export name table (telemetry.go)"; missing=1; }; \
+		grep -qE "\b$$c\b" internal/telemetry/prometheus.go \
+			|| { echo "ctrgate: $$c missing from the Prometheus help tables (prometheus.go)"; missing=1; }; \
+	done; \
+	exit $$missing
 
 build:
 	go build ./...
@@ -106,3 +121,11 @@ bench-serve:
 bench-overload:
 	go run ./cmd/crosserve -mode overload -tenants 4 -ops 200 -file-mb 16 \
 		-sweep -json BENCH_PR7.json
+
+# Scorecard sweep: one cell per access pattern (sequential / strided /
+# zipfian / shared-file), each run twice with byte-identical scorecard
+# JSON enforced, the scorecard<->recorder per-origin partition audited,
+# and the sequential-vs-zipfian accuracy discrimination asserted.
+bench-score:
+	go run ./cmd/crosserve -mode score -file-mb 64 -iosize 65536 -ops 512 \
+		-sessions 4 -json BENCH_PR8.json

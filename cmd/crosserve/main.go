@@ -12,6 +12,21 @@
 //	crosserve -sweep -json BENCH_PR6.json
 //	crosserve -mode overload -antagonist -budget-mb 8 -deadline 50us
 //	crosserve -mode overload -sweep -json BENCH_PR7.json
+//	crosserve -mode score -file-mb 64 -ops 512 -json BENCH_PR8.json
+//	crosserve -mode rings -admin :9090
+//
+// -admin serves the live observability plane for the run's duration:
+// /metrics (Prometheus text with HELP metadata), /scorecards (per-file
+// and per-tenant effectiveness JSON with interval-rate deltas since the
+// previous scrape), /tracez (the span flight recorder's slowest retained
+// roots), and /debug/pprof. The listener drains with a bounded timeout
+// on exit.
+//
+// -mode score sweeps sequential/strided/zipfian/shared-file access
+// through the online scorecards and writes one JSON record per pattern;
+// the cells must discriminate (sequential high accuracy, zipfian low
+// accuracy and high pollution) and reproduce byte-identical scorecard
+// JSON when re-run on the same seed.
 //
 // -sweep runs the sync and ring frontends across 1/8/64 tenants at
 // identical replay schedules and writes one JSON record per cell —
@@ -32,12 +47,55 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
 	"time"
 
 	crossprefetch "repro"
+	"repro/internal/admin"
 	"repro/internal/experiments"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 )
+
+// liveSys tracks the cell currently replaying so the -admin plane's
+// endpoints always read the live system (cells swap under one listener).
+var liveSys atomic.Pointer[crossprefetch.System]
+
+// startAdmin brings up the live admin plane on addr. The returned stop
+// function drains the listener with a bounded timeout — call it before
+// exiting so runs stay leak-free.
+func startAdmin(addr string) func() {
+	srv, err := admin.Start(addr, admin.Config{
+		Snapshot: func() *telemetry.Snapshot {
+			if s := liveSys.Load(); s != nil {
+				return s.Telemetry().Snapshot()
+			}
+			return nil
+		},
+		Scorecard: func() *telemetry.ScorecardSnapshot {
+			if s := liveSys.Load(); s != nil {
+				return s.Scorecard().Snapshot()
+			}
+			return nil
+		},
+		Tracer: func() *telemetry.Tracer {
+			if s := liveSys.Load(); s != nil {
+				return s.Tracer()
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crosserve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("admin plane on http://%s (/metrics /scorecards /tracez /debug/pprof)\n", srv.Addr())
+	return func() {
+		if err := srv.Shutdown(); err != nil {
+			fmt.Fprintln(os.Stderr, "crosserve: admin shutdown:", err)
+		}
+	}
+}
 
 // record is one replay cell in the JSON output.
 type record struct {
@@ -68,8 +126,10 @@ func run(c experiments.ServeConfig, memMB int64, mode string) (record, error) {
 		Plug:            true,
 		Telemetry:       true,
 		Trace:           true,
+		Scorecard:       true,
 		CongestionLimit: simtime.Second,
 	})
+	liveSys.Store(c.Sys)
 	c.Rings = mode == "rings"
 	res, err := experiments.RunServe(c)
 	if err != nil {
@@ -138,8 +198,10 @@ func runOverloadCell(cl overloadCell, victims int, ops int, iosize, fileMB, memM
 		Approach:    crossprefetch.CrossPredictOpt,
 		Plug:        true,
 		Telemetry:   true,
+		Scorecard:   true,
 		Brownout:    cl.brownout,
 	})
+	liveSys.Store(sys)
 	res, err := experiments.RunOverload(experiments.OverloadConfig{
 		Sys: sys, Victims: victims, Ops: ops, IOSize: iosize,
 		VictimMB: fileMB, ScanMB: 8 * fileMB,
@@ -262,9 +324,75 @@ func runOverload(victims, ops int, iosize, fileMB, memMB, budgetMB int64,
 	}
 }
 
+// scoreRecord is one scorecard-sweep cell in the JSON output.
+type scoreRecord struct {
+	Pattern   string  `json:"pattern"`
+	Reads     int64   `json:"reads"`
+	ClientMB  float64 `json:"client_mb"`
+	Issued    int64   `json:"pf_issued_pages"`
+	Used      int64   `json:"pf_used_pages"`
+	Wasted    int64   `json:"pf_wasted_pages"`
+	Evicted   int64   `json:"evicted_pages"`
+	Accuracy  float64 `json:"accuracy"`
+	Coverage  float64 `json:"coverage"`
+	Pollution float64 `json:"pollution"`
+	P50Us     float64 `json:"timeliness_p50_us"`
+	P99Us     float64 `json:"timeliness_p99_us"`
+	LatePages int64   `json:"late_pages"`
+	Digest    string  `json:"scorecard_digest"`
+}
+
+// runScore sweeps the four access patterns through the online
+// scorecards (see experiments.ScoreCells: every cell is byte-verified,
+// audit-clean, and re-run to prove the scorecard JSON deterministic).
+func runScore(fileMB, iosize int64, ops, clients int, seed int64, jsonOut string) {
+	cells, err := experiments.ScoreCells(experiments.ScoreConfig{
+		FileMB: fileMB, IOSize: iosize, Ops: ops, Clients: clients, Seed: seed,
+		Observe: func(sys *crossprefetch.System) { liveSys.Store(sys) },
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crosserve: score:", err)
+		os.Exit(1)
+	}
+	var records []scoreRecord
+	for _, p := range []experiments.ScorePattern{
+		experiments.PatternSequential, experiments.PatternStrided,
+		experiments.PatternZipfian, experiments.PatternShared,
+	} {
+		r := cells[p]
+		us := func(ns int64) float64 { return float64(ns) / float64(simtime.Microsecond) }
+		rec := scoreRecord{
+			Pattern: p.String(), Reads: r.Reads,
+			ClientMB: float64(r.Bytes) / (1 << 20),
+			Issued:   r.Issued, Used: r.Used, Wasted: r.Wasted, Evicted: r.Evicted,
+			Accuracy: r.Accuracy, Coverage: r.Coverage, Pollution: r.Pollution,
+			P50Us: us(r.TimelinessP50), P99Us: us(r.TimelinessP99),
+			LatePages: r.LatePages,
+			Digest:    fmt.Sprintf("%016x", r.Digest),
+		}
+		records = append(records, rec)
+		fmt.Printf("%-12s reads=%-5d acc=%.3f cov=%.3f pol=%.3f t-p50=%.1fus t-p99=%.1fus late=%d digest=%s\n",
+			rec.Pattern, rec.Reads, rec.Accuracy, rec.Coverage, rec.Pollution,
+			rec.P50Us, rec.P99Us, rec.LatePages, rec.Digest)
+	}
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crosserve:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "crosserve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d records to %s\n", len(records), jsonOut)
+	}
+}
+
 func main() {
 	var (
-		mode     = flag.String("mode", "rings", "dispatch path: sync, rings, or overload")
+		mode     = flag.String("mode", "rings", "dispatch path: sync, rings, overload, or score")
 		tenants  = flag.Int("tenants", 8, "concurrent tenants (one file and one ring each)")
 		sessions = flag.Int("sessions", 4, "client sessions per tenant")
 		ops      = flag.Int("ops", 200, "reads per session")
@@ -281,16 +409,25 @@ func main() {
 		budgetMB   = flag.Int64("budget-mb", 0, "overload: per-tenant hard page-cache budget in MB (soft = half; 0 = equal share of memory)")
 		deadline   = flag.Duration("deadline", 0, "overload: virtual deadline attached to coverage prefetches (e.g. 50us; 0 = none)")
 		antagonist = flag.Bool("antagonist", false, "overload: run the full-file-scan antagonist tenant")
+
+		adminAddr = flag.String("admin", "", "serve the live admin plane (/metrics /scorecards /tracez /debug/pprof) on this address for the run's duration")
 	)
 	flag.Parse()
+	if *adminAddr != "" {
+		stop := startAdmin(*adminAddr)
+		defer stop()
+	}
 	switch *mode {
 	case "sync", "rings":
 	case "overload":
 		runOverload(*tenants, *ops, *iosize, *fileMB, *memMB, *budgetMB,
 			*deadline, *antagonist, *sweep, *seed, *jsonOut)
 		return
+	case "score":
+		runScore(*fileMB, *iosize, *ops, *sessions, *seed, *jsonOut)
+		return
 	default:
-		fmt.Fprintf(os.Stderr, "crosserve: unknown -mode %q (want sync, rings, or overload)\n", *mode)
+		fmt.Fprintf(os.Stderr, "crosserve: unknown -mode %q (want sync, rings, overload, or score)\n", *mode)
 		os.Exit(2)
 	}
 

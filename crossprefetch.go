@@ -27,6 +27,7 @@ package crossprefetch
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
 	"repro/internal/blockdev"
@@ -140,6 +141,21 @@ type Config struct {
 	// BrownoutClampPages is the readahead window under level-2 brownout
 	// (default 8 pages).
 	BrownoutClampPages int64
+	// Scorecard enables the online prefetch-effectiveness scorecards:
+	// windowed per-inode and per-tenant accuracy / coverage / pollution /
+	// timeliness, partitioned by page origin (see telemetry.Scorecard).
+	// Requires Telemetry for the audit's partition identities; disabled
+	// (the default) it costs one nil check on the hot paths.
+	Scorecard bool
+	// ScorecardWindow is one scoring window's virtual width (default 10ms).
+	ScorecardWindow simtime.Duration
+	// ScorecardWindows is the trailing window ring depth per card
+	// (default 8).
+	ScorecardWindows int
+	// ScorecardMaxCards bounds tracked inode cards per lock stripe;
+	// excess inodes share an overflow card so totals stay exact
+	// (default 64).
+	ScorecardMaxCards int
 }
 
 func (c Config) withDefaults() Config {
@@ -168,8 +184,9 @@ type System struct {
 	kernel *vfs.VFS
 	lib    *crosslib.Runtime
 
-	rec *telemetry.Recorder
-	tr  *telemetry.Tracer
+	rec   *telemetry.Recorder
+	tr    *telemetry.Tracer
+	score *telemetry.Scorecard
 
 	// procMu guards procs: extra runtimes from NewProcess, tracked so
 	// AuditTelemetry can sum library stats across all of them.
@@ -229,6 +246,14 @@ func NewSystem(cfg Config) *System {
 		cache.SetTelemetry(s.rec)
 		kernel.SetTelemetry(s.rec)
 		lib.SetTelemetry(s.rec)
+	}
+	if cfg.Scorecard {
+		s.score = telemetry.NewScorecard(telemetry.ScorecardConfig{
+			WindowWidth: cfg.ScorecardWindow,
+			Windows:     cfg.ScorecardWindows,
+			MaxCards:    cfg.ScorecardMaxCards,
+		})
+		cache.SetScorecard(s.score)
 	}
 	if cfg.Trace {
 		s.tr = telemetry.NewTracer(telemetry.TraceConfig{
@@ -316,6 +341,10 @@ func (s *System) Telemetry() *telemetry.Recorder { return s.rec }
 // Tracer exposes the span tracer, or nil when Config.Trace is off.
 func (s *System) Tracer() *telemetry.Tracer { return s.tr }
 
+// Scorecard exposes the online effectiveness scorecards, or nil when
+// Config.Scorecard is off.
+func (s *System) Scorecard() *telemetry.Scorecard { return s.score }
+
 // ErrTelemetryDisabled is returned by AuditTelemetry on a system built
 // without Config.Telemetry.
 var ErrTelemetryDisabled = errors.New("crossprefetch: telemetry disabled")
@@ -349,7 +378,7 @@ func (s *System) AuditTelemetry() error {
 			Evicted:  ts.Evicted,
 		})
 	}
-	return telemetry.Audit(s.snapshot(), telemetry.AuditInput{
+	if err := telemetry.Audit(s.snapshot(), telemetry.AuditInput{
 		BlockSize:          s.cfg.BlockSize,
 		CacheUsed:          s.cache.Used(),
 		LibSavedPrefetches: saved,
@@ -359,7 +388,22 @@ func (s *System) AuditTelemetry() error {
 		StrictDevice:       true,
 		Tenants:            tenants,
 		HasTenants:         true,
-	})
+	}); err != nil {
+		return err
+	}
+	// With the scorecards on, their per-inode cards must partition the
+	// recorder's per-origin counters exactly — same events, two ledgers.
+	if s.score != nil {
+		for o := telemetry.Origin(0); o < telemetry.NumOrigins; o++ {
+			si, su, sw := s.score.OriginTotals(o)
+			ri, ru, rw := s.rec.OriginTotals(o)
+			if si != ri || su != ru || sw != rw {
+				return fmt.Errorf("crossprefetch: scorecard origin %s totals %d/%d/%d != recorder %d/%d/%d",
+					o, si, su, sw, ri, ru, rw)
+			}
+		}
+	}
+	return nil
 }
 
 // snapshot captures the recorder and attaches the tracer's stats so the

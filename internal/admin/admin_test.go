@@ -1,0 +1,199 @@
+package admin
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+	"repro/internal/telemetry"
+)
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+// TestEndpointsLive exercises every endpoint against live providers.
+func TestEndpointsLive(t *testing.T) {
+	rec := telemetry.NewRecorder(64)
+	rec.Add(telemetry.CtrLibIssuedPages, 42)
+	score := telemetry.NewScorecard(telemetry.ScorecardConfig{})
+	score.Issued(simtime.Time(0), 1, 0, telemetry.OriginReadahead, 8)
+	score.Used(simtime.Time(0), 1, 0, telemetry.OriginReadahead, 500)
+	tr := telemetry.NewTracer(telemetry.TraceConfig{})
+
+	srv, err := Start("127.0.0.1:0", Config{
+		Snapshot:  func() *telemetry.Snapshot { return rec.Snapshot() },
+		Scorecard: func() *telemetry.ScorecardSnapshot { return score.Snapshot() },
+		Tracer:    func() *telemetry.Tracer { return tr },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	base := "http://" + srv.Addr()
+
+	code, body, _ := get(t, base+"/")
+	if code != 200 || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: code %d body %q", code, body)
+	}
+	if code, _, _ := get(t, base+"/nosuch"); code != 404 {
+		t.Fatalf("unknown path code = %d, want 404", code)
+	}
+
+	code, body, hdr := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics code = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	if !strings.Contains(body, "crossprefetch_lib_issued_pages_total 42") {
+		t.Fatal("/metrics missing live counter value")
+	}
+	if !strings.Contains(body, "# HELP crossprefetch_lib_issued_pages_total") {
+		t.Fatal("/metrics missing HELP line")
+	}
+
+	code, body, hdr = get(t, base+"/tracez")
+	if code != 200 || !strings.Contains(hdr.Get("Content-Type"), "json") {
+		t.Fatalf("/tracez code %d type %q", code, hdr.Get("Content-Type"))
+	}
+	var tz struct {
+		Stats *telemetry.TraceStats `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(body), &tz); err != nil || tz.Stats == nil {
+		t.Fatalf("/tracez body not a stats reply: %v %q", err, body)
+	}
+
+	code, body, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != 200 || body == "" {
+		t.Fatalf("/debug/pprof/cmdline code %d", code)
+	}
+}
+
+// TestScorecardsDelta scrapes twice around new traffic and checks the
+// second scrape's delta reflects only the interval.
+func TestScorecardsDelta(t *testing.T) {
+	score := telemetry.NewScorecard(telemetry.ScorecardConfig{})
+	score.Issued(simtime.Time(0), 1, 0, telemetry.OriginReadahead, 10)
+
+	srv, err := Start("127.0.0.1:0", Config{
+		Scorecard: func() *telemetry.ScorecardSnapshot { return score.Snapshot() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	base := "http://" + srv.Addr()
+
+	type reply struct {
+		Scorecards *telemetry.ScorecardSnapshot `json:"scorecards"`
+		Delta      *telemetry.ScorecardDelta    `json:"delta"`
+	}
+	scrape := func() reply {
+		code, body, _ := get(t, base+"/scorecards")
+		if code != 200 {
+			t.Fatalf("/scorecards code = %d", code)
+		}
+		var r reply
+		if err := json.Unmarshal([]byte(body), &r); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	first := scrape()
+	if got := first.Delta.Files[0].Totals.Issued["readahead"]; got != 10 {
+		t.Fatalf("first delta issued = %d, want 10 (no baseline yet)", got)
+	}
+
+	score.Issued(simtime.Time(0), 1, 0, telemetry.OriginReadahead, 5)
+	second := scrape()
+	if got := second.Scorecards.Files[0].Totals.Issued["readahead"]; got != 15 {
+		t.Fatalf("cumulative issued = %d, want 15", got)
+	}
+	if got := second.Delta.Files[0].Totals.Issued["readahead"]; got != 5 {
+		t.Fatalf("second delta issued = %d, want 5 (interval only)", got)
+	}
+
+	// Quiet interval: the delta must be empty counts, not repeats.
+	third := scrape()
+	if got := third.Delta.Files[0].Totals.Issued["readahead"]; got != 0 {
+		t.Fatalf("quiet delta issued = %d, want 0", got)
+	}
+}
+
+// TestNilProviders: every telemetry endpoint answers 503 (not a panic)
+// when no system is live.
+func TestNilProviders(t *testing.T) {
+	srv, err := Start("127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	base := "http://" + srv.Addr()
+	for _, path := range []string{"/metrics", "/scorecards", "/tracez"} {
+		if code, _, _ := get(t, base+path); code != http.StatusServiceUnavailable {
+			t.Fatalf("%s code = %d, want 503", path, code)
+		}
+	}
+	if code, _, _ := get(t, base+"/"); code != 200 {
+		t.Fatal("index must stay up with nil providers")
+	}
+}
+
+// TestShutdownLeakFree starts and stops servers under request load and
+// requires the goroutine count to settle back — combined with -race in
+// `make check` this is the leak-free lifecycle gate.
+func TestShutdownLeakFree(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		rec := telemetry.NewRecorder(16)
+		srv, err := Start("127.0.0.1:0", Config{
+			Snapshot:     func() *telemetry.Snapshot { return rec.Snapshot() },
+			DrainTimeout: time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := "http://" + srv.Addr()
+		for j := 0; j < 4; j++ {
+			get(t, base+"/metrics")
+		}
+		if err := srv.Shutdown(); err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+		// The listener must actually be gone.
+		if _, err := http.Get(base + "/metrics"); err == nil {
+			t.Fatal("server still answering after Shutdown")
+		}
+	}
+	// Idle HTTP keep-alive goroutines wind down asynchronously; poll
+	// briefly rather than asserting an instantaneous count.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: before %d, after %d — serve loops leaked", before, runtime.NumGoroutine())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

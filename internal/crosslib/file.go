@@ -75,7 +75,7 @@ func (rt *Runtime) wrap(tl *simtime.Timeline, kf *vfs.File, name string) *File {
 		// first OpenPrefetchBytes before the pattern is known (§4.6).
 		if rt.freeFrac() > rt.opt.HighWaterFrac && kf.Size() > 0 {
 			rt.openPrefetches.Add(1)
-			f.prefetchAsync(tl, 0, rt.opt.OpenPrefetchBytes/rt.v.BlockSize())
+			f.prefetchAsync(tl, 0, rt.opt.OpenPrefetchBytes/rt.v.BlockSize(), false)
 		}
 	}
 	root.Finish(tl)
@@ -189,7 +189,7 @@ func (f *File) observeAccess(tl *simtime.Timeline, lo, hi int64) int64 {
 		f.predMu.Unlock()
 		switch {
 		case pn > 0:
-			f.prefetchAsync(tl, plo, pn)
+			f.prefetchAsync(tl, plo, pn, false)
 		case o.CoveragePrefetch:
 			f.coveragePrefetch(tl, lo)
 		case skipped:
@@ -275,8 +275,11 @@ func (f *File) Fsync(tl *simtime.Timeline) error {
 // prefetchAsync clamps a prefetch intent [lo, lo+blocks) by the memory
 // budget, drops the already-cached/in-flight portion using the user-level
 // bitmap (saving kernel crossings), and hands the rest to a background
-// helper thread that issues readahead_info.
-func (f *File) prefetchAsync(tl *simtime.Timeline, lo, blocks int64) {
+// helper thread that issues readahead_info. coverage tags the intent as
+// coverage-policy prefetch for the per-origin effectiveness partition
+// (intents parked in the aggregator lose the tag and book as crossos —
+// the vectored crossing merges intents of both policies).
+func (f *File) prefetchAsync(tl *simtime.Timeline, lo, blocks int64, coverage bool) {
 	rt := f.rt
 	o := rt.opt
 	bs := rt.v.BlockSize()
@@ -373,7 +376,7 @@ func (f *File) prefetchAsync(tl *simtime.Timeline, lo, blocks int64) {
 	rt.workers.Run(now, func(wtl *simtime.Timeline) {
 		root := rt.tr.Root(wtl, telemetry.OpBgPrefetch, sf.inoID)
 		for i, r := range runs {
-			if !f.issuePrefetch(wtl, kf, sf, r.Lo, r.Hi) {
+			if !f.issuePrefetch(wtl, kf, sf, r.Lo, r.Hi, coverage) {
 				// Definitive device failure: the failing call fed the
 				// breaker once for this job. Issuing the remaining runs
 				// would feed it once per range — a single bad multi-run
@@ -639,7 +642,8 @@ func mergeRun(runs []bitmap.Run, r bitmap.Run) []bitmap.Run {
 // Reports false on a definitive device failure (the breaker has been fed
 // exactly once and [pos, hi)'s requested bits given back) so a caller
 // issuing several runs stops instead of re-proving the failure per run.
-func (f *File) issuePrefetch(wtl *simtime.Timeline, kf *vfs.File, sf *sharedFile, lo, hi int64) bool {
+// coverage propagates the intent's policy tag into the kernel request.
+func (f *File) issuePrefetch(wtl *simtime.Timeline, kf *vfs.File, sf *sharedFile, lo, hi int64, coverage bool) bool {
 	rt := f.rt
 	o := rt.opt
 	bs := rt.v.BlockSize()
@@ -662,6 +666,7 @@ func (f *File) issuePrefetch(wtl *simtime.Timeline, kf *vfs.File, sf *sharedFile
 			Bytes:    (hi - pos) * bs,
 			BitmapLo: pos,
 			BitmapHi: hi,
+			Coverage: coverage,
 		}
 		if o.OptLimits {
 			req.LimitOverride = hi - pos
@@ -801,7 +806,7 @@ func (f *File) coveragePrefetch(tl *simtime.Timeline, lo int64) {
 	if o.OptLimits && free > o.HighWaterFrac {
 		chunk = 1024 // 4MB when memory is plentiful
 	}
-	f.prefetchAsync(tl, lo, chunk)
+	f.prefetchAsync(tl, lo, chunk, true)
 }
 
 // ensureFetchAll kicks off (once) whole-file prefetch jobs and, on later
@@ -809,12 +814,12 @@ func (f *File) coveragePrefetch(tl *simtime.Timeline, lo int64) {
 func (f *File) ensureFetchAll(tl *simtime.Timeline, op int64) {
 	sf := f.sf
 	if sf.fetchAll.CompareAndSwap(false, true) {
-		f.prefetchAsync(tl, 0, f.kf.Inode().Blocks())
+		f.prefetchAsync(tl, 0, f.kf.Inode().Blocks(), false)
 		return
 	}
 	// Periodically repair holes (monitoring missing blocks via bitmaps).
 	if op%1024 == 0 {
-		f.prefetchAsync(tl, 0, f.kf.Inode().Blocks())
+		f.prefetchAsync(tl, 0, f.kf.Inode().Blocks(), false)
 	}
 }
 

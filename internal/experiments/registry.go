@@ -32,6 +32,7 @@ var registry = []registryEntry{
 	{"chaos", "Fault-injection sweep: byte-correctness, retries, breaker degradation", Chaos},
 	{"serve", "Serve frontend: sync vs submission rings across tenant counts", Serve},
 	{"overload", "Tenant isolation under an antagonist scan: budgets, deadlines, brownout", Overload},
+	{"score", "Online scorecards: accuracy/coverage/pollution across access patterns", Score},
 }
 
 // IDs lists the experiment identifiers in a stable order.

@@ -71,6 +71,11 @@ type LookupResult struct {
 	// MarkerHit reports that a resident page carried the PG_readahead
 	// marker; the lookup cleared it.
 	MarkerHit bool
+	// Tenant is an INPUT hint: the tenant to attribute this lookup's
+	// read-side scorecard traffic to. LookupRangeInto does not reset it,
+	// so callers reusing pooled results must set it per lookup (the ring
+	// path sets the SQE's tenant; the sync path sets 0).
+	Tenant int
 
 	touched []*page // scratch: pages to feed to LRU aging
 }
@@ -87,7 +92,7 @@ func (fc *FileCache) LookupRange(tl *simtime.Timeline, lo, hi int64) LookupResul
 
 // LookupRangeInto is LookupRange writing into a caller-provided (and
 // typically reused) result. The real page-index lock is held shared: the
-// walk mutates only the pages' atomic marker/prefetched flags, so
+// walk mutates only the pages' atomic marker/credit flags, so
 // concurrent lookups of a shared file proceed in parallel (§4.5) and only
 // structural changes (insert, remove) serialize.
 func (fc *FileCache) LookupRangeInto(tl *simtime.Timeline, lo, hi int64, res *LookupResult) {
@@ -113,7 +118,17 @@ func (fc *FileCache) LookupRangeInto(tl *simtime.Timeline, lo, hi int64, res *Lo
 			res.Present[i] = false
 		}
 	}
-	var prefetchHits int64
+	var prefetchHits, latePages int64
+	var now simtime.Time
+	if tl != nil {
+		now = tl.Now()
+	}
+	rec := fc.cache.rec
+	score := fc.cache.score
+	// Contiguous run of late-consumed pages (prefetch credit consumed
+	// while the backing I/O was still in flight); emitted as exact
+	// OutcomeLatePrefetch events as each run closes.
+	lateStart, lateEnd := int64(-1), int64(-1)
 	fc.mu.RLock()
 	for i := lo; i < hi; i++ {
 		p, ok := fc.pages[i]
@@ -128,17 +143,43 @@ func (fc *FileCache) LookupRangeInto(tl *simtime.Timeline, lo, hi int64, res *Lo
 		if p.marker.Load() && p.marker.CompareAndSwap(true, false) {
 			res.MarkerHit = true
 		}
-		if p.prefetched.Load() && p.prefetched.CompareAndSwap(true, false) {
+		if cr := p.credit.Load(); cr != 0 && p.credit.CompareAndSwap(cr, 0) {
+			// First use of a prefetched page: per-origin used credit plus
+			// the prefetch-to-first-use timeliness sample.
 			prefetchHits++
+			org := telemetry.Origin(cr - 1)
+			rec.OriginUsed(org, 1)
+			if tl != nil {
+				lat := int64(now.Sub(p.issuedAt))
+				rec.Observe(telemetry.HistPrefetchToUse, lat)
+				score.Used(now, fc.inoID, pageTenant(p), org, lat)
+				if p.readyAt > now {
+					latePages++
+					if lateStart < 0 {
+						lateStart, lateEnd = i, i+1
+					} else if i == lateEnd {
+						lateEnd = i + 1
+					} else {
+						rec.Event(now, telemetry.OutcomeLatePrefetch, fc.inoID, lateStart, lateEnd)
+						lateStart, lateEnd = i, i+1
+					}
+				}
+			} else {
+				score.Used(now, fc.inoID, pageTenant(p), org, 0)
+			}
 		}
 		res.touched = append(res.touched, p)
 	}
 	fc.mu.RUnlock()
+	if lateStart >= 0 {
+		rec.Event(now, telemetry.OutcomeLatePrefetch, fc.inoID, lateStart, lateEnd)
+	}
 	walk.Annotate("hit_pages", res.PresentCount)
 	walk.Annotate("miss_pages", n-res.PresentCount)
 	if prefetchHits > 0 {
-		fc.cache.rec.Add(telemetry.CtrPrefetchHitPages, prefetchHits)
+		rec.Add(telemetry.CtrPrefetchHitPages, prefetchHits)
 	}
+	score.Read(now, fc.inoID, res.Tenant, n, prefetchHits, latePages)
 
 	fc.hits.Add(res.PresentCount)
 	fc.misses.Add(n - res.PresentCount)
@@ -161,9 +202,10 @@ type InsertOptions struct {
 	Dirty bool
 	// MarkerAt places the PG_readahead marker on this page (-1 = none).
 	MarkerAt int64
-	// Prefetched marks the pages as prefetch-inserted for the telemetry
-	// effectiveness accounting (set by the VFS prefetch path).
-	Prefetched bool
+	// Origin tags the insertion's provenance for the telemetry
+	// effectiveness accounting. The zero value (OriginDemand) means "not a
+	// prefetch"; any prefetch origin arms the page's used/wasted credit.
+	Origin telemetry.Origin
 	// Tenant charges the inserted pages to this tenant's memory account
 	// (budgets, targeted reclaim). Zero is the shared default account.
 	Tenant int
@@ -193,6 +235,10 @@ func (fc *FileCache) InsertRange(tl *simtime.Timeline, lo, hi int64, opt InsertO
 		tl.Advance(simtime.Duration(n) * costs.PageAlloc)
 	}
 
+	var now simtime.Time
+	if tl != nil {
+		now = tl.Now()
+	}
 	acct := fc.cache.tenantAccountFor(opt.Tenant)
 	var fresh []*page
 	var inserted int64
@@ -210,8 +256,10 @@ func (fc *FileCache) InsertRange(tl *simtime.Timeline, lo, hi int64, opt InsertO
 			}
 			continue
 		}
-		p := &page{fc: fc, tacct: acct, idx: i, readyAt: opt.ReadyAt, dirty: opt.Dirty}
-		p.prefetched.Store(opt.Prefetched)
+		p := &page{fc: fc, tacct: acct, idx: i, readyAt: opt.ReadyAt, issuedAt: now, origin0: opt.Origin, dirty: opt.Dirty}
+		if opt.Origin.IsPrefetch() {
+			p.credit.Store(int32(opt.Origin) + 1)
+		}
 		if opt.Dirty {
 			fc.cache.dirty.Add(1)
 		}
@@ -243,9 +291,11 @@ func (fc *FileCache) InsertRange(tl *simtime.Timeline, lo, hi int64, opt InsertO
 		if opt.Dirty {
 			fc.cache.rec.Add(telemetry.CtrCacheDirtyInsertedPages, inserted)
 		}
-		if opt.Prefetched {
+		if opt.Origin.IsPrefetch() {
 			fc.cache.rec.Add(telemetry.CtrCachePrefetchInsertedPages, inserted)
 		}
+		fc.cache.rec.OriginInserted(opt.Origin, inserted)
+		fc.cache.score.Issued(now, fc.inoID, opt.Tenant, opt.Origin, inserted)
 		fc.cache.used.Add(inserted)
 		fc.cache.chargeTenant(acct, inserted)
 		fc.cache.link(fresh)

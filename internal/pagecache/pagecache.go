@@ -60,6 +60,10 @@ type Cache struct {
 	// rec, when non-nil, receives insertion/removal counters and the
 	// prefetch-effectiveness accounting (telemetry opt-in).
 	rec *telemetry.Recorder
+	// score, when non-nil, receives the windowed per-inode/per-tenant
+	// scorecard feed (issued/used/wasted/read/timeliness). Independent of
+	// rec so the scorecards can run without the full recorder.
+	score *telemetry.Scorecard
 
 	used atomic.Int64
 
@@ -184,6 +188,9 @@ func (c *Cache) SetFlushFn(f FlushFn) { c.flush = f }
 // SetTelemetry installs the telemetry recorder (nil disables).
 func (c *Cache) SetTelemetry(rec *telemetry.Recorder) { c.rec = rec }
 
+// SetScorecard installs the windowed scorecard sink (nil disables).
+func (c *Cache) SetScorecard(sc *telemetry.Scorecard) { c.score = sc }
+
 // Capacity reports the memory budget in pages.
 func (c *Cache) Capacity() int64 { return c.cfg.CapacityPages }
 
@@ -288,10 +295,11 @@ func (c *Cache) Stats() Stats {
 	}
 }
 
-// page is one resident page frame. readyAt is immutable after the page is
-// published in its file's map; dirty and wbFails are guarded by the
-// file's exclusive mu; marker and prefetched are atomic so the shared
-// (RLock) lookup walk can consume them without exclusive ownership.
+// page is one resident page frame. readyAt, issuedAt, and origin0 are
+// immutable after the page is published in its file's map; dirty and
+// wbFails are guarded by the file's exclusive mu; marker and credit are
+// atomic so the shared (RLock) lookup walk can consume them without
+// exclusive ownership.
 type page struct {
 	fc *FileCache
 	// tacct is the tenant account this page frame is charged to, set
@@ -300,12 +308,21 @@ type page struct {
 	tacct   *tenantAccount
 	idx     int64
 	readyAt simtime.Time
+	// issuedAt is the virtual time the page was inserted (for prefetched
+	// pages: when the prefetch was issued) — the anchor of the
+	// prefetch-to-first-use timeliness measurement.
+	issuedAt simtime.Time
+	// origin0 is the insertion origin (telemetry.Origin), kept for the
+	// page's lifetime so eviction can attribute the frame.
+	origin0 telemetry.Origin
 	dirty   bool
 	marker  atomic.Bool // PG_readahead
-	// prefetched marks a page inserted by a prefetch and not yet read —
-	// the state the Leap-style effectiveness accounting tracks. A lookup
-	// clears it (hit); eviction of a still-set page is wasted prefetch.
-	prefetched atomic.Bool
+	// credit holds origin0+1 while the page's prefetch credit is
+	// outstanding, 0 once consumed — the state the Leap-style
+	// effectiveness accounting tracks. A lookup CASes it to 0 (used);
+	// eviction of a page still carrying credit is wasted prefetch.
+	// Demand-origin pages never carry credit.
+	credit atomic.Int32
 	// wbFails counts failed writeback attempts; at maxWritebackAttempts
 	// the page is dropped and the loss surfaced via telemetry.
 	wbFails int8
@@ -324,6 +341,10 @@ type page struct {
 	accessed atomic.Bool
 	state    atomic.Int32 // pageUnlinked / pageInactive / pageActive
 }
+
+// pageTenant reports the tenant a page frame is charged to (tacct is
+// always non-nil: tenantAccountFor creates accounts on demand).
+func pageTenant(p *page) int { return p.tacct.id }
 
 // page.state values.
 const (

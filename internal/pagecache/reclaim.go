@@ -404,29 +404,66 @@ func (c *Cache) finishEviction(tl *simtime.Timeline, victims []*page, unlink boo
 		i = j
 	}
 
-	if c.rec != nil {
+	if c.rec != nil || c.score != nil {
+		at := simtime.Time(0)
+		if tl != nil {
+			at = tl.Now()
+		}
 		c.rec.Add(telemetry.CtrCacheRemovedPages, int64(len(victims)))
-		// Pages still flagged prefetched were never read: wasted prefetch.
-		var wasted, minIdx int64
-		minIdx = -1
-		for _, p := range victims {
-			if p.prefetched.Load() && p.prefetched.CompareAndSwap(true, false) {
-				wasted++
-				if minIdx < 0 || p.idx < minIdx {
-					minIdx = p.idx
+		if c.score != nil {
+			// Scorecard pollution denominator: every evicted page, grouped
+			// into per-(file, tenant) runs to bound stripe-lock traffic.
+			for i := 0; i < len(victims); {
+				fc, a := victims[i].fc, victims[i].tacct
+				j := i + 1
+				for j < len(victims) && victims[j].fc == fc && victims[j].tacct == a {
+					j++
 				}
+				tid := 0
+				if a != nil {
+					tid = a.id
+				}
+				c.score.Evicted(at, fc.inoID, tid, int64(j-i))
+				i = j
 			}
+		}
+		// Pages still carrying prefetch credit were never read: wasted
+		// prefetch. A victim batch may span files and hold non-contiguous
+		// indices, so group wasted pages per file and emit one exact
+		// OutcomeEvictedBeforeUse event per contiguous index run — never a
+		// single span that would cover non-wasted (or other files') pages.
+		var wasted int64
+		var wastedByFile map[*FileCache][]*page
+		for _, p := range victims {
+			cr := p.credit.Load()
+			if cr == 0 || !p.credit.CompareAndSwap(cr, 0) {
+				continue
+			}
+			wasted++
+			org := telemetry.Origin(cr - 1)
+			c.rec.OriginWasted(org, 1)
+			c.score.Wasted(at, p.fc.inoID, pageTenant(p), org, 1)
+			if wastedByFile == nil {
+				wastedByFile = make(map[*FileCache][]*page)
+			}
+			wastedByFile[p.fc] = append(wastedByFile[p.fc], p)
 		}
 		if wasted > 0 {
 			c.rec.Add(telemetry.CtrPrefetchWastedPages, wasted)
-			// Both callers pass single-file batches; the event's page count
-			// (hi-lo) is the wasted total, anchored at the lowest index.
-			at := simtime.Time(0)
-			if tl != nil {
-				at = tl.Now()
+			for _, fc := range sortedFiles(wastedByFile) {
+				pages := wastedByFile[fc]
+				sortPagesByIdx(pages)
+				runStart := 0
+				for i := 1; i <= len(pages); i++ {
+					if i < len(pages) && pages[i].idx == pages[i-1].idx+1 {
+						continue
+					}
+					run := pages[runStart:i]
+					c.rec.Event(at, telemetry.OutcomeEvictedBeforeUse,
+						fc.inoID, run[0].idx, run[len(run)-1].idx+1)
+					runStart = i
+				}
 			}
-			c.rec.Event(at, telemetry.OutcomeEvictedBeforeUse,
-				victims[0].fc.inoID, minIdx, minIdx+wasted)
 		}
 	}
 
@@ -521,6 +558,27 @@ func (c *Cache) requeueDirty(tl *simtime.Timeline, fc *FileCache, run []*page) {
 	}
 	c.rec.Add(telemetry.CtrCacheInsertedPages, n)
 	c.rec.Add(telemetry.CtrCacheDirtyInsertedPages, n)
+	// The requeue is a demand-class insertion for the origin partition
+	// (its prefetch credit, if any, was consumed at first eviction), so
+	// per-origin inserted keeps summing exactly to CtrCacheInsertedPages.
+	c.rec.OriginInserted(telemetry.OriginDemand, n)
+	if c.score != nil {
+		// Mirror the booking on the scorecard so its per-origin totals
+		// keep reconciling exactly against the recorder's partition.
+		at := simtime.Time(0)
+		if tl != nil {
+			at = tl.Now()
+		}
+		for i := 0; i < len(requeued); {
+			a := requeued[i].tacct
+			j := i + 1
+			for j < len(requeued) && requeued[j].tacct == a {
+				j++
+			}
+			c.score.Issued(at, fc.inoID, pageTenant(requeued[i]), telemetry.OriginDemand, int64(j-i))
+			i = j
+		}
+	}
 	c.link(requeued)
 }
 

@@ -1,0 +1,116 @@
+package pagecache
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/telemetry"
+)
+
+// wastedEvents filters a snapshot's decision trace down to the
+// evicted-before-use events.
+func wastedEvents(s *telemetry.Snapshot) []telemetry.Event {
+	var out []telemetry.Event
+	for _, e := range s.Events {
+		if e.OutcomeName == "evicted-before-use" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestWastedRunsNonContiguous is the regression test for the wasted-run
+// accounting: a victim batch whose unused prefetched pages are NOT one
+// contiguous index range must produce one exact event per contiguous
+// run. The old code emitted a single [minIdx, minIdx+wasted) span,
+// which here would cover the demand pages in the middle.
+func TestWastedRunsNonContiguous(t *testing.T) {
+	c := newTestCache(1000)
+	rec := telemetry.NewRecorder(1024)
+	c.SetTelemetry(rec)
+	tl := simtime.NewTimeline(0)
+	fc := c.File(7)
+
+	// Prefetch credit on [0,3) and [5,8); demand (no credit) on [3,5).
+	fc.InsertRange(tl, 0, 3, InsertOptions{MarkerAt: -1, Origin: telemetry.OriginReadahead})
+	fc.InsertRange(tl, 3, 5, InsertOptions{MarkerAt: -1})
+	fc.InsertRange(tl, 5, 8, InsertOptions{MarkerAt: -1, Origin: telemetry.OriginReadahead})
+
+	// Evict everything unread in one batch.
+	fc.RemoveRange(tl, 0, 8)
+
+	s := rec.Snapshot()
+	ev := wastedEvents(s)
+	if len(ev) != 2 {
+		t.Fatalf("wasted events = %d, want 2 contiguous runs: %+v", len(ev), ev)
+	}
+	for _, e := range ev {
+		if e.Ino != 7 {
+			t.Fatalf("event ino = %d, want 7", e.Ino)
+		}
+	}
+	if ev[0].Lo != 0 || ev[0].Hi != 3 || ev[1].Lo != 5 || ev[1].Hi != 8 {
+		t.Fatalf("runs = [%d,%d) [%d,%d), want [0,3) [5,8)", ev[0].Lo, ev[0].Hi, ev[1].Lo, ev[1].Hi)
+	}
+	var sum int64
+	for _, e := range ev {
+		sum += e.Pages
+	}
+	if want := s.Counter(telemetry.CtrPrefetchWastedPages); sum != want || want != 6 {
+		t.Fatalf("event pages sum = %d, counter = %d, want both 6", sum, want)
+	}
+}
+
+// TestWastedRunsMultiFile evicts a batch spanning several files under
+// real capacity pressure: every event must be attributed to the file
+// that actually held the credit (the old code booked the whole batch on
+// the first victim's inode), and the per-event page totals must
+// partition the wasted counter exactly.
+func TestWastedRunsMultiFile(t *testing.T) {
+	c := newTestCache(32)
+	rec := telemetry.NewRecorder(1024)
+	c.SetTelemetry(rec)
+	tl := simtime.NewTimeline(0)
+
+	// Two files of unread prefetched pages...
+	c.File(1).InsertRange(tl, 0, 10, InsertOptions{MarkerAt: -1, Origin: telemetry.OriginReadahead})
+	c.File(2).InsertRange(tl, 0, 10, InsertOptions{MarkerAt: -1, Origin: telemetry.OriginCrossOS})
+	// ...then demand pressure from a third file forces reclaim.
+	c.File(3).InsertRange(tl, 0, 20, InsertOptions{MarkerAt: -1})
+
+	s := rec.Snapshot()
+	ev := wastedEvents(s)
+	if len(ev) == 0 {
+		t.Fatal("capacity pressure produced no wasted-prefetch events")
+	}
+	inos := map[int64]bool{}
+	var sum int64
+	for _, e := range ev {
+		switch e.Ino {
+		case 1, 2: // only these files held prefetch credit
+		default:
+			t.Fatalf("wasted event on ino %d, which had no prefetched pages: %+v", e.Ino, e)
+		}
+		if e.Lo < 0 || e.Hi > 10 || e.Lo >= e.Hi {
+			t.Fatalf("event range [%d,%d) outside the prefetched span [0,10): %+v", e.Lo, e.Hi, e)
+		}
+		inos[e.Ino] = true
+		sum += e.Pages
+	}
+	if want := s.Counter(telemetry.CtrPrefetchWastedPages); sum != want {
+		t.Fatalf("event pages sum = %d != wasted counter %d (runs must partition the counter)", sum, want)
+	}
+	if len(inos) < 2 {
+		t.Fatalf("wasted events cover inos %v, want both 1 and 2 (per-file attribution)", inos)
+	}
+	// Per-ino events must be non-overlapping and sorted within each batch;
+	// simpler global invariant: no two events on the same ino overlap.
+	for i, a := range ev {
+		for _, b := range ev[i+1:] {
+			if a.Ino == b.Ino && a.Lo < b.Hi && b.Lo < a.Hi {
+				t.Fatalf("overlapping wasted runs on ino %d: [%d,%d) and [%d,%d)",
+					a.Ino, a.Lo, a.Hi, b.Lo, b.Hi)
+			}
+		}
+	}
+}

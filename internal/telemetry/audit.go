@@ -107,6 +107,52 @@ func Audit(s *Snapshot, in AuditInput) error {
 		fail("evicted-before-use trace pages %d != wasted counter %d", ev.Pages, wasted)
 	}
 
+	// Origin partition <-> global counters: the per-origin provenance
+	// ledgers partition the flat totals EXACTLY. Prefetch-origin
+	// insertions sum to the prefetch-inserted counter, demand insertions
+	// are the complement of all insertions, per-origin used/wasted sum to
+	// the hit/wasted counters, and within each origin a page is consumed
+	// at most once (used + wasted <= inserted). Demand pages never carry
+	// credit, so their used/wasted books must be empty.
+	var oIns, oUsed, oWasted, pfIns int64
+	for o := Origin(0); o < NumOrigins; o++ {
+		st := s.Origin(o)
+		oIns += st.Inserted
+		oUsed += st.Used
+		oWasted += st.Wasted
+		if o.IsPrefetch() {
+			pfIns += st.Inserted
+		}
+		if st.Used+st.Wasted > st.Inserted {
+			fail("origin %s used %d + wasted %d > inserted %d", o, st.Used, st.Wasted, st.Inserted)
+		}
+	}
+	if oIns != ins {
+		fail("per-origin inserted sum %d != cache inserted %d", oIns, ins)
+	}
+	if pfIns != cacheIns {
+		fail("prefetch-origin inserted sum %d != cache prefetch-inserted %d", pfIns, cacheIns)
+	}
+	if oUsed != hit {
+		fail("per-origin used sum %d != prefetch hits %d", oUsed, hit)
+	}
+	if oWasted != wasted {
+		fail("per-origin wasted sum %d != prefetch wasted %d", oWasted, wasted)
+	}
+	if d := s.Origin(OriginDemand); d.Used != 0 || d.Wasted != 0 {
+		fail("demand origin booked used %d / wasted %d (demand pages carry no credit)", d.Used, d.Wasted)
+	}
+
+	// Timeliness: every used prefetched page contributed exactly one
+	// prefetch-to-first-use sample, and late-prefetch events can only
+	// cover consumed pages.
+	if n := s.Histograms[HistPrefetchToUse.String()].Count; n != hit {
+		fail("prefetch-to-use samples %d != prefetch hits %d", n, hit)
+	}
+	if ev := s.Outcome(OutcomeLatePrefetch); ev.Pages > hit {
+		fail("late-prefetch trace pages %d > prefetch hits %d", ev.Pages, hit)
+	}
+
 	// Trace <-> lib stats: the decision trace and the library's flat
 	// counters describe the same decisions.
 	if in.HasLibStats {

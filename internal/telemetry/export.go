@@ -13,11 +13,23 @@ type OutcomeStat struct {
 	Pages  int64 `json:"pages"`
 }
 
+// OriginStat is one origin's page-provenance ledger: pages inserted
+// under the origin, prefetch credit consumed by readers (used), and
+// credit destroyed by eviction (wasted). Pending credit is
+// Inserted - Used - Wasted (plus, for OriginDemand, pages that never
+// carried credit).
+type OriginStat struct {
+	Inserted int64 `json:"inserted"`
+	Used     int64 `json:"used"`
+	Wasted   int64 `json:"wasted"`
+}
+
 // Snapshot is a point-in-time view of a Recorder, suitable for export
 // (JSON/CSV) and for Audit.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Outcomes   map[string]OutcomeStat       `json:"outcomes"`
+	Origins    map[string]OriginStat        `json:"origins"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 	Syscalls   map[string]HistogramSnapshot `json:"syscalls"`
 	// Events is the bounded decision trace, oldest first.
@@ -33,6 +45,7 @@ type Snapshot struct {
 	// Typed views for Audit (the maps are for export only).
 	counters [numCounters]int64
 	outcomes [numOutcomes]OutcomeStat
+	origins  [numOrigins]OriginStat
 }
 
 // Counter reads one counter from the snapshot.
@@ -40,6 +53,9 @@ func (s *Snapshot) Counter(c Counter) int64 { return s.counters[c] }
 
 // Outcome reads one outcome's totals from the snapshot.
 func (s *Snapshot) Outcome(o Outcome) OutcomeStat { return s.outcomes[o] }
+
+// Origin reads one origin's ledger from the snapshot.
+func (s *Snapshot) Origin(o Origin) OriginStat { return s.origins[o] }
 
 // Snapshot captures the recorder's current state. Returns nil on a nil
 // recorder (telemetry disabled).
@@ -50,6 +66,7 @@ func (r *Recorder) Snapshot() *Snapshot {
 	s := &Snapshot{
 		Counters:   make(map[string]int64, numCounters),
 		Outcomes:   make(map[string]OutcomeStat, numOutcomes),
+		Origins:    make(map[string]OriginStat, numOrigins),
 		Histograms: make(map[string]HistogramSnapshot, numHists),
 		Syscalls:   make(map[string]HistogramSnapshot),
 	}
@@ -62,6 +79,15 @@ func (r *Recorder) Snapshot() *Snapshot {
 		st := OutcomeStat{Events: r.outcomes[o].events.Load(), Pages: r.outcomes[o].pages.Load()}
 		s.outcomes[o] = st
 		s.Outcomes[o.String()] = st
+	}
+	for o := Origin(0); o < NumOrigins; o++ {
+		st := OriginStat{
+			Inserted: r.origins[o].inserted.Load(),
+			Used:     r.origins[o].used.Load(),
+			Wasted:   r.origins[o].wasted.Load(),
+		}
+		s.origins[o] = st
+		s.Origins[o.String()] = st
 	}
 	for h := Hist(0); h < numHists; h++ {
 		s.Histograms[h.String()] = r.hists[h].Snapshot()
@@ -121,6 +147,17 @@ func (s *Snapshot) WriteCSV(w io.Writer) error {
 		}
 		if err := row("outcome", name, "pages", st.Pages); err != nil {
 			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Origins) {
+		st := s.Origins[name]
+		for _, f := range []struct {
+			field string
+			value int64
+		}{{"inserted", st.Inserted}, {"used", st.Used}, {"wasted", st.Wasted}} {
+			if err := row("origin", name, f.field, f.value); err != nil {
+				return err
+			}
 		}
 	}
 	histRows := func(kind string, m map[string]HistogramSnapshot) error {

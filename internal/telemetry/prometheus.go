@@ -3,6 +3,7 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"strings"
 )
 
 // promName sanitizes s into a legal Prometheus metric-name fragment
@@ -19,12 +20,119 @@ func promName(s string) string {
 	return string(out)
 }
 
+// promLabel escapes a label value per the text exposition format
+// (backslash, double quote, and newline must be escaped).
+func promLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// counterHelp is the HELP text per counter, indexed by identifier like
+// counterNames — `make ctrgate` asserts every declared counter appears
+// here, and the conformance test rejects empty entries.
+var counterHelp = [numCounters]string{
+	CtrLibIssuedPages:             "Pages CROSS-LIB asked readahead_info to prefetch, before the kernel limit clamp.",
+	CtrKernelRequestedPages:       "Pages readahead_info saw requested after the file clamp, before the limit clamp.",
+	CtrKernelAdmittedPages:        "Requested pages within the effective kernel prefetch limit.",
+	CtrKernelRejectedPages:        "Requested pages cut off by the kernel prefetch limit.",
+	CtrKernelPrefetchedPages:      "Pages readahead_info actually submitted prefetch I/O for.",
+	CtrVFSPrefetchInsertedPages:   "Pages the VFS prefetch paths newly inserted into the page cache.",
+	CtrVFSPrefetchDevicePages:     "Pages of device reads issued by the VFS prefetch paths.",
+	CtrVFSDemandFetchPages:        "Pages of blocking demand device reads (misses and RMW edges).",
+	CtrCacheInsertedPages:         "Pages newly inserted into the page cache, all sources.",
+	CtrCacheRemovedPages:          "Pages evicted or dropped from the page cache.",
+	CtrCachePrefetchInsertedPages: "Inserted pages that came from a prefetch (effectiveness denominator).",
+	CtrPrefetchHitPages:           "Prefetched pages a later lookup used (first use).",
+	CtrPrefetchWastedPages:        "Prefetched pages evicted before any use.",
+	CtrDeviceReadBytes:            "Raw bytes read from the simulated device.",
+	CtrDeviceWriteBytes:           "Raw bytes written to the simulated device.",
+	CtrCacheDirtyInsertedPages:    "Inserted pages that entered dirty (buffered writes, writeback requeues).",
+	CtrDeviceInjectedFaults:       "Device requests failed by the fault injector.",
+	CtrDeviceInjectedStallNs:      "Virtual nanoseconds of injected device latency spikes.",
+	CtrVFSDemandRetries:           "Blocking-read/fsync retries of transient device faults.",
+	CtrVFSDemandIOErrors:          "Demand I/O failures surfaced to the application.",
+	CtrVFSWritebackRetries:        "Background writeback retries of transient device faults.",
+	CtrWritebackLostPages:         "Dirty pages dropped after exhausting the writeback retry budget.",
+	CtrLibPrefetchRetries:         "CROSS-LIB background-prefetch retries after transient faults.",
+	CtrLibBreakerTrips:            "Per-file circuit breaker transitions closed to open.",
+	CtrLibBreakerRecoveries:       "Per-file circuit breaker transitions open to closed.",
+	CtrDevicePlugSegments:         "Requests submitted through the block plug API.",
+	CtrDevicePlugCommands:         "Device commands dispatched after plug merging.",
+	CtrDevicePlugMergedSegments:   "Segments absorbed into another command by a front/back merge.",
+	CtrDevicePlugSegmentBytes:     "Byte total of plug-submitted segments.",
+	CtrDevicePlugCommandBytes:     "Byte total of dispatched commands (merge-invariant: equals segment bytes).",
+	CtrRingSQESubmitted:           "Submission-queue entries accepted onto rings.",
+	CtrRingCQECompleted:           "Completions delivered to ring reapers.",
+	CtrRingEnterCalls:             "ring_enter crossings (one per submitted batch).",
+	CtrRingDispatchBatches:        "Fair-share lane dispatches that issued at least one device command.",
+	CtrRingDispatchCommands:       "Merged device commands issued by lane dispatches.",
+	CtrRingBackpressure:           "SQEs refused at ring admission (ring full).",
+	CtrRingShedSQEs:               "SQEs completed with ErrShed under overload, never touching the device.",
+	CtrRingShedPrefetchPages:      "Pages carried by shed prefetch intents (work brownout saved).",
+	CtrRingDeadlineMisses:         "CQEs delivered with ErrDeadlineExceeded.",
+	CtrBrownoutTransitions:        "Brownout pressure-level changes (either direction).",
+	CtrCacheTenantReclaims:        "Tenant-targeted direct reclaim passes on hard-budget breaches.",
+}
+
+// outcomeHelp is the HELP text per prefetch-decision outcome, indexed by
+// identifier (ctrgate coverage, same as counterHelp).
+var outcomeHelp = [numOutcomes]string{
+	OutcomeIssued:               "intent reached the kernel as readahead work",
+	OutcomeSavedByBitmap:        "kernel crossing elided by the user-level bitmap",
+	OutcomeDroppedLowMemory:     "dropped: free memory below the low watermark",
+	OutcomeThrottledBatching:    "parked: uncovered tail below the crossing hysteresis",
+	OutcomeThrottledSteadyState: "skipped: predictor saturated",
+	OutcomeDroppedQueueFull:     "dropped: helper threads booked past the horizon",
+	OutcomeEvictedBeforeUse:     "prefetched pages reclaimed before any use",
+	OutcomeDeviceFault:          "prefetch device request failed",
+	OutcomeRetriedTransient:     "transient prefetch fault retried after backoff",
+	OutcomeDroppedBreakerOpen:   "dropped: per-file circuit breaker open",
+	OutcomeBreakerTripped:       "repeated failures opened the per-file breaker",
+	OutcomeBreakerRecovered:     "half-open probe closed the breaker",
+	OutcomeBatchedIntent:        "small intent parked in the per-file aggregator",
+	OutcomeShedPrefetch:         "ring path shed a prefetch intent under overload",
+	OutcomeBrownoutRaised:       "pressure controller raised the brownout level",
+	OutcomeBrownoutLowered:      "pressure controller lowered the brownout level",
+	OutcomeLatePrefetch:         "demand read consumed pages whose prefetch I/O was still in flight",
+}
+
+// histHelp is the HELP text per built-in histogram, indexed by
+// identifier.
+var histHelp = [numHists]string{
+	HistDevReadLat:    "Device read submit-to-complete time, virtual nanoseconds (log2 buckets).",
+	HistDevWriteLat:   "Device write submit-to-complete time, virtual nanoseconds (log2 buckets).",
+	HistDevReadBytes:  "Device read request sizes in bytes (log2 buckets).",
+	HistDevWriteBytes: "Device write request sizes in bytes (log2 buckets).",
+	HistPrefetchLat:   "Prefetch issue-to-complete time per device chunk, virtual nanoseconds.",
+	HistRingBatchCmds: "Device commands per fair-share lane dispatch (achieved queue depth).",
+	HistRingQueueWait: "Virtual time an SQE's device work waited staged in its tenant lane.",
+	HistPrefetchToUse: "Prefetched page insertion-to-first-use virtual time (timeliness).",
+}
+
+// helpByName inverts an identifier-indexed help table into export-name
+// keys, matching the snapshot maps the writer iterates.
+func helpByName(names, helps []string) map[string]string {
+	m := make(map[string]string, len(names))
+	for i, n := range names {
+		m[n] = helps[i]
+	}
+	return m
+}
+
+var (
+	counterHelpByName = helpByName(counterNames[:], counterHelp[:])
+	histHelpByName    = helpByName(histNames[:], histHelp[:])
+)
+
 // WritePrometheus writes the snapshot in Prometheus text exposition
 // format (version 0.0.4), so bench runs can be diffed and graphed with
-// standard tooling. Metric families, in order:
+// standard tooling. Every family carries HELP and TYPE metadata. Metric
+// families, in order:
 //
 //	crossprefetch_<counter>_total                      cross-layer counters
 //	crossprefetch_outcome_{events,pages}_total{outcome=...}
+//	crossprefetch_origin_{inserted,used,wasted}_pages_total{origin=...}
 //	crossprefetch_<hist>{_bucket{le=...},_sum,_count}  log2 histograms
 //	crossprefetch_syscall_<name>{_bucket,...}          per-syscall latency
 //	crossprefetch_events_{recorded,dropped}_total      decision-trace ring
@@ -40,18 +148,38 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	}
 	for _, name := range sortedKeys(s.Counters) {
 		m := "crossprefetch_" + promName(name) + "_total"
-		p("# TYPE %s counter\n%s %d\n", m, m, s.Counters[name])
+		help := counterHelpByName[name]
+		if help == "" {
+			help = "Cross-layer counter " + name + "."
+		}
+		p("# HELP %s %s\n# TYPE %s counter\n%s %d\n", m, help, m, m, s.Counters[name])
 	}
+	p("# HELP crossprefetch_outcome_events_total Prefetch-decision trace events by outcome.\n")
 	p("# TYPE crossprefetch_outcome_events_total counter\n")
 	for _, name := range sortedKeys(s.Outcomes) {
-		p("crossprefetch_outcome_events_total{outcome=%q} %d\n", name, s.Outcomes[name].Events)
+		p("crossprefetch_outcome_events_total{outcome=\"%s\"} %d\n", promLabel(name), s.Outcomes[name].Events)
 	}
+	p("# HELP crossprefetch_outcome_pages_total Pages covered by prefetch-decision trace events, by outcome.\n")
 	p("# TYPE crossprefetch_outcome_pages_total counter\n")
 	for _, name := range sortedKeys(s.Outcomes) {
-		p("crossprefetch_outcome_pages_total{outcome=%q} %d\n", name, s.Outcomes[name].Pages)
+		p("crossprefetch_outcome_pages_total{outcome=\"%s\"} %d\n", promLabel(name), s.Outcomes[name].Pages)
 	}
-	writeHist := func(metric string, h HistogramSnapshot) {
-		p("# TYPE %s histogram\n", metric)
+	for _, fam := range []struct {
+		name, help string
+		val        func(OriginStat) int64
+	}{
+		{"origin_inserted_pages_total", "Pages inserted into the cache by insertion origin (partition of cache_inserted_pages).", func(o OriginStat) int64 { return o.Inserted }},
+		{"origin_used_pages_total", "Prefetched pages first used by a reader, by origin (partition of prefetch_hit_pages).", func(o OriginStat) int64 { return o.Used }},
+		{"origin_wasted_pages_total", "Prefetched pages evicted unused, by origin (partition of prefetch_wasted_pages).", func(o OriginStat) int64 { return o.Wasted }},
+	} {
+		m := "crossprefetch_" + fam.name
+		p("# HELP %s %s\n# TYPE %s counter\n", m, fam.help, m)
+		for _, name := range sortedKeys(s.Origins) {
+			p("%s{origin=\"%s\"} %d\n", m, promLabel(name), fam.val(s.Origins[name]))
+		}
+	}
+	writeHist := func(metric, help string, h HistogramSnapshot) {
+		p("# HELP %s %s\n# TYPE %s histogram\n", metric, help, metric)
 		var cum int64
 		for _, b := range h.Buckets {
 			cum += b.Count
@@ -62,28 +190,36 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 		p("%s_sum %d\n%s_count %d\n", metric, h.Sum, metric, h.Count)
 	}
 	for _, name := range sortedKeys(s.Histograms) {
-		writeHist("crossprefetch_"+promName(name), s.Histograms[name])
+		help := histHelpByName[name]
+		if help == "" {
+			help = "Log2 histogram " + name + "."
+		}
+		writeHist("crossprefetch_"+promName(name), help, s.Histograms[name])
 	}
 	for _, name := range sortedKeys(s.Syscalls) {
-		writeHist("crossprefetch_syscall_"+promName(name), s.Syscalls[name])
+		writeHist("crossprefetch_syscall_"+promName(name),
+			"Per-syscall latency, virtual nanoseconds (log2 buckets).", s.Syscalls[name])
 	}
+	p("# HELP crossprefetch_events_recorded_total Decision-trace events recorded (ring-buffered; counters stay exact past the cap).\n")
 	p("# TYPE crossprefetch_events_recorded_total counter\ncrossprefetch_events_recorded_total %d\n", s.EventsTotal)
+	p("# HELP crossprefetch_events_dropped_total Decision-trace events dropped by the bounded ring.\n")
 	p("# TYPE crossprefetch_events_dropped_total counter\ncrossprefetch_events_dropped_total %d\n", s.EventsDropped)
 	if t := s.Trace; t != nil {
 		for _, g := range []struct {
-			name string
-			v    int64
+			name, help string
+			v          int64
 		}{
-			{"tracer_sampled_roots_total", t.SampledRoots},
-			{"tracer_skipped_roots_total", t.SkippedRoots},
-			{"tracer_kept_roots", t.KeptRoots},
-			{"tracer_dropped_roots_total", t.DroppedRoots},
-			{"tracer_dropped_spans_total", t.DroppedSpans},
-			{"tracer_demand_pages_total", t.DemandPages},
-			{"tracer_prefetch_pages_total", t.PrefetchPages},
-			{"tracer_sample_every", t.SampleEvery},
+			{"tracer_sampled_roots_total", "Root operations the span tracer sampled.", t.SampledRoots},
+			{"tracer_skipped_roots_total", "Root operations the span tracer skipped.", t.SkippedRoots},
+			{"tracer_kept_roots", "Root spans currently retained by the flight recorder.", t.KeptRoots},
+			{"tracer_dropped_roots_total", "Completed sampled roots the flight recorder let go.", t.DroppedRoots},
+			{"tracer_dropped_spans_total", "Child spans cut by the per-root cap.", t.DroppedSpans},
+			{"tracer_demand_pages_total", "Demand-read pages observed under sampled roots.", t.DemandPages},
+			{"tracer_prefetch_pages_total", "Prefetch pages observed under sampled roots.", t.PrefetchPages},
+			{"tracer_sample_every", "Sampling rate: 1-in-N top-level operations.", t.SampleEvery},
 		} {
-			p("# TYPE crossprefetch_%s gauge\ncrossprefetch_%s %d\n", g.name, g.name, g.v)
+			p("# HELP crossprefetch_%s %s\n# TYPE crossprefetch_%s gauge\ncrossprefetch_%s %d\n",
+				g.name, g.help, g.name, g.name, g.v)
 		}
 	}
 	return err

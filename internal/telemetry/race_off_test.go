@@ -1,0 +1,9 @@
+//go:build !race
+
+package telemetry
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-count guards are skipped under -race: the detector's
+// shadow-memory bookkeeping shows up as allocations the production build
+// never makes.
+const raceEnabled = false

@@ -152,52 +152,56 @@ const (
 	numCounters
 )
 
-// String names the counter (JSON/CSV key).
-func (c Counter) String() string {
-	return [...]string{
-		"lib_issued_pages",
-		"kernel_requested_pages",
-		"kernel_admitted_pages",
-		"kernel_rejected_pages",
-		"kernel_prefetched_pages",
-		"vfs_prefetch_inserted_pages",
-		"vfs_prefetch_device_pages",
-		"vfs_demand_fetch_pages",
-		"cache_inserted_pages",
-		"cache_removed_pages",
-		"cache_prefetch_inserted_pages",
-		"prefetch_hit_pages",
-		"prefetch_wasted_pages",
-		"device_read_bytes",
-		"device_write_bytes",
-		"cache_dirty_inserted_pages",
-		"device_injected_faults",
-		"device_injected_stall_ns",
-		"vfs_demand_retries",
-		"vfs_demand_io_errors",
-		"vfs_writeback_retries",
-		"writeback_lost_pages",
-		"lib_prefetch_retries",
-		"lib_breaker_trips",
-		"lib_breaker_recoveries",
-		"device_plug_segments",
-		"device_plug_commands",
-		"device_plug_merged_segments",
-		"device_plug_segment_bytes",
-		"device_plug_command_bytes",
-		"ring_sqes_submitted",
-		"ring_cqes_completed",
-		"ring_enter_calls",
-		"ring_dispatch_batches",
-		"ring_dispatch_commands",
-		"ring_backpressure",
-		"ring_shed_sqes",
-		"ring_shed_prefetch_pages",
-		"ring_deadline_misses",
-		"brownout_transitions",
-		"cache_tenant_reclaims",
-	}[c]
+// counterNames is the export name table (JSON/CSV/Prometheus keys),
+// indexed by identifier so `make ctrgate` can assert every declared
+// counter has a name (a missing entry is an empty string, which the
+// table-completeness test rejects).
+var counterNames = [numCounters]string{
+	CtrLibIssuedPages:             "lib_issued_pages",
+	CtrKernelRequestedPages:       "kernel_requested_pages",
+	CtrKernelAdmittedPages:        "kernel_admitted_pages",
+	CtrKernelRejectedPages:        "kernel_rejected_pages",
+	CtrKernelPrefetchedPages:      "kernel_prefetched_pages",
+	CtrVFSPrefetchInsertedPages:   "vfs_prefetch_inserted_pages",
+	CtrVFSPrefetchDevicePages:     "vfs_prefetch_device_pages",
+	CtrVFSDemandFetchPages:        "vfs_demand_fetch_pages",
+	CtrCacheInsertedPages:         "cache_inserted_pages",
+	CtrCacheRemovedPages:          "cache_removed_pages",
+	CtrCachePrefetchInsertedPages: "cache_prefetch_inserted_pages",
+	CtrPrefetchHitPages:           "prefetch_hit_pages",
+	CtrPrefetchWastedPages:        "prefetch_wasted_pages",
+	CtrDeviceReadBytes:            "device_read_bytes",
+	CtrDeviceWriteBytes:           "device_write_bytes",
+	CtrCacheDirtyInsertedPages:    "cache_dirty_inserted_pages",
+	CtrDeviceInjectedFaults:       "device_injected_faults",
+	CtrDeviceInjectedStallNs:      "device_injected_stall_ns",
+	CtrVFSDemandRetries:           "vfs_demand_retries",
+	CtrVFSDemandIOErrors:          "vfs_demand_io_errors",
+	CtrVFSWritebackRetries:        "vfs_writeback_retries",
+	CtrWritebackLostPages:         "writeback_lost_pages",
+	CtrLibPrefetchRetries:         "lib_prefetch_retries",
+	CtrLibBreakerTrips:            "lib_breaker_trips",
+	CtrLibBreakerRecoveries:       "lib_breaker_recoveries",
+	CtrDevicePlugSegments:         "device_plug_segments",
+	CtrDevicePlugCommands:         "device_plug_commands",
+	CtrDevicePlugMergedSegments:   "device_plug_merged_segments",
+	CtrDevicePlugSegmentBytes:     "device_plug_segment_bytes",
+	CtrDevicePlugCommandBytes:     "device_plug_command_bytes",
+	CtrRingSQESubmitted:           "ring_sqes_submitted",
+	CtrRingCQECompleted:           "ring_cqes_completed",
+	CtrRingEnterCalls:             "ring_enter_calls",
+	CtrRingDispatchBatches:        "ring_dispatch_batches",
+	CtrRingDispatchCommands:       "ring_dispatch_commands",
+	CtrRingBackpressure:           "ring_backpressure",
+	CtrRingShedSQEs:               "ring_shed_sqes",
+	CtrRingShedPrefetchPages:      "ring_shed_prefetch_pages",
+	CtrRingDeadlineMisses:         "ring_deadline_misses",
+	CtrBrownoutTransitions:        "brownout_transitions",
+	CtrCacheTenantReclaims:        "cache_tenant_reclaims",
 }
+
+// String names the counter (JSON/CSV key).
+func (c Counter) String() string { return counterNames[c] }
 
 // Outcome classifies one prefetch-decision trace event.
 type Outcome int
@@ -251,31 +255,90 @@ const (
 	// trace shows the whole trajectory.
 	OutcomeBrownoutRaised
 	OutcomeBrownoutLowered
+	// OutcomeLatePrefetch: a demand read consumed prefetched pages whose
+	// backing I/O was still in flight — the prefetch was issued too late
+	// to fully hide the device, so the reader blocked on readyAt. One
+	// event per contiguous run of late pages within a lookup.
+	OutcomeLatePrefetch
 
 	numOutcomes
 )
 
-// String names the outcome (JSON/CSV key).
-func (o Outcome) String() string {
-	return [...]string{
-		"issued",
-		"saved-by-bitmap",
-		"dropped-low-memory",
-		"throttled-batching",
-		"throttled-steady-state",
-		"dropped-queue-full",
-		"evicted-before-use",
-		"device-fault",
-		"retried-transient",
-		"dropped-breaker-open",
-		"breaker-tripped",
-		"breaker-recovered",
-		"batched-intent",
-		"shed-prefetch",
-		"brownout-raised",
-		"brownout-lowered",
-	}[o]
+// outcomeNames is the export name table, indexed by identifier (see
+// counterNames for why).
+var outcomeNames = [numOutcomes]string{
+	OutcomeIssued:               "issued",
+	OutcomeSavedByBitmap:        "saved-by-bitmap",
+	OutcomeDroppedLowMemory:     "dropped-low-memory",
+	OutcomeThrottledBatching:    "throttled-batching",
+	OutcomeThrottledSteadyState: "throttled-steady-state",
+	OutcomeDroppedQueueFull:     "dropped-queue-full",
+	OutcomeEvictedBeforeUse:     "evicted-before-use",
+	OutcomeDeviceFault:          "device-fault",
+	OutcomeRetriedTransient:     "retried-transient",
+	OutcomeDroppedBreakerOpen:   "dropped-breaker-open",
+	OutcomeBreakerTripped:       "breaker-tripped",
+	OutcomeBreakerRecovered:     "breaker-recovered",
+	OutcomeBatchedIntent:        "batched-intent",
+	OutcomeShedPrefetch:         "shed-prefetch",
+	OutcomeBrownoutRaised:       "brownout-raised",
+	OutcomeBrownoutLowered:      "brownout-lowered",
+	OutcomeLatePrefetch:         "late-prefetch",
 }
+
+// String names the outcome (JSON/CSV key).
+func (o Outcome) String() string { return outcomeNames[o] }
+
+// Origin tags where a cache insertion came from — the provenance lattice
+// of the prefetch-effectiveness scorecards. Every inserted page carries
+// exactly one origin; first use consumes the page's prefetch credit into
+// the origin's used column, eviction of an unconsumed page books waste.
+// OriginDemand covers everything that is not a prefetch (demand fetches,
+// zero-fill, buffered writes, writeback requeues): it never accrues
+// used/wasted credit, and it completes the partition — summed over all
+// origins, inserted equals the global cache-inserted counter exactly.
+type Origin int
+
+// Page-insertion origins.
+const (
+	// OriginDemand: demand fetch, zero-fill, dirty write, or writeback
+	// requeue — not a prefetch; carries no effectiveness credit.
+	OriginDemand Origin = iota
+	// OriginReadahead: the kernel readahead state machine (ReadAt window
+	// ramp, mmap fault-around, readahead(2)/fadvise WILLNEED).
+	OriginReadahead
+	// OriginCoverage: CROSS-LIB's budget-driven coverage policy (§4.6)
+	// populating a chunk around a random access.
+	OriginCoverage
+	// OriginCrossOS: readahead_info prefetch issued by CROSS-LIB's
+	// predictor, fetch-all, or vectored intent flush.
+	OriginCrossOS
+	// OriginRing: prefetch SQEs completed through the submission rings.
+	OriginRing
+
+	// NumOrigins bounds per-origin tables (exported for reconciliation
+	// tests and the scorecard).
+	NumOrigins
+)
+
+// numOrigins is the internal alias used for array bounds.
+const numOrigins = int(NumOrigins)
+
+// originNames is the export name table, indexed by identifier.
+var originNames = [numOrigins]string{
+	OriginDemand:    "demand",
+	OriginReadahead: "readahead",
+	OriginCoverage:  "coverage",
+	OriginCrossOS:   "crossos",
+	OriginRing:      "ring-prefetch",
+}
+
+// String names the origin (JSON/CSV/label key).
+func (o Origin) String() string { return originNames[o] }
+
+// IsPrefetch reports whether the origin is a prefetch source (everything
+// but demand).
+func (o Origin) IsPrefetch() bool { return o != OriginDemand }
 
 // Hist identifies one built-in histogram.
 type Hist int
@@ -297,22 +360,30 @@ const (
 	// HistRingQueueWait: virtual time an SQE's device work sat staged in a
 	// tenant lane before its dispatch was submitted.
 	HistRingQueueWait
+	// HistPrefetchToUse: virtual time from a prefetched page's insertion
+	// to its first use by a reader — the timeliness distribution. A small
+	// value means the reader arrived almost immediately (the prefetch
+	// barely ran ahead); large values flag pages that sat resident long
+	// enough to risk eviction before use.
+	HistPrefetchToUse
 
 	numHists
 )
 
-// String names the histogram (JSON/CSV key).
-func (h Hist) String() string {
-	return [...]string{
-		"dev_read_lat_ns",
-		"dev_write_lat_ns",
-		"dev_read_bytes",
-		"dev_write_bytes",
-		"prefetch_lat_ns",
-		"ring_batch_commands",
-		"ring_queue_wait_ns",
-	}[h]
+// histNames is the export name table, indexed by identifier.
+var histNames = [numHists]string{
+	HistDevReadLat:    "dev_read_lat_ns",
+	HistDevWriteLat:   "dev_write_lat_ns",
+	HistDevReadBytes:  "dev_read_bytes",
+	HistDevWriteBytes: "dev_write_bytes",
+	HistPrefetchLat:   "prefetch_lat_ns",
+	HistRingBatchCmds: "ring_batch_commands",
+	HistRingQueueWait: "ring_queue_wait_ns",
+	HistPrefetchToUse: "prefetch_to_use_ns",
 }
+
+// String names the histogram (JSON/CSV key).
+func (h Hist) String() string { return histNames[h] }
 
 // MaxSyscallKinds bounds the per-syscall latency histogram table.
 const MaxSyscallKinds = 16
@@ -324,12 +395,24 @@ type outcomeCell struct {
 	pages  atomic.Int64
 }
 
+// originCell is one origin's page-provenance ledger. inserted counts
+// every page inserted under the origin; used and wasted partition the
+// consumed prefetch credit (first read vs evicted unused). The cells
+// deliberately re-measure the global prefetch counters per origin —
+// Audit asserts the partition sums to them exactly.
+type originCell struct {
+	inserted atomic.Int64
+	used     atomic.Int64
+	wasted   atomic.Int64
+}
+
 // Recorder is the shared sink all layers report into. The zero value is
 // not used directly; construct with NewRecorder. All methods are safe on
 // a nil *Recorder and do nothing, which is the disabled fast path.
 type Recorder struct {
 	counters [numCounters]atomic.Int64
 	outcomes [numOutcomes]outcomeCell
+	origins  [numOrigins]originCell
 	hists    [numHists]Histogram
 
 	syscallNames [MaxSyscallKinds]string
@@ -366,6 +449,39 @@ func (r *Recorder) CounterValue(c Counter) int64 {
 		return 0
 	}
 	return r.counters[c].Load()
+}
+
+// OriginInserted books n pages inserted under an origin.
+func (r *Recorder) OriginInserted(o Origin, n int64) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.origins[o].inserted.Add(n)
+}
+
+// OriginUsed books n prefetched pages of an origin consumed by a reader.
+func (r *Recorder) OriginUsed(o Origin, n int64) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.origins[o].used.Add(n)
+}
+
+// OriginWasted books n prefetched pages of an origin evicted unused.
+func (r *Recorder) OriginWasted(o Origin, n int64) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.origins[o].wasted.Add(n)
+}
+
+// OriginTotals reports one origin's exact ledger.
+func (r *Recorder) OriginTotals(o Origin) (inserted, used, wasted int64) {
+	if r == nil {
+		return 0, 0, 0
+	}
+	c := &r.origins[o]
+	return c.inserted.Load(), c.used.Load(), c.wasted.Load()
 }
 
 // Observe records one sample into a built-in histogram.

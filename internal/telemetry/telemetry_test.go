@@ -116,6 +116,19 @@ func consistentRecorder() (*Recorder, AuditInput) {
 	r.Add(CtrPrefetchHitPages, 50)
 	r.Add(CtrPrefetchWastedPages, 10)
 	r.Add(CtrDeviceReadBytes, (60+40)*bs)
+	// Origin partition: 60 prefetch-origin + 40 demand insertions, the
+	// hits/waste split across two prefetch origins, and one
+	// prefetch-to-use sample per hit.
+	r.OriginInserted(OriginDemand, 40)
+	r.OriginInserted(OriginReadahead, 35)
+	r.OriginInserted(OriginCrossOS, 25)
+	r.OriginUsed(OriginReadahead, 30)
+	r.OriginUsed(OriginCrossOS, 20)
+	r.OriginWasted(OriginReadahead, 5)
+	r.OriginWasted(OriginCrossOS, 5)
+	for i := 0; i < 50; i++ {
+		r.Observe(HistPrefetchToUse, int64(i))
+	}
 	r.Event(0, OutcomeIssued, 1, 0, 80)
 	r.Event(1, OutcomeSavedByBitmap, 1, 80, 96)
 	r.Event(2, OutcomeSavedByBitmap, 1, 96, 100)

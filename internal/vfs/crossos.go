@@ -34,6 +34,10 @@ type CacheInfoRequest struct {
 	LimitOverride int64
 	// DisablePrefetch turns this call into a pure query.
 	DisablePrefetch bool
+	// Coverage marks the request as CROSS-LIB coverage prefetch (whole-file
+	// warm-up) rather than predictor-driven readahead, so the inserted
+	// pages book under OriginCoverage in the effectiveness partition.
+	Coverage bool
 }
 
 // CacheInfo is the telemetry half of the `info` structure filled by the
@@ -167,7 +171,11 @@ func (f *File) ReadaheadInfo(tl *simtime.Timeline, req CacheInfoRequest, dst *bi
 		case req.DisablePrefetch:
 			// Pure query; report what would be fetched.
 		default:
-			issued, err := f.prefetchRuns(tl, tl.Now(), missing, -1)
+			origin := telemetry.OriginCrossOS
+			if req.Coverage {
+				origin = telemetry.OriginCoverage
+			}
+			issued, err := f.prefetchRuns(tl, tl.Now(), missing, -1, origin)
 			info.PrefetchedPages = issued
 			info.PrefetchErr = err
 			info.ReadyAt = f.fc.ResidentReadyAt(hullLo, hullHi)

@@ -61,6 +61,7 @@ func (f *File) ReadAt(tl *simtime.Timeline, dst []byte, off int64) (int, error) 
 
 	sc := readScratchPool.Get().(*readScratch)
 	defer readScratchPool.Put(sc)
+	sc.res.Tenant = 0 // sync read path: shared default tenant
 	f.fc.LookupRangeInto(tl, lo, hi, &sc.res)
 	res := &sc.res
 
@@ -103,7 +104,7 @@ func (f *File) ReadAt(tl *simtime.Timeline, dst []byte, off int64) (int, error) 
 		// demand reads. fetchRuns has consumed sc.runs; reuse it.
 		missing := f.fc.AppendFastMissingRuns(tl, sc.runs[:0], action.Lo, action.Hi)
 		sc.runs = missing
-		_, _ = f.prefetchRuns(tl, tl.Now(), missing, action.MarkerAt)
+		_, _ = f.prefetchRuns(tl, tl.Now(), missing, action.MarkerAt, telemetry.OriginReadahead)
 	}
 
 	// Wait for in-flight prefetch covering the demanded range. The wait
@@ -309,7 +310,7 @@ func (f *File) Readahead(tl *simtime.Timeline, off, nbytes int64) int64 {
 	}
 	// readahead(2) is advisory: a device fault inserts nothing and is
 	// reported only through the bytes-submitted return value.
-	if issued, err := f.prefetchRuns(tl, tl.Now(), runs, -1); err != nil {
+	if issued, err := f.prefetchRuns(tl, tl.Now(), runs, -1, telemetry.OriginReadahead); err != nil {
 		return issued * bs
 	}
 	return (hi - lo) * bs

@@ -225,10 +225,10 @@ func (v *VFS) completeRingChunk(tl *simtime.Timeline, c *ringChunk, r blockdev.L
 		telemetry.CountPages(tl, telemetry.PagePrefetch, c.blocks)
 		v.rec.Observe(telemetry.HistPrefetchLat, int64(r.Done.Sub(r.Submitted)))
 		n := c.f.fc.InsertRange(tl, c.lo, c.lo+c.blocks, pagecache.InsertOptions{
-			ReadyAt:    r.Done,
-			MarkerAt:   -1,
-			Prefetched: true,
-			Tenant:     c.tenant,
+			ReadyAt:  r.Done,
+			MarkerAt: -1,
+			Origin:   telemetry.OriginRing,
+			Tenant:   c.tenant,
 		})
 		v.rec.Add(telemetry.CtrVFSPrefetchInsertedPages, n)
 		v.rec.Add(telemetry.CtrKernelPrefetchedPages, n)
@@ -305,6 +305,7 @@ func (v *VFS) ringRead(tl *simtime.Timeline, tenant int, sq *RingSQE,
 		n = size - sq.Off
 	}
 	lo, hi := v.blockRange(sq.Off, n)
+	sc.res.Tenant = tenant
 	f.fc.LookupRangeInto(tl, lo, hi, &sc.res)
 	res := &sc.res
 	pend.advance(res.ReadyAt)

@@ -489,10 +489,12 @@ func (f *File) fetchRuns(tl *simtime.Timeline, runs []bitmap.Run) error {
 // from `at` without blocking, and pages are inserted with their ready
 // times. The tree-lock insertion cost is charged to tl (the readahead work
 // happens in the calling context, as in Linux). markerAt places the
-// PG_readahead marker. Returns pages issued and the first device error;
-// a failed chunk inserts nothing (the poisoning guard) and aborts the
-// remainder of the request, leaving the pages to demand reads.
-func (f *File) prefetchRuns(tl *simtime.Timeline, at simtime.Time, runs []bitmap.Run, markerAt int64) (int64, error) {
+// PG_readahead marker; origin tags the inserted pages' provenance for
+// the per-origin effectiveness partition. Returns pages issued and the
+// first device error; a failed chunk inserts nothing (the poisoning
+// guard) and aborts the remainder of the request, leaving the pages to
+// demand reads.
+func (f *File) prefetchRuns(tl *simtime.Timeline, at simtime.Time, runs []bitmap.Run, markerAt int64, origin telemetry.Origin) (int64, error) {
 	sp := telemetry.Begin(tl, "vfs.prefetch", telemetry.CatCPU)
 	if len(runs) == 0 {
 		sp.End(tl)
@@ -557,9 +559,9 @@ func (f *File) prefetchRuns(tl *simtime.Timeline, at simtime.Time, runs []bitmap
 					telemetry.CountPages(tl, telemetry.PagePrefetch, chunkBlocks)
 					f.v.rec.Observe(telemetry.HistPrefetchLat, int64(done.Sub(at)))
 					n := f.fc.InsertRange(tl, lo, lo+chunkBlocks, pagecache.InsertOptions{
-						ReadyAt:    done,
-						MarkerAt:   markerAt,
-						Prefetched: true,
+						ReadyAt:  done,
+						MarkerAt: markerAt,
+						Origin:   origin,
 					})
 					f.v.rec.Add(telemetry.CtrVFSPrefetchInsertedPages, n)
 					issued += n
@@ -619,9 +621,9 @@ func (f *File) prefetchRuns(tl *simtime.Timeline, at simtime.Time, runs []bitmap
 			telemetry.CountPages(tl, telemetry.PagePrefetch, blocks)
 			f.v.rec.Observe(telemetry.HistPrefetchLat, int64(s.Done.Sub(at)))
 			n := f.fc.InsertRange(tl, gLo, gLo+blocks, pagecache.InsertOptions{
-				ReadyAt:    s.Done,
-				MarkerAt:   markerAt,
-				Prefetched: true,
+				ReadyAt:  s.Done,
+				MarkerAt: markerAt,
+				Origin:   origin,
 			})
 			f.v.rec.Add(telemetry.CtrVFSPrefetchInsertedPages, n)
 			issued += n
