@@ -1,7 +1,7 @@
 # Tier-1 gate (see ROADMAP.md): every PR must leave `make check` green.
-.PHONY: check build test vet race bench chaos errgate fmtgate plugate ringgate shedgate ctrgate trace bench-json bench-parallel bench-batch bench-serve bench-overload bench-score
+.PHONY: check build test vet race bench chaos errgate fmtgate plugate ringgate shedgate ctrgate armgate trace bench-json bench-parallel bench-batch bench-serve bench-overload bench-score bench-predict
 
-check: vet errgate fmtgate plugate ringgate shedgate ctrgate build race
+check: vet errgate fmtgate plugate ringgate shedgate ctrgate armgate build race
 
 # Formatting gate: the tree must be gofmt-clean.
 fmtgate:
@@ -60,6 +60,16 @@ ctrgate:
 			|| { echo "ctrgate: $$c missing from the Prometheus help tables (prometheus.go)"; missing=1; }; \
 	done; \
 	exit $$missing
+
+# Arm-export gate: every registered predictor arm must surface, by name,
+# in the telemetry export table (snapshot Arms map + Prometheus arm=""
+# label series) and in the /predictors admin legend. The export and
+# admin sides iterate the arm registry programmatically, so the gate is
+# a pair of negative-tested conformance tests rather than a source grep
+# — each proves its check rejects a missing arm before accepting the
+# real registry.
+armgate:
+	go test -run 'TestArmGate' ./internal/telemetry ./internal/admin
 
 build:
 	go build ./...
@@ -129,3 +139,14 @@ bench-overload:
 bench-score:
 	go run ./cmd/crosserve -mode score -file-mb 64 -iosize 65536 -ops 512 \
 		-sessions 4 -json BENCH_PR8.json
+
+# Predictor-ensemble sweep: sequential / zipfian-LSM / interleaved-shared,
+# each replayed through the fixed sequentiality counter and the competing
+#-arm ensemble. Every cell is byte-verified, audit-reconciled (per-arm
+# issued/used/wasted partitions the ring-prefetch origin exactly), re-run
+# with digest comparison for determinism, and the ensemble contract is
+# asserted: beat the counter on zipfian-LSM warm hit rate AND pages/s,
+# concede at most 2% on pure sequential.
+bench-predict:
+	go run ./cmd/crosserve -mode predict -file-mb 16 -iosize 16384 -ops 2048 \
+		-json BENCH_PR9.json

@@ -13,20 +13,29 @@
 //	crosserve -mode overload -antagonist -budget-mb 8 -deadline 50us
 //	crosserve -mode overload -sweep -json BENCH_PR7.json
 //	crosserve -mode score -file-mb 64 -ops 512 -json BENCH_PR8.json
+//	crosserve -mode predict -json BENCH_PR9.json
 //	crosserve -mode rings -admin :9090
 //
 // -admin serves the live observability plane for the run's duration:
 // /metrics (Prometheus text with HELP metadata), /scorecards (per-file
 // and per-tenant effectiveness JSON with interval-rate deltas since the
-// previous scrape), /tracez (the span flight recorder's slowest retained
-// roots), and /debug/pprof. The listener drains with a bounded timeout
-// on exit.
+// previous scrape, filterable by ?tenant= / ?inode=), /predictors (the
+// live per-inode predictor-arm table), /tracez (the span flight
+// recorder's slowest retained roots), and /debug/pprof. The listener
+// drains with a bounded timeout on exit.
 //
 // -mode score sweeps sequential/strided/zipfian/shared-file access
 // through the online scorecards and writes one JSON record per pattern;
 // the cells must discriminate (sequential high accuracy, zipfian low
 // accuracy and high pollution) and reproduce byte-identical scorecard
 // JSON when re-run on the same seed.
+//
+// -mode predict sweeps sequential/zipfian-LSM/interleaved-shared access
+// through the fixed sequentiality counter and the competing-predictor
+// ensemble; each cell's warm-half hit rate and throughput are compared,
+// the ensemble contract asserted (beat the counter on zipfian, give up
+// no more than 2% on sequential), and every cell re-run to prove the
+// scorecard JSON deterministic.
 //
 // -sweep runs the sync and ring frontends across 1/8/64 tenants at
 // identical replay schedules and writes one JSON record per cell —
@@ -52,6 +61,7 @@ import (
 
 	crossprefetch "repro"
 	"repro/internal/admin"
+	"repro/internal/crosslib"
 	"repro/internal/experiments"
 	"repro/internal/simtime"
 	"repro/internal/telemetry"
@@ -84,12 +94,18 @@ func startAdmin(addr string) func() {
 			}
 			return nil
 		},
+		Predictors: func() []crosslib.PredictorRow {
+			if s := liveSys.Load(); s != nil {
+				return s.Lib().PredictorTable()
+			}
+			return nil
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crosserve:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("admin plane on http://%s (/metrics /scorecards /tracez /debug/pprof)\n", srv.Addr())
+	fmt.Printf("admin plane on http://%s (/metrics /scorecards /predictors /tracez /debug/pprof)\n", srv.Addr())
 	return func() {
 		if err := srv.Shutdown(); err != nil {
 			fmt.Fprintln(os.Stderr, "crosserve: admin shutdown:", err)
@@ -390,9 +406,79 @@ func runScore(fileMB, iosize int64, ops, clients int, seed int64, jsonOut string
 	}
 }
 
+// predictRecord is one pattern × predictor-mode cell in the -mode
+// predict JSON output.
+type predictRecord struct {
+	Pattern         string  `json:"pattern"`
+	Mode            string  `json:"mode"` // "fixed" or "ensemble"
+	Reads           int64   `json:"reads"`
+	ClientMB        float64 `json:"client_mb"`
+	LiveArm         string  `json:"live_arm"`
+	Promotions      int64   `json:"promotions"`
+	WarmReads       int64   `json:"warm_reads"`
+	WarmHitRate     float64 `json:"warm_hit_rate"`
+	WarmPagesPerSec float64 `json:"warm_pages_per_s"`
+	Digest          string  `json:"scorecard_digest"`
+}
+
+// runPredict sweeps the three predict patterns through the fixed
+// counter and the competing-predictor ensemble (see
+// experiments.PredictCells: every cell is byte-verified, audit-clean,
+// re-run to prove determinism, and the ensemble contract — beat the
+// counter on zipfian-LSM, concede at most 2% on pure sequential — is
+// asserted before anything is written).
+func runPredict(fileMB, iosize int64, ops int, seed int64, jsonOut string) {
+	cells, err := experiments.PredictCells(experiments.PredictConfig{
+		FileMB: fileMB, IOSize: iosize, Ops: ops, Seed: seed,
+		Observe: func(sys *crossprefetch.System) { liveSys.Store(sys) },
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crosserve: predict:", err)
+		os.Exit(1)
+	}
+	var records []predictRecord
+	for _, p := range []experiments.PredictPattern{
+		experiments.PredictSequential, experiments.PredictZipfLSM,
+		experiments.PredictInterleaved,
+	} {
+		cell := cells[p]
+		for _, m := range []struct {
+			name string
+			res  *experiments.PredictResult
+		}{{"fixed", cell.Fixed}, {"ensemble", cell.Ensemble}} {
+			r := m.res
+			rec := predictRecord{
+				Pattern: p.String(), Mode: m.name, Reads: r.Reads,
+				ClientMB: float64(r.Bytes) / (1 << 20),
+				LiveArm:  r.LiveArm, Promotions: r.Promotions,
+				WarmReads: r.WarmReads, WarmHitRate: r.WarmHitRate,
+				WarmPagesPerSec: r.WarmPagesPerSec,
+				Digest:          fmt.Sprintf("%016x", r.Digest),
+			}
+			records = append(records, rec)
+			fmt.Printf("%-12s %-8s reads=%-5d arm=%-8s promo=%-2d warm-hit=%.3f warm-pages/s=%.0f digest=%s\n",
+				rec.Pattern, rec.Mode, rec.Reads, rec.LiveArm, rec.Promotions,
+				rec.WarmHitRate, rec.WarmPagesPerSec, rec.Digest)
+		}
+	}
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crosserve:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "crosserve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d records to %s\n", len(records), jsonOut)
+	}
+}
+
 func main() {
 	var (
-		mode     = flag.String("mode", "rings", "dispatch path: sync, rings, overload, or score")
+		mode     = flag.String("mode", "rings", "dispatch path: sync, rings, overload, score, or predict")
 		tenants  = flag.Int("tenants", 8, "concurrent tenants (one file and one ring each)")
 		sessions = flag.Int("sessions", 4, "client sessions per tenant")
 		ops      = flag.Int("ops", 200, "reads per session")
@@ -426,8 +512,11 @@ func main() {
 	case "score":
 		runScore(*fileMB, *iosize, *ops, *sessions, *seed, *jsonOut)
 		return
+	case "predict":
+		runPredict(*fileMB, *iosize, *ops, *seed, *jsonOut)
+		return
 	default:
-		fmt.Fprintf(os.Stderr, "crosserve: unknown -mode %q (want sync, rings, overload, or score)\n", *mode)
+		fmt.Fprintf(os.Stderr, "crosserve: unknown -mode %q (want sync, rings, overload, score, or predict)\n", *mode)
 		os.Exit(2)
 	}
 

@@ -254,6 +254,7 @@ func NewSystem(cfg Config) *System {
 			MaxCards:    cfg.ScorecardMaxCards,
 		})
 		cache.SetScorecard(s.score)
+		lib.SetScorecard(s.score)
 	}
 	if cfg.Trace {
 		s.tr = telemetry.NewTracer(telemetry.TraceConfig{
@@ -309,6 +310,7 @@ func (s *System) NewProcess() *crosslib.Runtime {
 	}
 	rt := crosslib.New(s.kernel, opts)
 	rt.SetTracer(s.tr)
+	rt.SetScorecard(s.score)
 	if s.rec != nil {
 		rt.SetTelemetry(s.rec)
 		s.procMu.Lock()
@@ -400,6 +402,26 @@ func (s *System) AuditTelemetry() error {
 			if si != ri || su != ru || sw != rw {
 				return fmt.Errorf("crossprefetch: scorecard origin %s totals %d/%d/%d != recorder %d/%d/%d",
 					o, si, su, sw, ri, ru, rw)
+			}
+		}
+		// The ensemble's per-(inode,arm) shadow cards must sum to the
+		// recorder's shadow counters — same bookings, two ledgers. Only
+		// exact while no arm stripe has spilled into its overflow card
+		// (the overflow card mixes arms and cannot be attributed).
+		if !s.score.ArmOverflowed() {
+			var si, su, sw int64
+			for a := telemetry.Arm(0); a < telemetry.NumArms; a++ {
+				ai, au, aw := s.score.ArmTotals(a)
+				si += ai
+				su += au
+				sw += aw
+			}
+			ri := s.rec.CounterValue(telemetry.CtrPredShadowIssuedPages)
+			ru := s.rec.CounterValue(telemetry.CtrPredShadowHitPages)
+			rw := s.rec.CounterValue(telemetry.CtrPredShadowExpiredPages)
+			if si != ri || su != ru || sw != rw {
+				return fmt.Errorf("crossprefetch: scorecard arm shadow totals %d/%d/%d != recorder shadow counters %d/%d/%d",
+					si, su, sw, ri, ru, rw)
 			}
 		}
 	}

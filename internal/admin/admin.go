@@ -1,9 +1,10 @@
 // Package admin implements the live observability plane for a running
 // CrossPrefetch system: one HTTP server exposing the cross-layer
 // telemetry as Prometheus text (/metrics), the online effectiveness
-// scorecards as JSON with interval-rate deltas (/scorecards), the span
-// flight recorder's slowest retained roots (/tracez), and the standard
-// Go profiling endpoints (/debug/pprof). The server reads live state
+// scorecards as JSON with interval-rate deltas (/scorecards, filterable
+// by ?tenant= / ?inode=), the predictor ensemble's live arm table
+// (/predictors), the span flight recorder's slowest retained roots
+// (/tracez), and the standard Go profiling endpoints (/debug/pprof). The server reads live state
 // through provider callbacks so it can outlive any single System (the
 // crosserve sweep swaps systems per cell under one admin listener) and
 // shuts down with a bounded drain so experiments stay leak-free under
@@ -17,9 +18,11 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/crosslib"
 	"repro/internal/telemetry"
 )
 
@@ -33,6 +36,9 @@ type Config struct {
 	Scorecard func() *telemetry.ScorecardSnapshot
 	// Tracer returns the live span tracer for /tracez.
 	Tracer func() *telemetry.Tracer
+	// Predictors returns the live per-inode ensemble table for
+	// /predictors (live arm, bandit scores, promotions).
+	Predictors func() []crosslib.PredictorRow
 	// DrainTimeout bounds Shutdown's graceful connection drain; past it
 	// remaining connections are closed hard. Default 2s.
 	DrainTimeout time.Duration
@@ -67,6 +73,7 @@ func Start(addr string, cfg Config) (*Server, error) {
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/scorecards", s.handleScorecards)
+	mux.HandleFunc("/predictors", s.handlePredictors)
 	mux.HandleFunc("/tracez", s.handleTracez)
 	// The pprof handlers are registered explicitly on this mux (never the
 	// DefaultServeMux) so importing this package has no global effects.
@@ -111,7 +118,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, `crossprefetch admin plane
 /metrics          cross-layer telemetry (Prometheus text exposition)
-/scorecards       per-file and per-tenant effectiveness scorecards (JSON; cumulative + delta since last scrape)
+/scorecards       per-file and per-tenant effectiveness scorecards (JSON; cumulative + delta since last scrape; ?tenant= / ?inode= filter)
+/predictors       predictor ensemble: live arm, bandit scores, promotions per file (JSON)
 /tracez           flight recorder: slowest retained spans per operation class (JSON; ?n= bounds roots)
 /debug/pprof/     Go runtime profiles
 `)
@@ -150,11 +158,118 @@ func (s *Server) handleScorecards(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "scorecards disabled or no system live", http.StatusServiceUnavailable)
 		return
 	}
+	q := r.URL.Query()
+	tenant, hasTenant, err := queryInt64(q.Get("tenant"))
+	if err != nil {
+		http.Error(w, "bad tenant: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	ino, hasIno, err := queryInt64(q.Get("inode"))
+	if err != nil {
+		http.Error(w, "bad inode: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	// The delta baseline is always the FULL snapshot — a filtered scrape
+	// must not make the next scrape's interval start from a hole.
 	s.scoreMu.Lock()
 	delta := cur.Diff(s.prev)
 	s.prev = cur
 	s.scoreMu.Unlock()
+	if hasTenant || hasIno {
+		cur = filterSnapshot(cur, hasTenant, tenant, hasIno, ino)
+		delta = filterDelta(delta, hasTenant, tenant, hasIno, ino)
+	}
 	writeJSON(w, scorecardsReply{Scorecards: cur, Delta: delta})
+}
+
+// queryInt64 parses an optional integer query parameter: absent is not
+// an error, anything non-numeric is.
+func queryInt64(v string) (n int64, present bool, err error) {
+	if v == "" {
+		return 0, false, nil
+	}
+	n, err = strconv.ParseInt(v, 10, 64)
+	return n, err == nil, err
+}
+
+// filterSnapshot narrows a snapshot to one tenant and/or one inode:
+// ?tenant= keeps the matching tenant card, ?inode= the matching file
+// card and that inode's per-arm shadow cards. Sections the filter's key
+// dimension doesn't apply to pass through untouched. The input is not
+// mutated (it is also the server's delta baseline).
+func filterSnapshot(in *telemetry.ScorecardSnapshot, hasTenant bool, tenant int64,
+	hasIno bool, ino int64) *telemetry.ScorecardSnapshot {
+	out := *in
+	if hasTenant {
+		out.Tenants = filterCards(in.Tenants, func(c *telemetry.CardScore) bool {
+			return c.Key == tenant
+		})
+	}
+	if hasIno {
+		out.Files = filterCards(in.Files, func(c *telemetry.CardScore) bool {
+			return c.Key == ino
+		})
+		out.Arms = filterCards(in.Arms, func(c *telemetry.CardScore) bool {
+			return c.Ino == ino
+		})
+	}
+	return &out
+}
+
+func filterDelta(in *telemetry.ScorecardDelta, hasTenant bool, tenant int64,
+	hasIno bool, ino int64) *telemetry.ScorecardDelta {
+	if in == nil {
+		return nil
+	}
+	out := *in
+	if hasTenant {
+		out.Tenants = filterCards(in.Tenants, func(c *telemetry.CardScore) bool {
+			return c.Key == tenant
+		})
+	}
+	if hasIno {
+		out.Files = filterCards(in.Files, func(c *telemetry.CardScore) bool {
+			return c.Key == ino
+		})
+		out.Arms = filterCards(in.Arms, func(c *telemetry.CardScore) bool {
+			return c.Ino == ino
+		})
+	}
+	return &out
+}
+
+func filterCards(cards []telemetry.CardScore, keep func(*telemetry.CardScore) bool) []telemetry.CardScore {
+	out := make([]telemetry.CardScore, 0, 1)
+	for i := range cards {
+		if keep(&cards[i]) {
+			out = append(out, cards[i])
+		}
+	}
+	return out
+}
+
+// predictorsReply is the /predictors response body: the registered arm
+// names (always complete — the legend iterates telemetry.NumArms, so a
+// new arm cannot ship without appearing here) and the live per-file
+// ensemble table.
+type predictorsReply struct {
+	Arms  []string                `json:"arms"`
+	Files []crosslib.PredictorRow `json:"files"`
+}
+
+func (s *Server) handlePredictors(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Predictors == nil {
+		http.Error(w, "predictors unavailable: no system live", http.StatusServiceUnavailable)
+		return
+	}
+	reply := predictorsReply{Files: s.cfg.Predictors()}
+	for a := telemetry.Arm(0); a < telemetry.NumArms; a++ {
+		reply.Arms = append(reply.Arms, a.String())
+	}
+	if reply.Files == nil {
+		reply.Files = []crosslib.PredictorRow{}
+	}
+	writeJSON(w, reply)
 }
 
 // tracezRoot is one retained root span in the /tracez dump.

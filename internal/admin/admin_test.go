@@ -2,6 +2,7 @@ package admin
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"runtime"
@@ -9,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/crosslib"
 	"repro/internal/simtime"
 	"repro/internal/telemetry"
 )
@@ -195,5 +197,161 @@ func TestShutdownLeakFree(t *testing.T) {
 			t.Fatalf("goroutines: before %d, after %d — serve loops leaked", before, runtime.NumGoroutine())
 		}
 		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// armsCover is the /predictors leg of `make armgate`: every registered
+// telemetry arm must appear in the endpoint's legend. Factored out so
+// the test below can prove it fails on a truncated legend.
+func armsCover(legend []string) error {
+	have := make(map[string]bool, len(legend))
+	for _, n := range legend {
+		have[n] = true
+	}
+	for a := telemetry.Arm(0); a < telemetry.NumArms; a++ {
+		if !have[a.String()] {
+			return fmt.Errorf("arm %q missing from /predictors legend", a.String())
+		}
+	}
+	return nil
+}
+
+// TestArmGatePredictors enforces the armgate invariant on the admin
+// side: /predictors lists exactly the registered arm names — the same
+// registry the telemetry export partitions by — so a new arm cannot
+// ship without surfacing in the live table.
+func TestArmGatePredictors(t *testing.T) {
+	rows := []crosslib.PredictorRow{{Ino: 7, Live: telemetry.ArmMithril.String(), Promotions: 1}}
+	srv, err := Start("127.0.0.1:0", Config{
+		Predictors: func() []crosslib.PredictorRow { return rows },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	base := "http://" + srv.Addr()
+
+	code, body, hdr := get(t, base+"/predictors")
+	if code != 200 || !strings.Contains(hdr.Get("Content-Type"), "json") {
+		t.Fatalf("/predictors code %d type %q", code, hdr.Get("Content-Type"))
+	}
+	var r struct {
+		Arms  []string                `json:"arms"`
+		Files []crosslib.PredictorRow `json:"files"`
+	}
+	if err := json.Unmarshal([]byte(body), &r); err != nil {
+		t.Fatal(err)
+	}
+	if err := armsCover(r.Arms); err != nil {
+		t.Fatalf("armgate: %v", err)
+	}
+	if len(r.Arms) != int(telemetry.NumArms) {
+		t.Fatalf("/predictors legend has %d arms, registry has %d", len(r.Arms), telemetry.NumArms)
+	}
+	if len(r.Files) != 1 || r.Files[0].Ino != 7 || r.Files[0].Live != telemetry.ArmMithril.String() {
+		t.Fatalf("/predictors files = %+v, want the provider's row", r.Files)
+	}
+
+	// Negative leg: a legend missing one registered arm must fail.
+	if err := armsCover(r.Arms[:len(r.Arms)-1]); err == nil {
+		t.Fatal("armsCover accepted a truncated legend")
+	}
+
+	// No live system: 503, not a panic or an empty 200.
+	bare, err := Start("127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Shutdown()
+	if code, _, _ := get(t, "http://"+bare.Addr()+"/predictors"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/predictors with no provider code = %d, want 503", code)
+	}
+}
+
+// TestScorecardsFilter exercises the ?tenant= / ?inode= narrowing on
+// /scorecards: each filter keeps exactly the matching card (inode also
+// narrows the per-arm shadow cards), filters compose, sections the key
+// dimension doesn't apply to pass through, and a non-numeric value is a
+// 400 — not a silent full dump.
+func TestScorecardsFilter(t *testing.T) {
+	score := telemetry.NewScorecard(telemetry.ScorecardConfig{})
+	now := simtime.Time(0)
+	score.Issued(now, 1, 10, telemetry.OriginReadahead, 4)
+	score.Issued(now, 2, 20, telemetry.OriginReadahead, 6)
+	score.ArmIssued(now, 1, telemetry.ArmMithril, 3)
+	score.ArmIssued(now, 2, telemetry.ArmLeap, 5)
+
+	srv, err := Start("127.0.0.1:0", Config{
+		Scorecard: func() *telemetry.ScorecardSnapshot { return score.Snapshot() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	base := "http://" + srv.Addr()
+
+	type reply struct {
+		Scorecards *telemetry.ScorecardSnapshot `json:"scorecards"`
+	}
+	scrape := func(query string) reply {
+		t.Helper()
+		code, body, _ := get(t, base+"/scorecards"+query)
+		if code != 200 {
+			t.Fatalf("/scorecards%s code = %d", query, code)
+		}
+		var r reply
+		if err := json.Unmarshal([]byte(body), &r); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	full := scrape("")
+	if len(full.Scorecards.Files) != 2 || len(full.Scorecards.Tenants) != 2 || len(full.Scorecards.Arms) != 2 {
+		t.Fatalf("unfiltered scrape: files=%d tenants=%d arms=%d, want 2/2/2",
+			len(full.Scorecards.Files), len(full.Scorecards.Tenants), len(full.Scorecards.Arms))
+	}
+
+	byTenant := scrape("?tenant=10")
+	if len(byTenant.Scorecards.Tenants) != 1 || byTenant.Scorecards.Tenants[0].Key != 10 {
+		t.Fatalf("?tenant=10 tenants = %+v, want exactly key 10", byTenant.Scorecards.Tenants)
+	}
+	if len(byTenant.Scorecards.Files) != 2 {
+		t.Fatal("?tenant= must not narrow the file section")
+	}
+
+	byIno := scrape("?inode=2")
+	if len(byIno.Scorecards.Files) != 1 || byIno.Scorecards.Files[0].Key != 2 {
+		t.Fatalf("?inode=2 files = %+v, want exactly key 2", byIno.Scorecards.Files)
+	}
+	if len(byIno.Scorecards.Arms) != 1 || byIno.Scorecards.Arms[0].Ino != 2 ||
+		byIno.Scorecards.Arms[0].Arm != telemetry.ArmLeap.String() {
+		t.Fatalf("?inode=2 arms = %+v, want inode 2's leap shadow card", byIno.Scorecards.Arms)
+	}
+	if len(byIno.Scorecards.Tenants) != 2 {
+		t.Fatal("?inode= must not narrow the tenant section")
+	}
+
+	both := scrape("?tenant=20&inode=1")
+	if len(both.Scorecards.Tenants) != 1 || both.Scorecards.Tenants[0].Key != 20 ||
+		len(both.Scorecards.Files) != 1 || both.Scorecards.Files[0].Key != 1 {
+		t.Fatal("?tenant=&inode= must compose")
+	}
+
+	miss := scrape("?inode=99")
+	if len(miss.Scorecards.Files) != 0 || len(miss.Scorecards.Arms) != 0 {
+		t.Fatalf("?inode=99 should match nothing, got files=%d arms=%d",
+			len(miss.Scorecards.Files), len(miss.Scorecards.Arms))
+	}
+
+	for _, q := range []string{"?tenant=abc", "?inode=1x", "?inode="} {
+		code, _, _ := get(t, base+"/scorecards"+q)
+		want := 400
+		if q == "?inode=" {
+			want = 200 // empty means absent, not malformed
+		}
+		if code != want {
+			t.Fatalf("/scorecards%s code = %d, want %d", q, code, want)
+		}
 	}
 }

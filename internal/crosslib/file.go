@@ -182,7 +182,12 @@ func (f *File) observeAccess(tl *simtime.Timeline, lo, hi int64) int64 {
 	}
 
 	op := f.rt.tick()
-	if o.Predict && f.pred != nil {
+	switch {
+	case o.Predict && f.sf.ens != nil:
+		// Ensemble path: all arms score the access in shadow mode; only
+		// the live arm's candidates reach the prefetch path.
+		f.ensembleObserve(tl, lo, hi, true)
+	case o.Predict && f.pred != nil:
 		f.predMu.Lock()
 		skipped := f.pred.Observe(lo, hi-lo)
 		plo, pn := f.pred.Next()
@@ -203,6 +208,69 @@ func (f *File) observeAccess(tl *simtime.Timeline, lo, hi int64) int64 {
 		f.ensureFetchAll(tl, op)
 	}
 	return op
+}
+
+// maxLiveCandidates bounds how many live-arm candidates one observation
+// may turn into prefetch intents (fixed so the hot path copies them out
+// of the ensemble's reused buffer without allocating).
+const maxLiveCandidates = 4
+
+// ensembleObserve feeds one access through the per-inode competing-
+// predictor ensemble: every arm scores it in shadow mode (booked into
+// the telemetry counters and the per-(inode,arm) scorecards), and —
+// when issue is set — the live arm's candidates become real prefetch
+// intents tagged with the arm for the per-arm effectiveness partition.
+func (f *File) ensembleObserve(tl *simtime.Timeline, lo, hi int64, issue bool) {
+	rt := f.rt
+	sf := f.sf
+	blocks := hi - lo
+	sf.ensMu.Lock()
+	res := sf.ens.Observe(lo, blocks)
+	live := res.Live
+	issued, hits, expired := res.Issued, res.Hit, res.Expired
+	promoted, oldArm, newArm := res.Promoted, res.OldArm, res.NewArm
+	var cands [maxLiveCandidates]predictor.Candidate
+	n := copy(cands[:], res.Candidates)
+	sf.ensMu.Unlock()
+
+	now := tl.Now()
+	var sumI, sumH, sumX int64
+	for a := telemetry.Arm(1); a < telemetry.NumArms; a++ {
+		sumI += issued[a]
+		sumH += hits[a]
+		sumX += expired[a]
+		rt.score.ArmIssued(now, sf.inoID, a, issued[a])
+		rt.score.ArmUsed(now, sf.inoID, a, hits[a])
+		rt.score.ArmWasted(now, sf.inoID, a, expired[a])
+		rt.score.ArmRead(now, sf.inoID, a, blocks, hits[a])
+	}
+	if sumI > 0 {
+		rt.rec.Add(telemetry.CtrPredShadowIssuedPages, sumI)
+	}
+	if sumH > 0 {
+		rt.rec.Add(telemetry.CtrPredShadowHitPages, sumH)
+	}
+	if sumX > 0 {
+		rt.rec.Add(telemetry.CtrPredShadowExpiredPages, sumX)
+	}
+	if promoted {
+		rt.armPromotions.Add(1)
+		rt.rec.Add(telemetry.CtrPredArmPromotions, 1)
+		rt.rec.Event(now, telemetry.OutcomeArmPromoted,
+			sf.inoID, int64(oldArm), int64(newArm))
+	}
+	if !issue {
+		return
+	}
+	if n == 0 {
+		if rt.opt.CoveragePrefetch {
+			f.coveragePrefetch(tl, lo)
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		f.prefetchAsyncArm(tl, cands[i].Lo, cands[i].Blocks, false, live)
+	}
 }
 
 // Read reads at the descriptor's position, advancing it.
@@ -240,7 +308,12 @@ func (f *File) WriteAt(tl *simtime.Timeline, data []byte, off int64) (int, error
 	bs := f.rt.v.BlockSize()
 	lo := off / bs
 	hi := (off + int64(len(data)) + bs - 1) / bs
-	if o.Predict && f.pred != nil {
+	switch {
+	case o.Predict && f.sf.ens != nil:
+		// Writes feed the ensemble's pattern state (and shadow books)
+		// without issuing prefetch, mirroring the counter-only path.
+		f.ensembleObserve(tl, lo, hi, false)
+	case o.Predict && f.pred != nil:
 		f.predMu.Lock()
 		f.pred.Observe(lo, hi-lo)
 		f.predMu.Unlock()
@@ -280,6 +353,15 @@ func (f *File) Fsync(tl *simtime.Timeline) error {
 // (intents parked in the aggregator lose the tag and book as crossos —
 // the vectored crossing merges intents of both policies).
 func (f *File) prefetchAsync(tl *simtime.Timeline, lo, blocks int64, coverage bool) {
+	f.prefetchAsyncArm(tl, lo, blocks, coverage, telemetry.ArmNone)
+}
+
+// prefetchAsyncArm is prefetchAsync with the intent tagged by the
+// predictor arm that drove it (ArmNone when none did); the tag rides the
+// kernel request onto the inserted pages, partitioning real prefetch
+// effectiveness per arm. Like the coverage tag, it is lost when the
+// intent parks in the aggregator.
+func (f *File) prefetchAsyncArm(tl *simtime.Timeline, lo, blocks int64, coverage bool, arm telemetry.Arm) {
 	rt := f.rt
 	o := rt.opt
 	bs := rt.v.BlockSize()
@@ -376,7 +458,7 @@ func (f *File) prefetchAsync(tl *simtime.Timeline, lo, blocks int64, coverage bo
 	rt.workers.Run(now, func(wtl *simtime.Timeline) {
 		root := rt.tr.Root(wtl, telemetry.OpBgPrefetch, sf.inoID)
 		for i, r := range runs {
-			if !f.issuePrefetch(wtl, kf, sf, r.Lo, r.Hi, coverage) {
+			if !f.issuePrefetch(wtl, kf, sf, r.Lo, r.Hi, coverage, arm) {
 				// Definitive device failure: the failing call fed the
 				// breaker once for this job. Issuing the remaining runs
 				// would feed it once per range — a single bad multi-run
@@ -642,8 +724,9 @@ func mergeRun(runs []bitmap.Run, r bitmap.Run) []bitmap.Run {
 // Reports false on a definitive device failure (the breaker has been fed
 // exactly once and [pos, hi)'s requested bits given back) so a caller
 // issuing several runs stops instead of re-proving the failure per run.
-// coverage propagates the intent's policy tag into the kernel request.
-func (f *File) issuePrefetch(wtl *simtime.Timeline, kf *vfs.File, sf *sharedFile, lo, hi int64, coverage bool) bool {
+// coverage and arm propagate the intent's policy tags into the kernel
+// request.
+func (f *File) issuePrefetch(wtl *simtime.Timeline, kf *vfs.File, sf *sharedFile, lo, hi int64, coverage bool, arm telemetry.Arm) bool {
 	rt := f.rt
 	o := rt.opt
 	bs := rt.v.BlockSize()
@@ -667,6 +750,7 @@ func (f *File) issuePrefetch(wtl *simtime.Timeline, kf *vfs.File, sf *sharedFile
 			BitmapLo: pos,
 			BitmapHi: hi,
 			Coverage: coverage,
+			Arm:      arm,
 		}
 		if o.OptLimits {
 			req.LimitOverride = hi - pos

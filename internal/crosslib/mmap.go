@@ -136,7 +136,7 @@ func (m *Mapping) scheduleScan(tl *simtime.Timeline) {
 			hi = fileBlocks
 		}
 		for _, run := range sf.tree.NeedsPrefetch(wtl, lo, hi) {
-			m.f.issuePrefetch(wtl, kf, sf, run.Lo, run.Hi, false)
+			m.f.issuePrefetch(wtl, kf, sf, run.Lo, run.Hi, false, telemetry.ArmNone)
 		}
 	})
 }

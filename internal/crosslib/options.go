@@ -7,6 +7,7 @@
 package crosslib
 
 import (
+	"repro/internal/predictor"
 	"repro/internal/rangetree"
 	"repro/internal/simtime"
 )
@@ -79,6 +80,29 @@ type Options struct {
 	// BatchFlushPages is the aggregate size, in pages, at which the
 	// intent aggregator flushes on its own (0 selects 256).
 	BatchFlushPages int64
+
+	// Ensemble runs the competing-predictor ensemble per inode: the
+	// sequentiality counter, a MITHRIL-style association miner, and a
+	// Leap-style majority-trend detector score every access concurrently
+	// (shadow mode), and a windowed bandit promotes the winning arm — only
+	// the live arm's candidates reach the prefetch path. Requires Predict;
+	// off, the per-descriptor counter drives prefetch exactly as before
+	// (one nil check on the hot path).
+	Ensemble bool
+	// EnsembleWindowObs is the bandit window length in observations
+	// (0 selects 64).
+	EnsembleWindowObs int
+	// EnsembleMargin is the score margin a challenger arm must sustain
+	// over the live arm (0 selects 0.05).
+	EnsembleMargin float64
+	// EnsemblePatience is the consecutive winning windows before promotion
+	// (0 selects 2).
+	EnsemblePatience int
+	// EnsembleEpsilon is the per-window exploration probability (default
+	// off — shadow mode already scores every arm on every access).
+	EnsembleEpsilon float64
+	// EnsembleSeed seeds the bandit's exploration PRNG (0 selects 1).
+	EnsembleSeed uint64
 
 	// RetryMax is how many times a background prefetch retries a
 	// transient device fault before giving up (negative disables
@@ -157,6 +181,28 @@ func (o Options) withDefaults() Options {
 		o.BreakerCooloff = 20 * simtime.Millisecond
 	}
 	return o
+}
+
+// ensembleConfig maps the Options knobs onto the predictor package's
+// ensemble configuration, zero fields selecting its defaults.
+func (o Options) ensembleConfig() predictor.EnsembleConfig {
+	cfg := predictor.DefaultEnsembleConfig()
+	if o.EnsembleWindowObs > 0 {
+		cfg.WindowObs = o.EnsembleWindowObs
+	}
+	if o.EnsembleMargin > 0 {
+		cfg.Margin = o.EnsembleMargin
+	}
+	if o.EnsemblePatience > 0 {
+		cfg.Patience = o.EnsemblePatience
+	}
+	if o.EnsembleEpsilon > 0 {
+		cfg.Epsilon = o.EnsembleEpsilon
+	}
+	if o.EnsembleSeed != 0 {
+		cfg.Seed = o.EnsembleSeed
+	}
+	return cfg
 }
 
 // Approach names the paper's comparison configurations (Tables 2 and 5).

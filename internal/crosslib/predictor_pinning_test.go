@@ -1,0 +1,77 @@
+package crosslib
+
+import (
+	"testing"
+
+	"repro/internal/predictor"
+	"repro/internal/simtime"
+)
+
+// TestSteadySkipResetOnReopen PINS current behavior: the sequentiality
+// predictor — including the SteadySkip steady-state throttle's counters
+// — is per-descriptor state built fresh in wrap() on every Open. Closing
+// and reopening the same inode therefore forgets both the saturated
+// counter and the skip phase: the reopened descriptor starts at
+// NotSequential with zero skipped observations, and its first access is
+// examined rather than throttled; the classification restarts at
+// HighlyRandom. The shared per-inode state (range tree, ensemble when
+// enabled) survives reopen; the throttle does not.
+// If predictor state ever moves onto sharedFile, this test must be
+// updated deliberately — it exists so that change cannot happen by
+// accident.
+func TestSteadySkipResetOnReopen(t *testing.T) {
+	v := newKernel(1_000_000)
+	rt := NewForApproach(v, CrossPredictOpt)
+	tl := simtime.NewTimeline(0)
+	v.FS().CreateSynthetic(tl, "pin", 64<<20)
+
+	f, err := rt.Open(tl, "pin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16384)
+	for off := int64(0); off < 8<<20; off += 16384 {
+		if _, err := f.ReadAt(tl, buf, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := f.Predictor()
+	if first.State() != predictor.DefinitelySequential {
+		t.Fatalf("stream should saturate the counter, state = %v", first.State())
+	}
+	if first.Skipped() == 0 {
+		t.Fatal("saturated sequential stream should engage the SteadySkip throttle")
+	}
+	if err := f.Close(tl); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := rt.Open(tl, "pin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close(tl)
+	p := g.Predictor()
+	if p == first {
+		t.Fatal("reopen must build a fresh per-descriptor predictor")
+	}
+	if p.Skipped() != 0 || p.Observes() != 0 {
+		t.Fatalf("reopened predictor carries state: skipped=%d observes=%d, want 0/0",
+			p.Skipped(), p.Observes())
+	}
+	if p.State() != predictor.HighlyRandom {
+		t.Fatalf("reopened predictor state = %v, want the fresh HighlyRandom", p.State())
+	}
+
+	// The first access after reopen must be examined, not throttled —
+	// the skip phase did not survive the close.
+	if _, err := g.ReadAt(tl, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if p.Skipped() != 0 {
+		t.Fatalf("first observe after reopen was throttled (skipped=%d)", p.Skipped())
+	}
+	if p.Observes() != 1 {
+		t.Fatalf("first observe after reopen not examined (observes=%d)", p.Observes())
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/bitmap"
+	"repro/internal/predictor"
 	"repro/internal/rangetree"
 	"repro/internal/simtime"
 	"repro/internal/telemetry"
@@ -36,6 +37,10 @@ type Runtime struct {
 	// the timeline (tracing opt-in).
 	tr *telemetry.Tracer
 
+	// score, when non-nil, receives the per-(inode,arm) shadow-mode
+	// effectiveness bookings of the predictor ensemble (scorecard opt-in).
+	score *telemetry.Scorecard
+
 	// Stats.
 	prefetchCalls    atomic.Int64 // readahead_info calls issued
 	savedPrefetch    atomic.Int64 // prefetches skipped via cache awareness
@@ -50,6 +55,7 @@ type Runtime struct {
 	droppedBreaker   atomic.Int64
 	batchedIntents   atomic.Int64
 	vectoredFlushes  atomic.Int64
+	armPromotions    atomic.Int64
 }
 
 // sfShardCount stripes the inode table (power of two; selection is a mask).
@@ -80,6 +86,13 @@ type sharedFile struct {
 
 	lastAccess atomic.Int64 // virtual time of last access
 	fetchAll   atomic.Bool  // whole-file prefetch kicked off
+
+	// ens, when non-nil (Options.Ensemble), is the per-inode competing-
+	// predictor ensemble; ensMu serializes its Observe calls across the
+	// inode's descriptors. The ensemble owns its own arm-0 counter — the
+	// per-descriptor predictor stays untouched for the non-ensemble path.
+	ensMu sync.Mutex
+	ens   *predictor.Ensemble
 
 	brk breaker // background-prefetch circuit breaker
 
@@ -184,6 +197,13 @@ func (rt *Runtime) SetTracer(tr *telemetry.Tracer) { rt.tr = tr }
 // Tracer reports the installed span tracer (nil when tracing is off).
 func (rt *Runtime) Tracer() *telemetry.Tracer { return rt.tr }
 
+// SetScorecard installs the windowed scorecard sink for the ensemble's
+// shadow-mode bookings (nil disables).
+func (rt *Runtime) SetScorecard(s *telemetry.Scorecard) { rt.score = s }
+
+// Scorecard reports the installed scorecard sink (nil when off).
+func (rt *Runtime) Scorecard() *telemetry.Scorecard { return rt.score }
+
 // SharedFiles reports live per-inode state entries (leak detection).
 func (rt *Runtime) SharedFiles() int {
 	n := 0
@@ -234,6 +254,8 @@ type Stats struct {
 	// dropped, and vectored readahead_info crossings issued by flushes.
 	BatchedIntents  int64
 	VectoredFlushes int64
+	// ArmPromotions counts live-arm changes by the ensemble's bandit.
+	ArmPromotions int64
 }
 
 // Stats snapshots the runtime counters.
@@ -254,7 +276,58 @@ func (rt *Runtime) Stats() Stats {
 		DroppedBreaker:    rt.droppedBreaker.Load(),
 		BatchedIntents:    rt.batchedIntents.Load(),
 		VectoredFlushes:   rt.vectoredFlushes.Load(),
+		ArmPromotions:     rt.armPromotions.Load(),
 	}
+}
+
+// ArmScore is one arm's entry in a PredictorRow.
+type ArmScore struct {
+	Arm   string  `json:"arm"`
+	Score float64 `json:"score"`
+	Live  bool    `json:"live"`
+}
+
+// PredictorRow is one inode's live ensemble state for the admin plane.
+type PredictorRow struct {
+	Ino        int64      `json:"ino"`
+	Name       string     `json:"name,omitempty"`
+	Live       string     `json:"live"`
+	Observes   int64      `json:"observes"`
+	Promotions int64      `json:"promotions"`
+	Arms       []ArmScore `json:"arms"`
+}
+
+// PredictorTable snapshots every live inode's ensemble — live arm, bandit
+// scores per arm, observation and promotion totals — sorted by inode so
+// the output is deterministic. Empty when Options.Ensemble is off.
+func (rt *Runtime) PredictorTable() []PredictorRow {
+	var rows []PredictorRow
+	for _, sf := range rt.snapshotFiles() {
+		sf.ensMu.Lock()
+		e := sf.ens
+		if e == nil {
+			sf.ensMu.Unlock()
+			continue
+		}
+		row := PredictorRow{
+			Ino:        sf.inoID,
+			Name:       sf.name,
+			Live:       e.Live().String(),
+			Observes:   e.Observes(),
+			Promotions: e.Promotions(),
+		}
+		for a := telemetry.Arm(1); a < telemetry.NumArms; a++ {
+			row.Arms = append(row.Arms, ArmScore{
+				Arm:   a.String(),
+				Score: e.Score(a),
+				Live:  a == e.Live(),
+			})
+		}
+		sf.ensMu.Unlock()
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Ino < rows[j].Ino })
+	return rows
 }
 
 // shared returns (creating on demand) the shared per-inode state.
@@ -270,6 +343,19 @@ func (rt *Runtime) shared(kf *vfs.File, name string) *sharedFile {
 			name:  name,
 			kf:    kf,
 			tree:  rangetree.New(rt.opt.RangeTreeSpan, rt.v.Config().Costs),
+		}
+		if rt.opt.Ensemble && rt.opt.Predict {
+			sf.ens = predictor.NewEnsemble(rt.opt.ensembleConfig(), ino)
+			// Shadow books only earn credit for coverage the system does
+			// not already have — without this every arm free-rides on the
+			// live arm's real prefetches and the bandit promotes redundant
+			// challengers. Coverage = exported kernel residency (§4.2
+			// truth, immune to stale lib belief) plus in-flight requests.
+			fc := kf.FileCache()
+			sf.ens.SetFilter(func(lo, hi int64) (int64, int64) {
+				lo, hi = fc.NonResidentSpan(lo, hi)
+				return sf.tree.UnrequestedSpan(lo, hi)
+			})
 		}
 		fs.m[ino] = sf
 	}
@@ -392,6 +478,14 @@ func (rt *Runtime) evictPass(wtl *simtime.Timeline, now simtime.Time) {
 			}
 			if cr.LastTouch >= coldBefore {
 				break // sorted by recency: the rest are hotter
+			}
+			if cr.Requested > 0 {
+				// An in-flight prefetch wavefront: LastTouch only moves
+				// when a reader lands (MarkCached marks on completion or
+				// read), so freshly requested spans ahead of a stream
+				// look cold. Evicting them would discard exactly the
+				// pages prefetch just paid for.
+				continue
 			}
 			hi := cr.Hi
 			if fb := sf.kf.Inode().Blocks(); hi > fb {

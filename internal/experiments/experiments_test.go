@@ -294,3 +294,48 @@ func TestOverloadQuick(t *testing.T) {
 		t.Errorf("budget+deadline deadline misses = %v, want >= 1", got)
 	}
 }
+
+// TestPredictQuick runs the competing-predictor sweep; the runner itself
+// asserts byte-correctness, the per-arm telemetry audit partition,
+// run-to-run determinism via digest comparison, the zipfian-LSM win, and
+// the sequential/interleaved guardrails. Here we pin the headline shape
+// to its cells: the ensemble must beat the fixed counter on both warm
+// metrics under zipfian-LSM, and the bandit must land on the right arm
+// per pattern.
+func TestPredictQuick(t *testing.T) {
+	tbl := runQuick(t, "predict")
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("predict produced %d rows, want 6", len(tbl.Rows))
+	}
+	fh := cell(t, tbl, "warm-hit", "zipfian-lsm", "fixed")
+	eh := cell(t, tbl, "warm-hit", "zipfian-lsm", "ensemble")
+	if eh <= fh {
+		t.Errorf("ensemble zipfian warm-hit %.3f should beat fixed %.3f", eh, fh)
+	}
+	fp := cell(t, tbl, "warm-pages/s", "zipfian-lsm", "fixed")
+	ep := cell(t, tbl, "warm-pages/s", "zipfian-lsm", "ensemble")
+	if ep <= fp {
+		t.Errorf("ensemble zipfian warm-pages/s %.0f should beat fixed %.0f", ep, fp)
+	}
+	if got := cell(t, tbl, "promotions", "zipfian-lsm", "ensemble"); got < 1 {
+		t.Errorf("ensemble zipfian promotions = %v, want >= 1", got)
+	}
+	arm := func(pattern, mode string) string {
+		t.Helper()
+		for _, row := range tbl.Rows {
+			if row[0] == pattern && row[1] == mode {
+				return row[4]
+			}
+		}
+		t.Fatalf("no row %s/%s", pattern, mode)
+		return ""
+	}
+	if got := arm("zipfian-lsm", "ensemble"); got != "mithril" {
+		t.Errorf("zipfian ensemble live arm = %q, want mithril", got)
+	}
+	for _, p := range []string{"sequential", "zipfian-lsm", "interleaved-shared"} {
+		if got := arm(p, "fixed"); got != "counter" {
+			t.Errorf("%s fixed live arm = %q, want counter", p, got)
+		}
+	}
+}

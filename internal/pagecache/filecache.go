@@ -53,6 +53,24 @@ func (fc *FileCache) CachedPages() int64 { return fc.bm.Count() }
 func (fc *FileCache) Hits() int64   { return fc.hits.Load() }
 func (fc *FileCache) Misses() int64 { return fc.misses.Load() }
 
+// NonResidentSpan trims [lo, hi) to the outermost pages NOT resident,
+// reading the lock-free CROSS-OS bitmap (§4.2): the same exported truth a
+// readahead_info caller sees, at per-page granularity and zero virtual
+// cost. Interior resident pages are not split out. Returns (lo, lo) when
+// the whole span is resident.
+func (fc *FileCache) NonResidentSpan(lo, hi int64) (int64, int64) {
+	if lo < 0 {
+		lo = 0
+	}
+	for lo < hi && fc.bm.Test(lo) {
+		lo++
+	}
+	for hi > lo && fc.bm.Test(hi-1) {
+		hi--
+	}
+	return lo, hi
+}
+
 // TreeLockStats exposes the virtual tree-lock contention counters.
 func (fc *FileCache) TreeLockStats() simtime.RWLedgerStats { return fc.treeLedger.Stats() }
 
@@ -149,6 +167,7 @@ func (fc *FileCache) LookupRangeInto(tl *simtime.Timeline, lo, hi int64, res *Lo
 			prefetchHits++
 			org := telemetry.Origin(cr - 1)
 			rec.OriginUsed(org, 1)
+			rec.ArmUsed(p.arm, 1)
 			if tl != nil {
 				lat := int64(now.Sub(p.issuedAt))
 				rec.Observe(telemetry.HistPrefetchToUse, lat)
@@ -209,6 +228,10 @@ type InsertOptions struct {
 	// Tenant charges the inserted pages to this tenant's memory account
 	// (budgets, targeted reclaim). Zero is the shared default account.
 	Tenant int
+	// Arm tags which predictor arm's candidate issued the prefetch
+	// (ArmNone when no ensemble arm drove it) — the second provenance
+	// axis the per-arm effectiveness partition audits.
+	Arm telemetry.Arm
 }
 
 // InsertRange installs pages [lo, hi), charging the tree lock exclusive,
@@ -256,7 +279,7 @@ func (fc *FileCache) InsertRange(tl *simtime.Timeline, lo, hi int64, opt InsertO
 			}
 			continue
 		}
-		p := &page{fc: fc, tacct: acct, idx: i, readyAt: opt.ReadyAt, issuedAt: now, origin0: opt.Origin, dirty: opt.Dirty}
+		p := &page{fc: fc, tacct: acct, idx: i, readyAt: opt.ReadyAt, issuedAt: now, origin0: opt.Origin, arm: opt.Arm, dirty: opt.Dirty}
 		if opt.Origin.IsPrefetch() {
 			p.credit.Store(int32(opt.Origin) + 1)
 		}
@@ -293,6 +316,7 @@ func (fc *FileCache) InsertRange(tl *simtime.Timeline, lo, hi int64, opt InsertO
 		}
 		if opt.Origin.IsPrefetch() {
 			fc.cache.rec.Add(telemetry.CtrCachePrefetchInsertedPages, inserted)
+			fc.cache.rec.ArmInserted(opt.Arm, inserted)
 		}
 		fc.cache.rec.OriginInserted(opt.Origin, inserted)
 		fc.cache.score.Issued(now, fc.inoID, opt.Tenant, opt.Origin, inserted)

@@ -315,8 +315,12 @@ type page struct {
 	// origin0 is the insertion origin (telemetry.Origin), kept for the
 	// page's lifetime so eviction can attribute the frame.
 	origin0 telemetry.Origin
-	dirty   bool
-	marker  atomic.Bool // PG_readahead
+	// arm is the predictor arm whose candidate issued the prefetch
+	// (ArmNone when none did); immutable after insert, meaningful only
+	// while the page carries prefetch credit.
+	arm    telemetry.Arm
+	dirty  bool
+	marker atomic.Bool // PG_readahead
 	// credit holds origin0+1 while the page's prefetch credit is
 	// outstanding, 0 once consumed — the state the Leap-style
 	// effectiveness accounting tracks. A lookup CASes it to 0 (used);

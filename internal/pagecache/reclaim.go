@@ -442,6 +442,7 @@ func (c *Cache) finishEviction(tl *simtime.Timeline, victims []*page, unlink boo
 			wasted++
 			org := telemetry.Origin(cr - 1)
 			c.rec.OriginWasted(org, 1)
+			c.rec.ArmWasted(p.arm, 1)
 			c.score.Wasted(at, p.fc.inoID, pageTenant(p), org, 1)
 			if wastedByFile == nil {
 				wastedByFile = make(map[*FileCache][]*page)

@@ -1,0 +1,169 @@
+package predictor
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// flipEvent is one bandit promotion, recorded at its observation index.
+type flipEvent struct {
+	At       int64
+	From, To telemetry.Arm
+}
+
+// driveFlip replays the satellite workload: a pure-sequential phase the
+// counter owns, then a repeating sporadic-association chain only the
+// MITHRIL arm can learn (strides vary so the Leap majority never holds,
+// and the counter collapses to random). Returns the promotion history,
+// the final live arm, and the final per-arm scores.
+func driveFlip(seed uint64) ([]flipEvent, telemetry.Arm, [telemetry.NumArms]float64) {
+	cfg := DefaultEnsembleConfig()
+	cfg.Seed = seed
+	e := NewEnsemble(cfg, 42)
+	var events []flipEvent
+	var obs int64
+	feed := func(lo, blocks int64) {
+		r := e.Observe(lo, blocks)
+		obs++
+		if r.Promoted {
+			events = append(events, flipEvent{At: obs, From: r.OldArm, To: r.NewArm})
+		}
+	}
+	for i := int64(0); i < 256; i++ {
+		feed(i*4, 4) // sequential: 4-block reads, back to back
+	}
+	chain := []int64{100, 900, 350, 1500, 50, 2200}
+	for i := int64(0); i < 512; i++ {
+		feed(chain[i%int64(len(chain))], 1)
+	}
+	var scores [telemetry.NumArms]float64
+	for a := telemetry.Arm(1); a < telemetry.NumArms; a++ {
+		scores[a] = e.Score(a)
+	}
+	return events, e.Live(), scores
+}
+
+// TestBanditFlipHysteresis: flipping the workload from sequential to the
+// association chain mid-run must demote the streaming arm and promote
+// MITHRIL within K = 6 bandit windows of the flip — but not instantly
+// (the Margin+Patience hysteresis needs at least Patience window
+// rotations of sustained evidence). Two runs on the same seed must
+// reproduce the identical promotion history.
+func TestBanditFlipHysteresis(t *testing.T) {
+	const (
+		flipAt  = 256 // first association-chain observation
+		windows = 6
+		K       = flipAt + windows*64 // DefaultEnsembleConfig.WindowObs
+	)
+	events, live, scores := driveFlip(7)
+	if live != telemetry.ArmMithril {
+		t.Fatalf("final live arm = %v, want mithril (events %+v, scores %v)", live, events, scores)
+	}
+	var promotedAt int64
+	for _, ev := range events {
+		if ev.At > flipAt && ev.To == telemetry.ArmMithril {
+			promotedAt = ev.At
+			break
+		}
+	}
+	if promotedAt == 0 {
+		t.Fatalf("no promotion to mithril after the flip: %+v", events)
+	}
+	if promotedAt > K {
+		t.Fatalf("mithril promoted at obs %d, want within %d windows of the flip (obs %d)",
+			promotedAt, windows, K)
+	}
+	// Hysteresis: promotion cannot precede Patience window rotations of
+	// chain evidence.
+	cfg := DefaultEnsembleConfig()
+	if min := int64(flipAt + (cfg.Patience-1)*cfg.WindowObs); promotedAt < min {
+		t.Fatalf("mithril promoted at obs %d, before the %d-window hysteresis could pass (min %d)",
+			promotedAt, cfg.Patience, min)
+	}
+
+	events2, live2, scores2 := driveFlip(7)
+	if !reflect.DeepEqual(events, events2) || live != live2 || scores != scores2 {
+		t.Fatalf("same seed, different runs:\n  %+v %v %v\n  %+v %v %v",
+			events, live, scores, events2, live2, scores2)
+	}
+}
+
+// TestEnsembleShadowIdentity: per arm, every page ever booked is exactly
+// once hit, expired, or still outstanding — the identity the telemetry
+// audit enforces end to end, checked here at the source.
+func TestEnsembleShadowIdentity(t *testing.T) {
+	e := NewEnsemble(DefaultEnsembleConfig(), 1)
+	var issued, hit, expired [telemetry.NumArms]int64
+	feed := func(lo, blocks int64) {
+		r := e.Observe(lo, blocks)
+		for a := telemetry.Arm(1); a < telemetry.NumArms; a++ {
+			issued[a] += r.Issued[a]
+			hit[a] += r.Hit[a]
+			expired[a] += r.Expired[a]
+		}
+	}
+	// Sequential, then a strided run, then the association chain, then
+	// random-ish jumps — every arm books something along the way.
+	for i := int64(0); i < 200; i++ {
+		feed(i*4, 4)
+	}
+	for i := int64(0); i < 200; i++ {
+		feed(5000+i*16, 4)
+	}
+	chain := []int64{100, 900, 350, 1500, 50, 2200}
+	for i := int64(0); i < 200; i++ {
+		feed(chain[i%int64(len(chain))], 1)
+	}
+	for a := telemetry.Arm(1); a < telemetry.NumArms; a++ {
+		if issued[a] == 0 {
+			t.Fatalf("arm %v booked nothing over the mixed workload", a)
+		}
+		got := hit[a] + expired[a] + e.Outstanding(a)
+		if got != issued[a] {
+			t.Fatalf("arm %v: issued %d != hit %d + expired %d + outstanding %d",
+				a, issued[a], hit[a], expired[a], e.Outstanding(a))
+		}
+	}
+}
+
+// TestEnsembleCandidateClamp: shadow books must mirror the issue path's
+// per-window readahead clamp. The saturated counter proposes 256-block
+// windows; with MaxCandidateBlocks = 4 no single observation may book
+// more than 4 counter pages.
+func TestEnsembleCandidateClamp(t *testing.T) {
+	cfg := DefaultEnsembleConfig()
+	cfg.MaxCandidateBlocks = 4
+	e := NewEnsemble(cfg, 1)
+	for i := int64(0); i < 300; i++ {
+		r := e.Observe(i*4, 4)
+		if r.Issued[telemetry.ArmCounter] > 4 {
+			t.Fatalf("obs %d: counter booked %d pages, clamp is 4", i, r.Issued[telemetry.ArmCounter])
+		}
+	}
+}
+
+// TestEnsembleFilter: the coverage prefilter gates shadow booking — a
+// filter that reports everything covered keeps every arm's books at
+// zero, while the live arm's real candidates still flow (the prefetch
+// path runs its own dedupe).
+func TestEnsembleFilter(t *testing.T) {
+	e := NewEnsemble(DefaultEnsembleConfig(), 1)
+	e.SetFilter(func(lo, hi int64) (int64, int64) { return lo, lo })
+	sawLive := false
+	for i := int64(0); i < 300; i++ {
+		r := e.Observe(i*4, 4)
+		for a := telemetry.Arm(1); a < telemetry.NumArms; a++ {
+			if r.Issued[a] != 0 {
+				t.Fatalf("obs %d: arm %v booked %d pages through an all-covered filter", i, a, r.Issued[a])
+			}
+		}
+		if len(r.Candidates) > 0 {
+			sawLive = true
+		}
+	}
+	if !sawLive {
+		t.Fatal("filter must not suppress the live arm's real candidates")
+	}
+}

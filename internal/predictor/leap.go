@@ -1,0 +1,162 @@
+package predictor
+
+import "repro/internal/telemetry"
+
+// Leap-style majority-trend detector (Maruf & Chidambaram, the Leap
+// remote-memory prefetcher, ATC '20): instead of requiring *consecutive*
+// stride confirmations like the sequentiality counter, it takes the
+// Boyer–Moore majority of the start-to-start deltas over the last Window
+// accesses and prefetches along that trend. A dominant stream keeps its
+// stride even with interleaved noise from other readers of the same
+// descriptor — exactly where the counter arm's consecutive-confirmation
+// rule collapses to random.
+
+// LeapConfig carries the trend detector's tunables.
+type LeapConfig struct {
+	// Window is the delta-history length W the majority is taken over.
+	Window int
+	// Majority is the minimum votes (out of Window) the candidate stride
+	// needs; 0 defaults to Window/2.
+	Majority int
+	// Depth is how many strides ahead to prefetch along the trend.
+	Depth int
+	// MaxDepth caps the ramped lookahead: Leap doubles its window on a
+	// sustained trend (up to this many strides) so a steady stream gets
+	// enough lead time that prefetches complete before the reader
+	// arrives, and drops back to Depth the moment the trend breaks.
+	MaxDepth int
+	// MaxBlocks clamps each candidate's size.
+	MaxBlocks int64
+}
+
+// DefaultLeapConfig returns the default tuning: majority over the last 8
+// accesses, 2 strides deep ramping to 16.
+func DefaultLeapConfig() LeapConfig {
+	return LeapConfig{Window: 8, Majority: 0, Depth: 2, MaxDepth: 16, MaxBlocks: 32}
+}
+
+// Leap is the majority-trend arm. Not synchronized; the owning ensemble
+// serializes calls.
+type Leap struct {
+	cfg    LeapConfig
+	deltas []int64
+	pos    int
+	full   bool
+
+	lastLo int64
+	primed bool
+
+	streak     int64 // consecutive observations with the same majority stride
+	lastStride int64
+}
+
+// NewLeap returns a trend detector with the given tuning.
+func NewLeap(cfg LeapConfig) *Leap {
+	if cfg.Window <= 0 {
+		cfg.Window = 8
+	}
+	if cfg.Majority <= 0 {
+		cfg.Majority = cfg.Window / 2
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = 2
+	}
+	if cfg.MaxDepth < cfg.Depth {
+		cfg.MaxDepth = cfg.Depth
+	}
+	if cfg.MaxBlocks <= 0 {
+		cfg.MaxBlocks = 32
+	}
+	return &Leap{cfg: cfg, deltas: make([]int64, cfg.Window)}
+}
+
+// Name implements Arm.
+func (l *Leap) Name() string { return telemetry.ArmLeap.String() }
+
+// Trend reports the current majority stride and its vote count (0, 0
+// when no stride holds a majority) — exported for the admin plane.
+func (l *Leap) Trend() (stride int64, votes int) {
+	if !l.full && l.pos == 0 {
+		return 0, 0
+	}
+	n := l.pos
+	if l.full {
+		n = len(l.deltas)
+	}
+	// Boyer–Moore majority vote, then a counting pass to confirm.
+	cand, cnt := int64(0), 0
+	for i := 0; i < n; i++ {
+		d := l.deltas[i]
+		switch {
+		case cnt == 0:
+			cand, cnt = d, 1
+		case d == cand:
+			cnt++
+		default:
+			cnt--
+		}
+	}
+	votes = 0
+	for i := 0; i < n; i++ {
+		if l.deltas[i] == cand {
+			votes++
+		}
+	}
+	if cand == 0 || votes < l.cfg.Majority {
+		return 0, 0
+	}
+	return cand, votes
+}
+
+// Observe implements Arm: push the start-to-start delta, and if a
+// majority stride holds, prefetch Depth windows along it.
+func (l *Leap) Observe(lo, blocks int64, dst []Candidate) []Candidate {
+	if l.primed {
+		l.deltas[l.pos] = lo - l.lastLo
+		l.pos++
+		if l.pos == len(l.deltas) {
+			l.pos, l.full = 0, true
+		}
+	}
+	l.lastLo = lo
+	l.primed = true
+
+	stride, _ := l.Trend()
+	if stride == 0 || stride != l.lastStride {
+		l.streak = 0
+	} else {
+		l.streak++
+	}
+	l.lastStride = stride
+	if stride == 0 {
+		return dst
+	}
+	// Ramp the lookahead: double the depth every Window confirmations of
+	// the same stride, capped at MaxDepth.
+	depth := l.cfg.Depth
+	for s := l.streak / int64(l.cfg.Window); s > 0 && depth < l.cfg.MaxDepth; s-- {
+		depth *= 2
+	}
+	if depth > l.cfg.MaxDepth {
+		depth = l.cfg.MaxDepth
+	}
+	sz := blocks
+	if stride > 0 && sz > stride {
+		sz = stride // don't overshoot into the next step's window
+	}
+	if sz > l.cfg.MaxBlocks {
+		sz = l.cfg.MaxBlocks
+	}
+	if sz < 1 {
+		sz = 1
+	}
+	next := lo
+	for d := 0; d < depth; d++ {
+		next += stride
+		if next < 0 {
+			break
+		}
+		dst = append(dst, Candidate{Lo: next, Blocks: sz})
+	}
+	return dst
+}

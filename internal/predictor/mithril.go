@@ -1,0 +1,245 @@
+package predictor
+
+import "repro/internal/telemetry"
+
+// MITHRIL-style association miner (Yang et al., SoCC '17): instead of
+// extrapolating a stream, it learns which blocks *follow* which — the
+// sporadic, history-based correlations a sequentiality counter is blind
+// to (LSM point lookups walking index→filter→data blocks, chained
+// fragments of one logical object). Accesses accumulate in a bounded
+// per-inode history ring; every MineEvery observations the ring is mined
+// lazily for (head → successor-within-Lookahead) pairs; predictions read
+// the association table directly. The table is memory-capped with a
+// FIFO-approximated LRU rotation, so one inode can never hold more than
+// MaxAssoc entries however long it lives.
+
+// MithrilConfig carries the miner's tunables.
+type MithrilConfig struct {
+	// HistoryLen bounds the per-inode access-history ring.
+	HistoryLen int
+	// MaxAssoc caps the association-table entries; the oldest-inserted
+	// entry is rotated out beyond the cap.
+	MaxAssoc int
+	// MineEvery is the lazy-mining period in observations.
+	MineEvery int
+	// Lookahead is how many ring successors of each access are mined as
+	// associated.
+	Lookahead int
+	// MinSupport is the times a successor must recur before predicted.
+	MinSupport int
+	// MaxBlocks clamps each predicted candidate's size.
+	MaxBlocks int64
+}
+
+// DefaultMithrilConfig returns the default tuning.
+func DefaultMithrilConfig() MithrilConfig {
+	return MithrilConfig{
+		HistoryLen: 64,
+		MaxAssoc:   512,
+		MineEvery:  16,
+		Lookahead:  4,
+		MinSupport: 2,
+		MaxBlocks:  16,
+	}
+}
+
+// assocSuccessors bounds the successors remembered per head block.
+const assocSuccessors = 4
+
+// assocEntry is one head block's mined successors, in first-mined order
+// (deterministic: the table map is never iterated).
+type assocEntry struct {
+	succ  [assocSuccessors]int64
+	count [assocSuccessors]int32
+	n     int
+}
+
+// Mithril is the association-mining arm. Not synchronized; the owning
+// ensemble serializes calls.
+type Mithril struct {
+	cfg MithrilConfig
+
+	hist    []histRec // ring of recent accesses
+	total   int64     // records ever written; hist[total%len] is next
+	minedTo int64     // records already mined (as successors)
+
+	table map[int64]*assocEntry
+	// fifo mirrors the table's keys in insertion order as a ring of
+	// exactly len(table) live slots starting at fhead: the eviction queue.
+	fifo   []int64
+	fhead  int
+	fcount int
+
+	sinceMine int
+	mined     int64
+}
+
+type histRec struct {
+	lo, blocks int64
+}
+
+// NewMithril returns a miner with the given tuning.
+func NewMithril(cfg MithrilConfig) *Mithril {
+	if cfg.HistoryLen <= 0 {
+		cfg.HistoryLen = 64
+	}
+	if cfg.MaxAssoc <= 0 {
+		cfg.MaxAssoc = 512
+	}
+	if cfg.MineEvery <= 0 {
+		cfg.MineEvery = 16
+	}
+	if cfg.Lookahead <= 0 {
+		cfg.Lookahead = 4
+	}
+	if cfg.MinSupport <= 0 {
+		cfg.MinSupport = 2
+	}
+	if cfg.MaxBlocks <= 0 {
+		cfg.MaxBlocks = 16
+	}
+	return &Mithril{
+		cfg:   cfg,
+		hist:  make([]histRec, cfg.HistoryLen),
+		table: make(map[int64]*assocEntry, cfg.MaxAssoc),
+		fifo:  make([]int64, cfg.MaxAssoc),
+	}
+}
+
+// Name implements Arm.
+func (m *Mithril) Name() string { return telemetry.ArmMithril.String() }
+
+// TableLen reports the live association entries (for the admin plane).
+func (m *Mithril) TableLen() int { return len(m.table) }
+
+// Mined reports how many lazy mining passes have run.
+func (m *Mithril) Mined() int64 { return m.mined }
+
+// Observe implements Arm: record the access, mine lazily when due, and
+// predict the learned successors of this block.
+func (m *Mithril) Observe(lo, blocks int64, dst []Candidate) []Candidate {
+	// Predict BEFORE recording: associations learned from earlier visits,
+	// not from the pair this access is about to form.
+	if e := m.table[lo]; e != nil {
+		sz := blocks
+		if sz > m.cfg.MaxBlocks {
+			sz = m.cfg.MaxBlocks
+		}
+		if sz < 1 {
+			sz = 1
+		}
+		// Emit only successors competitive with the strongest: a head's
+		// dominant association is the real pattern; weaker co-occurrences
+		// are interleaving noise that books shadow pages nobody reads and
+		// sinks the arm's bandit score with pollution.
+		var max int32
+		for i := 0; i < e.n; i++ {
+			if e.count[i] > max {
+				max = e.count[i]
+			}
+		}
+		for i := 0; i < e.n; i++ {
+			if e.count[i] >= int32(m.cfg.MinSupport) && e.count[i]*2 >= max && e.succ[i] != lo {
+				dst = append(dst, Candidate{Lo: e.succ[i], Blocks: sz})
+			}
+		}
+	}
+
+	m.hist[m.total%int64(len(m.hist))] = histRec{lo: lo, blocks: blocks}
+	m.total++
+
+	m.sinceMine++
+	if m.sinceMine >= m.cfg.MineEvery {
+		m.sinceMine = 0
+		m.mine()
+	}
+	return dst
+}
+
+// mine credits each (head → successor-within-Lookahead) pair exactly
+// once: only records that arrived since the previous pass act as
+// successors, with heads reaching up to Lookahead behind them. (Re-mining
+// the whole ring would re-credit every surviving pair each pass, inflating
+// one-off interleavings past MinSupport.) Forward continuations within
+// the head's extension window are skipped — the counter and Leap arms own
+// those, and mining them would waste table capacity re-learning what
+// extrapolation gets for free.
+func (m *Mithril) mine() {
+	m.mined++
+	ln := int64(len(m.hist))
+	oldest := m.total - ln
+	for t := m.minedTo; t < m.total; t++ {
+		s := m.hist[t%ln]
+		h := t - int64(m.cfg.Lookahead)
+		if h < oldest {
+			h = oldest
+		}
+		if h < 0 {
+			h = 0
+		}
+		for ; h < t; h++ {
+			rec := m.hist[h%ln]
+			if d := s.lo - rec.lo; d >= 0 && d <= rec.blocks*int64(m.cfg.Lookahead) {
+				// Repeat or forward continuation within the head's natural
+				// extension window: extrapolation (the counter and Leap
+				// arms) owns those, not association mining.
+				continue
+			}
+			m.credit(rec.lo, s.lo)
+		}
+	}
+	m.minedTo = m.total
+}
+
+// credit bumps the head→succ association, inserting (with capacity
+// rotation) as needed.
+func (m *Mithril) credit(head, succ int64) {
+	e := m.table[head]
+	if e == nil {
+		if m.fcount >= m.cfg.MaxAssoc {
+			m.evictOne()
+		}
+		e = &assocEntry{}
+		m.table[head] = e
+		m.fifo[(m.fhead+m.fcount)%len(m.fifo)] = head
+		m.fcount++
+	}
+	for i := 0; i < e.n; i++ {
+		if e.succ[i] == succ {
+			if e.count[i] < 1<<30 {
+				e.count[i]++
+			}
+			return
+		}
+	}
+	if e.n < assocSuccessors {
+		e.succ[e.n], e.count[e.n] = succ, 1
+		e.n++
+		return
+	}
+	// Successor slots full: decay the weakest so a persistent new pattern
+	// can eventually displace a stale one.
+	weak := 0
+	for i := 1; i < e.n; i++ {
+		if e.count[i] < e.count[weak] {
+			weak = i
+		}
+	}
+	if e.count[weak] > 1 {
+		e.count[weak]--
+	} else {
+		e.succ[weak], e.count[weak] = succ, 1
+	}
+}
+
+// evictOne rotates out the oldest-inserted table entry (FIFO approximates
+// LRU well enough here: heads recur on their natural access cadence, so
+// insertion age tracks recency for live patterns).
+func (m *Mithril) evictOne() {
+	if m.fcount == 0 {
+		return
+	}
+	delete(m.table, m.fifo[m.fhead])
+	m.fhead = (m.fhead + 1) % len(m.fifo)
+	m.fcount--
+}

@@ -189,13 +189,14 @@ func (t *Tree) NeedsPrefetch(tl *simtime.Timeline, lo, hi int64) []bitmap.Run {
 			}
 			if runStart >= 0 {
 				runs = append(runs, bitmap.Run{Lo: n.lo + runStart, Hi: n.lo + i})
+				n.requested.SetRange(runStart, i)
 				runStart = -1
 			}
 		}
 		if runStart >= 0 {
 			runs = append(runs, bitmap.Run{Lo: n.lo + runStart, Hi: n.lo + rhi})
+			n.requested.SetRange(runStart, rhi)
 		}
-		n.requested.SetRange(rlo, rhi)
 		n.mu.Unlock()
 	})
 	// Merge runs that are contiguous across node boundaries.
@@ -208,6 +209,48 @@ func (t *Tree) NeedsPrefetch(tl *simtime.Timeline, lo, hi int64) []bitmap.Run {
 		merged = append(merged, r)
 	}
 	return merged
+}
+
+// peek returns the node covering block idx without materializing it; nil
+// means no block in the node's span has ever been marked.
+func (t *Tree) peek(idx int64) *node {
+	t.mu.RLock()
+	n := t.nodes[idx/t.span]
+	t.mu.RUnlock()
+	return n
+}
+
+// UnrequestedSpan trims [lo, hi) to the outermost blocks with no prefetch
+// in flight, without setting any bits or charging virtual time — a
+// read-only prefilter for shadow bookkeeping. It deliberately ignores the
+// cached belief (which can go stale when the kernel LRU evicts behind the
+// library's back); `requested` marks are short-lived and honest. Interior
+// requested blocks are not split out. Returns (lo, lo) when every block
+// has a request outstanding.
+func (t *Tree) UnrequestedSpan(lo, hi int64) (int64, int64) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi < lo {
+		hi = lo
+	}
+	requested := func(idx int64) bool {
+		n := t.peek(idx)
+		if n == nil {
+			return false
+		}
+		n.mu.RLock()
+		r := n.requested.Test(idx - n.lo)
+		n.mu.RUnlock()
+		return r
+	}
+	for lo < hi && requested(lo) {
+		lo++
+	}
+	for hi > lo && requested(hi-1) {
+		hi--
+	}
+	return lo, hi
 }
 
 // ClearRequested drops in-flight marks for [lo, hi) (failed prefetch).
@@ -249,6 +292,7 @@ func (t *Tree) ImportBitmap(tl *simtime.Timeline, src *bitmap.Bitmap, lo, hi int
 type ColdRange struct {
 	Lo, Hi    int64
 	Cached    int64
+	Requested int64 // blocks with a prefetch still in flight
 	LastTouch simtime.Time
 }
 
@@ -259,14 +303,22 @@ func (t *Tree) ColdestRanges(max int) []ColdRange {
 	out := make([]ColdRange, 0, len(t.nodes))
 	for _, n := range t.nodes {
 		n.mu.RLock()
-		cr := ColdRange{Lo: n.lo, Hi: n.lo + t.span, Cached: n.cached.Count(), LastTouch: n.lastTouch}
+		cr := ColdRange{Lo: n.lo, Hi: n.lo + t.span, Cached: n.cached.Count(), Requested: n.requested.Count(), LastTouch: n.lastTouch}
 		n.mu.RUnlock()
 		if cr.Cached > 0 {
 			out = append(out, cr)
 		}
 	}
 	t.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].LastTouch < out[j].LastTouch })
+	// Tie-break on Lo: spans touched at the same instant (one prefetch
+	// marking several) otherwise surface in map-iteration order, and the
+	// eviction order downstream must be reproducible.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LastTouch != out[j].LastTouch {
+			return out[i].LastTouch < out[j].LastTouch
+		}
+		return out[i].Lo < out[j].Lo
+	})
 	if max > 0 && len(out) > max {
 		out = out[:max]
 	}

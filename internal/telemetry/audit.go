@@ -143,6 +143,47 @@ func Audit(s *Snapshot, in AuditInput) error {
 		fail("demand origin booked used %d / wasted %d (demand pages carry no credit)", d.Used, d.Wasted)
 	}
 
+	// Arm partition <-> prefetch-origin ledger: the per-arm real-prefetch
+	// cells are a second, orthogonal partition of the SAME prefetch-credit
+	// pages the origin lattice covers — every prefetch-origin insertion
+	// books exactly one arm (ArmNone when no ensemble arm drove it), so
+	// summed over all arms the inserted/used/wasted cells equal the
+	// prefetch-origin sums exactly, and within each arm a page is consumed
+	// at most once.
+	var aIns, aUsed, aWasted int64
+	for a := Arm(0); a < NumArms; a++ {
+		st := s.Arm(a)
+		aIns += st.Inserted
+		aUsed += st.Used
+		aWasted += st.Wasted
+		if st.Used+st.Wasted > st.Inserted {
+			fail("arm %s used %d + wasted %d > inserted %d", a, st.Used, st.Wasted, st.Inserted)
+		}
+	}
+	if aIns != pfIns {
+		fail("per-arm inserted sum %d != prefetch-origin inserted sum %d", aIns, pfIns)
+	}
+	if aUsed != hit {
+		fail("per-arm used sum %d != prefetch hits %d", aUsed, hit)
+	}
+	if aWasted != wasted {
+		fail("per-arm wasted sum %d != prefetch wasted %d", aWasted, wasted)
+	}
+
+	// Bandit <-> trace: every promotion was traced.
+	if ev := s.Outcome(OutcomeArmPromoted); ev.Events != s.Counter(CtrPredArmPromotions) {
+		fail("arm-promoted trace events %d != arm promotions %d", ev.Events, s.Counter(CtrPredArmPromotions))
+	}
+
+	// Shadow books: a shadow candidate page is consumed at most once, as
+	// an overlap hit or by expiry; the remainder is still outstanding.
+	shadowIssued := s.Counter(CtrPredShadowIssuedPages)
+	shadowHit := s.Counter(CtrPredShadowHitPages)
+	shadowExp := s.Counter(CtrPredShadowExpiredPages)
+	if shadowHit+shadowExp > shadowIssued {
+		fail("shadow hits %d + expired %d > shadow issued %d", shadowHit, shadowExp, shadowIssued)
+	}
+
 	// Timeliness: every used prefetched page contributed exactly one
 	// prefetch-to-first-use sample, and late-prefetch events can only
 	// cover consumed pages.

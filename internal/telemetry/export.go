@@ -27,9 +27,13 @@ type OriginStat struct {
 // Snapshot is a point-in-time view of a Recorder, suitable for export
 // (JSON/CSV) and for Audit.
 type Snapshot struct {
-	Counters   map[string]int64             `json:"counters"`
-	Outcomes   map[string]OutcomeStat       `json:"outcomes"`
-	Origins    map[string]OriginStat        `json:"origins"`
+	Counters map[string]int64       `json:"counters"`
+	Outcomes map[string]OutcomeStat `json:"outcomes"`
+	Origins  map[string]OriginStat  `json:"origins"`
+	// Arms is the per-predictor-arm real-prefetch ledger (same columns as
+	// Origins; partitions the prefetch-origin ledger exactly, ArmNone
+	// holding prefetches no ensemble arm drove).
+	Arms       map[string]OriginStat        `json:"arms"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 	Syscalls   map[string]HistogramSnapshot `json:"syscalls"`
 	// Events is the bounded decision trace, oldest first.
@@ -46,6 +50,7 @@ type Snapshot struct {
 	counters [numCounters]int64
 	outcomes [numOutcomes]OutcomeStat
 	origins  [numOrigins]OriginStat
+	arms     [numArms]OriginStat
 }
 
 // Counter reads one counter from the snapshot.
@@ -57,6 +62,9 @@ func (s *Snapshot) Outcome(o Outcome) OutcomeStat { return s.outcomes[o] }
 // Origin reads one origin's ledger from the snapshot.
 func (s *Snapshot) Origin(o Origin) OriginStat { return s.origins[o] }
 
+// Arm reads one predictor arm's real-prefetch ledger from the snapshot.
+func (s *Snapshot) Arm(a Arm) OriginStat { return s.arms[a] }
+
 // Snapshot captures the recorder's current state. Returns nil on a nil
 // recorder (telemetry disabled).
 func (r *Recorder) Snapshot() *Snapshot {
@@ -67,6 +75,7 @@ func (r *Recorder) Snapshot() *Snapshot {
 		Counters:   make(map[string]int64, numCounters),
 		Outcomes:   make(map[string]OutcomeStat, numOutcomes),
 		Origins:    make(map[string]OriginStat, numOrigins),
+		Arms:       make(map[string]OriginStat, numArms),
 		Histograms: make(map[string]HistogramSnapshot, numHists),
 		Syscalls:   make(map[string]HistogramSnapshot),
 	}
@@ -88,6 +97,15 @@ func (r *Recorder) Snapshot() *Snapshot {
 		}
 		s.origins[o] = st
 		s.Origins[o.String()] = st
+	}
+	for a := Arm(0); a < NumArms; a++ {
+		st := OriginStat{
+			Inserted: r.arms[a].inserted.Load(),
+			Used:     r.arms[a].used.Load(),
+			Wasted:   r.arms[a].wasted.Load(),
+		}
+		s.arms[a] = st
+		s.Arms[a.String()] = st
 	}
 	for h := Hist(0); h < numHists; h++ {
 		s.Histograms[h.String()] = r.hists[h].Snapshot()
@@ -156,6 +174,17 @@ func (s *Snapshot) WriteCSV(w io.Writer) error {
 			value int64
 		}{{"inserted", st.Inserted}, {"used", st.Used}, {"wasted", st.Wasted}} {
 			if err := row("origin", name, f.field, f.value); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range sortedKeys(s.Arms) {
+		st := s.Arms[name]
+		for _, f := range []struct {
+			field string
+			value int64
+		}{{"inserted", st.Inserted}, {"used", st.Used}, {"wasted", st.Wasted}} {
+			if err := row("arm", name, f.field, f.value); err != nil {
 				return err
 			}
 		}

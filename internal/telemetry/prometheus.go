@@ -73,6 +73,10 @@ var counterHelp = [numCounters]string{
 	CtrRingDeadlineMisses:         "CQEs delivered with ErrDeadlineExceeded.",
 	CtrBrownoutTransitions:        "Brownout pressure-level changes (either direction).",
 	CtrCacheTenantReclaims:        "Tenant-targeted direct reclaim passes on hard-budget breaches.",
+	CtrPredArmPromotions:          "Bandit promotions of a challenger predictor arm to live.",
+	CtrPredShadowIssuedPages:      "Pages the shadow predictor arms would have prefetched.",
+	CtrPredShadowHitPages:         "Shadow-predicted pages a later access overlapped.",
+	CtrPredShadowExpiredPages:     "Shadow-predicted pages that aged out or were overwritten unconsumed.",
 }
 
 // outcomeHelp is the HELP text per prefetch-decision outcome, indexed by
@@ -95,6 +99,7 @@ var outcomeHelp = [numOutcomes]string{
 	OutcomeBrownoutRaised:       "pressure controller raised the brownout level",
 	OutcomeBrownoutLowered:      "pressure controller lowered the brownout level",
 	OutcomeLatePrefetch:         "demand read consumed pages whose prefetch I/O was still in flight",
+	OutcomeArmPromoted:          "bandit promoted a challenger predictor arm to live",
 }
 
 // histHelp is the HELP text per built-in histogram, indexed by
@@ -133,6 +138,7 @@ var (
 //	crossprefetch_<counter>_total                      cross-layer counters
 //	crossprefetch_outcome_{events,pages}_total{outcome=...}
 //	crossprefetch_origin_{inserted,used,wasted}_pages_total{origin=...}
+//	crossprefetch_arm_{inserted,used,wasted}_pages_total{arm=...}
 //	crossprefetch_<hist>{_bucket{le=...},_sum,_count}  log2 histograms
 //	crossprefetch_syscall_<name>{_bucket,...}          per-syscall latency
 //	crossprefetch_events_{recorded,dropped}_total      decision-trace ring
@@ -176,6 +182,20 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 		p("# HELP %s %s\n# TYPE %s counter\n", m, fam.help, m)
 		for _, name := range sortedKeys(s.Origins) {
 			p("%s{origin=\"%s\"} %d\n", m, promLabel(name), fam.val(s.Origins[name]))
+		}
+	}
+	for _, fam := range []struct {
+		name, help string
+		val        func(OriginStat) int64
+	}{
+		{"arm_inserted_pages_total", "Prefetch-credit pages inserted by predictor arm (partition of the prefetch-origin ledger; arm=none covers prefetches no ensemble arm drove).", func(o OriginStat) int64 { return o.Inserted }},
+		{"arm_used_pages_total", "Prefetched pages first used by a reader, by predictor arm.", func(o OriginStat) int64 { return o.Used }},
+		{"arm_wasted_pages_total", "Prefetched pages evicted unused, by predictor arm.", func(o OriginStat) int64 { return o.Wasted }},
+	} {
+		m := "crossprefetch_" + fam.name
+		p("# HELP %s %s\n# TYPE %s counter\n", m, fam.help, m)
+		for _, name := range sortedKeys(s.Arms) {
+			p("%s{arm=\"%s\"} %d\n", m, promLabel(name), fam.val(s.Arms[name]))
 		}
 	}
 	writeHist := func(metric, help string, h HistogramSnapshot) {

@@ -35,7 +35,17 @@ type Scorecard struct {
 	cfg     ScorecardConfig
 	files   []scoreStripe
 	tenants []scoreStripe
+	// arms holds the per-(inode,arm) shadow cards of the predictor
+	// ensemble, keyed ino<<armKeyBits|arm. Every arm books its
+	// would-have-prefetched candidates here under the crossos origin
+	// column, so the same accuracy/coverage derivations score arms that
+	// never touched the cache.
+	arms []scoreStripe
 }
+
+// armKeyBits is the arm field width of the composite (inode,arm) card
+// key: key = ino<<armKeyBits | arm.
+const armKeyBits = 3
 
 // OverflowKey is the card key absorbing traffic past the per-stripe
 // inode-card bound.
@@ -75,9 +85,11 @@ func NewScorecard(cfg ScorecardConfig) *Scorecard {
 	s := &Scorecard{cfg: cfg.withDefaults()}
 	s.files = make([]scoreStripe, scoreStripes)
 	s.tenants = make([]scoreStripe, scoreStripes)
+	s.arms = make([]scoreStripe, scoreStripes)
 	for i := range s.files {
 		s.files[i].cards = make(map[int64]*scoreCard)
 		s.tenants[i].cards = make(map[int64]*scoreCard)
+		s.arms[i].cards = make(map[int64]*scoreCard)
 	}
 	return s
 }
@@ -253,6 +265,109 @@ func (s *Scorecard) Read(now simtime.Time, ino int64, tenant int, pages, hitPage
 	})
 }
 
+// updateArm runs fn on the (ino,arm) shadow card's window and totals.
+// Arm cards have no tenant pair — shadow candidates never touch the
+// cache, so there is no tenant residency to attribute.
+func (s *Scorecard) updateArm(now simtime.Time, ino int64, arm Arm, fn func(w *scoreWindow)) {
+	key := ino<<armKeyBits | int64(arm)
+	epoch := s.epochOf(now)
+	st := &s.arms[stripeOf(key)]
+	st.mu.Lock()
+	c := s.card(st, key)
+	fn(c.window(epoch))
+	fn(&c.totals)
+	st.mu.Unlock()
+}
+
+// ArmIssued books n pages an arm would have prefetched (shadow mode)
+// into the (ino,arm) card's current window, under the crossos origin
+// column. Nil-safe; no-op when n <= 0.
+func (s *Scorecard) ArmIssued(now simtime.Time, ino int64, arm Arm, n int64) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.updateArm(now, ino, arm, func(w *scoreWindow) { w.issued[OriginCrossOS] += n })
+}
+
+// ArmUsed books n shadow-predicted pages of an arm that a later access
+// overlapped (the shadow analogue of a prefetch hit). Nil-safe.
+func (s *Scorecard) ArmUsed(now simtime.Time, ino int64, arm Arm, n int64) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.updateArm(now, ino, arm, func(w *scoreWindow) { w.used[OriginCrossOS] += n })
+}
+
+// ArmWasted books n shadow-predicted pages of an arm that expired
+// unconsumed (aged out of the arm's candidate ring). Nil-safe.
+func (s *Scorecard) ArmWasted(now simtime.Time, ino int64, arm Arm, n int64) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.updateArm(now, ino, arm, func(w *scoreWindow) { w.wasted[OriginCrossOS] += n })
+}
+
+// ArmRead books one observed access against an arm's shadow card:
+// reads++ always, hitReads++ when the access overlapped at least one of
+// the arm's outstanding candidates — the coverage numerator. Nil-safe.
+func (s *Scorecard) ArmRead(now simtime.Time, ino int64, arm Arm, pages, hitPages int64) {
+	if s == nil || pages <= 0 {
+		return
+	}
+	s.updateArm(now, ino, arm, func(w *scoreWindow) {
+		w.reads++
+		if hitPages > 0 {
+			w.hitReads++
+		}
+		w.readPages += pages
+		w.hitPages += hitPages
+	})
+}
+
+// ArmTotals sums every (inode,arm) shadow card's lifetime
+// (issued, used, wasted) for one arm — reconciled by the audit against
+// the recorder's shadow counters when both planes are enabled.
+func (s *Scorecard) ArmTotals(a Arm) (issued, used, wasted int64) {
+	if s == nil {
+		return 0, 0, 0
+	}
+	for i := range s.arms {
+		st := &s.arms[i]
+		st.mu.Lock()
+		for key, c := range st.cards {
+			if Arm(key&(1<<armKeyBits-1)) != a {
+				continue
+			}
+			issued += c.totals.issued[OriginCrossOS]
+			used += c.totals.used[OriginCrossOS]
+			wasted += c.totals.wasted[OriginCrossOS]
+		}
+		// The overflow card mixes arms; it cannot be attributed here, so
+		// shadow books must stay under the card bound for exactness (the
+		// audit only reconciles arms when no overflow card exists).
+		st.mu.Unlock()
+	}
+	return issued, used, wasted
+}
+
+// ArmOverflowed reports whether any arm stripe spilled into its
+// overflow card (per-arm attribution no longer exact). Nil-safe.
+func (s *Scorecard) ArmOverflowed() bool {
+	if s == nil {
+		return false
+	}
+	for i := range s.arms {
+		st := &s.arms[i]
+		st.mu.Lock()
+		spilled := st.overflow != nil
+		st.mu.Unlock()
+		if spilled {
+			return true
+		}
+	}
+	return false
+}
+
 // OriginTotals sums every inode card's lifetime (inserted, used, wasted)
 // for one origin — the quantity the audit reconciles against the
 // Recorder's per-origin counters (the cards partition traffic by inode,
@@ -315,10 +430,14 @@ type WindowScore struct {
 	TimelinessSum   int64 `json:"timeliness_sum"`
 }
 
-// CardScore is one inode's (or tenant's) scorecard: lifetime totals plus
-// the surviving trailing windows, oldest first.
+// CardScore is one inode's (or tenant's, or (inode,arm) shadow)
+// scorecard: lifetime totals plus the surviving trailing windows, oldest
+// first. Arm shadow cards use the composite key ino<<armKeyBits|arm and
+// additionally carry the decoded Ino and Arm fields.
 type CardScore struct {
-	Key     int64         `json:"key"` // inode ID / tenant ID; -1 = overflow
+	Key     int64         `json:"key"` // inode ID / tenant ID / composite; -1 = overflow
+	Ino     int64         `json:"ino,omitempty"`
+	Arm     string        `json:"arm,omitempty"`
 	Totals  WindowScore   `json:"totals"`
 	Windows []WindowScore `json:"windows,omitempty"`
 }
@@ -330,6 +449,9 @@ type ScorecardSnapshot struct {
 	Windows     int              `json:"windows"`
 	Files       []CardScore      `json:"files"`
 	Tenants     []CardScore      `json:"tenants"`
+	// Arms are the predictor ensemble's per-(inode,arm) shadow cards
+	// (empty unless the ensemble runs).
+	Arms []CardScore `json:"arms,omitempty"`
 }
 
 func (w *scoreWindow) export(width simtime.Duration, isTotals bool) WindowScore {
@@ -459,11 +581,20 @@ func (s *Scorecard) Snapshot() *ScorecardSnapshot {
 	if s == nil {
 		return nil
 	}
+	arms := exportStripes(s.arms, s.cfg.WindowWidth)
+	for i := range arms {
+		if arms[i].Key == OverflowKey {
+			continue
+		}
+		arms[i].Ino = arms[i].Key >> armKeyBits
+		arms[i].Arm = Arm(arms[i].Key & (1<<armKeyBits - 1)).String()
+	}
 	return &ScorecardSnapshot{
 		WindowWidth: s.cfg.WindowWidth,
 		Windows:     s.cfg.Windows,
 		Files:       exportStripes(s.files, s.cfg.WindowWidth),
 		Tenants:     exportStripes(s.tenants, s.cfg.WindowWidth),
+		Arms:        arms,
 	}
 }
 
@@ -473,6 +604,7 @@ func (s *Scorecard) Snapshot() *ScorecardSnapshot {
 type ScorecardDelta struct {
 	Files   []CardScore `json:"files"`
 	Tenants []CardScore `json:"tenants"`
+	Arms    []CardScore `json:"arms,omitempty"`
 }
 
 // Diff computes cur - prev over lifetime totals, keyed by card. prev may
@@ -483,19 +615,20 @@ func (cur *ScorecardSnapshot) Diff(prev *ScorecardSnapshot) *ScorecardDelta {
 	if cur == nil {
 		return nil
 	}
+	var prevFiles, prevTenants, prevArms []CardScore
+	if prev != nil {
+		prevFiles, prevTenants, prevArms = prev.Files, prev.Tenants, prev.Arms
+	}
 	return &ScorecardDelta{
-		Files:   diffCards(cur.Files, prevCards(prev, true)),
-		Tenants: diffCards(cur.Tenants, prevCards(prev, false)),
+		Files:   diffCards(cur.Files, prevCards(prevFiles)),
+		Tenants: diffCards(cur.Tenants, prevCards(prevTenants)),
+		Arms:    diffCards(cur.Arms, prevCards(prevArms)),
 	}
 }
 
-func prevCards(s *ScorecardSnapshot, files bool) map[int64]*WindowScore {
-	if s == nil {
+func prevCards(src []CardScore) map[int64]*WindowScore {
+	if len(src) == 0 {
 		return nil
-	}
-	src := s.Tenants
-	if files {
-		src = s.Files
 	}
 	m := make(map[int64]*WindowScore, len(src))
 	for i := range src {
@@ -507,7 +640,7 @@ func prevCards(s *ScorecardSnapshot, files bool) map[int64]*WindowScore {
 func diffCards(cur []CardScore, prev map[int64]*WindowScore) []CardScore {
 	out := make([]CardScore, 0, len(cur))
 	for _, c := range cur {
-		d := CardScore{Key: c.Key, Totals: c.Totals}
+		d := CardScore{Key: c.Key, Ino: c.Ino, Arm: c.Arm, Totals: c.Totals}
 		if p := prev[c.Key]; p != nil {
 			d.Totals = subWindowScore(c.Totals, *p)
 		}

@@ -148,6 +148,18 @@ const (
 	// CtrCacheTenantReclaims counts tenant-targeted direct reclaim passes
 	// (a hard-budget breach evicting only the offender's own pages).
 	CtrCacheTenantReclaims
+	// CtrPredArmPromotions counts bandit promotions of a challenger arm to
+	// live on some inode (each also traced as OutcomeArmPromoted).
+	CtrPredArmPromotions
+	// CtrPredShadowIssuedPages is the pages the shadow arms would have
+	// prefetched — booked into the per-(inode,arm) scorecard windows, never
+	// into the cache. CtrPredShadowHitPages is the portion a later access
+	// overlapped, CtrPredShadowExpiredPages the portion that aged out or was
+	// overwritten unconsumed. hits + expired <= issued, the remainder is
+	// still outstanding in the arms' candidate rings.
+	CtrPredShadowIssuedPages
+	CtrPredShadowHitPages
+	CtrPredShadowExpiredPages
 
 	numCounters
 )
@@ -198,6 +210,10 @@ var counterNames = [numCounters]string{
 	CtrRingDeadlineMisses:         "ring_deadline_misses",
 	CtrBrownoutTransitions:        "brownout_transitions",
 	CtrCacheTenantReclaims:        "cache_tenant_reclaims",
+	CtrPredArmPromotions:          "pred_arm_promotions",
+	CtrPredShadowIssuedPages:      "pred_shadow_issued_pages",
+	CtrPredShadowHitPages:         "pred_shadow_hit_pages",
+	CtrPredShadowExpiredPages:     "pred_shadow_expired_pages",
 }
 
 // String names the counter (JSON/CSV key).
@@ -260,6 +276,10 @@ const (
 	// to fully hide the device, so the reader blocked on readyAt. One
 	// event per contiguous run of late pages within a lookup.
 	OutcomeLatePrefetch
+	// OutcomeArmPromoted: the per-file bandit promoted a challenger
+	// predictor arm to live. Lo/Hi encode the old and new arm index so the
+	// trace shows the whole promotion trajectory per inode.
+	OutcomeArmPromoted
 
 	numOutcomes
 )
@@ -284,6 +304,7 @@ var outcomeNames = [numOutcomes]string{
 	OutcomeBrownoutRaised:       "brownout-raised",
 	OutcomeBrownoutLowered:      "brownout-lowered",
 	OutcomeLatePrefetch:         "late-prefetch",
+	OutcomeArmPromoted:          "arm-promoted",
 }
 
 // String names the outcome (JSON/CSV key).
@@ -339,6 +360,47 @@ func (o Origin) String() string { return originNames[o] }
 // IsPrefetch reports whether the origin is a prefetch source (everything
 // but demand).
 func (o Origin) IsPrefetch() bool { return o != OriginDemand }
+
+// Arm identifies one predictor arm of the competing-predictor ensemble.
+// It is a second provenance axis orthogonal to Origin: every
+// prefetch-credit page additionally carries the arm whose candidate
+// issued it (ArmNone for prefetches no arm drove — kernel readahead,
+// coverage, fetch-all, explicit ring prefetch), so summed over all arms
+// the per-arm inserted/used/wasted cells partition the prefetch-origin
+// ledger exactly. The registered arm names below are the single source
+// of truth `make armgate` checks against the export table and the
+// /predictors endpoint.
+type Arm int
+
+// Registered predictor arms.
+const (
+	// ArmNone tags prefetch-credit pages not issued by any ensemble arm.
+	ArmNone Arm = iota
+	// ArmCounter is the paper's 3-bit sequentiality counter (§4.6).
+	ArmCounter
+	// ArmMithril is the MITHRIL-style sporadic-association miner.
+	ArmMithril
+	// ArmLeap is the Leap-style majority-trend window detector.
+	ArmLeap
+
+	// NumArms bounds per-arm tables (exported for the ensemble, the
+	// scorecard, and the conformance tests).
+	NumArms
+)
+
+// numArms is the internal alias used for array bounds.
+const numArms = int(NumArms)
+
+// armNames is the export name table, indexed by identifier.
+var armNames = [numArms]string{
+	ArmNone:    "none",
+	ArmCounter: "counter",
+	ArmMithril: "mithril",
+	ArmLeap:    "leap",
+}
+
+// String names the arm (JSON/CSV/label key).
+func (a Arm) String() string { return armNames[a] }
 
 // Hist identifies one built-in histogram.
 type Hist int
@@ -413,6 +475,7 @@ type Recorder struct {
 	counters [numCounters]atomic.Int64
 	outcomes [numOutcomes]outcomeCell
 	origins  [numOrigins]originCell
+	arms     [numArms]originCell
 	hists    [numHists]Histogram
 
 	syscallNames [MaxSyscallKinds]string
@@ -481,6 +544,42 @@ func (r *Recorder) OriginTotals(o Origin) (inserted, used, wasted int64) {
 		return 0, 0, 0
 	}
 	c := &r.origins[o]
+	return c.inserted.Load(), c.used.Load(), c.wasted.Load()
+}
+
+// ArmInserted books n prefetch-credit pages inserted under an arm tag
+// (ArmNone for prefetches no ensemble arm drove). The pagecache calls
+// this alongside OriginInserted for every prefetch-origin insertion, so
+// the arm axis partitions the prefetch-origin ledger exactly.
+func (r *Recorder) ArmInserted(a Arm, n int64) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.arms[a].inserted.Add(n)
+}
+
+// ArmUsed books n prefetched pages of an arm consumed by a reader.
+func (r *Recorder) ArmUsed(a Arm, n int64) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.arms[a].used.Add(n)
+}
+
+// ArmWasted books n prefetched pages of an arm evicted unused.
+func (r *Recorder) ArmWasted(a Arm, n int64) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.arms[a].wasted.Add(n)
+}
+
+// ArmTotals reports one arm's exact real-prefetch ledger.
+func (r *Recorder) ArmTotals(a Arm) (inserted, used, wasted int64) {
+	if r == nil {
+		return 0, 0, 0
+	}
+	c := &r.arms[a]
 	return c.inserted.Load(), c.used.Load(), c.wasted.Load()
 }
 

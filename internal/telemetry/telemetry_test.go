@@ -126,6 +126,15 @@ func consistentRecorder() (*Recorder, AuditInput) {
 	r.OriginUsed(OriginCrossOS, 20)
 	r.OriginWasted(OriginReadahead, 5)
 	r.OriginWasted(OriginCrossOS, 5)
+	// Arm partition: the same 60 prefetch-origin insertions and their
+	// hit/waste splits, attributed per driving arm (kernel readahead has
+	// no arm; the crossos share here came from the counter arm).
+	r.ArmInserted(ArmNone, 35)
+	r.ArmInserted(ArmCounter, 25)
+	r.ArmUsed(ArmNone, 30)
+	r.ArmUsed(ArmCounter, 20)
+	r.ArmWasted(ArmNone, 5)
+	r.ArmWasted(ArmCounter, 5)
 	for i := 0; i < 50; i++ {
 		r.Observe(HistPrefetchToUse, int64(i))
 	}

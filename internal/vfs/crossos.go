@@ -38,6 +38,11 @@ type CacheInfoRequest struct {
 	// warm-up) rather than predictor-driven readahead, so the inserted
 	// pages book under OriginCoverage in the effectiveness partition.
 	Coverage bool
+	// Arm tags which predictor arm's candidate drove this prefetch intent
+	// (ArmNone when none did — open prefetch, fetch-all, coverage, intent
+	// flushes). The kernel threads it onto the inserted pages so the
+	// per-arm effectiveness partition attributes real prefetch traffic.
+	Arm telemetry.Arm
 }
 
 // CacheInfo is the telemetry half of the `info` structure filled by the
@@ -175,7 +180,7 @@ func (f *File) ReadaheadInfo(tl *simtime.Timeline, req CacheInfoRequest, dst *bi
 			if req.Coverage {
 				origin = telemetry.OriginCoverage
 			}
-			issued, err := f.prefetchRuns(tl, tl.Now(), missing, -1, origin)
+			issued, err := f.prefetchRuns(tl, tl.Now(), missing, -1, origin, req.Arm)
 			info.PrefetchedPages = issued
 			info.PrefetchErr = err
 			info.ReadyAt = f.fc.ResidentReadyAt(hullLo, hullHi)

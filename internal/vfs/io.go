@@ -104,7 +104,7 @@ func (f *File) ReadAt(tl *simtime.Timeline, dst []byte, off int64) (int, error) 
 		// demand reads. fetchRuns has consumed sc.runs; reuse it.
 		missing := f.fc.AppendFastMissingRuns(tl, sc.runs[:0], action.Lo, action.Hi)
 		sc.runs = missing
-		_, _ = f.prefetchRuns(tl, tl.Now(), missing, action.MarkerAt, telemetry.OriginReadahead)
+		_, _ = f.prefetchRuns(tl, tl.Now(), missing, action.MarkerAt, telemetry.OriginReadahead, telemetry.ArmNone)
 	}
 
 	// Wait for in-flight prefetch covering the demanded range. The wait
@@ -310,7 +310,7 @@ func (f *File) Readahead(tl *simtime.Timeline, off, nbytes int64) int64 {
 	}
 	// readahead(2) is advisory: a device fault inserts nothing and is
 	// reported only through the bytes-submitted return value.
-	if issued, err := f.prefetchRuns(tl, tl.Now(), runs, -1, telemetry.OriginReadahead); err != nil {
+	if issued, err := f.prefetchRuns(tl, tl.Now(), runs, -1, telemetry.OriginReadahead, telemetry.ArmNone); err != nil {
 		return issued * bs
 	}
 	return (hi - lo) * bs

@@ -161,7 +161,7 @@ func (m *Mapping) Load(tl *simtime.Timeline, off, n int64, dst []byte) error {
 	m.mu.Unlock()
 	if action.Pages() > 0 {
 		missing := f.fc.FastMissingRuns(tl, action.Lo, action.Hi)
-		_, _ = f.prefetchRuns(tl, tl.Now(), missing, action.MarkerAt, telemetry.OriginReadahead)
+		_, _ = f.prefetchRuns(tl, tl.Now(), missing, action.MarkerAt, telemetry.OriginReadahead, telemetry.ArmNone)
 	}
 
 	f.waitInflight(tl, res.ReadyAt, n)

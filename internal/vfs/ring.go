@@ -57,6 +57,10 @@ type RingSQE struct {
 	Buf  []byte // RingRead destination / RingWrite source
 	Len  int64  // RingPrefetch byte length
 	User uint64 // opaque completion cookie
+	// Arm tags which predictor arm's candidate drove a RingPrefetch SQE
+	// (ArmNone for explicit application prefetch). Threaded onto the
+	// inserted pages for the per-arm effectiveness partition.
+	Arm telemetry.Arm
 	// Deadline is an optional virtual deadline (0 = none). A prefetch
 	// whose deadline has passed at enter is shed (ErrShed); a read that
 	// expired before service fails with ErrDeadlineExceeded and N = 0; a
@@ -113,6 +117,7 @@ type ringChunk struct {
 	blocks   int64
 	tenant   int
 	prefetch bool
+	arm      telemetry.Arm
 }
 
 // RingEnter submits a batch of SQEs for tenant in one kernel crossing and
@@ -229,6 +234,7 @@ func (v *VFS) completeRingChunk(tl *simtime.Timeline, c *ringChunk, r blockdev.L
 			MarkerAt: -1,
 			Origin:   telemetry.OriginRing,
 			Tenant:   c.tenant,
+			Arm:      c.arm,
 		})
 		v.rec.Add(telemetry.CtrVFSPrefetchInsertedPages, n)
 		v.rec.Add(telemetry.CtrKernelPrefetchedPages, n)
@@ -248,7 +254,7 @@ func (v *VFS) completeRingChunk(tl *simtime.Timeline, c *ringChunk, r blockdev.L
 // the file's physical extents and stages them on the tenant's lane. Hole
 // blocks are zero-fill: inserted immediately, no device work.
 func (v *VFS) stageRuns(tl *simtime.Timeline, tenant int, f *File, runs []bitmap.Run,
-	pend *ringPending, wg *sync.WaitGroup, prefetch bool) {
+	pend *ringPending, wg *sync.WaitGroup, prefetch bool, arm telemetry.Arm) {
 	bs := v.BlockSize()
 	for _, r := range runs {
 		cursor := r.Lo
@@ -275,6 +281,7 @@ func (v *VFS) stageRuns(tl *simtime.Timeline, tenant int, f *File, runs []bitmap
 					Tag: &ringChunk{
 						pend: pend, wg: wg, f: f,
 						lo: lo, blocks: chunkBlocks, tenant: tenant, prefetch: prefetch,
+						arm: arm,
 					},
 				}, tl.Now())
 				lo += chunkBlocks
@@ -327,7 +334,7 @@ func (v *VFS) ringRead(tl *simtime.Timeline, tenant int, sq *RingSQE,
 			runs = append(runs, bitmap.Run{Lo: runStart, Hi: hi})
 		}
 		sc.runs = runs
-		v.stageRuns(tl, tenant, f, runs, pend, wg, false)
+		v.stageRuns(tl, tenant, f, runs, pend, wg, false, telemetry.ArmNone)
 	}
 
 	pages := hi - lo
@@ -433,6 +440,6 @@ func (v *VFS) ringPrefetch(tl *simtime.Timeline, tenant int, sq *RingSQE,
 	}
 	missing := f.fc.AppendFastMissingRuns(tl, sc.runs[:0], lo, hi)
 	sc.runs = missing
-	v.stageRuns(tl, tenant, f, missing, pend, wg, true)
+	v.stageRuns(tl, tenant, f, missing, pend, wg, true, sq.Arm)
 	return granted
 }

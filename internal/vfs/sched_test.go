@@ -69,7 +69,7 @@ func TestPrefetchCongestionFragmentedFile(t *testing.T) {
 		}
 		fragmentFile(t, f, junk, n)
 
-		issued, err := f.prefetchRuns(tl, tl.Now(), []bitmap.Run{{Lo: 0, Hi: n}}, -1, telemetry.OriginReadahead)
+		issued, err := f.prefetchRuns(tl, tl.Now(), []bitmap.Run{{Lo: 0, Hi: n}}, -1, telemetry.OriginReadahead, telemetry.ArmNone)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -116,7 +116,7 @@ func TestCongestionPostponedPrefetchCompletes(t *testing.T) {
 
 	tr := telemetry.NewTracer(telemetry.TraceConfig{SampleEvery: 1})
 	root := tr.Root(tl, telemetry.OpBgPrefetch, f.Inode().ID())
-	issued, err := f.prefetchRuns(tl, tl.Now(), []bitmap.Run{{Lo: 0, Hi: n}}, -1, telemetry.OriginReadahead)
+	issued, err := f.prefetchRuns(tl, tl.Now(), []bitmap.Run{{Lo: 0, Hi: n}}, -1, telemetry.OriginReadahead, telemetry.ArmNone)
 	root.Finish(tl)
 	if err != nil {
 		t.Fatal(err)

@@ -490,11 +490,12 @@ func (f *File) fetchRuns(tl *simtime.Timeline, runs []bitmap.Run) error {
 // times. The tree-lock insertion cost is charged to tl (the readahead work
 // happens in the calling context, as in Linux). markerAt places the
 // PG_readahead marker; origin tags the inserted pages' provenance for
-// the per-origin effectiveness partition. Returns pages issued and the
-// first device error; a failed chunk inserts nothing (the poisoning
-// guard) and aborts the remainder of the request, leaving the pages to
-// demand reads.
-func (f *File) prefetchRuns(tl *simtime.Timeline, at simtime.Time, runs []bitmap.Run, markerAt int64, origin telemetry.Origin) (int64, error) {
+// the per-origin effectiveness partition, arm the predictor arm whose
+// candidate drove the intent (ArmNone otherwise) for the per-arm
+// partition. Returns pages issued and the first device error; a failed
+// chunk inserts nothing (the poisoning guard) and aborts the remainder
+// of the request, leaving the pages to demand reads.
+func (f *File) prefetchRuns(tl *simtime.Timeline, at simtime.Time, runs []bitmap.Run, markerAt int64, origin telemetry.Origin, arm telemetry.Arm) (int64, error) {
 	sp := telemetry.Begin(tl, "vfs.prefetch", telemetry.CatCPU)
 	if len(runs) == 0 {
 		sp.End(tl)
@@ -562,6 +563,7 @@ func (f *File) prefetchRuns(tl *simtime.Timeline, at simtime.Time, runs []bitmap
 						ReadyAt:  done,
 						MarkerAt: markerAt,
 						Origin:   origin,
+						Arm:      arm,
 					})
 					f.v.rec.Add(telemetry.CtrVFSPrefetchInsertedPages, n)
 					issued += n
@@ -624,6 +626,7 @@ func (f *File) prefetchRuns(tl *simtime.Timeline, at simtime.Time, runs []bitmap
 				ReadyAt:  s.Done,
 				MarkerAt: markerAt,
 				Origin:   origin,
+				Arm:      arm,
 			})
 			f.v.rec.Add(telemetry.CtrVFSPrefetchInsertedPages, n)
 			issued += n
