@@ -1,7 +1,7 @@
 # Tier-1 gate (see ROADMAP.md): every PR must leave `make check` green.
-.PHONY: check build test vet race bench chaos errgate fmtgate plugate ringgate shedgate ctrgate armgate trace bench-json bench-parallel bench-batch bench-serve bench-overload bench-score bench-predict
+.PHONY: check build test vet race bench chaos errgate fmtgate plugate ringgate shedgate ctrgate armgate tiergate trace bench-json bench-parallel bench-batch bench-serve bench-overload bench-score bench-predict bench-tier
 
-check: vet errgate fmtgate plugate ringgate shedgate ctrgate armgate build race
+check: vet errgate fmtgate plugate ringgate shedgate ctrgate armgate tiergate build race
 
 # Formatting gate: the tree must be gofmt-clean.
 fmtgate:
@@ -70,6 +70,16 @@ ctrgate:
 # real registry.
 armgate:
 	go test -run 'TestArmGate' ./internal/telemetry ./internal/admin
+
+# Stack-API gate: the kernel's read paths must address I/O through the
+# device stack (striping + tier resolution), never a raw member device —
+# reaching past the stack would skip residency tracking and per-backend
+# accounting. The Device() accessor in compat.go IS the one sanctioned
+# member access (tests may also use it).
+tiergate:
+	@! grep -rn '\.Member(' internal/vfs --include='*.go' \
+		| grep -v 'internal/vfs/compat\.go' | grep -v '_test\.go' \
+		|| (echo 'tiergate: raw stack-member access on a kernel path (go through blockdev.Stack)'; exit 1)
 
 build:
 	go build ./...
@@ -150,3 +160,16 @@ bench-score:
 bench-predict:
 	go run ./cmd/crosserve -mode predict -file-mb 16 -iosize 16384 -ops 2048 \
 		-json BENCH_PR9.json
+
+# Tiered-stack sweep: the device-stack grid (RAID-0 width 1/2, half-remote
+# NVMe-oF tier, cross-tier prefetch on/off, capped local tier) under
+# sequential / zipfian-LSM / shared-file access. Every cell is
+# byte-verified, audit-reconciled down to the exact per-backend
+# command/byte partition, re-run with digest comparison for determinism,
+# and the contracts are asserted: width-2 sequential throughput >= 1.7x
+# width-1, cross-tier prefetch holds >= 70% of the all-local warm hit
+# rate on the half-remote dataset, and tiered-with-prefetch beats
+# prefetch-off tiered on warm p99 read latency.
+bench-tier:
+	go run ./cmd/crosserve -mode tier -file-mb 16 -iosize 16384 -ops 2048 \
+		-json BENCH_PR10.json

@@ -14,15 +14,18 @@
 //	crosserve -mode overload -sweep -json BENCH_PR7.json
 //	crosserve -mode score -file-mb 64 -ops 512 -json BENCH_PR8.json
 //	crosserve -mode predict -json BENCH_PR9.json
+//	crosserve -mode tier -json BENCH_PR10.json
+//	crosserve -mode rings -stripe 2 -tier-split 0.5 -remote-rtt 30us
 //	crosserve -mode rings -admin :9090
 //
 // -admin serves the live observability plane for the run's duration:
 // /metrics (Prometheus text with HELP metadata), /scorecards (per-file
 // and per-tenant effectiveness JSON with interval-rate deltas since the
 // previous scrape, filterable by ?tenant= / ?inode=), /predictors (the
-// live per-inode predictor-arm table), /tracez (the span flight
-// recorder's slowest retained roots), and /debug/pprof. The listener
-// drains with a bounded timeout on exit.
+// live per-inode predictor-arm table), /tiers (the device stack's
+// per-backend occupancy, tier residency, and extent heat table),
+// /tracez (the span flight recorder's slowest retained roots), and
+// /debug/pprof. The listener drains with a bounded timeout on exit.
 //
 // -mode score sweeps sequential/strided/zipfian/shared-file access
 // through the online scorecards and writes one JSON record per pattern;
@@ -36,6 +39,19 @@
 // the ensemble contract asserted (beat the counter on zipfian, give up
 // no more than 2% on sequential), and every cell re-run to prove the
 // scorecard JSON deterministic.
+//
+// -mode tier sweeps the device-stack grid — RAID-0 stripe width, a
+// half-remote NVMe-oF tier, and cross-tier prefetch — under
+// sequential/zipfian-LSM/shared-file access (see experiments.TierCells:
+// every cell is byte-verified, audit-reconciled down to the per-backend
+// command partition, re-run to an identical digest, and the striping /
+// warm-hit / p99 contracts asserted before anything is written).
+//
+// The sync/rings frontends take the same stack shape directly:
+// -stripe N stripes the local tier RAID-0 across N devices,
+// -tier-split F starts fraction F of the extents on a remote NVMe-oF
+// tier with cross-tier prefetch on, and -remote-rtt sets that tier's
+// fabric round trip.
 //
 // -sweep runs the sync and ring frontends across 1/8/64 tenants at
 // identical replay schedules and writes one JSON record per cell —
@@ -61,6 +77,7 @@ import (
 
 	crossprefetch "repro"
 	"repro/internal/admin"
+	"repro/internal/blockdev"
 	"repro/internal/crosslib"
 	"repro/internal/experiments"
 	"repro/internal/simtime"
@@ -100,6 +117,12 @@ func startAdmin(addr string) func() {
 			}
 			return nil
 		},
+		Tiers: func() *blockdev.Stack {
+			if s := liveSys.Load(); s != nil {
+				return s.Stack()
+			}
+			return nil
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crosserve:", err)
@@ -135,8 +158,33 @@ type record struct {
 	Audit          string  `json:"audit"`
 }
 
-func run(c experiments.ServeConfig, memMB int64, mode string) (record, error) {
-	c.Sys = crossprefetch.NewSystem(crossprefetch.Config{
+// stackFlags carries the -stripe / -tier-split / -remote-rtt device
+// stack shape into the sync/rings frontends.
+type stackFlags struct {
+	stripe    int
+	tierSplit float64
+	remoteRTT time.Duration
+}
+
+// apply configures cfg's device stack from the flags: RAID-0 striping
+// at the requested width, and a remote NVMe-oF tier holding tierSplit
+// of the extents with cross-tier prefetch on.
+func (sf stackFlags) apply(cfg *crossprefetch.Config) {
+	cfg.Stripe = sf.stripe
+	if sf.tierSplit > 0 {
+		cfg.Tier = blockdev.TierConfig{
+			Enabled:           true,
+			RemoteFrac:        sf.tierSplit,
+			CrossTierPrefetch: true,
+		}
+		if sf.remoteRTT > 0 {
+			cfg.Tier.Remote = blockdev.RemoteNVMeConfigRTT(simtime.Duration(sf.remoteRTT))
+		}
+	}
+}
+
+func run(c experiments.ServeConfig, memMB int64, mode string, sf stackFlags) (record, error) {
+	cfg := crossprefetch.Config{
 		MemoryBytes:     memMB << 20,
 		Approach:        crossprefetch.CrossPredictOpt,
 		Plug:            true,
@@ -144,7 +192,9 @@ func run(c experiments.ServeConfig, memMB int64, mode string) (record, error) {
 		Trace:           true,
 		Scorecard:       true,
 		CongestionLimit: simtime.Second,
-	})
+	}
+	sf.apply(&cfg)
+	c.Sys = crossprefetch.NewSystem(cfg)
 	liveSys.Store(c.Sys)
 	c.Rings = mode == "rings"
 	res, err := experiments.RunServe(c)
@@ -476,9 +526,77 @@ func runPredict(fileMB, iosize int64, ops int, seed int64, jsonOut string) {
 	}
 }
 
+// tierRecord is one stack × pattern cell in the -mode tier JSON output.
+type tierRecord struct {
+	Pattern            string  `json:"pattern"`
+	Stack              string  `json:"stack"`
+	Reads              int64   `json:"reads"`
+	ClientMB           float64 `json:"client_mb"`
+	WarmReads          int64   `json:"warm_reads"`
+	WarmHitRate        float64 `json:"warm_hit_rate"`
+	WarmPagesPerSec    float64 `json:"warm_pages_per_s"`
+	P99Us              float64 `json:"p99_us"`
+	Promotions         int64   `json:"promotions"`
+	PrefetchPromotions int64   `json:"prefetch_promotions"`
+	Demotions          int64   `json:"demotions"`
+	CopybackMB         float64 `json:"copyback_mb"`
+	BackendCommands    []int64 `json:"backend_commands"`
+	Digest             string  `json:"determinism_digest"`
+}
+
+// runTier sweeps the device-stack grid under the three access patterns
+// (see experiments.TierCells: every cell is byte-verified, audit-clean
+// down to the per-backend command partition, re-run to an identical
+// digest, and the striping / warm-hit / p99 contracts asserted before
+// anything is written).
+func runTier(fileMB, iosize int64, ops int, seed int64, jsonOut string) {
+	cells, err := experiments.TierCells(experiments.TierConfigCell{
+		FileMB: fileMB, IOSize: iosize, Ops: ops, Seed: seed,
+		Observe: func(sys *crossprefetch.System) { liveSys.Store(sys) },
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crosserve: tier:", err)
+		os.Exit(1)
+	}
+	var records []tierRecord
+	for _, kr := range experiments.TierRows(cells) {
+		r := kr.Result
+		rec := tierRecord{
+			Pattern: kr.Pattern, Stack: kr.Cell, Reads: r.Reads,
+			ClientMB:  float64(r.Bytes) / (1 << 20),
+			WarmReads: r.WarmReads, WarmHitRate: r.WarmHitRate,
+			WarmPagesPerSec: r.WarmPagesPerSec, P99Us: r.P99Micros,
+			Promotions:         r.Promotions,
+			PrefetchPromotions: r.PrefetchPromotions,
+			Demotions:          r.Demotions,
+			CopybackMB:         float64(r.CopybackBytes) / (1 << 20),
+			BackendCommands:    r.BackendCommands,
+			Digest:             fmt.Sprintf("%016x", r.Digest),
+		}
+		records = append(records, rec)
+		fmt.Printf("%-12s %-17s reads=%-5d warm-hit=%.3f warm-pages/s=%-7.0f p99=%.1fus promo=%-3d pf-promo=%-3d demo=%-3d digest=%s\n",
+			rec.Pattern, rec.Stack, rec.Reads, rec.WarmHitRate,
+			rec.WarmPagesPerSec, rec.P99Us, rec.Promotions,
+			rec.PrefetchPromotions, rec.Demotions, rec.Digest)
+	}
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crosserve:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "crosserve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d records to %s\n", len(records), jsonOut)
+	}
+}
+
 func main() {
 	var (
-		mode     = flag.String("mode", "rings", "dispatch path: sync, rings, overload, score, or predict")
+		mode     = flag.String("mode", "rings", "dispatch path: sync, rings, overload, score, predict, or tier")
 		tenants  = flag.Int("tenants", 8, "concurrent tenants (one file and one ring each)")
 		sessions = flag.Int("sessions", 4, "client sessions per tenant")
 		ops      = flag.Int("ops", 200, "reads per session")
@@ -490,6 +608,11 @@ func main() {
 		seed     = flag.Int64("seed", 1, "replay schedule seed")
 		sweep    = flag.Bool("sweep", false, "run sync and rings across 1/8/64 tenants (overload: the five policy cells)")
 		jsonOut  = flag.String("json", "", "write records as JSON to this file")
+
+		// Device-stack flags (sync/rings modes).
+		stripe    = flag.Int("stripe", 0, "RAID-0 stripe width of the local tier (0 or 1 = single device)")
+		tierSplit = flag.Float64("tier-split", 0, "fraction of extents starting on the remote NVMe-oF tier (0 = tier off; cross-tier prefetch on)")
+		remoteRTT = flag.Duration("remote-rtt", 0, "remote tier fabric round trip (0 = default 15us)")
 
 		// Overload-mode flags.
 		budgetMB   = flag.Int64("budget-mb", 0, "overload: per-tenant hard page-cache budget in MB (soft = half; 0 = equal share of memory)")
@@ -515,10 +638,14 @@ func main() {
 	case "predict":
 		runPredict(*fileMB, *iosize, *ops, *seed, *jsonOut)
 		return
+	case "tier":
+		runTier(*fileMB, *iosize, *ops, *seed, *jsonOut)
+		return
 	default:
-		fmt.Fprintf(os.Stderr, "crosserve: unknown -mode %q (want sync, rings, overload, score, or predict)\n", *mode)
+		fmt.Fprintf(os.Stderr, "crosserve: unknown -mode %q (want sync, rings, overload, score, predict, or tier)\n", *mode)
 		os.Exit(2)
 	}
+	sf := stackFlags{stripe: *stripe, tierSplit: *tierSplit, remoteRTT: *remoteRTT}
 
 	base := experiments.ServeConfig{
 		Sessions: *sessions, Ops: *ops, Batch: *batch,
@@ -555,7 +682,7 @@ func main() {
 	for _, cell := range cells {
 		c := base
 		c.Tenants = cell.tenants
-		rec, err := run(c, mem(cell.tenants), cell.mode)
+		rec, err := run(c, mem(cell.tenants), cell.mode, sf)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "crosserve: %s-t%d: %v\n", cell.mode, cell.tenants, err)
 			os.Exit(1)

@@ -71,6 +71,15 @@ type Config struct {
 	// Device is the storage model; zero value selects the paper's local
 	// NVMe SSD. Use blockdev.RemoteNVMeConfig() for the NVMe-oF setup.
 	Device blockdev.Config
+	// Stripe stripes the local tier RAID-0 across this many device
+	// instances (0 or 1 = single device; see blockdev.NewStack).
+	Stripe int
+	// StripeChunkBytes is the RAID-0 chunk size (default 256KB).
+	StripeChunkBytes int64
+	// Tier, when Tier.Enabled, layers the local device(s) over a remote
+	// NVMe-oF tier with per-extent residency, hotness promotion,
+	// watermark demotion, and cross-tier prefetch (see blockdev.TierConfig).
+	Tier blockdev.TierConfig
 	// Layout selects ext4-like or F2FS-like allocation.
 	Layout Layout
 	// MemoryBytes is the page-cache budget (default 1GB).
@@ -178,7 +187,7 @@ func (c Config) withDefaults() Config {
 // configuration.
 type System struct {
 	cfg    Config
-	dev    *blockdev.Device
+	dev    *blockdev.Stack
 	fsys   *fs.FS
 	cache  *pagecache.Cache
 	kernel *vfs.VFS
@@ -202,7 +211,12 @@ func NewSystem(cfg Config) *System {
 		costs = *cfg.Costs
 	}
 	cfg.Device.BlockSize = cfg.BlockSize
-	dev := blockdev.New(cfg.Device)
+	dev := blockdev.NewStack(blockdev.StackConfig{
+		Local:      cfg.Device,
+		Width:      cfg.Stripe,
+		ChunkBytes: cfg.StripeChunkBytes,
+		Tier:       cfg.Tier,
+	})
 	fsys := fs.New(cfg.Layout, cfg.BlockSize, costs)
 	cache := pagecache.New(pagecache.Config{
 		BlockSize:     cfg.BlockSize,
@@ -231,7 +245,7 @@ func NewSystem(cfg Config) *System {
 			MergeWindowBytes: cfg.MergeWindowBytes,
 		},
 	}
-	kernel := vfs.New(kcfg, fsys, dev, cache)
+	kernel := vfs.NewStack(kcfg, fsys, dev, cache)
 
 	opts := cfg.Approach.Options()
 	if cfg.LibOptions != nil {
@@ -283,8 +297,13 @@ func (s *System) Kernel() *vfs.VFS { return s.kernel }
 // Lib exposes the CROSS-LIB runtime (advanced use).
 func (s *System) Lib() *crosslib.Runtime { return s.lib }
 
-// Device exposes the block device.
-func (s *System) Device() *blockdev.Device { return s.dev }
+// Device exposes the first block device of the stack — the whole device
+// when the system is unstriped and untiered (compat accessor).
+func (s *System) Device() *blockdev.Device { return s.dev.Member(0) }
+
+// Stack exposes the composed device stack (striping/tier accessors,
+// per-member stats).
+func (s *System) Stack() *blockdev.Stack { return s.dev }
 
 // FS exposes the file system.
 func (s *System) FS() *fs.FS { return s.fsys }
@@ -470,7 +489,12 @@ func (s *System) DropAllCaches(tl *simtime.Timeline) {
 
 // Metrics is a cross-layer snapshot used by the benchmark harness.
 type Metrics struct {
-	Cache      pagecache.Stats
+	Cache pagecache.Stats
+	// Device aggregates the whole stack; Backends carries one entry per
+	// member (empty on a single-device system), and Tier the extent
+	// placement accounting (zero when untiered).
+	Backends   []blockdev.Stats
+	Tier       blockdev.TierStats
 	Device     blockdev.Stats
 	Lib        crosslib.Stats
 	Prefetch   int64 // prefetch-related kernel crossings
@@ -487,8 +511,14 @@ type Metrics struct {
 
 // Metrics snapshots all layers.
 func (s *System) Metrics() Metrics {
+	var backends []blockdev.Stats
+	if s.dev.NumMembers() > 1 {
+		backends = s.dev.MemberStats()
+	}
 	return Metrics{
 		Cache:      s.cache.Stats(),
+		Backends:   backends,
+		Tier:       s.dev.TierStats(0),
 		Device:     s.dev.Stats(),
 		Lib:        s.lib.Stats(),
 		Prefetch:   s.kernel.PrefetchSyscalls(),

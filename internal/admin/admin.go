@@ -3,7 +3,9 @@
 // telemetry as Prometheus text (/metrics), the online effectiveness
 // scorecards as JSON with interval-rate deltas (/scorecards, filterable
 // by ?tenant= / ?inode=), the predictor ensemble's live arm table
-// (/predictors), the span flight recorder's slowest retained roots
+// (/predictors), the device stack's tier view (/tiers: per-backend
+// occupancy, promotion/demotion totals, extent heat table), the span
+// flight recorder's slowest retained roots
 // (/tracez), and the standard Go profiling endpoints (/debug/pprof). The server reads live state
 // through provider callbacks so it can outlive any single System (the
 // crosserve sweep swaps systems per cell under one admin listener) and
@@ -22,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/blockdev"
 	"repro/internal/crosslib"
 	"repro/internal/telemetry"
 )
@@ -39,6 +42,9 @@ type Config struct {
 	// Predictors returns the live per-inode ensemble table for
 	// /predictors (live arm, bandit scores, promotions).
 	Predictors func() []crosslib.PredictorRow
+	// Tiers returns the live device stack for /tiers (per-backend
+	// occupancy and the tier residency/heat view).
+	Tiers func() *blockdev.Stack
 	// DrainTimeout bounds Shutdown's graceful connection drain; past it
 	// remaining connections are closed hard. Default 2s.
 	DrainTimeout time.Duration
@@ -74,6 +80,7 @@ func Start(addr string, cfg Config) (*Server, error) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/scorecards", s.handleScorecards)
 	mux.HandleFunc("/predictors", s.handlePredictors)
+	mux.HandleFunc("/tiers", s.handleTiers)
 	mux.HandleFunc("/tracez", s.handleTracez)
 	// The pprof handlers are registered explicitly on this mux (never the
 	// DefaultServeMux) so importing this package has no global effects.
@@ -120,6 +127,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 /metrics          cross-layer telemetry (Prometheus text exposition)
 /scorecards       per-file and per-tenant effectiveness scorecards (JSON; cumulative + delta since last scrape; ?tenant= / ?inode= filter)
 /predictors       predictor ensemble: live arm, bandit scores, promotions per file (JSON)
+/tiers            device stack: per-backend occupancy, tier residency, promotion/demotion totals, extent heat (JSON; ?heat= bounds the heat table)
 /tracez           flight recorder: slowest retained spans per operation class (JSON; ?n= bounds roots)
 /debug/pprof/     Go runtime profiles
 `)
@@ -268,6 +276,67 @@ func (s *Server) handlePredictors(w http.ResponseWriter, r *http.Request) {
 	}
 	if reply.Files == nil {
 		reply.Files = []crosslib.PredictorRow{}
+	}
+	writeJSON(w, reply)
+}
+
+// tierBackend is one stack member's occupancy row in the /tiers reply.
+type tierBackend struct {
+	Backend      int    `json:"backend"`
+	Name         string `json:"name"`
+	ReadOps      int64  `json:"read_ops"`
+	WriteOps     int64  `json:"write_ops"`
+	ReadBytes    int64  `json:"read_bytes"`
+	WriteBytes   int64  `json:"write_bytes"`
+	BusyNs       int64  `json:"busy_ns"`
+	PlugSegments int64  `json:"plug_segments"`
+	PlugCommands int64  `json:"plug_commands"`
+	Merged       int64  `json:"merged_segments"`
+}
+
+// tiersReply is the /tiers response body: the stack shape, one
+// occupancy row per backend (these partition the stack-level device
+// counters exactly — the telemetry audit checks that identity), and the
+// tier machinery's residency/heat view.
+type tiersReply struct {
+	Stack      string             `json:"stack"`
+	Width      int                `json:"width"`
+	ChunkBytes int64              `json:"chunk_bytes"`
+	Backends   []tierBackend      `json:"backends"`
+	Tier       blockdev.TierStats `json:"tier"`
+}
+
+func (s *Server) handleTiers(w http.ResponseWriter, r *http.Request) {
+	var st *blockdev.Stack
+	if s.cfg.Tiers != nil {
+		st = s.cfg.Tiers()
+	}
+	if st == nil {
+		http.Error(w, "tiers unavailable: no system live", http.StatusServiceUnavailable)
+		return
+	}
+	heat := 16
+	if v := r.URL.Query().Get("heat"); v != "" {
+		if n, err := parseInt(v); err == nil && n >= 0 {
+			heat = n
+		}
+	}
+	cfg := st.Config()
+	reply := tiersReply{
+		Stack:      st.Stats().Name,
+		Width:      st.Width(),
+		ChunkBytes: cfg.ChunkBytes,
+		Tier:       st.TierStats(heat),
+	}
+	for i, ms := range st.MemberStats() {
+		reply.Backends = append(reply.Backends, tierBackend{
+			Backend: i, Name: ms.Name,
+			ReadOps: ms.ReadOps, WriteOps: ms.WriteOps,
+			ReadBytes: ms.ReadBytes, WriteBytes: ms.WriteBytes,
+			BusyNs:       int64(ms.Busy),
+			PlugSegments: ms.PlugSegments, PlugCommands: ms.PlugCommands,
+			Merged: ms.MergedSegments,
+		})
 	}
 	writeJSON(w, reply)
 }

@@ -74,15 +74,24 @@ func NVMeConfig() Config {
 	}
 }
 
+// DefaultFabricRTT is the NVMe-oF model's fabric round trip.
+const DefaultFabricRTT = 15 * simtime.Microsecond
+
 // RemoteNVMeConfig returns an NVMe-oF (RDMA) remote device model: the same
 // media behind ~15µs of fabric round trip and per-command RDMA overhead.
 func RemoteNVMeConfig() Config {
+	return RemoteNVMeConfigRTT(DefaultFabricRTT)
+}
+
+// RemoteNVMeConfigRTT is RemoteNVMeConfig with a custom fabric round
+// trip, added to every read and write completion.
+func RemoteNVMeConfigRTT(rtt simtime.Duration) Config {
 	c := NVMeConfig()
 	c.Name = "nvmeof0"
 	c.ReadBandwidth = 1200 << 20
 	c.WriteBandwidth = 800 << 20
-	c.ReadLatency += 15 * simtime.Microsecond
-	c.WriteLatency += 15 * simtime.Microsecond
+	c.ReadLatency += rtt
+	c.WriteLatency += rtt
 	c.CmdOverhead += 1 * simtime.Microsecond
 	return c
 }
@@ -167,6 +176,12 @@ type Device struct {
 
 	injFaults  atomic.Int64
 	injStallNs atomic.Int64
+
+	// backend is this device's slot in the telemetry per-backend tables
+	// when it is a member of a Stack (-1 otherwise): every completed
+	// request then also books into its backend's command/byte/latency
+	// family, which the audit reconciles against the stack totals.
+	backend int
 }
 
 // New returns a device with the given configuration.
@@ -175,9 +190,10 @@ func New(cfg Config) *Device {
 		cfg.BlockSize = 4096
 	}
 	return &Device{
-		cfg:    cfg,
-		bwSync: simtime.NewLedger(cfg.Name + ".bw.sync"),
-		bwAll:  simtime.NewLedger(cfg.Name + ".bw"),
+		cfg:     cfg,
+		bwSync:  simtime.NewLedger(cfg.Name + ".bw.sync"),
+		bwAll:   simtime.NewLedger(cfg.Name + ".bw"),
+		backend: -1,
 	}
 }
 
@@ -210,18 +226,30 @@ func (d *Device) inject(op Op, off, bytes int64) Fault {
 	return f
 }
 
-// record reports one completed request spanning [start, done) to the
-// telemetry recorder.
-func (d *Device) record(op Op, bytes int64, start, done simtime.Time) {
+// record reports one completed request to the telemetry recorder:
+// submitted at submit, admitted to the transfer ledger at admit, complete
+// at done. The global histograms keep their submit-to-complete semantics;
+// the per-backend family (when this device belongs to a Stack) splits the
+// same interval into queue wait (submit→admit) and service (admit→done).
+func (d *Device) record(op Op, bytes int64, submit, admit, done simtime.Time) {
+	d.rec.Add(telemetry.CtrDeviceCommands, 1)
 	if op == OpWrite {
-		d.rec.Observe(telemetry.HistDevWriteLat, int64(done.Sub(start)))
+		d.rec.Observe(telemetry.HistDevWriteLat, int64(done.Sub(submit)))
 		d.rec.Observe(telemetry.HistDevWriteBytes, bytes)
 		d.rec.Add(telemetry.CtrDeviceWriteBytes, bytes)
-		return
+	} else {
+		d.rec.Observe(telemetry.HistDevReadLat, int64(done.Sub(submit)))
+		d.rec.Observe(telemetry.HistDevReadBytes, bytes)
+		d.rec.Add(telemetry.CtrDeviceReadBytes, bytes)
 	}
-	d.rec.Observe(telemetry.HistDevReadLat, int64(done.Sub(start)))
-	d.rec.Observe(telemetry.HistDevReadBytes, bytes)
-	d.rec.Add(telemetry.CtrDeviceReadBytes, bytes)
+	if d.backend >= 0 {
+		wait := admit.Sub(submit)
+		if wait < 0 {
+			wait = 0
+		}
+		d.rec.ObserveBackend(d.backend, op == OpWrite, bytes,
+			int64(wait), int64(done.Sub(admit)))
+	}
 }
 
 // BlockSize reports the device block size.
@@ -302,7 +330,7 @@ func (d *Device) Access(tl *simtime.Timeline, op Op, off, bytes int64) error {
 	tl.WaitUntil(done, simtime.WaitIO)
 	d.account(op, bytes)
 	if d.rec != nil {
-		d.record(op, bytes, start, done)
+		d.record(op, bytes, start, admit, done)
 	}
 	return nil
 }
@@ -314,10 +342,17 @@ func (d *Device) Access(tl *simtime.Timeline, op Op, off, bytes int64) error {
 // caller records the completion as the affected pages' ready time, and
 // should consult Backlog first to apply congestion control.
 func (d *Device) AccessAt(at simtime.Time, op Op, bytes int64) simtime.Time {
+	_, done := d.accessAt(at, op, bytes)
+	return done
+}
+
+// accessAt is AccessAt exposing the ledger admission time as well, for
+// callers that split queue wait from service in their accounting.
+func (d *Device) accessAt(at simtime.Time, op Op, bytes int64) (admit, done simtime.Time) {
 	bw, lat := d.params(op)
 	hold := d.cfg.CmdOverhead + d.transfer(bytes, bw)
-	_, end := d.bwAll.ReserveAt(at, hold)
-	return end.Add(lat)
+	admit, end := d.bwAll.ReserveAt(at, hold)
+	return admit, end.Add(lat)
 }
 
 // AccessAsync is AccessAt plus stats accounting and fault injection for
@@ -329,10 +364,11 @@ func (d *Device) AccessAsync(at simtime.Time, op Op, off, bytes int64) (simtime.
 	if f.Err != nil {
 		return at.Add(f.Stall), f.Err
 	}
-	done := d.AccessAt(at, op, bytes).Add(f.Stall)
+	admit, done := d.accessAt(at, op, bytes)
+	done = done.Add(f.Stall)
 	d.account(op, bytes)
 	if d.rec != nil {
-		d.record(op, bytes, at, done)
+		d.record(op, bytes, at, admit, done)
 	}
 	return done, nil
 }

@@ -27,24 +27,31 @@ type LaneConfig struct {
 }
 
 // LaneRequest is one unit of device work staged on a tenant lane. Tag is
-// an opaque caller cookie carried through to the LaneResult.
+// an opaque caller cookie carried through to the LaneResult. Prefetch
+// marks readahead work: on a tiered stack its remote-resident extents
+// promote on completion (cross-tier prefetch).
 type LaneRequest struct {
-	Tenant int
-	Op     Op
-	Off    int64
-	Bytes  int64
-	Tag    any
+	Tenant   int
+	Op       Op
+	Off      int64
+	Bytes    int64
+	Prefetch bool
+	Tag      any
 }
 
 // LaneResult is the outcome of one staged request: its completion time
 // (or terminal error), when its flush was submitted to the device, and
-// how long it waited in the lane before that submission.
+// how long it waited in the lane before that submission. On a
+// multi-member stack Pieces carries the per-backend fragment outcomes —
+// in particular, which pieces of a partially failed request actually
+// moved bytes (nil on single-member stacks).
 type LaneResult struct {
 	Req       LaneRequest
 	Done      simtime.Time
 	Submitted simtime.Time
 	Err       error
 	Wait      simtime.Duration
+	Pieces    []RequestPiece
 }
 
 // laneEntry is a staged request plus its scheduling state.
@@ -72,7 +79,7 @@ type lane struct {
 // use; Dispatch calls serialize against each other, modeling the single
 // submission context the block layer runs unplugs on.
 type LaneSet struct {
-	dev *Device
+	st  *Stack
 	cfg LaneConfig
 	rec *telemetry.Recorder
 
@@ -83,26 +90,33 @@ type LaneSet struct {
 	staged int
 
 	dispatchMu sync.Mutex
-	plug       *Plug
+	plug       *StackPlug
 	batches    int64
 	commands   int64
 	maxBatch   int64
 }
 
-// NewLaneSet returns a lane set dispatching to dev. rec may be nil.
-func (d *Device) NewLaneSet(cfg LaneConfig, rec *telemetry.Recorder) *LaneSet {
+// NewLaneSet returns a lane set dispatching into the stack's per-backend
+// queues. rec may be nil.
+func (st *Stack) NewLaneSet(cfg LaneConfig, rec *telemetry.Recorder) *LaneSet {
 	cfg.Plug.Plugged = true
 	cfg.Plug = cfg.Plug.WithDefaults()
 	if cfg.QuantumBytes <= 0 {
 		cfg.QuantumBytes = DefaultLaneQuantum
 	}
 	return &LaneSet{
-		dev:   d,
+		st:    st,
 		cfg:   cfg,
 		rec:   rec,
 		lanes: make(map[int]*lane),
-		plug:  d.NewPlug(cfg.Plug),
+		plug:  st.NewPlug(cfg.Plug),
 	}
+}
+
+// NewLaneSet returns a lane set over a bare device (a degenerate
+// single-member stack).
+func (d *Device) NewLaneSet(cfg LaneConfig, rec *telemetry.Recorder) *LaneSet {
+	return WrapDevice(d).NewLaneSet(cfg, rec)
 }
 
 // SetTelemetry installs the telemetry recorder (nil disables). Call
@@ -202,8 +216,10 @@ func (ls *LaneSet) Dispatch(at simtime.Time) []LaneResult {
 		p := ls.plug
 		p.Reset()
 		for i := range batch {
+			p.MarkPrefetch(batch[i].req.Prefetch)
 			p.Add(batch[i].req.Op, batch[i].req.Off, batch[i].req.Bytes, int64(i))
 		}
+		p.MarkPrefetch(false)
 		p.FlushAsync(submit, 0)
 		cmds := int64(p.DispatchedCommands())
 		ls.mu.Lock()
@@ -217,10 +233,16 @@ func (ls *LaneSet) Dispatch(at simtime.Time) []LaneResult {
 			ls.rec.Add(telemetry.CtrRingDispatchCommands, cmds)
 			ls.rec.Observe(telemetry.HistRingBatchCmds, cmds)
 		}
-		for _, s := range p.Segments() {
-			e := batch[s.UserLo]
+		for _, rq := range p.Requests() {
+			e := batch[rq.UserLo]
+			// The plug reuses its piece buffers across flushes; results
+			// that escape to the caller need their own copy.
+			var pieces []RequestPiece
+			if len(rq.Pieces) > 0 {
+				pieces = append(pieces, rq.Pieces...)
+			}
 			switch {
-			case s.Issued:
+			case rq.Issued:
 				wait := submit.Sub(e.stagedAt)
 				if wait < 0 {
 					wait = 0
@@ -232,17 +254,20 @@ func (ls *LaneSet) Dispatch(at simtime.Time) []LaneResult {
 					ln.maxWait = wait
 				}
 				ls.rec.Observe(telemetry.HistRingQueueWait, int64(wait))
-				out = append(out, LaneResult{Req: e.req, Done: s.Done, Submitted: submit, Wait: wait})
-			case s.Err != nil:
-				if IsTransient(s.Err) && e.attempt < ls.cfg.Retry.Max {
+				out = append(out, LaneResult{Req: e.req, Done: rq.Done, Submitted: submit, Wait: wait, Pieces: pieces})
+			case rq.Err != nil:
+				// A partially dispatched stack request must not restage —
+				// its issued pieces already moved bytes (they ride along in
+				// Pieces for the caller's accounting).
+				if !rq.Partial && IsTransient(rq.Err) && e.attempt < ls.cfg.Retry.Max {
 					e.attempt++
-					e.stagedAt = s.Done.Add(ls.cfg.Retry.Backoff(e.attempt))
+					e.stagedAt = rq.Done.Add(ls.cfg.Retry.Backoff(e.attempt))
 					ls.restageLocked(e)
 					break
 				}
-				out = append(out, LaneResult{Req: e.req, Done: s.Done, Submitted: submit, Err: s.Err})
+				out = append(out, LaneResult{Req: e.req, Done: rq.Done, Submitted: submit, Err: rq.Err, Pieces: pieces})
 			default:
-				// Skipped: an earlier command in this flush failed before
+				// Skipped: an earlier command in its flush failed before
 				// this one was submitted. Next round.
 				ls.restageLocked(e)
 			}

@@ -175,11 +175,11 @@ func (p *Plug) AsyncAccess(at simtime.Time, op Op, off, bytes int64) (done, end 
 	}
 	bw, lat := d.params(op)
 	hold = d.cfg.CmdOverhead + d.transfer(bytes, bw)
-	_, end = d.bwAll.ReserveAt(at, hold)
+	admit, end := d.bwAll.ReserveAt(at, hold)
 	done = end.Add(lat).Add(f.Stall)
 	d.account(op, bytes)
 	if d.rec != nil {
-		d.record(op, bytes, at, done)
+		d.record(op, bytes, at, admit, done)
 	}
 	d.countPlug(1, 1, bytes)
 	return done, end, hold, nil
@@ -287,7 +287,21 @@ func (p *Plug) FlushSync(tl *simtime.Timeline, rp RetryPolicy) error {
 		return nil
 	}
 	start := tl.Now()
-	sp := telemetry.Current(tl)
+	maxDone, firstErr := p.flushSyncFrom(telemetry.Current(tl), start, rp)
+	p.finish()
+	if maxDone > start {
+		tl.WaitUntil(maxDone, simtime.WaitIO)
+	}
+	return firstErr
+}
+
+// flushSyncFrom is FlushSync's reservation pass: it dispatches the
+// accumulated commands as blocking requests starting at start, without
+// blocking any timeline and without mapping results back onto segments.
+// A Stack flushes several member plugs from one start time this way and
+// then waits once for the overall maximum. Callers must invoke finish()
+// (or finishStack's equivalent) and wait on the returned completion.
+func (p *Plug) flushSyncFrom(sp *telemetry.Span, start simtime.Time, rp RetryPolicy) (simtime.Time, error) {
 	var maxDone simtime.Time
 	var firstErr error
 	for i := range p.cmds {
@@ -306,11 +320,7 @@ func (p *Plug) FlushSync(tl *simtime.Timeline, rp RetryPolicy) error {
 			maxDone = c.done
 		}
 	}
-	p.finish()
-	if maxDone > start {
-		tl.WaitUntil(maxDone, simtime.WaitIO)
-	}
-	return firstErr
+	return maxDone, firstErr
 }
 
 // dispatchSync issues one command at submit on the priority lane, with
@@ -359,7 +369,7 @@ func (p *Plug) dispatchSync(sp *telemetry.Span, c *command, submit simtime.Time,
 		}
 		d.account(c.op, c.bytes)
 		if d.rec != nil {
-			d.record(c.op, c.bytes, submit, done)
+			d.record(c.op, c.bytes, submit, admit, done)
 		}
 		c.issued = true
 		c.done = done
@@ -413,7 +423,7 @@ func (p *Plug) FlushAsync(at simtime.Time, congestionLimit simtime.Duration) {
 		}
 		bw, lat := d.params(c.op)
 		hold := d.cfg.CmdOverhead + d.transfer(c.bytes, bw)
-		_, end := d.bwAll.ReserveAt(submit, hold)
+		admit, end := d.bwAll.ReserveAt(submit, hold)
 		c.issued = true
 		c.done = end.Add(lat).Add(f.Stall)
 		c.end = end
@@ -424,7 +434,7 @@ func (p *Plug) FlushAsync(at simtime.Time, congestionLimit simtime.Duration) {
 		}
 		d.account(c.op, c.bytes)
 		if d.rec != nil {
-			d.record(c.op, c.bytes, submit, c.done)
+			d.record(c.op, c.bytes, submit, admit, c.done)
 		}
 	}
 	p.finish()

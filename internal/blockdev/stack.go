@@ -1,0 +1,756 @@
+package blockdev
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/simtime"
+	"repro/internal/telemetry"
+)
+
+// Default stack geometry: the RAID-0 chunk and the tier extent both
+// default to 256KB — large enough that sequential runs still merge into
+// big per-member commands, small enough that placement tracks hotness at
+// a useful grain.
+const (
+	DefaultStripeChunkBytes = 256 << 10
+	DefaultExtentBytes      = 256 << 10
+	// DefaultPromoteReads is the read-hotness threshold: a remote extent
+	// promotes to the local tier after this many demand reads touch it.
+	DefaultPromoteReads = 2
+	// maxPrefetchBoost caps the RTT-scaled readahead deepening for
+	// remote-resident extents.
+	maxPrefetchBoost = 8
+)
+
+// TierConfig describes the optional local/remote tier of a Stack.
+type TierConfig struct {
+	// Enabled turns the tier on; the zero value is a purely local stack.
+	Enabled bool
+	// Remote is the backing NVMe-oF device model (zero value selects
+	// RemoteNVMeConfig).
+	Remote Config
+	// ExtentBytes is the residency-tracking grain (default 256KB).
+	ExtentBytes int64
+	// RemoteFrac is the fraction of extents that start remote-resident
+	// (deterministically spread over the address space).
+	RemoteFrac float64
+	// LocalCapBytes bounds the local tier; past its high watermark
+	// (15/16, mirroring pagecache reclaim) the coldest local extents are
+	// demoted down to the low watermark (7/8). 0 means uncapped.
+	LocalCapBytes int64
+	// PromoteReads is the demand-read hotness threshold for promotion
+	// (default 2).
+	PromoteReads int
+	// CrossTierPrefetch makes prefetch reads against remote extents
+	// promote them as a side effect and deepens readahead windows that
+	// cover remote extents by the RTT-scaled boost (see PrefetchBoostFor).
+	CrossTierPrefetch bool
+}
+
+// StackConfig composes a device stack: Width local devices striped
+// RAID-0 at ChunkBytes, optionally tiered over a remote device.
+type StackConfig struct {
+	// Local is the per-member local device model (zero value selects
+	// NVMeConfig). Width > 1 members are named "<name>.<i>".
+	Local Config
+	// Width is the RAID-0 stripe width (<=1 means a single local device).
+	Width int
+	// ChunkBytes is the stripe chunk (default 256KB).
+	ChunkBytes int64
+	// Tier configures the optional local/remote tier.
+	Tier TierConfig
+}
+
+func (c StackConfig) withDefaults() StackConfig {
+	if c.Local.Name == "" {
+		c.Local = NVMeConfig()
+	}
+	if c.Local.BlockSize <= 0 {
+		c.Local.BlockSize = 4096
+	}
+	if c.Width < 1 {
+		c.Width = 1
+	}
+	if c.ChunkBytes <= 0 {
+		c.ChunkBytes = DefaultStripeChunkBytes
+	}
+	if c.ChunkBytes%c.Local.BlockSize != 0 {
+		c.ChunkBytes += c.Local.BlockSize - c.ChunkBytes%c.Local.BlockSize
+	}
+	if c.Tier.Enabled {
+		if c.Tier.Remote.Name == "" {
+			c.Tier.Remote = RemoteNVMeConfig()
+		}
+		c.Tier.Remote.BlockSize = c.Local.BlockSize
+		if c.Tier.ExtentBytes <= 0 {
+			c.Tier.ExtentBytes = DefaultExtentBytes
+		}
+		if c.Tier.ExtentBytes%c.Local.BlockSize != 0 {
+			c.Tier.ExtentBytes += c.Local.BlockSize - c.Tier.ExtentBytes%c.Local.BlockSize
+		}
+		if c.Tier.PromoteReads <= 0 {
+			c.Tier.PromoteReads = DefaultPromoteReads
+		}
+	}
+	return c
+}
+
+// extentState is one tier extent's residency and heat.
+type extentState struct {
+	init    bool
+	local   bool
+	dirty   bool
+	reads   int32
+	lastUse simtime.Time
+}
+
+// Stack composes member devices behind the Device-shaped API the kernel
+// uses: a RAID-0 stripe over Width local devices, optionally tiered over
+// a remote NVMe-oF device with per-extent residency. Each member keeps
+// its own bandwidth ledgers, queue depth, merge window, and congestion
+// backlog — the per-backend queues the plug and lane schedulers dispatch
+// into (see StackPlug). A single-member, untiered stack delegates
+// everywhere and is byte-identical to the raw device.
+type Stack struct {
+	cfg     StackConfig
+	members []*Device
+	width   int // local members; remote (if any) is members[width]
+	remote  int // remote member index, -1 when untiered
+	chunk   int64
+	extB    int64
+	rec     *telemetry.Recorder
+
+	// Tier residency table, lazily grown; guarded by tmu.
+	tmu          sync.Mutex
+	ext          []extentState
+	localExtents int64
+	capExtents   int64
+	promoteReads int32
+	fracPermille int64
+
+	promotions         int64
+	prefetchPromotions int64
+	demotions          int64
+	copybackBytes      int64
+}
+
+// NewStack builds the member devices and the stack over them.
+func NewStack(cfg StackConfig) *Stack {
+	cfg = cfg.withDefaults()
+	st := &Stack{
+		cfg:    cfg,
+		width:  cfg.Width,
+		remote: -1,
+		chunk:  cfg.ChunkBytes,
+	}
+	for i := 0; i < cfg.Width; i++ {
+		mc := cfg.Local
+		if cfg.Width > 1 {
+			mc.Name = fmt.Sprintf("%s.%d", cfg.Local.Name, i)
+		}
+		st.members = append(st.members, New(mc))
+	}
+	if cfg.Tier.Enabled {
+		st.remote = len(st.members)
+		st.members = append(st.members, New(cfg.Tier.Remote))
+		st.extB = cfg.Tier.ExtentBytes
+		st.capExtents = cfg.Tier.LocalCapBytes / st.extB
+		st.promoteReads = int32(cfg.Tier.PromoteReads)
+		st.fracPermille = int64(cfg.Tier.RemoteFrac * 1000)
+		if st.fracPermille < 0 {
+			st.fracPermille = 0
+		}
+		if st.fracPermille > 1000 {
+			st.fracPermille = 1000
+		}
+	}
+	return st
+}
+
+// WrapDevice adapts an already-built single device into a (degenerate)
+// stack — the compatibility path for callers that construct a Device
+// themselves.
+func WrapDevice(d *Device) *Stack {
+	return &Stack{
+		cfg:     StackConfig{Local: d.cfg, Width: 1, ChunkBytes: DefaultStripeChunkBytes},
+		members: []*Device{d},
+		width:   1,
+		remote:  -1,
+		chunk:   DefaultStripeChunkBytes,
+	}
+}
+
+// single reports whether every request maps 1:1 onto one member — the
+// delegate-everything fast path.
+func (st *Stack) single() bool { return len(st.members) == 1 }
+
+// Tiered reports whether the stack has a remote tier.
+func (st *Stack) Tiered() bool { return st.remote >= 0 }
+
+// Width reports the local stripe width.
+func (st *Stack) Width() int { return st.width }
+
+// NumMembers reports the member device count (locals + remote).
+func (st *Stack) NumMembers() int { return len(st.members) }
+
+// Member exposes one member device (0..Width-1 local, then remote).
+func (st *Stack) Member(i int) *Device { return st.members[i] }
+
+// Config reports the stack configuration (with defaults applied).
+func (st *Stack) Config() StackConfig { return st.cfg }
+
+// BlockSize reports the stack block size (uniform across members).
+func (st *Stack) BlockSize() int64 { return st.members[0].BlockSize() }
+
+// SetTelemetry installs the recorder on every member and registers each
+// as a telemetry backend, so per-backend command/byte/latency families
+// partition the stack totals exactly.
+func (st *Stack) SetTelemetry(rec *telemetry.Recorder) {
+	st.rec = rec
+	for i, m := range st.members {
+		m.SetTelemetry(rec)
+		if rec != nil && i < telemetry.MaxBackends {
+			m.backend = i
+			rec.RegisterBackend(i, m.cfg.Name)
+		}
+	}
+}
+
+// SetFaultInjector installs the injector on every member.
+func (st *Stack) SetFaultInjector(inj FaultInjector) {
+	for _, m := range st.members {
+		m.SetFaultInjector(inj)
+	}
+}
+
+// piece is one member-level fragment of a stack request: pieces cover a
+// request in ascending stack-offset order, each wholly on one member.
+type piece struct {
+	m     int              // member index
+	off   int64            // member-device offset
+	gOff  int64            // stack offset
+	n     int64            // bytes
+	stall simtime.Duration // scratch: injector stall from the pre-flight
+}
+
+// resolveInto appends the pieces of [off, off+bytes) to dst and returns
+// it. Placement: tier residency decides local vs remote per extent;
+// local spans then stripe across the width at chunk granularity with the
+// contiguity-preserving mapping
+//
+//	chunk i  ->  member i%W, member offset (i/W)*chunk + in-chunk offset
+//
+// so a member's consecutive stripe chunks stay device-adjacent and merge
+// in its plug. Remote spans map flat (same offsets on the remote device).
+func (st *Stack) resolveInto(dst []piece, off, bytes int64) []piece {
+	if st.single() {
+		return append(dst, piece{m: 0, off: off, gOff: off, n: bytes})
+	}
+	if st.remote >= 0 {
+		st.tmu.Lock()
+		defer st.tmu.Unlock()
+	}
+	for bytes > 0 {
+		n := bytes
+		if st.remote >= 0 {
+			e := off / st.extB
+			if rem := (e+1)*st.extB - off; n > rem {
+				n = rem
+			}
+			if !st.extLocalLocked(e) {
+				dst = append(dst, piece{m: st.remote, off: off, gOff: off, n: n})
+				off += n
+				bytes -= n
+				continue
+			}
+		}
+		if st.width > 1 {
+			ci := off / st.chunk
+			if rem := (ci+1)*st.chunk - off; n > rem {
+				n = rem
+			}
+			m := int(ci % int64(st.width))
+			moff := (ci/int64(st.width))*st.chunk + off%st.chunk
+			dst = append(dst, piece{m: m, off: moff, gOff: off, n: n})
+		} else {
+			dst = append(dst, piece{m: 0, off: off, gOff: off, n: n})
+		}
+		off += n
+		bytes -= n
+	}
+	return coalescePieces(dst)
+}
+
+// coalescePieces merges adjacent entries that landed device-contiguous
+// on the same member (consecutive extents of one residency, or — after a
+// full stripe turn — nothing; stripe chunks on one member are contiguous
+// only W chunks apart, which stay separate pieces and re-merge in the
+// member plug).
+func coalescePieces(ps []piece) []piece {
+	out := ps[:0]
+	for _, p := range ps {
+		if len(out) > 0 {
+			last := &out[len(out)-1]
+			if last.m == p.m && last.off+last.n == p.off && last.gOff+last.n == p.gOff {
+				last.n += p.n
+				continue
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// extLocalLocked reports (lazily initializing) extent e's residency.
+func (st *Stack) extLocalLocked(e int64) bool {
+	s := st.extAtLocked(e)
+	return s.local
+}
+
+// extAtLocked returns extent e's state, initializing residency on first
+// touch: extents spread deterministically between tiers by RemoteFrac.
+func (st *Stack) extAtLocked(e int64) *extentState {
+	for int64(len(st.ext)) <= e {
+		st.ext = append(st.ext, extentState{})
+	}
+	s := &st.ext[e]
+	if !s.init {
+		s.init = true
+		s.local = (e*613)%1000 >= st.fracPermille
+		if s.local {
+			st.localExtents++
+		}
+	}
+	return s
+}
+
+// noteRead books read heat for [off, off+bytes) completed at done:
+// remote extents accumulate demand-read heat and promote at the
+// threshold; with CrossTierPrefetch, a prefetch read promotes its remote
+// extents outright — the prefetched data just crossed the fabric, so
+// landing it locally is free. Promotion books the local-tier write and
+// may trigger watermark demotion of the coldest local extents.
+func (st *Stack) noteRead(done simtime.Time, off, bytes int64, prefetch bool) {
+	if st.remote < 0 || bytes <= 0 {
+		return
+	}
+	st.tmu.Lock()
+	defer st.tmu.Unlock()
+	for e := off / st.extB; e <= (off+bytes-1)/st.extB; e++ {
+		s := st.extAtLocked(e)
+		if done > s.lastUse {
+			s.lastUse = done
+		}
+		if s.local {
+			continue
+		}
+		if prefetch {
+			if st.cfg.Tier.CrossTierPrefetch {
+				st.promoteLocked(e, done, true)
+			}
+			continue
+		}
+		s.reads++
+		if s.reads >= st.promoteReads {
+			st.promoteLocked(e, done, false)
+		}
+	}
+}
+
+// noteWrite marks the covered extents dirty (and, for remote extents,
+// pulls them local: the stack writes new data to the fast tier and
+// copies it back on demotion).
+func (st *Stack) noteWrite(done simtime.Time, off, bytes int64) {
+	if st.remote < 0 || bytes <= 0 {
+		return
+	}
+	st.tmu.Lock()
+	defer st.tmu.Unlock()
+	for e := off / st.extB; e <= (off+bytes-1)/st.extB; e++ {
+		s := st.extAtLocked(e)
+		if done > s.lastUse {
+			s.lastUse = done
+		}
+		if !s.local {
+			s.local = true
+			st.localExtents++
+		}
+		s.dirty = true
+	}
+}
+
+// promoteLocked flips extent e local, books the local-tier fill write
+// asynchronously at `at` (the promoted bytes just arrived from the
+// remote read; the copy costs local write bandwidth, not a re-read), and
+// applies the demotion watermarks.
+func (st *Stack) promoteLocked(e int64, at simtime.Time, prefetch bool) {
+	s := &st.ext[e]
+	s.local = true
+	s.reads = 0
+	st.localExtents++
+	st.promotions++
+	st.rec.Add(telemetry.CtrTierPromotions, 1)
+	if prefetch {
+		st.prefetchPromotions++
+		st.rec.Add(telemetry.CtrTierPrefetchPromotions, 1)
+	}
+	off := e * st.extB
+	remaining := st.extB
+	for remaining > 0 {
+		n := remaining
+		var m int
+		var moff int64
+		if st.width > 1 {
+			ci := off / st.chunk
+			if rem := (ci+1)*st.chunk - off; n > rem {
+				n = rem
+			}
+			m = int(ci % int64(st.width))
+			moff = (ci/int64(st.width))*st.chunk + off%st.chunk
+		} else {
+			m, moff = 0, off
+		}
+		st.members[m].AccessAsync(at, OpWrite, moff, n) //nolint:errcheck // best-effort fill
+		off += n
+		remaining -= n
+	}
+	st.maybeDemoteLocked(at)
+}
+
+// maybeDemoteLocked applies the pagecache watermark machinery to the
+// local tier: past the 15/16 high watermark, the coldest local extents
+// demote until occupancy is back at the 7/8 low watermark. Dirty extents
+// copy back to the remote tier; clean ones just flip residency.
+func (st *Stack) maybeDemoteLocked(at simtime.Time) {
+	if st.capExtents <= 0 || st.localExtents <= st.capExtents*15/16 {
+		return
+	}
+	low := st.capExtents * 7 / 8
+	type cold struct {
+		e       int64
+		lastUse simtime.Time
+	}
+	var cands []cold
+	for e := range st.ext {
+		if st.ext[e].init && st.ext[e].local {
+			cands = append(cands, cold{int64(e), st.ext[e].lastUse})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].lastUse != cands[j].lastUse {
+			return cands[i].lastUse < cands[j].lastUse
+		}
+		return cands[i].e < cands[j].e
+	})
+	for _, c := range cands {
+		if st.localExtents <= low {
+			return
+		}
+		s := &st.ext[c.e]
+		if s.dirty {
+			st.members[st.remote].AccessAsync(at, OpWrite, c.e*st.extB, st.extB) //nolint:errcheck // best-effort copyback
+			st.copybackBytes += st.extB
+			st.rec.Add(telemetry.CtrTierCopybackBytes, st.extB)
+			s.dirty = false
+		}
+		s.local = false
+		s.reads = 0
+		st.localExtents--
+		st.demotions++
+		st.rec.Add(telemetry.CtrTierDemotions, 1)
+	}
+}
+
+// PrefetchBoostFor reports the readahead deepening factor for a stack
+// range: 1 for local-resident (or untiered) ranges; for ranges covering
+// remote extents, 1 + ceil(extra RTT / local read latency), capped — the
+// Leap-style rule that a prefetch window must run far enough ahead to
+// hide the fabric round trip behind streaming bandwidth.
+func (st *Stack) PrefetchBoostFor(off, bytes int64) int64 {
+	if st.remote < 0 || !st.cfg.Tier.CrossTierPrefetch || bytes <= 0 {
+		return 1
+	}
+	localLat := st.cfg.Local.ReadLatency
+	extra := st.cfg.Tier.Remote.ReadLatency - localLat
+	if extra <= 0 || localLat <= 0 {
+		return 1
+	}
+	remoteSeen := false
+	st.tmu.Lock()
+	for e := off / st.extB; e <= (off+bytes-1)/st.extB; e++ {
+		if !st.extLocalLocked(e) {
+			remoteSeen = true
+			break
+		}
+	}
+	st.tmu.Unlock()
+	if !remoteSeen {
+		return 1
+	}
+	boost := 1 + (int64(extra)+int64(localLat)-1)/int64(localLat)
+	if boost > maxPrefetchBoost {
+		boost = maxPrefetchBoost
+	}
+	return boost
+}
+
+// Backlog reports the stack's combined-lane backlog: the worst member's,
+// since stack requests can wait at most on their slowest member. Prefer
+// BacklogFor for run-targeted congestion decisions — one saturated
+// member must not throttle work aimed at the others.
+func (st *Stack) Backlog(at simtime.Time) simtime.Duration {
+	var b simtime.Duration
+	for _, m := range st.members {
+		if mb := m.Backlog(at); mb > b {
+			b = mb
+		}
+	}
+	return b
+}
+
+// BacklogFor reports the backlog of the specific backends a request on
+// [off, off+bytes) would dispatch to — the per-backend congestion signal
+// the vfs prefetch admission uses.
+func (st *Stack) BacklogFor(at simtime.Time, off, bytes int64) simtime.Duration {
+	if st.single() {
+		return st.members[0].Backlog(at)
+	}
+	var buf [8]piece
+	var b simtime.Duration
+	var seen uint64
+	for _, p := range st.resolveInto(buf[:0], off, bytes) {
+		if seen&(1<<uint(p.m)) != 0 {
+			continue
+		}
+		seen |= 1 << uint(p.m)
+		if mb := st.members[p.m].Backlog(at); mb > b {
+			b = mb
+		}
+	}
+	return b
+}
+
+// SyncCost conservatively bounds a blocking request's idle-stack cost by
+// the most expensive member's — the vfs uses it only as a waiting cap.
+func (st *Stack) SyncCost(op Op, bytes int64) simtime.Duration {
+	var c simtime.Duration
+	for _, m := range st.members {
+		if mc := m.SyncCost(op, bytes); mc > c {
+			c = mc
+		}
+	}
+	return c
+}
+
+// Access performs one blocking request against the stack: each piece
+// reserves its member's priority lane in parallel from the caller's
+// current time and the caller blocks until the slowest piece completes.
+// Faults are pre-flighted across all pieces so a request either moves
+// every byte or none (the single-device failure atomicity callers
+// already rely on).
+func (st *Stack) Access(tl *simtime.Timeline, op Op, off, bytes int64) error {
+	if st.single() && st.remote < 0 {
+		return st.members[0].Access(tl, op, off, bytes)
+	}
+	var buf [8]piece
+	pieces := st.resolveInto(buf[:0], off, bytes)
+	start := tl.Now()
+	sp := telemetry.Current(tl)
+	for i := range pieces {
+		p := &pieces[i]
+		f := st.members[p.m].inject(op, p.off, p.n)
+		if f.Err != nil {
+			failDone := start.Add(f.Stall)
+			sp.Child("dev.fault", telemetry.CatStall, start, failDone).
+				Annotate("bytes", p.n)
+			if f.Stall > 0 {
+				tl.WaitUntil(failDone, simtime.WaitIO)
+			}
+			return f.Err
+		}
+		p.stall = f.Stall
+	}
+	var maxDone simtime.Time
+	for i := range pieces {
+		p := &pieces[i]
+		d := st.members[p.m]
+		bw, lat := d.params(op)
+		hold := d.cfg.CmdOverhead + d.transfer(p.n, bw)
+		admit, end := d.bwSync.ReserveAt(start, hold)
+		d.bwAll.ReserveAt(start, hold)
+		done := end.Add(lat).Add(p.stall)
+		if sp != nil {
+			if admit > start {
+				sp.Child("dev.queue", telemetry.CatQueue, start, admit)
+			}
+			sp.Child("dev."+op.String(), telemetry.CatDevice, admit, end.Add(lat)).
+				Annotate("bytes", p.n)
+			if p.stall > 0 {
+				sp.Child("dev.stall", telemetry.CatStall, end.Add(lat), done)
+			}
+		}
+		d.account(op, p.n)
+		if d.rec != nil {
+			d.record(op, p.n, start, admit, done)
+		}
+		if done > maxDone {
+			maxDone = done
+		}
+	}
+	tl.WaitUntil(maxDone, simtime.WaitIO)
+	if op == OpWrite {
+		st.noteWrite(maxDone, off, bytes)
+	}
+	return nil
+}
+
+// AccessAsync reserves asynchronous stack time for one request submitted
+// at `at`, returning the slowest piece's completion. Same all-or-nothing
+// fault pre-flight as Access.
+func (st *Stack) AccessAsync(at simtime.Time, op Op, off, bytes int64) (simtime.Time, error) {
+	if st.single() && st.remote < 0 {
+		return st.members[0].AccessAsync(at, op, off, bytes)
+	}
+	var buf [8]piece
+	pieces := st.resolveInto(buf[:0], off, bytes)
+	for i := range pieces {
+		p := &pieces[i]
+		f := st.members[p.m].inject(op, p.off, p.n)
+		if f.Err != nil {
+			return at.Add(f.Stall), f.Err
+		}
+		p.stall = f.Stall
+	}
+	var maxDone simtime.Time
+	for i := range pieces {
+		p := &pieces[i]
+		d := st.members[p.m]
+		admit, done := d.accessAt(at, op, p.n)
+		done = done.Add(p.stall)
+		d.account(op, p.n)
+		if d.rec != nil {
+			d.record(op, p.n, at, admit, done)
+		}
+		if done > maxDone {
+			maxDone = done
+		}
+	}
+	if op == OpWrite {
+		st.noteWrite(maxDone, off, bytes)
+	}
+	return maxDone, nil
+}
+
+// Stats aggregates the member counters (a single-member stack reports
+// the member verbatim). Busy is the slowest member's occupancy — the
+// stack's critical path.
+func (st *Stack) Stats() Stats {
+	if st.single() {
+		return st.members[0].Stats()
+	}
+	names := make([]string, len(st.members))
+	var agg Stats
+	for i, m := range st.members {
+		s := m.Stats()
+		names[i] = s.Name
+		agg.ReadOps += s.ReadOps
+		agg.WriteOps += s.WriteOps
+		agg.ReadBytes += s.ReadBytes
+		agg.WriteBytes += s.WriteBytes
+		if s.Busy > agg.Busy {
+			agg.Busy = s.Busy
+		}
+		agg.InjectedFaults += s.InjectedFaults
+		agg.InjectedStall += s.InjectedStall
+		agg.PlugSegments += s.PlugSegments
+		agg.PlugCommands += s.PlugCommands
+		agg.MergedSegments += s.MergedSegments
+	}
+	agg.Name = "stack(" + strings.Join(names, "+") + ")"
+	return agg
+}
+
+// MemberStats snapshots each member device, locals first.
+func (st *Stack) MemberStats() []Stats {
+	out := make([]Stats, len(st.members))
+	for i, m := range st.members {
+		out[i] = m.Stats()
+	}
+	return out
+}
+
+// ExtentHeat is one tier extent's residency and heat, for the admin
+// plane's heat table.
+type ExtentHeat struct {
+	Extent  int64        `json:"extent"`
+	Local   bool         `json:"local"`
+	Dirty   bool         `json:"dirty"`
+	Reads   int32        `json:"reads"`
+	LastUse simtime.Time `json:"last_use"`
+}
+
+// TierStats snapshots the tier machinery.
+type TierStats struct {
+	Enabled            bool         `json:"enabled"`
+	ExtentBytes        int64        `json:"extent_bytes"`
+	TrackedExtents     int64        `json:"tracked_extents"`
+	LocalExtents       int64        `json:"local_extents"`
+	RemoteExtents      int64        `json:"remote_extents"`
+	CapExtents         int64        `json:"cap_extents"`
+	Promotions         int64        `json:"promotions"`
+	PrefetchPromotions int64        `json:"prefetch_promotions"`
+	Demotions          int64        `json:"demotions"`
+	CopybackBytes      int64        `json:"copyback_bytes"`
+	Heat               []ExtentHeat `json:"heat,omitempty"`
+}
+
+// TierStats snapshots residency, promotion/demotion totals, and the
+// hottest-extent heat table (up to heatTop entries by read heat, then
+// recency).
+func (st *Stack) TierStats(heatTop int) TierStats {
+	ts := TierStats{Enabled: st.remote >= 0, ExtentBytes: st.extB}
+	if st.remote < 0 {
+		return ts
+	}
+	st.tmu.Lock()
+	defer st.tmu.Unlock()
+	ts.CapExtents = st.capExtents
+	ts.Promotions = st.promotions
+	ts.PrefetchPromotions = st.prefetchPromotions
+	ts.Demotions = st.demotions
+	ts.CopybackBytes = st.copybackBytes
+	var heat []ExtentHeat
+	for e := range st.ext {
+		s := &st.ext[e]
+		if !s.init {
+			continue
+		}
+		ts.TrackedExtents++
+		if s.local {
+			ts.LocalExtents++
+		} else {
+			ts.RemoteExtents++
+		}
+		heat = append(heat, ExtentHeat{
+			Extent: int64(e), Local: s.local, Dirty: s.dirty,
+			Reads: s.reads, LastUse: s.lastUse,
+		})
+	}
+	sort.Slice(heat, func(i, j int) bool {
+		if heat[i].Reads != heat[j].Reads {
+			return heat[i].Reads > heat[j].Reads
+		}
+		if heat[i].LastUse != heat[j].LastUse {
+			return heat[i].LastUse > heat[j].LastUse
+		}
+		return heat[i].Extent < heat[j].Extent
+	})
+	if heatTop > 0 && len(heat) > heatTop {
+		heat = heat[:heatTop]
+	}
+	ts.Heat = heat
+	return ts
+}

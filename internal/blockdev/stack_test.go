@@ -1,0 +1,253 @@
+package blockdev
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/telemetry"
+)
+
+func testStripeConfig(width int) StackConfig {
+	return StackConfig{
+		Local:      testConfig(),
+		Width:      width,
+		ChunkBytes: 64 << 10,
+	}
+}
+
+// A request straddling a stripe-chunk boundary must split into exactly
+// one piece per member, with the member byte totals partitioning the
+// request and the stack aggregate matching their sum.
+func TestStackChunkStraddlePartition(t *testing.T) {
+	st := NewStack(testStripeConfig(2))
+	tl := simtime.NewTimeline(0)
+	// [60KB, 68KB): last 4KB of chunk 0 (member 0) + first 4KB of
+	// chunk 1 (member 1).
+	if err := st.Access(tl, OpRead, 60<<10, 8<<10); err != nil {
+		t.Fatal(err)
+	}
+	ms := st.MemberStats()
+	if ms[0].ReadOps != 1 || ms[0].ReadBytes != 4<<10 {
+		t.Fatalf("member 0 stats = %+v, want 1 op / 4KB", ms[0])
+	}
+	if ms[1].ReadOps != 1 || ms[1].ReadBytes != 4<<10 {
+		t.Fatalf("member 1 stats = %+v, want 1 op / 4KB", ms[1])
+	}
+	agg := st.Stats()
+	if agg.ReadOps != 2 || agg.ReadBytes != 8<<10 {
+		t.Fatalf("stack aggregate = %+v, want 2 ops / 8KB", agg)
+	}
+	if agg.Name != "stack(test.0+test.1)" {
+		t.Fatalf("stack name = %q", agg.Name)
+	}
+}
+
+// Consecutive stripe chunks that land on the same member map to
+// device-adjacent offsets (the contiguity-preserving layout), so a
+// multi-chunk read re-merges into ONE command per member in that
+// member's plug queue, and the members run their halves in parallel: a
+// plugged width-2 read of 2N bytes finishes in exactly the time a raw
+// device needs for a single N-byte command.
+func TestStackStripeCoalesceAndParallelism(t *testing.T) {
+	st := NewStack(testStripeConfig(2))
+	p := st.NewPlug(PlugConfig{Plugged: true})
+	tl := simtime.NewTimeline(0)
+	// 256KB = chunks 0..3: chunks 0,2 -> member 0 at offsets 0,64KB
+	// (device-contiguous), chunks 1,3 -> member 1 likewise.
+	p.Add(OpRead, 0, 256<<10, 0)
+	if err := p.FlushSync(tl, RetryPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.DispatchedCommands(); got != 2 {
+		t.Fatalf("dispatched %d commands, want 2 (one merged per member)", got)
+	}
+	for i, m := range st.MemberStats() {
+		if m.PlugCommands != 1 || m.PlugSegments != 2 || m.ReadBytes != 128<<10 {
+			t.Fatalf("member %d = %+v, want 2 segments merged into 1 command / 128KB", i, m)
+		}
+	}
+	raw := New(testConfig())
+	rtl := simtime.NewTimeline(0)
+	if err := raw.Access(rtl, OpRead, 0, 128<<10); err != nil {
+		t.Fatal(err)
+	}
+	if tl.Elapsed() != rtl.Elapsed() {
+		t.Fatalf("width-2 256KB took %v, want raw-device 128KB time %v",
+			tl.Elapsed(), rtl.Elapsed())
+	}
+}
+
+// A width-1 stack — built either via NewStack or WrapDevice — must be
+// byte- and timing-identical to the raw device for the same request
+// sequence.
+func TestStackWidthOneIdenticalToRawDevice(t *testing.T) {
+	raw := New(testConfig())
+	one := NewStack(StackConfig{Local: testConfig(), Width: 1})
+	wrapped := WrapDevice(New(testConfig()))
+
+	type step struct {
+		op    Op
+		off   int64
+		bytes int64
+	}
+	steps := []step{
+		{OpRead, 0, 1 << 20},
+		{OpWrite, 256 << 10, 64 << 10},
+		{OpRead, 60 << 10, 8 << 10}, // would straddle a chunk at width > 1
+		{OpRead, 1 << 20, 4 << 10},
+	}
+	rtl := simtime.NewTimeline(0)
+	otl := simtime.NewTimeline(0)
+	wtl := simtime.NewTimeline(0)
+	for i, s := range steps {
+		if err := raw.Access(rtl, s.op, s.off, s.bytes); err != nil {
+			t.Fatal(err)
+		}
+		if err := one.Access(otl, s.op, s.off, s.bytes); err != nil {
+			t.Fatal(err)
+		}
+		if err := wrapped.Access(wtl, s.op, s.off, s.bytes); err != nil {
+			t.Fatal(err)
+		}
+		if otl.Elapsed() != rtl.Elapsed() || wtl.Elapsed() != rtl.Elapsed() {
+			t.Fatalf("step %d: elapsed raw=%v stack=%v wrapped=%v",
+				i, rtl.Elapsed(), otl.Elapsed(), wtl.Elapsed())
+		}
+	}
+	// Async path too: identical admission and completion.
+	rd, rerr := raw.AccessAsync(rtl.Now(), OpRead, 0, 512<<10)
+	od, oerr := one.AccessAsync(otl.Now(), OpRead, 0, 512<<10)
+	if rerr != nil || oerr != nil {
+		t.Fatal(rerr, oerr)
+	}
+	if od != rd {
+		t.Fatalf("async done: raw=%v stack=%v", rd, od)
+	}
+	rs, os, ws := raw.Stats(), one.Stats(), wrapped.Stats()
+	ws.ReadOps, ws.ReadBytes = ws.ReadOps+1, ws.ReadBytes+512<<10 // skip async on wrapped
+	if os != rs {
+		t.Fatalf("stats diverge:\nraw   %+v\nstack %+v", rs, os)
+	}
+	if ws.Name != rs.Name {
+		t.Fatalf("wrapped stack renamed the device: %q vs %q", ws.Name, rs.Name)
+	}
+}
+
+// A fault on one member must fail the whole stack request before ANY
+// member books bytes: all-or-nothing, so a partially-served stripe can
+// never land in (and poison) the page cache. After the fault clears,
+// the same request must succeed with only the clean attempt accounted.
+func TestStackSingleMemberFaultAllOrNothing(t *testing.T) {
+	st := NewStack(testStripeConfig(2))
+	tl := simtime.NewTimeline(0)
+	// Fail member 1's piece ([0,64KB) of the member device); member 0 is
+	// healthy and resolves first in piece order.
+	st.Member(1).SetFaultInjector(&stubInjector{fail: map[int64]bool{0: true}})
+
+	if err := st.Access(tl, OpRead, 0, 128<<10); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	ms := st.MemberStats()
+	if ms[0].ReadOps != 0 || ms[0].ReadBytes != 0 {
+		t.Fatalf("healthy member booked bytes on a failed stack request: %+v", ms[0])
+	}
+	if ms[1].ReadOps != 0 || ms[1].InjectedFaults != 1 {
+		t.Fatalf("faulted member accounting = %+v", ms[1])
+	}
+
+	// Async submission takes the same pre-flight.
+	if _, err := st.AccessAsync(tl.Now(), OpRead, 0, 128<<10); !errors.Is(err, ErrInjected) {
+		t.Fatalf("async err = %v, want ErrInjected", err)
+	}
+	if ms := st.MemberStats(); ms[0].ReadOps != 0 || ms[1].ReadOps != 0 {
+		t.Fatalf("async fault booked bytes: %+v", ms)
+	}
+
+	// Clear the fault: the retry serves every byte, and the totals show
+	// only the clean attempt.
+	st.Member(1).SetFaultInjector(nil)
+	if err := st.Access(tl, OpRead, 0, 128<<10); err != nil {
+		t.Fatal(err)
+	}
+	ms = st.MemberStats()
+	if ms[0].ReadBytes != 64<<10 || ms[1].ReadBytes != 64<<10 {
+		t.Fatalf("post-retry member bytes = %d/%d, want 64KB each",
+			ms[0].ReadBytes, ms[1].ReadBytes)
+	}
+	if agg := st.Stats(); agg.ReadBytes != 128<<10 || agg.InjectedFaults != 2 {
+		t.Fatalf("post-retry aggregate = %+v", agg)
+	}
+}
+
+// BacklogFor must report only the backends a request would actually
+// dispatch to: a saturated remote tier must not register as congestion
+// for local-resident ranges (the per-backend signal the vfs prefetch
+// admission relies on; Backlog is the stack-wide worst case).
+func TestStackBacklogForIsolatesSaturatedMember(t *testing.T) {
+	st := NewStack(StackConfig{
+		Local: testConfig(),
+		Width: 1,
+		Tier: TierConfig{
+			Enabled:    true,
+			Remote:     RemoteNVMeConfig(),
+			RemoteFrac: 0.5,
+		},
+	})
+	// Residency hash: extent 0 -> remote, extent 1 -> local.
+	extB := st.Config().Tier.ExtentBytes
+	if st.PrefetchBoostFor(0, 4096) != 1 {
+		t.Fatal("boost should be 1 with CrossTierPrefetch disabled")
+	}
+
+	// Saturate the remote member with a large direct reservation.
+	remote := st.Member(st.NumMembers() - 1)
+	if _, err := remote.AccessAsync(0, OpRead, 0, 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	if st.Backlog(0) == 0 {
+		t.Fatal("stack-wide backlog should see the saturated remote")
+	}
+	if b := st.BacklogFor(0, extB, 4096); b != 0 {
+		t.Fatalf("local-resident range inherited remote backlog: %v", b)
+	}
+	if b := st.BacklogFor(0, 0, 4096); b == 0 {
+		t.Fatal("remote-resident range should see the remote backlog")
+	}
+}
+
+// The per-backend telemetry families must partition the stack totals
+// exactly: summing command and byte counters across backends yields the
+// same numbers as the stack's aggregate device stats.
+func TestStackBackendTelemetryPartition(t *testing.T) {
+	st := NewStack(testStripeConfig(2))
+	rec := telemetry.NewRecorder(0)
+	st.SetTelemetry(rec)
+	tl := simtime.NewTimeline(0)
+	for i := int64(0); i < 8; i++ {
+		if err := st.Access(tl, OpRead, i*96<<10, 96<<10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Access(tl, OpWrite, 0, 128<<10); err != nil {
+		t.Fatal(err)
+	}
+	snap := rec.Snapshot()
+	if len(snap.Backends) != 2 {
+		t.Fatalf("backends = %d, want 2", len(snap.Backends))
+	}
+	var cmds, rb, wb int64
+	for _, b := range snap.Backends {
+		cmds += b.Commands
+		rb += b.ReadBytes
+		wb += b.WriteBytes
+	}
+	agg := st.Stats()
+	if got := agg.ReadOps + agg.WriteOps; cmds != got {
+		t.Fatalf("backend commands %d != stack ops %d", cmds, got)
+	}
+	if rb != agg.ReadBytes || wb != agg.WriteBytes {
+		t.Fatalf("backend bytes %d/%d != stack bytes %d/%d",
+			rb, wb, agg.ReadBytes, agg.WriteBytes)
+	}
+}

@@ -173,6 +173,44 @@ func TestAblationQuick(t *testing.T) {
 	runQuick(t, "ablate")
 }
 
+// TestTierQuick runs the tiered-stack sweep; the runner itself asserts
+// byte-correctness, the per-backend telemetry audit partition,
+// run-to-run determinism via digest comparison, the width-2 striping
+// speedup, the cross-tier-prefetch warm-hit floor, and the p99 win over
+// the prefetch-off tiered cell. Here we pin the headline shape to its
+// cells.
+func TestTierQuick(t *testing.T) {
+	tbl := runQuick(t, "tier")
+	if len(tbl.Rows) != 18 {
+		t.Fatalf("tier produced %d rows, want 18", len(tbl.Rows))
+	}
+	w1 := cell(t, tbl, "warm-pages/s", "sequential", "w1-local")
+	w2 := cell(t, tbl, "warm-pages/s", "sequential", "w2-local")
+	if w2 < 1.7*w1 {
+		t.Errorf("width-2 sequential pages/s %.0f below 1.7x width-1 %.0f", w2, w1)
+	}
+	localHit := cell(t, tbl, "warm-hit", "sequential", "w1-local")
+	pfHit := cell(t, tbl, "warm-hit", "sequential", "w1-remote+pf")
+	if pfHit < 0.7*localHit {
+		t.Errorf("cross-tier prefetch warm hit %.3f below 70%% of all-local %.3f", pfHit, localHit)
+	}
+	pfP99 := cell(t, tbl, "p99-us", "sequential", "w1-remote+pf")
+	noP99 := cell(t, tbl, "p99-us", "sequential", "w1-remote")
+	if pfP99 >= noP99 {
+		t.Errorf("cross-tier prefetch p99 %.1fus should beat prefetch-off tiered %.1fus", pfP99, noP99)
+	}
+	if got := cell(t, tbl, "pf-promo", "sequential", "w1-remote+pf"); got < 1 {
+		t.Errorf("cross-tier prefetch promotions = %v, want >= 1", got)
+	}
+	if got := cell(t, tbl, "demo", "sequential", "w1-remote+pf-cap"); got < 1 {
+		t.Errorf("capped cell demotions = %v, want >= 1", got)
+	}
+	// Tier-off cells must never touch the tier machinery.
+	if got := cell(t, tbl, "promo", "sequential", "w2-local"); got != 0 {
+		t.Errorf("local cell saw %v promotions, want 0", got)
+	}
+}
+
 func TestTableRendering(t *testing.T) {
 	tbl := &Table{
 		ID:      "x",

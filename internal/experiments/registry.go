@@ -34,6 +34,7 @@ var registry = []registryEntry{
 	{"overload", "Tenant isolation under an antagonist scan: budgets, deadlines, brownout", Overload},
 	{"score", "Online scorecards: accuracy/coverage/pollution across access patterns", Score},
 	{"predict", "Competing predictors: counter/MITHRIL/Leap ensemble with bandit promotion", Predict},
+	{"tier", "Tiered stacks: RAID-0 striping, NVMe-oF remote tier, cross-tier prefetch", Tier},
 }
 
 // IDs lists the experiment identifiers in a stable order.

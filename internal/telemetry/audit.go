@@ -272,6 +272,35 @@ func Audit(s *Snapshot, in AuditInput) error {
 		fail("ring dispatched %d batches with zero ring_enter crossings", ringBatches)
 	}
 
+	// Backend partition <-> stack totals: when a device stack registered
+	// its members, the per-backend cells partition the stack-level device
+	// counters EXACTLY — every completed command and every byte moved is
+	// accounted to exactly one backend, and each backend's queue-wait and
+	// service histograms carry one sample per command.
+	if len(s.Backends) > 0 {
+		var bCmds, bRead, bWrite int64
+		for name, b := range s.Backends {
+			bCmds += b.Commands
+			bRead += b.ReadBytes
+			bWrite += b.WriteBytes
+			if b.QueueWait.Count != b.Commands {
+				fail("backend %s queue-wait samples %d != commands %d", name, b.QueueWait.Count, b.Commands)
+			}
+			if b.Service.Count != b.Commands {
+				fail("backend %s service samples %d != commands %d", name, b.Service.Count, b.Commands)
+			}
+		}
+		if cmds := s.Counter(CtrDeviceCommands); bCmds != cmds {
+			fail("per-backend command sum %d != device commands %d", bCmds, cmds)
+		}
+		if rd := s.Counter(CtrDeviceReadBytes); bRead != rd {
+			fail("per-backend read-byte sum %d != device read bytes %d", bRead, rd)
+		}
+		if wr := s.Counter(CtrDeviceWriteBytes); bWrite != wr {
+			fail("per-backend write-byte sum %d != device write bytes %d", bWrite, wr)
+		}
+	}
+
 	// Device <-> VFS: for a kernel that is the device's only client,
 	// every read the device served was a demand fetch or a prefetch.
 	if in.StrictDevice && in.BlockSize > 0 {

@@ -24,6 +24,17 @@ type OriginStat struct {
 	Wasted   int64 `json:"wasted"`
 }
 
+// BackendSnapshot is one stack backend's device-level accounting:
+// completed commands, bytes moved in each direction, and the queue-wait
+// (submit→admit) and service (admit→done) latency distributions.
+type BackendSnapshot struct {
+	Commands   int64             `json:"commands"`
+	ReadBytes  int64             `json:"read_bytes"`
+	WriteBytes int64             `json:"write_bytes"`
+	QueueWait  HistogramSnapshot `json:"queue_wait"`
+	Service    HistogramSnapshot `json:"service"`
+}
+
 // Snapshot is a point-in-time view of a Recorder, suitable for export
 // (JSON/CSV) and for Audit.
 type Snapshot struct {
@@ -36,6 +47,11 @@ type Snapshot struct {
 	Arms       map[string]OriginStat        `json:"arms"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 	Syscalls   map[string]HistogramSnapshot `json:"syscalls"`
+	// Backends is per-stack-member device accounting, keyed by backend
+	// name (empty when no stack registered its members). The per-backend
+	// commands and bytes partition the stack-level device counters
+	// exactly — Audit checks that identity.
+	Backends map[string]BackendSnapshot `json:"backends,omitempty"`
 	// Events is the bounded decision trace, oldest first.
 	Events []Event `json:"events,omitempty"`
 	// EventsTotal counts all events ever recorded; EventsDropped counts
@@ -115,6 +131,22 @@ func (r *Recorder) Snapshot() *Snapshot {
 			continue
 		}
 		s.Syscalls[r.syscallNames[i]] = r.syscalls[i].Snapshot()
+	}
+	for i := 0; i < MaxBackends; i++ {
+		if r.backendNames[i] == "" {
+			continue
+		}
+		if s.Backends == nil {
+			s.Backends = make(map[string]BackendSnapshot)
+		}
+		b := &r.backends[i]
+		s.Backends[r.backendNames[i]] = BackendSnapshot{
+			Commands:   b.commands.Load(),
+			ReadBytes:  b.readBytes.Load(),
+			WriteBytes: b.writeBytes.Load(),
+			QueueWait:  b.queueWait.Snapshot(),
+			Service:    b.service.Snapshot(),
+		}
 	}
 	s.Events, s.EventsTotal, s.EventsDropped = r.ring.snapshot()
 	return s
@@ -211,6 +243,24 @@ func (s *Snapshot) WriteCSV(w io.Writer) error {
 	}
 	if err := histRows("syscall", s.Syscalls); err != nil {
 		return err
+	}
+	for _, name := range sortedKeys(s.Backends) {
+		b := s.Backends[name]
+		if err := row("backend", name, "commands", b.Commands); err != nil {
+			return err
+		}
+		if err := row("backend", name, "read_bytes", b.ReadBytes); err != nil {
+			return err
+		}
+		if err := row("backend", name, "write_bytes", b.WriteBytes); err != nil {
+			return err
+		}
+		if err := histRows("backend_queue_wait", map[string]HistogramSnapshot{name: b.QueueWait}); err != nil {
+			return err
+		}
+		if err := histRows("backend_service", map[string]HistogramSnapshot{name: b.Service}); err != nil {
+			return err
+		}
 	}
 	if err := row("trace", "events", "total", s.EventsTotal); err != nil {
 		return err

@@ -77,6 +77,11 @@ var counterHelp = [numCounters]string{
 	CtrPredShadowIssuedPages:      "Pages the shadow predictor arms would have prefetched.",
 	CtrPredShadowHitPages:         "Shadow-predicted pages a later access overlapped.",
 	CtrPredShadowExpiredPages:     "Shadow-predicted pages that aged out or were overwritten unconsumed.",
+	CtrDeviceCommands:             "Completed device commands after plug merging, all stack members (per-backend partition parent).",
+	CtrTierPromotions:             "Extents promoted from the remote tier to local storage.",
+	CtrTierPrefetchPromotions:     "Tier promotions driven by cross-tier prefetch landing remote pages locally.",
+	CtrTierDemotions:              "Extents demoted from local storage under the capacity watermarks.",
+	CtrTierCopybackBytes:          "Bytes copied back to the remote tier when demoting dirty extents.",
 }
 
 // outcomeHelp is the HELP text per prefetch-decision outcome, indexed by
@@ -219,6 +224,29 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	for _, name := range sortedKeys(s.Syscalls) {
 		writeHist("crossprefetch_syscall_"+promName(name),
 			"Per-syscall latency, virtual nanoseconds (log2 buckets).", s.Syscalls[name])
+	}
+	if len(s.Backends) > 0 {
+		for _, fam := range []struct {
+			name, help string
+			val        func(BackendSnapshot) int64
+		}{
+			{"backend_commands_total", "Completed device commands per stack backend (partition of device_commands).", func(b BackendSnapshot) int64 { return b.Commands }},
+			{"backend_read_bytes_total", "Bytes read per stack backend (partition of device_read_bytes).", func(b BackendSnapshot) int64 { return b.ReadBytes }},
+			{"backend_write_bytes_total", "Bytes written per stack backend (partition of device_write_bytes).", func(b BackendSnapshot) int64 { return b.WriteBytes }},
+		} {
+			m := "crossprefetch_" + fam.name
+			p("# HELP %s %s\n# TYPE %s counter\n", m, fam.help, m)
+			for _, name := range sortedKeys(s.Backends) {
+				p("%s{backend=\"%s\"} %d\n", m, promLabel(name), fam.val(s.Backends[name]))
+			}
+		}
+		for _, name := range sortedKeys(s.Backends) {
+			b := s.Backends[name]
+			writeHist("crossprefetch_backend_queue_wait_"+promName(name),
+				"Per-backend command queue wait (submit to admission), virtual nanoseconds (log2 buckets).", b.QueueWait)
+			writeHist("crossprefetch_backend_service_"+promName(name),
+				"Per-backend command service time (admission to completion), virtual nanoseconds (log2 buckets).", b.Service)
+		}
 	}
 	p("# HELP crossprefetch_events_recorded_total Decision-trace events recorded (ring-buffered; counters stay exact past the cap).\n")
 	p("# TYPE crossprefetch_events_recorded_total counter\ncrossprefetch_events_recorded_total %d\n", s.EventsTotal)

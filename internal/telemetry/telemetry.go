@@ -160,6 +160,18 @@ const (
 	CtrPredShadowIssuedPages
 	CtrPredShadowHitPages
 	CtrPredShadowExpiredPages
+	// CtrDeviceCommands counts completed device commands (post-merge)
+	// across the whole stack; with backends registered, the per-backend
+	// command counters partition it exactly (the audit identity).
+	CtrDeviceCommands
+	// CtrTierPromotions counts extents promoted remote->local;
+	// CtrTierPrefetchPromotions the subset landed by cross-tier prefetch
+	// reads. CtrTierDemotions counts watermark demotions local->remote,
+	// CtrTierCopybackBytes the dirty-extent bytes copied back on demotion.
+	CtrTierPromotions
+	CtrTierPrefetchPromotions
+	CtrTierDemotions
+	CtrTierCopybackBytes
 
 	numCounters
 )
@@ -214,6 +226,11 @@ var counterNames = [numCounters]string{
 	CtrPredShadowIssuedPages:      "pred_shadow_issued_pages",
 	CtrPredShadowHitPages:         "pred_shadow_hit_pages",
 	CtrPredShadowExpiredPages:     "pred_shadow_expired_pages",
+	CtrDeviceCommands:             "device_commands",
+	CtrTierPromotions:             "tier_promotions",
+	CtrTierPrefetchPromotions:     "tier_prefetch_promotions",
+	CtrTierDemotions:              "tier_demotions",
+	CtrTierCopybackBytes:          "tier_copyback_bytes",
 }
 
 // String names the counter (JSON/CSV key).
@@ -450,6 +467,21 @@ func (h Hist) String() string { return histNames[h] }
 // MaxSyscallKinds bounds the per-syscall latency histogram table.
 const MaxSyscallKinds = 16
 
+// MaxBackends bounds the per-backend (stack member device) table.
+const MaxBackends = 8
+
+// backendCell is one backend device's command/byte/latency family. The
+// blockdev layer books every completed request of a registered stack
+// member here, alongside the global device counters — the audit asserts
+// the per-backend sums partition the stack totals exactly.
+type backendCell struct {
+	commands   atomic.Int64
+	readBytes  atomic.Int64
+	writeBytes atomic.Int64
+	queueWait  Histogram
+	service    Histogram
+}
+
 // outcomeCell accumulates per-outcome totals independently of the ring,
 // so counts stay exact even after the trace wraps.
 type outcomeCell struct {
@@ -480,6 +512,9 @@ type Recorder struct {
 
 	syscallNames [MaxSyscallKinds]string
 	syscalls     [MaxSyscallKinds]Histogram
+
+	backendNames [MaxBackends]string
+	backends     [MaxBackends]backendCell
 
 	ring ring
 }
@@ -606,6 +641,43 @@ func (r *Recorder) ObserveSyscall(i int, ns int64) {
 		return
 	}
 	r.syscalls[i].Observe(ns)
+}
+
+// RegisterBackend names a per-backend device slot (the blockdev stack
+// calls this once per member; telemetry cannot import blockdev).
+func (r *Recorder) RegisterBackend(i int, name string) {
+	if r == nil || i < 0 || i >= MaxBackends {
+		return
+	}
+	r.backendNames[i] = name
+}
+
+// ObserveBackend books one completed device command of backend i: its
+// bytes (by direction) and its queue-wait and service intervals
+// (virtual ns).
+func (r *Recorder) ObserveBackend(i int, write bool, bytes, waitNs, serviceNs int64) {
+	if r == nil || i < 0 || i >= MaxBackends {
+		return
+	}
+	b := &r.backends[i]
+	b.commands.Add(1)
+	if write {
+		b.writeBytes.Add(bytes)
+	} else {
+		b.readBytes.Add(bytes)
+	}
+	b.queueWait.Observe(waitNs)
+	b.service.Observe(serviceNs)
+}
+
+// BackendTotals reports backend i's exact command/byte ledger (zeros for
+// an unregistered slot).
+func (r *Recorder) BackendTotals(i int) (commands, readBytes, writeBytes int64) {
+	if r == nil || i < 0 || i >= MaxBackends {
+		return 0, 0, 0
+	}
+	b := &r.backends[i]
+	return b.commands.Load(), b.readBytes.Load(), b.writeBytes.Load()
 }
 
 // Event records one prefetch-decision trace event for pages [lo, hi) of

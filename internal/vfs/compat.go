@@ -1,0 +1,11 @@
+package vfs
+
+import "repro/internal/blockdev"
+
+// Device exposes the first member of the device stack — the whole device
+// when the kernel was assembled with New over a bare device. Compat
+// accessor for single-device callers and tests; stack-aware code uses
+// Stack(). This is the one sanctioned vfs use of Stack.Member (the
+// tiergate grep exempts this file): read/write paths must go through the
+// stack API so striping, tiering, and per-backend accounting hold.
+func (v *VFS) Device() *blockdev.Device { return v.dev.Member(0) }

@@ -119,7 +119,10 @@ func (f *File) ReadaheadInfo(tl *simtime.Timeline, req CacheInfoRequest, dst *bi
 	}
 	// Level-2 brownout clamps the window below even the static cap: the
 	// excess is counted rejected, so the clamp identities still hold.
-	if v.pressureCheck(tl) >= BrownoutClamped {
+	// The clamp also disables the cross-tier depth boost below — under
+	// reclaim pressure remote residency must not amplify I/O.
+	clamped := v.pressureCheck(tl) >= BrownoutClamped
+	if clamped {
 		if clamp := v.brownoutClampPages(); limit > clamp {
 			limit = clamp
 		}
@@ -137,8 +140,18 @@ func (f *File) ReadaheadInfo(tl *simtime.Timeline, req CacheInfoRequest, dst *bi
 		if rg.Bytes > 0 && hi > lo {
 			requested = true
 			preClamp := hi - lo
-			if hi-lo > limit {
-				hi = lo + limit
+			// Cross-tier prefetch: a remote-resident range earns an
+			// RTT-scaled deeper window (never under the level-2 clamp,
+			// always within the absolute prefetch byte budget).
+			rlimit := limit
+			if boost := f.rangeBoost(lo, hi); boost > 1 && !clamped {
+				rlimit *= boost
+				if maxPages := v.cfg.MaxPrefetchBytes / bs; rlimit > maxPages {
+					rlimit = maxPages
+				}
+			}
+			if hi-lo > rlimit {
+				hi = lo + rlimit
 			}
 			granted := hi - lo
 			v.rec.Add(telemetry.CtrKernelRequestedPages, preClamp)

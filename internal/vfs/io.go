@@ -102,7 +102,18 @@ func (f *File) ReadAt(tl *simtime.Timeline, dst []byte, off int64) (int, error) 
 		// Readahead is best-effort: a device fault here inserts nothing
 		// (recorded in the decision trace) and the pages fall back to
 		// demand reads. fetchRuns has consumed sc.runs; reuse it.
-		missing := f.fc.AppendFastMissingRuns(tl, sc.runs[:0], action.Lo, action.Hi)
+		// Cross-tier prefetch: a window over remote-resident extents
+		// reaches deeper (RTT-scaled) so the longer fetch still completes
+		// ahead of the reader; the marker stays where the state machine
+		// put it, so the ramp cadence is unchanged.
+		aHi := action.Hi
+		if boost := f.rangeBoost(action.Lo, aHi); boost > 1 {
+			aHi = action.Lo + (aHi-action.Lo)*boost
+			if aHi > fileBlocks {
+				aHi = fileBlocks
+			}
+		}
+		missing := f.fc.AppendFastMissingRuns(tl, sc.runs[:0], action.Lo, aHi)
 		sc.runs = missing
 		_, _ = f.prefetchRuns(tl, tl.Now(), missing, action.MarkerAt, telemetry.OriginReadahead, telemetry.ArmNone)
 	}

@@ -88,10 +88,11 @@ func (v *VFS) BrownoutLevel() BrownoutLevel {
 }
 
 // computePressure derives the level from the cache's watermark distance
-// and the device backlog at the given instant.
-func (v *VFS) computePressure(at simtime.Time) BrownoutLevel {
+// and a device-backlog signal. The global state machine feeds it the
+// stack-wide worst backlog; targeted decisions (targetPressure) feed the
+// backlog of only the backends a request touches.
+func (v *VFS) computePressure(backlog simtime.Duration) BrownoutLevel {
 	used := v.cache.Used()
-	backlog := v.dev.Backlog(at)
 	switch {
 	case used > v.cache.Capacity() || backlog > 4*v.cfg.CongestionLimit:
 		return BrownoutClamped
@@ -108,7 +109,7 @@ func (v *VFS) pressureCheck(tl *simtime.Timeline) BrownoutLevel {
 	if !v.cfg.Brownout {
 		return BrownoutNormal
 	}
-	next := v.computePressure(tl.Now())
+	next := v.computePressure(v.dev.Backlog(tl.Now()))
 	for {
 		old := BrownoutLevel(v.brownout.Load())
 		if old == next {
@@ -127,4 +128,17 @@ func (v *VFS) pressureCheck(tl *simtime.Timeline) BrownoutLevel {
 		v.rec.Event(tl.Now(), o, -1, int64(old), int64(next))
 		return next
 	}
+}
+
+// targetPressure evaluates the brownout thresholds for one prefetch
+// intent over logical blocks [lo, hi): memory pressure is global, but
+// the backlog component reads only the backends the range actually
+// targets — a saturated remote tier must not shed prefetch bound for
+// idle local devices. It never transitions the global state machine
+// (pressureCheck owns that).
+func (v *VFS) targetPressure(tl *simtime.Timeline, f *File, lo, hi int64) BrownoutLevel {
+	if !v.cfg.Brownout {
+		return BrownoutNormal
+	}
+	return v.computePressure(f.rangeBacklog(tl.Now(), lo, hi))
 }

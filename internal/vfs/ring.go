@@ -211,6 +211,10 @@ func (v *VFS) ringDispatch(tl *simtime.Timeline) {
 func (v *VFS) completeRingChunk(tl *simtime.Timeline, c *ringChunk, r blockdev.LaneResult) {
 	defer c.wg.Done()
 	if r.Err != nil {
+		// On a partially dispatched stack request the issued pieces really
+		// moved bytes: count and insert them (the data is good — this is
+		// not poisoning), then fail the SQE for the rest.
+		v.insertRingPieces(tl, c, r)
 		v.rec.Event(r.Done, telemetry.OutcomeDeviceFault, c.f.ino.ID(), c.lo, c.lo+c.blocks)
 		if !c.prefetch {
 			v.rec.Add(telemetry.CtrVFSDemandIOErrors, 1)
@@ -250,6 +254,35 @@ func (v *VFS) completeRingChunk(tl *simtime.Timeline, c *ringChunk, r blockdev.L
 	c.pend.advance(r.Done)
 }
 
+// insertRingPieces accounts the issued member pieces of a failed stack
+// request: their device bytes moved, so the cross-layer identities
+// (device read bytes == demand + prefetch pages) require counting them,
+// and the fetched data is inserted with each piece's own ready time.
+func (v *VFS) insertRingPieces(tl *simtime.Timeline, c *ringChunk, r blockdev.LaneResult) {
+	bs := v.BlockSize()
+	for _, pc := range r.Pieces {
+		if !pc.Issued {
+			continue
+		}
+		blockLo := c.lo + pc.Delta/bs
+		blocks := (pc.Bytes + bs - 1) / bs
+		opts := pagecache.InsertOptions{ReadyAt: pc.Done, MarkerAt: -1, Tenant: c.tenant}
+		if c.prefetch {
+			v.rec.Add(telemetry.CtrVFSPrefetchDevicePages, blocks)
+			telemetry.CountPages(tl, telemetry.PagePrefetch, blocks)
+			opts.Origin = telemetry.OriginRing
+			opts.Arm = c.arm
+			n := c.f.fc.InsertRange(tl, blockLo, blockLo+blocks, opts)
+			v.rec.Add(telemetry.CtrVFSPrefetchInsertedPages, n)
+			v.rec.Add(telemetry.CtrKernelPrefetchedPages, n)
+		} else {
+			v.rec.Add(telemetry.CtrVFSDemandFetchPages, blocks)
+			telemetry.CountPages(tl, telemetry.PageDemand, blocks)
+			c.f.fc.InsertRange(tl, blockLo, blockLo+blocks, opts)
+		}
+	}
+}
+
 // stageRuns cuts missing logical-block runs into VFS-sized chunks over
 // the file's physical extents and stages them on the tenant's lane. Hole
 // blocks are zero-fill: inserted immediately, no device work.
@@ -274,10 +307,11 @@ func (v *VFS) stageRuns(tl *simtime.Timeline, tenant int, f *File, runs []bitmap
 				chunkBlocks := (chunk + bs - 1) / bs
 				wg.Add(1)
 				v.lanes.Stage(blockdev.LaneRequest{
-					Tenant: tenant,
-					Op:     blockdev.OpRead,
-					Off:    devOff,
-					Bytes:  chunk,
+					Tenant:   tenant,
+					Op:       blockdev.OpRead,
+					Off:      devOff,
+					Bytes:    chunk,
+					Prefetch: prefetch,
 					Tag: &ringChunk{
 						pend: pend, wg: wg, f: f,
 						lo: lo, blocks: chunkBlocks, tenant: tenant, prefetch: prefetch,
@@ -407,8 +441,11 @@ func (v *VFS) ringPrefetch(tl *simtime.Timeline, tenant int, sq *RingSQE,
 	// device. The full file-clamped request is counted rejected so the
 	// requested == admitted + rejected and lib == kernel identities hold
 	// page for page, and the CQE carries ErrShed so the library can tell
-	// refusal from failure (the breaker ignores sheds).
-	if v.BrownoutLevel() >= BrownoutPrefetchOff ||
+	// refusal from failure (the breaker ignores sheds). The pressure is
+	// evaluated against the backlog of only the backends this range
+	// targets (targetPressure): a saturated remote tier sheds only the
+	// intents actually bound for it.
+	if v.targetPressure(tl, f, lo, hi) >= BrownoutPrefetchOff ||
 		(sq.Deadline > 0 && tl.Now() > sq.Deadline) {
 		preClamp := hi - lo
 		v.rec.Add(telemetry.CtrKernelRequestedPages, preClamp)
@@ -420,11 +457,16 @@ func (v *VFS) ringPrefetch(tl *simtime.Timeline, tenant int, sq *RingSQE,
 		return 0
 	}
 	limit := v.cfg.RA.MaxPages
+	// Cross-tier prefetch: a remote-resident range earns an RTT-scaled
+	// deeper window (capped by the absolute prefetch byte budget).
+	if boost := f.rangeBoost(lo, hi); boost > 1 {
+		limit *= boost
+	}
 	if v.cfg.AllowLimitOverride && hi-lo > limit {
 		limit = hi - lo
-		if maxPages := v.cfg.MaxPrefetchBytes / bs; limit > maxPages {
-			limit = maxPages
-		}
+	}
+	if maxPages := v.cfg.MaxPrefetchBytes / bs; limit > maxPages {
+		limit = maxPages
 	}
 	preClamp := hi - lo
 	if hi-lo > limit {
@@ -435,7 +477,9 @@ func (v *VFS) ringPrefetch(tl *simtime.Timeline, tenant int, sq *RingSQE,
 	v.rec.Add(telemetry.CtrKernelAdmittedPages, granted)
 	v.rec.Add(telemetry.CtrKernelRejectedPages, preClamp-granted)
 
-	if v.dev.Backlog(tl.Now()) > v.cfg.CongestionLimit {
+	// Per-backend congestion: only the backlog of the backends this
+	// range resolves to can postpone it.
+	if f.rangeBacklog(tl.Now(), lo, hi) > v.cfg.CongestionLimit {
 		return 0
 	}
 	missing := f.fc.AppendFastMissingRuns(tl, sc.runs[:0], lo, hi)

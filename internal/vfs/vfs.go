@@ -122,7 +122,7 @@ func (s Syscall) String() string {
 type VFS struct {
 	cfg   Config
 	fsys  *fs.FS
-	dev   *blockdev.Device
+	dev   *blockdev.Stack
 	cache *pagecache.Cache
 
 	// mmapLock models the per-address-space lock fincore/mincore hold
@@ -153,9 +153,18 @@ type VFS struct {
 	brownout atomic.Int32
 }
 
-// New assembles a kernel over the given file system, device, and cache.
-// It installs the cache's dirty-page writeback hook.
+// New assembles a kernel over a single bare device (wrapped as a
+// degenerate one-member stack). It installs the cache's dirty-page
+// writeback hook.
 func New(cfg Config, fsys *fs.FS, dev *blockdev.Device, cache *pagecache.Cache) *VFS {
+	return NewStack(cfg, fsys, blockdev.WrapDevice(dev), cache)
+}
+
+// NewStack assembles a kernel over a composed device stack (striped
+// and/or tiered; see blockdev.NewStack). All read and write paths route
+// through the stack, so per-backend queueing, congestion, and tier
+// residency are visible to prefetch policy.
+func NewStack(cfg Config, fsys *fs.FS, dev *blockdev.Stack, cache *pagecache.Cache) *VFS {
 	if cfg.MaxPrefetchBytes <= 0 {
 		cfg.MaxPrefetchBytes = 64 << 20
 	}
@@ -200,15 +209,16 @@ func (v *VFS) retryPolicy() blockdev.RetryPolicy {
 	}
 }
 
-// getPlug returns a reset per-request plug from the pool; read paths
-// submit all device I/O through it (never dev.Access* directly).
-func (v *VFS) getPlug() *blockdev.Plug {
-	p := v.plugs.Get().(*blockdev.Plug)
+// getPlug returns a reset per-request stack plug from the pool; read
+// paths submit all device I/O through it (never dev.Access* or member
+// devices directly).
+func (v *VFS) getPlug() *blockdev.StackPlug {
+	p := v.plugs.Get().(*blockdev.StackPlug)
 	p.Reset()
 	return p
 }
 
-func (v *VFS) putPlug(p *blockdev.Plug) { v.plugs.Put(p) }
+func (v *VFS) putPlug(p *blockdev.StackPlug) { v.plugs.Put(p) }
 
 // SetTelemetry installs the telemetry recorder (nil disables) and
 // registers the syscall names for the latency table.
@@ -226,8 +236,8 @@ func (v *VFS) Cache() *pagecache.Cache { return v.cache }
 // FS exposes the file system.
 func (v *VFS) FS() *fs.FS { return v.fsys }
 
-// Device exposes the block device.
-func (v *VFS) Device() *blockdev.Device { return v.dev }
+// Stack exposes the composed device stack.
+func (v *VFS) Stack() *blockdev.Stack { return v.dev }
 
 // Config reports the kernel configuration.
 func (v *VFS) Config() Config { return v.cfg }
@@ -355,7 +365,7 @@ func (v *VFS) blockRange(off, n int64) (lo, hi int64) {
 // exponential virtual-time backoff: transient device glitches are
 // absorbed here (charged as wait time), while persistent faults and
 // exhausted budgets surface to the caller.
-func (v *VFS) syncRead(tl *simtime.Timeline, plug *blockdev.Plug, off, bytes int64) error {
+func (v *VFS) syncRead(tl *simtime.Timeline, plug *blockdev.StackPlug, off, bytes int64) error {
 	rp := v.retryPolicy()
 	err := plug.SyncAccess(tl, blockdev.OpRead, off, bytes)
 	for attempt := 1; err != nil && blockdev.IsTransient(err) && attempt <= rp.Max; attempt++ {
@@ -506,50 +516,37 @@ func (f *File) prefetchRuns(tl *simtime.Timeline, at simtime.Time, runs []bitmap
 	defer f.v.putPlug(plug)
 	var issued int64
 	if !plug.Plugged() {
-		// horizon is the furthest combined-lane reservation THIS request
-		// has made, floored so it advances by at least each chunk's hold:
-		// the device is serial, so this request alone needs that much
-		// device time past at. Congestion is re-evaluated against the
-		// larger of the device backlog and the horizon: the ledger's
-		// bounded span ring can forget old reservations under heavy
-		// fragmentation, letting both Backlog(at) and raw reservation ends
-		// plateau while a single large prefetch keeps piling chunks — the
-		// hold floor always advances, so the limit still trips.
-		var horizon simtime.Time
+		// Each chunk is admitted against the per-backend backlog of
+		// exactly the members it targets, plus this request's own
+		// advancing per-member horizon (AsyncPrefetchChunk): a request
+		// piling chunks onto one backend still trips the limit even if
+		// the ledger's bounded span ring forgets old reservations, while
+		// a saturated backend never postpones chunks bound for others.
 		for _, r := range runs {
 			for _, pr := range f.ino.MapRange(r.Lo, r.Hi) {
 				lo := pr.Logical
 				devOff := pr.Phys * bs
 				remaining := pr.Count * bs
 				for remaining > 0 {
-					// Congestion control: postpone prefetch that would pile
-					// onto an already-backlogged device (§4.7).
-					backlog := f.v.dev.Backlog(at)
-					if h := horizon.Sub(at); h > backlog {
-						backlog = h
-					}
-					if backlog > f.v.cfg.CongestionLimit {
-						sp.Annotate("congested", 1)
-						sp.End(tl)
-						return issued, nil
-					}
 					chunk := remaining
 					if chunk > maxVFSRequest {
 						chunk = maxVFSRequest
 					}
 					chunkBlocks := (chunk + bs - 1) / bs
-					done, end, hold, err := plug.AsyncAccess(at, blockdev.OpRead, devOff, chunk)
+					// Congestion control: postpone prefetch that would pile
+					// onto already-backlogged backends (§4.7).
+					done, congested, err := plug.AsyncPrefetchChunk(at, devOff, chunk, f.v.cfg.CongestionLimit)
+					if congested {
+						sp.Annotate("congested", 1)
+						sp.End(tl)
+						return issued, nil
+					}
 					if err != nil {
 						f.v.rec.Event(at, telemetry.OutcomeDeviceFault,
 							f.ino.ID(), lo, lo+chunkBlocks)
 						sp.Annotate("io_error", 1)
 						sp.End(tl)
 						return issued, err
-					}
-					if nh := horizon.Add(hold); end > nh {
-						horizon = end
-					} else {
-						horizon = nh
 					}
 					// The async read runs on the device's own schedule; record
 					// its reserved interval as an explicit child (the critical
@@ -578,7 +575,9 @@ func (f *File) prefetchRuns(tl *simtime.Timeline, at simtime.Time, runs []bitmap
 	}
 
 	// Plugged: accumulate every chunk, then one congestion-aware unplug
-	// dispatches the merged commands on the async lane.
+	// dispatches the merged commands on the async lane. The prefetch mark
+	// lets a tiered stack promote remote extents these reads touch.
+	plug.MarkPrefetch(true)
 	for _, r := range runs {
 		for _, pr := range f.ino.MapRange(r.Lo, r.Hi) {
 			lo := pr.Logical
